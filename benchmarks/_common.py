@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one experiment from DESIGN.md's index: it
+prints a result table (visible with ``pytest -s``) and persists it under
+``benchmarks/results/`` so EXPERIMENTS.md can reference the measured rows.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench import Table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(table: Table, name: str) -> None:
+    """Print a result table and persist it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = table.render()
+    print("\n" + text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,58 @@
+"""E25 (§1 [39], Ginex): degree-static caching ≈ offline-optimal.
+
+Claims: (a) neighbour-sampling access traces are so skewed toward hubs
+that a *static* cache pinning the highest-degree rows captures almost the
+optimal (Belady) hit rate; (b) LRU — the default OS/page-cache policy —
+performs far worse on these traces (sampling has no short-term temporal
+locality); (c) the gap persists across cache sizes.
+"""
+
+import numpy as np
+from _common import emit
+
+from repro.bench import Table
+from repro.graph import barabasi_albert_graph
+from repro.graph.reorder import degree_ordering
+from repro.storage import (
+    BeladyCache,
+    LruCache,
+    StaticCache,
+    sampling_access_stream,
+    simulate_cache,
+)
+
+
+def test_cache_policies(benchmark):
+    g = barabasi_albert_graph(4000, 4, seed=0)
+    trace = sampling_access_stream(
+        g, np.arange(g.n_nodes), fanout=10, n_layers=2, batch_size=64, seed=1
+    )
+    deg_rank = degree_ordering(g)
+
+    table = Table(
+        f"E25: feature-cache hit rates over a sampling epoch "
+        f"({len(trace)} accesses, n=4000)",
+        ["cache size", "LRU", "static degree-ranked", "Belady optimal"],
+    )
+    rates = {}
+    for capacity in (100, 400, 1200):
+        lru = simulate_cache(LruCache(capacity), trace).hit_rate
+        static = simulate_cache(StaticCache(deg_rank, capacity), trace).hit_rate
+        opt = simulate_cache(BeladyCache(capacity, trace), trace).hit_rate
+        rates[capacity] = (lru, static, opt)
+        table.add_row(capacity, f"{lru:.3f}", f"{static:.3f}", f"{opt:.3f}")
+    emit(table, "E25_feature_cache")
+
+    benchmark(simulate_cache, LruCache(400), trace[:5000])
+
+    for capacity, (lru, static, opt) in rates.items():
+        # Small caches: the hubs ARE the working set, static ~ optimal.
+        # Large caches: Belady additionally exploits dynamic reuse, so the
+        # static share of optimal decays — Ginex's regime is the former.
+        assert static >= 0.7 * opt, (
+            f"static must stay near optimal at capacity {capacity}"
+        )
+        assert static > 2 * lru, "and far exceed LRU on sampling traces"
+    assert rates[100][1] >= 0.9 * rates[100][2], "hot-hub regime: static ~ OPT"
+    # Hit rates grow with capacity.
+    assert rates[1200][2] > rates[100][2]

@@ -1,0 +1,61 @@
+"""E8 (§3.2.2): hub labels turn SPD queries into sub-millisecond lookups.
+
+Claim (CFGNN/DHIL-GT substrate): after a one-time pruned-landmark build,
+shortest-path-distance queries run orders of magnitude faster than
+per-query BFS — and on hub-structured graphs the index stays small.
+"""
+
+import numpy as np
+from _common import emit
+
+from repro.bench import Table, format_seconds
+from repro.analytics.hub_labeling import HubLabeling
+from repro.graph import barabasi_albert_graph, grid_graph, shortest_path_distance
+from repro.utils import Timer
+
+N_QUERIES = 300
+
+
+def _compare(graph, name, table, rng):
+    pairs = rng.integers(0, graph.n_nodes, size=(N_QUERIES, 2))
+    t_build = Timer()
+    with t_build:
+        index = HubLabeling().build(graph)
+    t_bfs = Timer()
+    with t_bfs:
+        bfs = [shortest_path_distance(graph, int(a), int(b)) for a, b in pairs]
+    t_hl = Timer()
+    with t_hl:
+        hl = index.query_batch(pairs)
+    assert np.array_equal(np.asarray(bfs), hl), "index must be exact"
+    speedup = t_bfs.elapsed / max(t_hl.elapsed, 1e-12)
+    table.add_row(
+        name, graph.n_nodes, format_seconds(t_build.elapsed),
+        f"{index.average_label_size:.1f}",
+        format_seconds(t_bfs.elapsed / N_QUERIES),
+        format_seconds(t_hl.elapsed / N_QUERIES),
+        f"{speedup:.0f}x",
+    )
+    return speedup, index
+
+
+def test_hub_labeling_speedup(benchmark):
+    rng = np.random.default_rng(0)
+    table = Table(
+        "E8: SPD queries — per-query BFS vs hub-label lookups",
+        ["graph", "n", "build", "avg label", "BFS/query", "HL/query", "speedup"],
+    )
+    speedup_ba, index_ba = _compare(
+        barabasi_albert_graph(3000, 4, seed=0), "BA (hubby)", table, rng
+    )
+    speedup_grid, index_grid = _compare(
+        grid_graph(30, 30), "grid (road-like)", table, rng
+    )
+    emit(table, "E8_hub_labeling")
+
+    benchmark(index_ba.query, 0, 1500)
+
+    assert speedup_ba > 8, "hub graphs: queries an order faster than BFS"
+    assert speedup_grid > 5
+    # Hub structure keeps labels small relative to n.
+    assert index_ba.average_label_size < 0.05 * 3000

@@ -1,0 +1,65 @@
+"""E4 (§3.1.3 "Limited Memory"): mini-batch families bound per-step memory.
+
+Claim: full-batch training residency grows linearly with the graph, while
+sampled blocks, subgraph batches, and decoupled batches stay (near)
+constant — the reason mini-batch families fit on a memory-limited device
+at any graph scale.
+"""
+
+import numpy as np
+from _common import emit
+
+from repro.bench import (
+    Table,
+    decoupled_batch_floats,
+    format_bytes,
+    full_batch_training_floats,
+    sampled_batch_training_floats,
+    subgraph_batch_training_floats,
+)
+from repro.editing import NeighborSampler, node_subgraph_sample
+from repro.graph import barabasi_albert_graph
+
+D_IN, HIDDEN, CLASSES = 64, 64, 8
+BATCH = 256
+
+
+def test_memory_residency_scaling(benchmark):
+    table = Table(
+        "E4: per-training-step resident floats (batch 256, 2 layers)",
+        ["n nodes", "full-batch", "sampled (fanout 10)", "subgraph (1000)",
+         "decoupled"],
+    )
+    results = {}
+    for n in (2_000, 8_000, 32_000):
+        g = barabasi_albert_graph(n, 5, seed=0)
+        seeds = np.arange(BATCH)
+        sampler = NeighborSampler(g, [10, 10], seed=0)
+        blocks = sampler.sample(seeds)
+        nodes, sub = node_subgraph_sample(g, min(1000, n), seed=0)
+        full = full_batch_training_floats(n, g.n_edges, D_IN, HIDDEN, CLASSES)
+        sampled = sampled_batch_training_floats(blocks, D_IN, HIDDEN, CLASSES)
+        subg = subgraph_batch_training_floats(
+            sub.n_nodes, sub.n_edges, D_IN, HIDDEN, CLASSES
+        )
+        dec = decoupled_batch_floats(BATCH, D_IN, HIDDEN, CLASSES)
+        table.add_row(
+            n, format_bytes(8 * full), format_bytes(8 * sampled),
+            format_bytes(8 * subg), format_bytes(8 * dec),
+        )
+        results[n] = (full, sampled, subg, dec)
+    emit(table, "E4_memory_bound")
+
+    g = barabasi_albert_graph(2000, 5, seed=0)
+    sampler = NeighborSampler(g, [10, 10], seed=0)
+    benchmark(sampler.sample, np.arange(BATCH))
+
+    small, large = results[2_000], results[32_000]
+    assert large[0] > 10 * small[0], "full-batch grows ~linearly"
+    # Sampled blocks saturate toward the fanout bound (batch * prod(fanouts))
+    # instead of tracking the 16x graph growth.
+    assert large[1] < 6 * small[1], "sampled blocks bounded by fanout, not n"
+    assert large[1] < 0.3 * large[0], "sampled step far below full-batch"
+    assert large[2] < 2 * small[2], "subgraph batches are budget-bound"
+    assert large[3] == small[3], "decoupled batches are exactly constant"
+    assert large[3] < large[2] < large[0]

@@ -1,0 +1,86 @@
+"""E5 (§3.2 / APPNP [18]): approximate PPR at a fraction of the exact cost.
+
+Claims: (a) forward push reaches push-bound accuracy while touching a
+bounded node set (locality); (b) Monte-Carlo error decays with walk count;
+(c) both are far cheaper than global power iteration at loose accuracy.
+Ablations: push tolerance eps, walk count W.
+"""
+
+import numpy as np
+from _common import emit
+
+from repro.bench import Table, format_seconds
+from repro.analytics.ppr import (
+    ppr_forward_push,
+    ppr_monte_carlo,
+    ppr_power_iteration,
+)
+from repro.graph import barabasi_albert_graph
+from repro.utils import Timer
+
+ALPHA = 0.15
+SOURCE = 1234
+
+
+def test_ppr_estimators(benchmark):
+    g = barabasi_albert_graph(20_000, 4, seed=0)
+    exact = ppr_power_iteration(g, SOURCE, alpha=ALPHA, tol=1e-12)
+
+    table = Table(
+        "E5: single-source PPR on BA n=20000 (alpha=0.15)",
+        ["method", "setting", "L1 error", "time", "touched nodes"],
+    )
+    t = Timer()
+    with t:
+        ppr_power_iteration(g, SOURCE, alpha=ALPHA, tol=1e-12)
+    table.add_row("power iteration", "tol=1e-12", 0.0, format_seconds(t.elapsed),
+                  g.n_nodes)
+
+    push_err = {}
+    for eps in (1e-3, 1e-5, 1e-7):
+        t = Timer()
+        with t:
+            res = ppr_forward_push(g, SOURCE, alpha=ALPHA, epsilon=eps)
+        err = float(np.abs(res.estimate - exact).sum())
+        push_err[eps] = (err, res.n_touched)
+        table.add_row("forward push", f"eps={eps:g}", f"{err:.2e}",
+                      format_seconds(t.elapsed), res.n_touched)
+
+    mc_err = {}
+    for walks in (1_000, 10_000, 100_000):
+        t = Timer()
+        with t:
+            est = ppr_monte_carlo(g, SOURCE, alpha=ALPHA, n_walks=walks, seed=0)
+        err = float(np.abs(est - exact).sum())
+        mc_err[walks] = err
+        table.add_row("monte carlo", f"W={walks}", f"{err:.2e}",
+                      format_seconds(t.elapsed), int((est > 0).sum()))
+    emit(table, "E5_ppr_methods")
+
+    benchmark(ppr_forward_push, g, SOURCE, ALPHA, 1e-5)
+
+    # Shape assertions.
+    assert push_err[1e-7][0] < push_err[1e-3][0], "push error falls with eps"
+    assert push_err[1e-3][1] < 0.35 * g.n_nodes, "loose push is local"
+    assert mc_err[100_000] < mc_err[1_000], "MC error falls with walks"
+
+
+def test_push_locality_across_graph_sizes(benchmark):
+    table = Table(
+        "E5b: push locality — touched nodes vs graph size (eps=1e-3)",
+        ["n nodes", "touched", "fraction"],
+    )
+    touched = {}
+    for n in (5_000, 20_000, 80_000):
+        g = barabasi_albert_graph(n, 4, seed=0)
+        res = ppr_forward_push(g, n // 2, alpha=ALPHA, epsilon=1e-3)
+        touched[n] = res.n_touched
+        table.add_row(n, res.n_touched, f"{res.n_touched / n:.3f}")
+    emit(table, "E5b_push_locality")
+
+    g = barabasi_albert_graph(5_000, 4, seed=0)
+    benchmark(ppr_forward_push, g, 2_500, ALPHA, 1e-3)
+
+    assert touched[80_000] < 4 * touched[5_000], (
+        "touched set must not scale with the graph"
+    )

@@ -1,0 +1,32 @@
+"""E1 / Figure 1: render the taxonomy and prove implementation coverage."""
+
+from _common import emit
+
+from repro import taxonomy
+from repro.bench import Table
+
+
+def test_figure1_taxonomy(benchmark):
+    text = benchmark(taxonomy.render)
+    leaves = list(taxonomy.iter_leaves())
+    report = taxonomy.coverage_report()
+
+    table = Table(
+        "E1 (Figure 1): taxonomy coverage",
+        ["leaf", "section", "implementation", "resolves"],
+    )
+    for leaf in leaves:
+        table.add_row(
+            leaf.name,
+            leaf.section or "-",
+            leaf.implementation or "(future direction)",
+            "yes" if report[(leaf.name, leaf.section)] else "-",
+        )
+    emit(table, "E1_taxonomy")
+
+    implemented = [l for l in leaves if l.implementation]
+    assert all(report[(l.name, l.section)] for l in implemented)
+    # Every non-future leaf of Figure 1 must be implemented.
+    non_future = [l for l in leaves if not l.section.startswith("3.4")]
+    assert all(l.implementation for l in non_future)
+    assert "Data Management for Scalable GNN" in text

@@ -1,0 +1,58 @@
+"""Graph-level regression: predict a structural property of whole graphs.
+
+§3.1.1 lists graph regression among the fundamental GNN tasks (think
+molecule property prediction). This example builds a bag of small random
+graphs labelled with their mean clustering coefficient and trains the
+fully decoupled pipeline: pooled hop embeddings precomputed per graph,
+then a tiny MLP regressor.
+
+Run:  python examples/graph_property_regression.py
+"""
+
+import numpy as np
+
+from repro.bench import Table
+from repro.tasks import graph_property_dataset, train_graph_regression
+
+
+def main() -> None:
+    dataset = graph_property_dataset(n_graphs=300, seed=0)
+    print(
+        f"{len(dataset.graphs)} graphs, "
+        f"{len(dataset.train_ids)} train / {len(dataset.test_ids)} test; "
+        f"target = mean clustering coefficient "
+        f"(range {dataset.targets.min():.2f}..{dataset.targets.max():.2f})\n"
+    )
+    model, mae, r2 = train_graph_regression(dataset, seed=0)
+
+    table = Table(
+        "decoupled graph-level regression",
+        ["metric", "value"],
+    )
+    table.add_row("test MAE", f"{mae:.4f}")
+    table.add_row("test R^2", f"{r2:.3f}")
+    table.add_row("target std (mean-predictor MAE scale)",
+                  f"{dataset.targets.std():.4f}")
+    print(table.render())
+
+    # Show a few predictions.
+    from repro.tasks import pooled_graph_embedding
+    from repro.tensor.autograd import Tensor, no_grad
+
+    emb = np.stack([
+        pooled_graph_embedding(dataset.graphs[i], 2) for i in dataset.test_ids[:5]
+    ])
+    # NOTE: quick display only; train_graph_regression standardised inputs,
+    # so re-standardise with the full-corpus statistics.
+    full = np.stack([pooled_graph_embedding(g, 2) for g in dataset.graphs])
+    mu, sd = full.mean(axis=0), full.std(axis=0)
+    emb = (emb - mu) / np.where(sd > 0, sd, 1.0)
+    with no_grad():
+        preds = model(Tensor(emb)).data.ravel()
+    print("\nsample predictions (predicted vs true):")
+    for i, p in zip(dataset.test_ids[:5], preds):
+        print(f"  graph {i:3d}: {p:.3f} vs {dataset.targets[i]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Heterophilous graphs: where low-pass GNNs lose their edge (§3.1.3).
+
+In tasks like anomaly detection, nodes connect to *dissimilar* neighbours,
+and conventional homophily-smoothing GNNs degrade — at mid/low homophily a
+2-layer GCN can fall below a graph-free MLP, i.e. the graph actively hurts.
+This example sweeps the homophily of a contextual SBM and compares:
+
+* MLP        — graph-free reference (is the graph helping at all?),
+* GCN        — low-pass iterative baseline,
+* LD2        — decoupled multi-filter (low-pass + high-pass) model,
+* SIMGA      — decoupled global aggregation by SimRank similarity.
+
+Run:  python examples/heterophily_anomaly.py
+"""
+
+import numpy as np
+
+from repro.bench import Table
+from repro.datasets import contextual_sbm
+from repro.models import GCN, LD2, SGC, SIMGA
+from repro.training import train_decoupled, train_full_batch
+
+SEEDS = (0, 1, 2)
+
+
+def run_models(homophily: float) -> dict[str, float]:
+    accs: dict[str, list[float]] = {"MLP": [], "GCN": [], "LD2": [], "SIMGA": []}
+    for seed in SEEDS:
+        graph, split = contextual_sbm(
+            n_nodes=800,
+            n_classes=2,
+            homophily=homophily,
+            avg_degree=8,
+            n_features=16,
+            feature_signal=0.4,  # weak features: topology must help
+            seed=seed,
+        )
+        mlp = SGC(graph.n_features, graph.n_classes, k_hops=0, hidden=32, seed=seed)
+        accs["MLP"].append(
+            train_decoupled(mlp, graph, split, epochs=100, seed=seed).test_accuracy
+        )
+        gcn = GCN(graph.n_features, 32, graph.n_classes, seed=seed)
+        accs["GCN"].append(
+            train_full_batch(gcn, graph, split, epochs=100).test_accuracy
+        )
+        ld2 = LD2(graph.n_features, 32, graph.n_classes, k_hops=2, seed=seed)
+        accs["LD2"].append(
+            train_decoupled(ld2, graph, split, epochs=100, seed=seed).test_accuracy
+        )
+        simga = SIMGA(
+            graph.n_features, 32, graph.n_classes,
+            topk=16, n_walks=150, walk_length=8, seed=seed,
+        )
+        accs["SIMGA"].append(
+            train_decoupled(simga, graph, split, epochs=100, seed=seed).test_accuracy
+        )
+    return {name: float(np.mean(vals)) for name, vals in accs.items()}
+
+
+def main() -> None:
+    table = Table(
+        "test accuracy (mean of 3 seeds) across the homophily spectrum",
+        ["edge homophily", "MLP (no graph)", "GCN", "LD2", "SIMGA"],
+    )
+    for homophily in (0.9, 0.3, 0.05):
+        scores = run_models(homophily)
+        table.add_row(
+            homophily,
+            f"{scores['MLP']:.3f}",
+            f"{scores['GCN']:.3f}",
+            f"{scores['LD2']:.3f}",
+            f"{scores['SIMGA']:.3f}",
+        )
+    print(table.render())
+    print(
+        "\nAt mid/low homophily the low-pass GCN can dip below the graph-free "
+        "MLP, while multi-filter (LD2) and global-similarity (SIMGA) models "
+        "keep extracting signal from the heterophilous structure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: train an iterative GCN and a decoupled SGC on the same data.
+
+Demonstrates the library's central contrast (§3.1.2 of the tutorial): the
+iterative model touches the graph every epoch, the decoupled model touches
+it exactly once and then trains like a plain MLP.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bench import Table, format_seconds
+from repro.datasets import contextual_sbm
+from repro.models import GCN, SGC
+from repro.training import train_decoupled, train_full_batch
+
+
+def main() -> None:
+    # A contextual SBM: 2000 nodes, 4 communities, homophilous edges,
+    # Gaussian class features — a small stand-in for a citation network.
+    graph, split = contextual_sbm(
+        n_nodes=2000,
+        n_classes=4,
+        homophily=0.85,
+        avg_degree=10,
+        n_features=32,
+        feature_signal=1.2,
+        seed=0,
+    )
+    print(f"dataset: {graph}")
+    print(f"splits: {len(split.train)} train / {len(split.val)} val / "
+          f"{len(split.test)} test\n")
+
+    gcn = GCN(graph.n_features, 64, graph.n_classes, n_layers=2, seed=0)
+    gcn_result = train_full_batch(gcn, graph, split, epochs=100)
+
+    sgc = SGC(graph.n_features, graph.n_classes, k_hops=2, hidden=64, seed=0)
+    sgc_result = train_decoupled(sgc, graph, split, epochs=100, seed=0)
+
+    table = Table(
+        "iterative vs decoupled (same data, same budget)",
+        ["model", "test acc", "precompute", "train loop", "best epoch"],
+    )
+    for name, res in [("GCN (iterative)", gcn_result), ("SGC (decoupled)", sgc_result)]:
+        table.add_row(
+            name,
+            f"{res.test_accuracy:.3f}",
+            format_seconds(res.precompute_time),
+            format_seconds(res.train_time),
+            res.best_epoch,
+        )
+    print(table.render())
+    print(
+        "\nThe decoupled model pays a one-time propagation cost and then "
+        "trains on feature rows only — no graph in the epoch loop."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Dynamic graphs: maintain PPR embeddings under a live edge stream.
+
+The tutorial's §3.4.2 asks how scalable GNN pipelines accommodate dynamic
+graphs. Decoupled models depend on precomputed propagation (e.g. PPR
+rows); this example streams edge insertions into a social-style graph and
+keeps a user's PPR row *exactly maintained* via local residual corrections
+— then shows the recommendation list updating as the user's neighbourhood
+evolves, at a per-update cost that is orders of magnitude below
+recomputation.
+
+Run:  python examples/streaming_updates.py
+"""
+
+import numpy as np
+
+from repro.analytics.ppr import ppr_forward_push
+from repro.bench import Table, format_seconds
+from repro.graph import barabasi_albert_graph
+from repro.graph.dynamic import DynamicGraph, IncrementalPPR
+from repro.utils import Timer
+
+
+def top_recommendations(estimate: np.ndarray, user: int, k: int = 5):
+    scores = estimate.copy()
+    scores[user] = -np.inf
+    return np.argsort(-scores, kind="stable")[:k]
+
+
+def main() -> None:
+    base = barabasi_albert_graph(5000, 3, seed=0)
+    user = 4200
+    dyn = DynamicGraph.from_graph(base)
+    tracker = IncrementalPPR(dyn, user, alpha=0.2, epsilon=1e-6)
+    print(f"graph: {base}")
+    print(f"tracking PPR for user {user} "
+          f"(degree {dyn.degree(user)})\n")
+    print("initial recommendations:",
+          top_recommendations(tracker.estimate, user))
+
+    rng = np.random.default_rng(1)
+    n_updates = 300
+    t_inc = Timer()
+    with t_inc:
+        for _ in range(n_updates):
+            while True:
+                u = int(rng.integers(dyn.n_nodes))
+                v = int(rng.integers(dyn.n_nodes))
+                if u != v and not dyn.has_edge(u, v):
+                    break
+            tracker.insert_edge(u, v)
+    # A couple of edges straight onto the tracked user: the list must move.
+    for _ in range(3):
+        while True:
+            v = int(rng.integers(dyn.n_nodes))
+            if v != user and not dyn.has_edge(user, v):
+                break
+        tracker.insert_edge(user, v)
+    print("after the stream:      ",
+          top_recommendations(tracker.estimate, user))
+
+    # Compare one full recompute against the amortised update cost.
+    t_full = Timer()
+    with t_full:
+        ppr_forward_push(dyn.snapshot(), user, alpha=0.2, epsilon=1e-6)
+
+    table = Table(
+        f"maintaining one PPR row through {n_updates} edge insertions",
+        ["strategy", "per update"],
+    )
+    table.add_row("incremental (exact invariant)",
+                  format_seconds(t_inc.elapsed / n_updates))
+    table.add_row("full push recompute",
+                  format_seconds(t_full.elapsed))
+    print("\n" + table.render())
+    print("\ninvariant still exact:", tracker.check_invariant())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Graph analytics and querying (§3.2): PPR, spectra, SimRank, hub labels.
+
+These algorithms *read* the graph — they never modify it — and power the
+decoupled / query-on-demand GNN designs: APPNP/PPRGo (PPR), spectral GNNs
+(polynomial filters), SIMGA (SimRank), CFGNN/DHIL-GT (hub labeling), and
+DHGR (similarity-based rewiring).
+"""
+
+from repro.analytics.centrality import (
+    approximate_betweenness,
+    degree_centrality,
+    k_core_decomposition,
+    pagerank,
+)
+from repro.analytics.communities import (
+    label_propagation_communities,
+    modularity,
+)
+from repro.analytics.hub_labeling import HubLabeling
+from repro.analytics.ppr import (
+    PushResult,
+    ppr_forward_push,
+    ppr_matrix,
+    ppr_monte_carlo,
+    ppr_power_iteration,
+    topk_ppr,
+)
+from repro.analytics.simrank import (
+    SimRankFingerprints,
+    simrank_matrix,
+    topk_simrank,
+)
+from repro.analytics.similarity import (
+    attribute_cosine_similarity,
+    rewire_graph,
+    topology_cosine_similarity,
+)
+from repro.analytics.spectral import (
+    PolynomialFilter,
+    fit_filter,
+    krylov_filter_signal,
+    laplacian_spectrum,
+    reference_response,
+)
+
+__all__ = [
+    "pagerank",
+    "degree_centrality",
+    "k_core_decomposition",
+    "approximate_betweenness",
+    "label_propagation_communities",
+    "modularity",
+    "HubLabeling",
+    "PushResult",
+    "ppr_power_iteration",
+    "ppr_forward_push",
+    "ppr_monte_carlo",
+    "ppr_matrix",
+    "topk_ppr",
+    "SimRankFingerprints",
+    "simrank_matrix",
+    "topk_simrank",
+    "topology_cosine_similarity",
+    "attribute_cosine_similarity",
+    "rewire_graph",
+    "PolynomialFilter",
+    "fit_filter",
+    "krylov_filter_signal",
+    "laplacian_spectrum",
+    "reference_response",
+]

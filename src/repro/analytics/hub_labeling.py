@@ -1,0 +1,132 @@
+"""Pruned landmark labeling (2-hop hub labels) for shortest-path queries.
+
+The hub-labeling branch of §3.2.2: CFGNN [16] uses hub labels to expose
+core/fringe hierarchy, and DHIL-GT [27] queries shortest-path-distance (SPD)
+biases for graph-Transformer attention. The index assigns each node a label
+— a list of ``(hub, distance)`` pairs — such that for any pair (u, v) some
+hub on a shortest path appears in both labels:
+
+    dist(u, v) = min over common hubs h of d(u, h) + d(h, v).
+
+Built with Akiba et al.'s pruned BFS from high-degree landmarks; after the
+one-time build, queries are merge-joins over two sorted label lists —
+orders of magnitude faster than per-query BFS (benchmark E8).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import GraphError, NotFittedError
+from repro.graph.core import Graph
+
+UNREACHED = -1
+
+
+class HubLabeling:
+    """A 2-hop label index over an undirected graph."""
+
+    def __init__(self) -> None:
+        self._labels: list[dict[int, int]] | None = None
+        self._order: np.ndarray | None = None
+        self._n_nodes = 0
+
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+
+    def build(self, graph: Graph) -> "HubLabeling":
+        """Run pruned BFS from every node in decreasing-degree order.
+
+        Pruning: while expanding landmark ``h`` at node ``v`` with distance
+        ``d``, if the already-built labels certify ``dist(h, v) <= d``, the
+        BFS does not expand ``v`` — this is what keeps labels small on
+        graphs with strong hub structure.
+        """
+        if graph.directed:
+            raise GraphError("HubLabeling supports undirected graphs only")
+        n = graph.n_nodes
+        degrees = np.diff(graph.indptr)
+        order = np.lexsort((np.arange(n), -degrees))
+        labels: list[dict[int, int]] = [dict() for _ in range(n)]
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(n)
+        dist_scratch = np.full(n, UNREACHED, dtype=np.int64)
+        for hub in order:
+            hub = int(hub)
+            queue: deque[int] = deque([hub])
+            dist_scratch[hub] = 0
+            visited = [hub]
+            while queue:
+                u = queue.popleft()
+                d = dist_scratch[u]
+                if self._query_partial(labels, hub, u) <= d:
+                    continue  # pruned: existing labels already cover (hub, u)
+                labels[u][hub] = int(d)
+                for v in graph.neighbors(u):
+                    v = int(v)
+                    if dist_scratch[v] == UNREACHED and rank[v] > rank[hub]:
+                        dist_scratch[v] = d + 1
+                        visited.append(v)
+                        queue.append(v)
+            for v in visited:
+                dist_scratch[v] = UNREACHED
+        self._labels = labels
+        self._order = order
+        self._n_nodes = n
+        return self
+
+    @staticmethod
+    def _query_partial(labels: list[dict[int, int]], a: int, b: int) -> float:
+        la, lb = labels[a], labels[b]
+        if len(la) > len(lb):
+            la, lb = lb, la
+        best = float("inf")
+        for hub, da in la.items():
+            db = lb.get(hub)
+            if db is not None and da + db < best:
+                best = da + db
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def query(self, u: int, v: int) -> int:
+        """Exact hop distance between ``u`` and ``v`` (-1 if disconnected)."""
+        if self._labels is None:
+            raise NotFittedError("call build() first")
+        if not (0 <= u < self._n_nodes and 0 <= v < self._n_nodes):
+            raise GraphError("query nodes outside the indexed graph")
+        if u == v:
+            return 0
+        best = self._query_partial(self._labels, u, v)
+        return int(best) if best != float("inf") else UNREACHED
+
+    def query_batch(self, pairs: np.ndarray) -> np.ndarray:
+        """Distances for an ``(m, 2)`` array of node pairs."""
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        return np.asarray([self.query(int(a), int(b)) for a, b in pairs])
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def label_count(self) -> int:
+        """Total number of (hub, distance) entries across all labels."""
+        if self._labels is None:
+            raise NotFittedError("call build() first")
+        return sum(len(l) for l in self._labels)
+
+    @property
+    def average_label_size(self) -> float:
+        return self.label_count / max(self._n_nodes, 1)
+
+    def hub_hierarchy(self, k: int) -> np.ndarray:
+        """The ``k`` highest-ranked hubs (CFGNN's "core" node set)."""
+        if self._order is None:
+            raise NotFittedError("call build() first")
+        return self._order[:k].copy()

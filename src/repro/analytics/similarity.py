@@ -1,0 +1,117 @@
+"""Node-pair cosine similarity and DHGR-style graph rewiring.
+
+DHGR [3] scores node pairs by the cosine similarity of their *topology*
+(adjacency rows) and *attributes*, then rewires: add edges between highly
+similar non-adjacent pairs and drop edges between dissimilar endpoints.
+Under heterophily this recovers multi-scale structure a local GNN misses.
+
+To stay scalable, candidate pairs for edge addition are generated from
+2-hop neighbourhoods rather than all :math:`O(n^2)` pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+from repro.graph.core import Graph
+from repro.utils.validation import check_int_range, check_probability
+
+
+def topology_cosine_similarity(
+    graph: Graph, pairs: np.ndarray
+) -> np.ndarray:
+    """Cosine similarity of adjacency rows for an ``(m, 2)`` pair array."""
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    adj = graph.adjacency()
+    left = adj[pairs[:, 0]]
+    right = adj[pairs[:, 1]]
+    dots = np.asarray(left.multiply(right).sum(axis=1)).ravel()
+    norms_l = sp.linalg.norm(left, axis=1)
+    norms_r = sp.linalg.norm(right, axis=1)
+    denom = norms_l * norms_r
+    return np.where(denom > 0, dots / np.where(denom > 0, denom, 1.0), 0.0)
+
+
+def attribute_cosine_similarity(
+    features: np.ndarray, pairs: np.ndarray
+) -> np.ndarray:
+    """Cosine similarity of feature rows for an ``(m, 2)`` pair array."""
+    features = np.asarray(features, dtype=np.float64)
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    left, right = features[pairs[:, 0]], features[pairs[:, 1]]
+    dots = np.einsum("ij,ij->i", left, right)
+    denom = np.linalg.norm(left, axis=1) * np.linalg.norm(right, axis=1)
+    return np.where(denom > 0, dots / np.where(denom > 0, denom, 1.0), 0.0)
+
+
+def _two_hop_candidates(graph: Graph, max_per_node: int, rng=None) -> np.ndarray:
+    """Non-adjacent 2-hop pairs, at most ``max_per_node`` per source node."""
+    adj = graph.adjacency()
+    two_hop = (adj @ adj).tocsr()
+    pairs: list[tuple[int, int]] = []
+    for u in range(graph.n_nodes):
+        cand = two_hop.indices[two_hop.indptr[u] : two_hop.indptr[u + 1]]
+        direct = set(map(int, graph.neighbors(u)))
+        filtered = [int(v) for v in cand if v > u and int(v) not in direct]
+        pairs.extend((u, v) for v in filtered[:max_per_node])
+    if not pairs:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.asarray(pairs, dtype=np.int64)
+
+
+def rewire_graph(
+    graph: Graph,
+    features: np.ndarray | None = None,
+    add_fraction: float = 0.1,
+    remove_fraction: float = 0.1,
+    topology_weight: float = 0.5,
+    max_candidates_per_node: int = 32,
+) -> Graph:
+    """DHGR-style similarity rewiring.
+
+    Scores 2-hop candidate pairs by a convex combination of topology and
+    attribute cosine similarity, adds the top ``add_fraction * n_edges``
+    pairs as new edges, and removes the ``remove_fraction`` least-similar
+    existing edges. Returns a new graph; features/labels are carried over.
+    """
+    if graph.directed:
+        raise GraphError("rewire_graph supports undirected graphs only")
+    check_probability("add_fraction", add_fraction)
+    check_probability("remove_fraction", remove_fraction)
+    check_probability("topology_weight", topology_weight)
+    check_int_range("max_candidates_per_node", max_candidates_per_node, 1)
+    if features is None:
+        features = graph.x
+    n_und = graph.n_undirected_edges
+
+    def score(pairs: np.ndarray) -> np.ndarray:
+        topo = topology_cosine_similarity(graph, pairs)
+        if features is None or topology_weight >= 1.0:
+            return topo
+        attr = attribute_cosine_similarity(features, pairs)
+        return topology_weight * topo + (1.0 - topology_weight) * attr
+
+    edges = graph.edge_array()
+    upper = edges[edges[:, 0] < edges[:, 1]]
+
+    keep_mask = np.ones(len(upper), dtype=bool)
+    n_remove = int(remove_fraction * n_und)
+    if n_remove > 0 and len(upper):
+        existing_scores = score(upper)
+        drop = np.argsort(existing_scores, kind="stable")[:n_remove]
+        keep_mask[drop] = False
+    kept = upper[keep_mask]
+
+    additions = np.empty((0, 2), dtype=np.int64)
+    n_add = int(add_fraction * n_und)
+    if n_add > 0:
+        candidates = _two_hop_candidates(graph, max_candidates_per_node)
+        if len(candidates):
+            cand_scores = score(candidates)
+            best = np.argsort(-cand_scores, kind="stable")[:n_add]
+            additions = candidates[best]
+
+    new_edges = np.concatenate([kept, additions]) if len(additions) else kept
+    return Graph.from_edges(new_edges, graph.n_nodes, x=graph.x, y=graph.y)

@@ -1,0 +1,161 @@
+"""SimRank: full iterative computation and fingerprint-indexed queries.
+
+SimRank ("two nodes are similar if their neighbours are similar") is the
+structural-similarity metric SIMGA [28] uses to aggregate *globally* similar
+nodes under heterophily. Two implementations mirror the data-management
+trade-off the tutorial highlights:
+
+* :func:`simrank_matrix` — the exact :math:`O(K n^2 \\bar d^2)` iteration,
+  usable only on small graphs: the baseline.
+* :class:`SimRankFingerprints` — Fogaras–Rácz-style reverse-walk
+  fingerprints: a one-time index of coupled random walks, after which any
+  single-source query is answered in :math:`O(R\\,L)` time per candidate,
+  vectorised over all nodes. This is the "query node-level information on
+  demand instead of the full-graph manner" pattern of §3.2.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError, NotFittedError
+from repro.graph.core import Graph
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_int_range, check_probability
+
+
+def simrank_matrix(
+    graph: Graph,
+    decay: float = 0.6,
+    n_iter: int = 10,
+) -> np.ndarray:
+    """Exact SimRank by the naive fixed-point iteration.
+
+    :math:`S = \\max(c \\cdot P^\\top S P,\\ I)` with column-normalised
+    adjacency ``P``; in-neighbour averaging per the original definition.
+    """
+    check_probability("decay", decay)
+    check_int_range("n_iter", n_iter, 1)
+    adj = graph.adjacency().toarray()
+    in_deg = adj.sum(axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p_col = np.where(in_deg > 0, adj / in_deg, 0.0)
+    n = graph.n_nodes
+    sim = np.eye(n)
+    for _ in range(n_iter):
+        sim = decay * (p_col.T @ sim @ p_col)
+        np.fill_diagonal(sim, 1.0)
+    return sim
+
+
+class SimRankFingerprints:
+    """Reverse-random-walk fingerprint index for single-source SimRank.
+
+    The index stores, for every node, ``n_walks`` coupled reverse walks of
+    length ``walk_length``. The classic coupled estimator of sim(u, v) is
+    the expectation of :math:`c^{\\tau}` over walk pairs that first meet at
+    step :math:`\\tau`; coupling walk ``r`` of ``u`` with walk ``r`` of ``v``
+    makes the estimate a simple vectorised scan of the index.
+
+    Parameters
+    ----------
+    n_walks:
+        Walks stored per node (index size and accuracy knob).
+    walk_length:
+        Steps per walk; meetings beyond it contribute nothing
+        (their weight :math:`c^{\\tau}` is below the truncation error).
+    decay:
+        SimRank decay factor ``c``.
+    """
+
+    def __init__(
+        self,
+        n_walks: int = 100,
+        walk_length: int = 8,
+        decay: float = 0.6,
+        seed=None,
+    ) -> None:
+        check_int_range("n_walks", n_walks, 1)
+        check_int_range("walk_length", walk_length, 1)
+        check_probability("decay", decay)
+        self.n_walks = n_walks
+        self.walk_length = walk_length
+        self.decay = decay
+        self._rng = as_rng(seed)
+        self._walks: np.ndarray | None = None  # (n, R, L+1)
+
+    def build(self, graph: Graph) -> "SimRankFingerprints":
+        """Sample and store the reverse walks (the one-time index cost)."""
+        n = graph.n_nodes
+        adj = graph.adjacency()
+        # In-neighbour walks: on undirected graphs the transpose equals the
+        # adjacency; on directed ones we walk the reversed arcs.
+        rev = adj.T.tocsr()
+        indptr, indices = rev.indptr, rev.indices
+        degrees = np.diff(indptr)
+        walks = np.empty((n, self.n_walks, self.walk_length + 1), dtype=np.int64)
+        walks[:, :, 0] = np.arange(n)[:, None]
+        position = walks[:, :, 0].reshape(-1).copy()
+        for step in range(1, self.walk_length + 1):
+            deg = degrees[position]
+            offsets = (self._rng.random(len(position)) * np.maximum(deg, 1)).astype(
+                np.int64
+            )
+            nxt = indices[indptr[position] + offsets]
+            # Nodes with no in-neighbours stay put (walk is absorbed).
+            nxt = np.where(deg > 0, nxt, position)
+            position = nxt
+            walks[:, :, step] = position.reshape(n, self.n_walks)
+        self._walks = walks
+        return self
+
+    @property
+    def index_bytes(self) -> int:
+        """Size of the stored walk index in bytes."""
+        if self._walks is None:
+            raise NotFittedError("call build() first")
+        return self._walks.nbytes
+
+    def query(self, source: int) -> np.ndarray:
+        """Estimated SimRank of ``source`` against every node (vectorised)."""
+        if self._walks is None:
+            raise NotFittedError("call build() first")
+        n = self._walks.shape[0]
+        if not 0 <= source < n:
+            raise GraphError(f"source {source} outside [0, {n})")
+        src_walks = self._walks[source]  # (R, L+1)
+        meets = self._walks == src_walks[None, :, :]  # (n, R, L+1)
+        # First meeting step per (node, walk); L+1 when never met.
+        never = ~meets.any(axis=2)
+        first = np.where(never, self.walk_length + 1, meets.argmax(axis=2))
+        weights = np.where(
+            first <= self.walk_length, self.decay**first.astype(float), 0.0
+        )
+        sims = weights.mean(axis=1)
+        sims[source] = 1.0
+        return sims
+
+    def topk(self, source: int, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` most similar nodes to ``source`` (excluding itself)."""
+        check_int_range("k", k, 1)
+        sims = self.query(source)
+        sims[source] = -np.inf
+        order = np.lexsort((np.arange(len(sims)), -sims))
+        chosen = order[:k]
+        return chosen, sims[chosen]
+
+
+def topk_simrank(
+    graph: Graph,
+    source: int,
+    k: int,
+    n_walks: int = 200,
+    walk_length: int = 8,
+    decay: float = 0.6,
+    seed=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-shot top-``k`` SimRank query (builds a throwaway index)."""
+    index = SimRankFingerprints(
+        n_walks=n_walks, walk_length=walk_length, decay=decay, seed=seed
+    ).build(graph)
+    return index.topk(source, k)

@@ -1,0 +1,19 @@
+"""Benchmark harness utilities: memory accounting and table formatting."""
+
+from repro.bench.memory import (
+    decoupled_batch_floats,
+    full_batch_training_floats,
+    sampled_batch_training_floats,
+    subgraph_batch_training_floats,
+)
+from repro.bench.tables import Table, format_bytes, format_seconds
+
+__all__ = [
+    "full_batch_training_floats",
+    "sampled_batch_training_floats",
+    "subgraph_batch_training_floats",
+    "decoupled_batch_floats",
+    "Table",
+    "format_bytes",
+    "format_seconds",
+]

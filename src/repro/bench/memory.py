@@ -1,0 +1,75 @@
+"""Analytic accelerator-memory accounting.
+
+The tutorial's "Limited Memory" challenge (§3.1.3) is about what must be
+resident on the training device per step: the activations of every layer
+(kept for backward) plus the propagated graph structure of the batch. With
+no GPU in this reproduction, we *count floats* instead of allocating them —
+the counts are exact for the dense activations that dominate, and they
+reproduce the who-fits/who-doesn't ordering (benchmark E4).
+
+All functions return float counts; multiply by 8 for float64 bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.editing.sampling import Block
+from repro.utils.validation import check_int_range
+
+
+def _layer_dims(in_features: int, hidden: int, n_classes: int, n_layers: int) -> list[int]:
+    return [in_features] + [hidden] * (n_layers - 1) + [n_classes]
+
+
+def full_batch_training_floats(
+    n_nodes: int, n_arcs: int, in_features: int, hidden: int,
+    n_classes: int, n_layers: int = 2,
+) -> int:
+    """Residency of one full-batch GCN step.
+
+    Input + every layer's activations over *all* nodes (stored for
+    backward) + the sparse operator (one weight + one index pair ≈ 3 values
+    per arc).
+    """
+    check_int_range("n_nodes", n_nodes, 1)
+    dims = _layer_dims(in_features, hidden, n_classes, n_layers)
+    activations = sum(n_nodes * d for d in dims)
+    operator = 3 * n_arcs
+    return activations + operator
+
+
+def sampled_batch_training_floats(
+    blocks: Sequence[Block], in_features: int, hidden: int,
+    n_classes: int,
+) -> int:
+    """Residency of one sampled-block step: per-layer src activations."""
+    dims = _layer_dims(in_features, hidden, n_classes, len(blocks))
+    total = blocks[0].n_src * dims[0]
+    for i, block in enumerate(blocks):
+        total += block.n_dst * dims[i + 1]
+        total += 3 * block.matrix.nnz
+    return total
+
+
+def subgraph_batch_training_floats(
+    batch_nodes: int, batch_arcs: int, in_features: int, hidden: int,
+    n_classes: int, n_layers: int = 2,
+) -> int:
+    """Residency of one Cluster-GCN/GraphSAINT step (a small full batch)."""
+    return full_batch_training_floats(
+        batch_nodes, batch_arcs, in_features, hidden, n_classes, n_layers
+    )
+
+
+def decoupled_batch_floats(
+    batch_size: int, embedding_dim: int, hidden: int, n_classes: int,
+    n_layers: int = 2,
+) -> int:
+    """Residency of one decoupled-MLP step: only the batch rows.
+
+    No graph structure at all is resident — the decoupled family's memory
+    story in one line.
+    """
+    dims = _layer_dims(embedding_dim, hidden, n_classes, n_layers)
+    return sum(batch_size * d for d in dims)

@@ -1,0 +1,82 @@
+"""Plain-text result tables shared by every benchmark script.
+
+Benchmarks print the same kind of aligned table the paper's figures would
+tabulate; :meth:`Table.render` is deterministic so bench output can be
+diffed across runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ShapeError
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-oriented duration: µs/ms/s with three significant digits."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human-oriented size in B/KiB/MiB/GiB."""
+    value = float(n_bytes)
+    for unit in ("B", "KiB", "MiB"):
+        if value < 1024:
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.2f}GiB"
+
+
+class Table:
+    """A fixed-column text table.
+
+    >>> t = Table("demo", ["a", "b"])
+    >>> t.add_row(1, "x")
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    demo
+    a | b
+    --+--
+    1 | x
+    """
+
+    def __init__(self, title: str, columns: list[str]) -> None:
+        if not columns:
+            raise ShapeError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ShapeError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([self._fmt(v) for v in values])
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self) -> str:
+        widths = [
+            max(len(col), *(len(r[i]) for r in self.rows)) if self.rows else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        body = [
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in self.rows
+        ]
+        return "\n".join([self.title, header, rule, *body])
+
+    def to_csv(self, path: str | Path) -> None:
+        lines = [",".join(self.columns)]
+        lines += [",".join(row) for row in self.rows]
+        Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")

@@ -1,0 +1,23 @@
+"""Synthetic node-classification workloads with controllable statistics.
+
+Stand-ins for the industrial graphs the tutorial motivates; every generator
+returns a featured, labelled :class:`~repro.graph.Graph` plus a
+:class:`Split`. The key control knobs are graph size, degree, homophily
+(for the heterophily experiments) and feature signal-to-noise.
+"""
+
+from repro.datasets.synthetic import (
+    Split,
+    chain_classification,
+    contextual_sbm,
+    random_split,
+    scale_free_classification,
+)
+
+__all__ = [
+    "Split",
+    "random_split",
+    "contextual_sbm",
+    "scale_free_classification",
+    "chain_classification",
+]

@@ -1,0 +1,176 @@
+"""Synthetic labelled-graph generators and train/val/test splitting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.core import Graph
+from repro.graph.generators import barabasi_albert_graph, stochastic_block_model
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_int_range, check_probability
+
+
+@dataclass(frozen=True)
+class Split:
+    """Index arrays for a train/val/test split."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    @property
+    def n_total(self) -> int:
+        return len(self.train) + len(self.val) + len(self.test)
+
+
+def random_split(
+    n: int, train_frac: float = 0.6, val_frac: float = 0.2, seed=None
+) -> Split:
+    """Disjoint uniform split; the remainder after train/val is test."""
+    check_int_range("n", n, 3)
+    check_probability("train_frac", train_frac)
+    check_probability("val_frac", val_frac)
+    if train_frac + val_frac >= 1.0:
+        raise ConfigError("train_frac + val_frac must be < 1")
+    rng = as_rng(seed)
+    perm = rng.permutation(n)
+    n_train = max(1, int(train_frac * n))
+    n_val = max(1, int(val_frac * n))
+    return Split(
+        train=np.sort(perm[:n_train]),
+        val=np.sort(perm[n_train : n_train + n_val]),
+        test=np.sort(perm[n_train + n_val :]),
+    )
+
+
+def contextual_sbm(
+    n_nodes: int,
+    n_classes: int = 2,
+    homophily: float = 0.8,
+    avg_degree: float = 10.0,
+    n_features: int = 16,
+    feature_signal: float = 1.0,
+    seed=None,
+) -> tuple[Graph, Split]:
+    """Contextual SBM: community graph + class-conditioned Gaussian features.
+
+    ``homophily`` is the probability that an edge endpoint pair shares a
+    class: 1.0 is a pure community graph, ``1/n_classes`` is structureless,
+    and values below that are *heterophilous* (edges prefer to cross
+    classes) — the axis benchmark E13 sweeps.
+
+    ``feature_signal`` scales the class-mean separation relative to
+    unit-variance noise.
+    """
+    check_int_range("n_nodes", n_nodes, 8)
+    check_int_range("n_classes", n_classes, 2)
+    check_probability("homophily", homophily)
+    rng = as_rng(seed)
+    sizes = [n_nodes // n_classes] * n_classes
+    sizes[0] += n_nodes - sum(sizes)
+    # Edge budget: n * avg_degree / 2 edges split into intra/inter mass.
+    # p_in scales with homophily, p_out with (1 - homophily) spread over
+    # the other classes.
+    n_intra_pairs = sum(s * (s - 1) / 2 for s in sizes)
+    n_inter_pairs = n_nodes * (n_nodes - 1) / 2 - n_intra_pairs
+    target_edges = n_nodes * avg_degree / 2.0
+    p_in = min(1.0, homophily * target_edges / max(n_intra_pairs, 1))
+    p_out = min(1.0, (1.0 - homophily) * target_edges / max(n_inter_pairs, 1))
+    p_matrix = np.full((n_classes, n_classes), p_out)
+    np.fill_diagonal(p_matrix, p_in)
+    graph = stochastic_block_model(sizes, p_matrix, seed=rng)
+    means = rng.normal(size=(n_classes, n_features))
+    means *= feature_signal / np.linalg.norm(means, axis=1, keepdims=True)
+    x = means[graph.y] + rng.normal(size=(n_nodes, n_features))
+    graph = graph.with_data(x=x)
+    return graph, random_split(n_nodes, seed=rng)
+
+
+def scale_free_classification(
+    n_nodes: int,
+    n_classes: int = 3,
+    attachment: int = 4,
+    n_features: int = 16,
+    feature_signal: float = 1.0,
+    seed=None,
+) -> tuple[Graph, Split]:
+    """Power-law graph with topology-local labels (BFS Voronoi regions).
+
+    ``n_classes`` random seed nodes are planted; every node takes the label
+    of its nearest seed (ties broken by seed order), yielding the
+    degree-skewed, locally-consistent labels typical of social networks.
+    Features are class-conditioned Gaussians.
+    """
+    check_int_range("n_nodes", n_nodes, 8)
+    check_int_range("n_classes", n_classes, 2)
+    rng = as_rng(seed)
+    graph = barabasi_albert_graph(n_nodes, attachment, seed=rng)
+    seeds = rng.choice(n_nodes, size=n_classes, replace=False)
+    labels = np.full(n_nodes, -1, dtype=np.int64)
+    frontier = list(seeds)
+    labels[seeds] = np.arange(n_classes)
+    while frontier:
+        next_frontier: list[int] = []
+        for u in frontier:
+            for v in graph.neighbors(int(u)):
+                v = int(v)
+                if labels[v] < 0:
+                    labels[v] = labels[u]
+                    next_frontier.append(v)
+        frontier = next_frontier
+    labels[labels < 0] = 0  # disconnected leftovers (BA is connected)
+    means = rng.normal(size=(n_classes, n_features))
+    means *= feature_signal / np.linalg.norm(means, axis=1, keepdims=True)
+    x = means[labels] + rng.normal(size=(n_nodes, n_features))
+    graph = graph.with_data(x=x, y=labels)
+    return graph, random_split(n_nodes, seed=rng)
+
+
+def chain_classification(
+    n_chains: int,
+    chain_length: int,
+    n_features: int = 8,
+    seed=None,
+) -> tuple[Graph, Split]:
+    """Long-range dependency task: the label lives at the chain's head.
+
+    Each chain is a path graph; only the head node carries the (binary)
+    class signal in its features — every other node has *identical*
+    (zero) features, so classifying a tail node requires information to
+    travel ``chain_length - 1`` hops; there is nothing local to memorise.
+    Finite-depth GNNs fail beyond their receptive field; implicit GNNs do
+    not (benchmark E14).
+
+    The split is over *tail halves* of chains so that test accuracy
+    directly measures long-range propagation.
+    """
+    check_int_range("n_chains", n_chains, 2)
+    check_int_range("chain_length", chain_length, 3)
+    rng = as_rng(seed)
+    n = n_chains * chain_length
+    edges = []
+    labels = np.empty(n, dtype=np.int64)
+    x = np.zeros((n, n_features))
+    for c in range(n_chains):
+        base = c * chain_length
+        cls = int(rng.integers(0, 2))
+        labels[base : base + chain_length] = cls
+        signal = np.zeros(n_features)
+        signal[cls] = 5.0
+        x[base] = signal
+        for i in range(chain_length - 1):
+            edges.append((base + i, base + i + 1))
+    graph = Graph.from_edges(np.asarray(edges), n, x=x, y=labels)
+    # Train on the front half of each chain, test on the far half.
+    positions = np.arange(n) % chain_length
+    front = positions < chain_length // 2
+    train = np.flatnonzero(front & (positions > 0))
+    far = np.flatnonzero(~front)
+    rng.shuffle(far)
+    half = len(far) // 2
+    return graph, Split(
+        train=train, val=np.sort(far[:half]), test=np.sort(far[half:])
+    )

@@ -1,0 +1,512 @@
+"""Graph sampling (§3.1.2, §3.3.2): node-, layer-, and subgraph-level.
+
+The three sampling scopes the tutorial categorises (after [32]):
+
+* **Node-level** — :class:`NeighborSampler` (GraphSAGE-style fan-outs) and
+  :class:`LaborSampler` (LABOR [2]: Poisson sampling with per-source random
+  variates shared across destinations, cutting the number of distinct
+  sampled nodes while staying unbiased).
+* **Layer-level** — :class:`LayerSampler` (FastGCN-style degree-importance
+  sampling with inverse-probability reweighting).
+* **Subgraph-level** — :func:`node_subgraph_sample`,
+  :func:`edge_subgraph_sample`, :func:`random_walk_subgraph_sample`
+  (GraphSAINT's three samplers), used directly by subgraph trainers.
+
+:class:`HistoryCache` implements the historical-embedding variance reduction
+of HDSGNN/LMC [21, 42]: stale cached values stand in for unsampled
+neighbours. :func:`estimate_aggregation_variance` measures estimator
+variance empirically — the quantity benchmark E10 sweeps.
+
+Mini-batch blocks
+-----------------
+Samplers that feed layered models produce :class:`Block` objects: a
+``(n_dst, n_src)`` sparse aggregation operator between consecutive layers,
+with ``dst_ids`` always a prefix of ``src_ids`` so models can slice
+self-features cheaply. Blocks are returned input-layer first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConfigError, GraphError
+from repro.graph.core import Graph
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_int_range
+
+__all__ = [
+    "Block",
+    "NeighborSampler",
+    "LaborSampler",
+    "LayerSampler",
+    "HistoryCache",
+    "aggregate_with_cache",
+    "node_subgraph_sample",
+    "edge_subgraph_sample",
+    "random_walk_subgraph_sample",
+    "sample_neighbor_estimate",
+    "estimate_aggregation_variance",
+    "aggregation_difference",
+    "greedy_aggregation_sample",
+]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One bipartite message-passing layer of a sampled mini-batch.
+
+    Attributes
+    ----------
+    src_ids:
+        Global ids of input nodes; ``dst_ids`` is always its prefix.
+    dst_ids:
+        Global ids of output nodes.
+    matrix:
+        ``(len(dst_ids), len(src_ids))`` sparse operator estimating the
+        full-neighbourhood mean aggregation.
+    """
+
+    src_ids: np.ndarray
+    dst_ids: np.ndarray
+    matrix: sp.csr_matrix
+
+    @property
+    def n_src(self) -> int:
+        return len(self.src_ids)
+
+    @property
+    def n_dst(self) -> int:
+        return len(self.dst_ids)
+
+
+def _build_block(
+    dst_ids: np.ndarray,
+    rows: list[int],
+    cols_global: list[int],
+    vals: list[float],
+) -> Block:
+    """Assemble a block; src = dst prefix + newly referenced nodes."""
+    dst_ids = np.asarray(dst_ids, dtype=np.int64)
+    pos: dict[int, int] = {int(v): i for i, v in enumerate(dst_ids)}
+    src_list = list(dst_ids)
+    cols: list[int] = []
+    for g in cols_global:
+        idx = pos.get(g)
+        if idx is None:
+            idx = len(src_list)
+            pos[g] = idx
+            src_list.append(g)
+        cols.append(idx)
+    matrix = sp.csr_matrix(
+        (vals, (rows, cols)), shape=(len(dst_ids), len(src_list))
+    )
+    return Block(np.asarray(src_list, dtype=np.int64), dst_ids, matrix)
+
+
+class NeighborSampler:
+    """GraphSAGE-style node-wise neighbour sampling.
+
+    For every destination node and layer, draw ``fanout`` neighbours
+    uniformly without replacement (all of them when degree <= fanout) and
+    average. ``sample(seeds)`` returns blocks input-layer first, so a model
+    applies ``blocks[0]`` before ``blocks[1]``.
+    """
+
+    def __init__(self, graph: Graph, fanouts: list[int], seed=None) -> None:
+        if not fanouts:
+            raise ConfigError("fanouts must be non-empty")
+        for f in fanouts:
+            check_int_range("fanout", f, 1)
+        self.graph = graph
+        self.fanouts = list(fanouts)
+        self._rng = as_rng(seed)
+
+    def sample(self, seeds: np.ndarray) -> list[Block]:
+        seeds = np.asarray(seeds, dtype=np.int64)
+        blocks: list[Block] = []
+        dst = seeds
+        for fanout in reversed(self.fanouts):
+            rows: list[int] = []
+            cols: list[int] = []
+            vals: list[float] = []
+            for i, u in enumerate(dst):
+                neigh = self.graph.neighbors(int(u))
+                if len(neigh) == 0:
+                    continue
+                if len(neigh) > fanout:
+                    chosen = self._rng.choice(neigh, size=fanout, replace=False)
+                else:
+                    chosen = neigh
+                share = 1.0 / len(chosen)
+                for v in chosen:
+                    rows.append(i)
+                    cols.append(int(v))
+                    vals.append(share)
+            blocks.append(_build_block(dst, rows, cols, vals))
+            dst = blocks[-1].src_ids
+        blocks.reverse()
+        return blocks
+
+
+class LaborSampler:
+    """LABOR-style layer-neighbour sampling (Poisson, coupled variates).
+
+    Each candidate source node ``v`` draws one uniform variate ``r_v``
+    *shared by every destination in the batch*; destination ``u`` includes
+    ``v`` iff ``r_v <= c_u`` with ``c_u = fanout / deg(u)``. Inclusion
+    probabilities match independent sampling, so the inverse-probability
+    estimator is unbiased — but sharing ``r_v`` makes the sampled source
+    sets of different destinations overlap maximally, shrinking the block
+    (fewer distinct nodes ⇒ less feature loading), which is LABOR's
+    defusing of neighbourhood explosion.
+    """
+
+    def __init__(self, graph: Graph, fanouts: list[int], seed=None) -> None:
+        if not fanouts:
+            raise ConfigError("fanouts must be non-empty")
+        self.graph = graph
+        self.fanouts = list(fanouts)
+        self._rng = as_rng(seed)
+
+    def sample(self, seeds: np.ndarray) -> list[Block]:
+        seeds = np.asarray(seeds, dtype=np.int64)
+        blocks: list[Block] = []
+        dst = seeds
+        for fanout in reversed(self.fanouts):
+            variates = self._rng.random(self.graph.n_nodes)
+            rows: list[int] = []
+            cols: list[int] = []
+            vals: list[float] = []
+            for i, u in enumerate(dst):
+                neigh = self.graph.neighbors(int(u))
+                deg = len(neigh)
+                if deg == 0:
+                    continue
+                c_u = min(1.0, fanout / deg)
+                included = neigh[variates[neigh] <= c_u]
+                if len(included) == 0:
+                    # Guarantee progress: keep the neighbour with the
+                    # smallest variate (probability-1/deg event each).
+                    included = neigh[[int(np.argmin(variates[neigh]))]]
+                weight = 1.0 / (deg * c_u)
+                for v in included:
+                    rows.append(i)
+                    cols.append(int(v))
+                    vals.append(weight)
+            blocks.append(_build_block(dst, rows, cols, vals))
+            dst = blocks[-1].src_ids
+        blocks.reverse()
+        return blocks
+
+
+class LayerSampler:
+    """FastGCN-style layer-wise importance sampling.
+
+    Per layer, ``n_per_layer`` nodes are drawn (with replacement) with
+    probability proportional to degree; the block entry for destination
+    ``u`` and sampled source ``v`` is :math:`\\hat A_{uv} / (m\\, q_v)`
+    (multiplicity-weighted), an unbiased estimator of the full propagation
+    :math:`(\\hat A X)_u` whose cost per layer is *independent of degree*.
+    """
+
+    def __init__(self, graph: Graph, n_layers: int, n_per_layer: int, seed=None) -> None:
+        check_int_range("n_layers", n_layers, 1)
+        check_int_range("n_per_layer", n_per_layer, 1)
+        self.graph = graph
+        self.n_layers = n_layers
+        self.n_per_layer = n_per_layer
+        self._rng = as_rng(seed)
+        from repro.graph.ops import normalized_adjacency
+
+        self._ahat = normalized_adjacency(graph, kind="sym", self_loops=True)
+        deg = graph.degrees() + 1.0
+        self._q = deg / deg.sum()
+
+    def sample(self, seeds: np.ndarray) -> list[Block]:
+        seeds = np.asarray(seeds, dtype=np.int64)
+        blocks: list[Block] = []
+        dst = seeds
+        for _ in range(self.n_layers):
+            m = self.n_per_layer
+            sampled = self._rng.choice(self.graph.n_nodes, size=m, p=self._q)
+            uniq, counts = np.unique(sampled, return_counts=True)
+            sub = self._ahat[dst][:, uniq].tocoo()
+            scale = counts / (m * self._q[uniq])
+            rows = sub.row.tolist()
+            cols_global = [int(uniq[j]) for j in sub.col]
+            vals = (sub.data * scale[sub.col]).tolist()
+            blocks.append(_build_block(dst, rows, cols_global, vals))
+            dst = blocks[-1].src_ids
+        blocks.reverse()
+        return blocks
+
+
+# --------------------------------------------------------------------- #
+# Subgraph-level samplers (GraphSAINT family)
+# --------------------------------------------------------------------- #
+
+
+def node_subgraph_sample(
+    graph: Graph, budget: int, seed=None, prob: np.ndarray | None = None
+) -> tuple[np.ndarray, Graph]:
+    """Induced subgraph on ``budget`` nodes sampled w.p. ∝ ``prob`` (degree
+    by default, GraphSAINT-Node). Returns (sorted global node ids, subgraph)."""
+    check_int_range("budget", budget, 1)
+    rng = as_rng(seed)
+    if prob is None:
+        prob = graph.degrees() + 1.0
+    prob = np.asarray(prob, dtype=np.float64)
+    if prob.shape != (graph.n_nodes,):
+        raise GraphError("prob must have one entry per node")
+    prob = prob / prob.sum()
+    budget = min(budget, graph.n_nodes)
+    nodes = rng.choice(graph.n_nodes, size=budget, replace=False, p=prob)
+    nodes = np.sort(nodes)
+    return nodes, graph.subgraph(nodes)
+
+
+def edge_subgraph_sample(
+    graph: Graph, budget: int, seed=None
+) -> tuple[np.ndarray, Graph]:
+    """GraphSAINT-Edge: sample edges w.p. ∝ 1/d_u + 1/d_v, induce endpoints."""
+    check_int_range("budget", budget, 1)
+    rng = as_rng(seed)
+    edges = graph.edge_array()
+    mask = edges[:, 0] < edges[:, 1]
+    edges = edges[mask]
+    if not len(edges):
+        raise GraphError("graph has no edges to sample")
+    deg = np.maximum(graph.degrees(), 1.0)
+    imp = 1.0 / deg[edges[:, 0]] + 1.0 / deg[edges[:, 1]]
+    probs = imp / imp.sum()
+    chosen = rng.choice(len(edges), size=min(budget, len(edges)), replace=False,
+                        p=probs)
+    nodes = np.unique(edges[chosen])
+    return nodes, graph.subgraph(nodes)
+
+
+def random_walk_subgraph_sample(
+    graph: Graph, n_roots: int, walk_length: int, seed=None
+) -> tuple[np.ndarray, Graph]:
+    """GraphSAINT-RW: union of ``n_roots`` random walks of ``walk_length``."""
+    check_int_range("n_roots", n_roots, 1)
+    check_int_range("walk_length", walk_length, 1)
+    rng = as_rng(seed)
+    roots = rng.integers(0, graph.n_nodes, size=n_roots)
+    visited: set[int] = set(map(int, roots))
+    position = roots.copy()
+    for _ in range(walk_length):
+        for i, u in enumerate(position):
+            neigh = graph.neighbors(int(u))
+            if len(neigh):
+                position[i] = int(neigh[rng.integers(len(neigh))])
+                visited.add(int(position[i]))
+    nodes = np.sort(np.fromiter(visited, dtype=np.int64))
+    return nodes, graph.subgraph(nodes)
+
+
+# --------------------------------------------------------------------- #
+# Historical-embedding cache (HDSGNN / LMC-style variance reduction)
+# --------------------------------------------------------------------- #
+
+
+class HistoryCache:
+    """Per-node cache of (possibly stale) embeddings.
+
+    Samplers combine freshly computed values for sampled neighbours with
+    cached values for the rest; staleness injects bias but removes the
+    sampling variance of the unsampled portion.
+    """
+
+    def __init__(self, n_nodes: int, dim: int) -> None:
+        check_int_range("n_nodes", n_nodes, 1)
+        check_int_range("dim", dim, 1)
+        self.values = np.zeros((n_nodes, dim))
+        self.filled = np.zeros(n_nodes, dtype=bool)
+
+    def update(self, ids: np.ndarray, values: np.ndarray) -> None:
+        ids = np.asarray(ids, dtype=np.int64)
+        self.values[ids] = values
+        self.filled[ids] = True
+
+    def get(self, ids: np.ndarray) -> np.ndarray:
+        return self.values[np.asarray(ids, dtype=np.int64)]
+
+    @property
+    def fill_fraction(self) -> float:
+        return float(self.filled.mean())
+
+
+def aggregate_with_cache(
+    graph: Graph,
+    node: int,
+    features: np.ndarray,
+    cache: HistoryCache,
+    n_fresh: int,
+    seed=None,
+) -> np.ndarray:
+    """Mean-aggregate for ``node``: fresh features for ``n_fresh`` sampled
+    neighbours + cached values for the rest (LMC-style compensation).
+
+    Falls back to the plain sampled estimate for neighbours never cached.
+    """
+    rng = as_rng(seed)
+    neigh = graph.neighbors(node)
+    if len(neigh) == 0:
+        raise GraphError(f"node {node} has no neighbours")
+    k = min(n_fresh, len(neigh))
+    fresh_idx = rng.choice(len(neigh), size=k, replace=False)
+    fresh_mask = np.zeros(len(neigh), dtype=bool)
+    fresh_mask[fresh_idx] = True
+    fresh_nodes = neigh[fresh_mask]
+    stale_nodes = neigh[~fresh_mask]
+    acc = features[fresh_nodes].sum(axis=0)
+    if len(stale_nodes):
+        cached_mask = cache.filled[stale_nodes]
+        acc = acc + cache.get(stale_nodes[cached_mask]).sum(axis=0)
+        uncached = stale_nodes[~cached_mask]
+        if len(uncached):
+            # No history: fall back to extrapolating the fresh sample mean.
+            acc = acc + len(uncached) * features[fresh_nodes].mean(axis=0)
+    cache.update(fresh_nodes, features[fresh_nodes])
+    return acc / len(neigh)
+
+
+# --------------------------------------------------------------------- #
+# Estimator variance measurement
+# --------------------------------------------------------------------- #
+
+_ESTIMATORS = ("uniform", "uniform_replace", "labor", "importance")
+
+
+def sample_neighbor_estimate(
+    graph: Graph,
+    node: int,
+    features: np.ndarray,
+    k: int,
+    method: str = "uniform",
+    seed=None,
+) -> np.ndarray:
+    """One stochastic estimate of ``mean_{v in N(u)} x_v`` with budget ``k``.
+
+    Methods: ``uniform`` (without replacement), ``uniform_replace``,
+    ``labor`` (Poisson with inverse-probability weights), ``importance``
+    (degree-proportional with replacement, IW-corrected).
+    """
+    if method not in _ESTIMATORS:
+        raise ConfigError(f"method must be one of {_ESTIMATORS}, got {method!r}")
+    check_int_range("k", k, 1)
+    rng = as_rng(seed)
+    neigh = graph.neighbors(node)
+    deg = len(neigh)
+    if deg == 0:
+        raise GraphError(f"node {node} has no neighbours")
+    if method == "uniform":
+        kk = min(k, deg)
+        chosen = rng.choice(neigh, size=kk, replace=False)
+        return features[chosen].mean(axis=0)
+    if method == "uniform_replace":
+        chosen = rng.choice(neigh, size=k, replace=True)
+        return features[chosen].mean(axis=0)
+    if method == "labor":
+        c = min(1.0, k / deg)
+        variates = rng.random(deg)
+        included = neigh[variates <= c]
+        if len(included) == 0:
+            included = neigh[[int(np.argmin(variates))]]
+        return features[included].sum(axis=0) / (deg * c)
+    # importance: q_v ∝ deg(v) among neighbours, with replacement.
+    neighbor_deg = np.maximum(graph.degrees()[neigh], 1.0)
+    q = neighbor_deg / neighbor_deg.sum()
+    idx = rng.choice(deg, size=k, replace=True, p=q)
+    weights = 1.0 / (deg * k * q[idx])
+    return (features[neigh[idx]] * weights[:, None]).sum(axis=0)
+
+
+def aggregation_difference(
+    graph: Graph, node: int, features: np.ndarray, chosen: np.ndarray
+) -> float:
+    """ADGNN's objective: ||mean over chosen − mean over all neighbours||.
+
+    The quantity ADGNN [43] bounds when deciding which neighbours a
+    distributed worker may skip fetching.
+    """
+    neigh = graph.neighbors(node)
+    if len(neigh) == 0:
+        raise GraphError(f"node {node} has no neighbours")
+    chosen = np.asarray(chosen, dtype=np.int64)
+    if len(chosen) == 0:
+        raise ConfigError("chosen neighbour set must be non-empty")
+    exact = features[neigh].mean(axis=0)
+    approx = features[chosen].mean(axis=0)
+    return float(np.linalg.norm(exact - approx))
+
+
+def greedy_aggregation_sample(
+    graph: Graph, node: int, features: np.ndarray, k: int
+) -> np.ndarray:
+    """ADGNN-style deterministic neighbour selection.
+
+    Greedily grows the sampled set, at each step adding the neighbour that
+    most reduces the aggregation difference — so at equal budget the
+    retained set approximates the full aggregate far better than a random
+    draw (and the skipped neighbours are exactly the redundant ones whose
+    features the mean already covers).
+    """
+    check_int_range("k", k, 1)
+    neigh = graph.neighbors(node)
+    deg = len(neigh)
+    if deg == 0:
+        raise GraphError(f"node {node} has no neighbours")
+    k = min(k, deg)
+    exact = features[neigh].mean(axis=0)
+    chosen: list[int] = []
+    acc = np.zeros_like(exact)
+    remaining = list(range(deg))
+    for step in range(k):
+        best_idx = None
+        best_err = np.inf
+        for idx in remaining:
+            cand = (acc + features[neigh[idx]]) / (step + 1)
+            err = float(np.linalg.norm(exact - cand))
+            if err < best_err:
+                best_err = err
+                best_idx = idx
+        chosen.append(int(neigh[best_idx]))
+        acc += features[neigh[best_idx]]
+        remaining.remove(best_idx)
+    return np.asarray(chosen, dtype=np.int64)
+
+
+def estimate_aggregation_variance(
+    graph: Graph,
+    node: int,
+    features: np.ndarray,
+    k: int,
+    method: str,
+    n_trials: int = 200,
+    seed=None,
+) -> tuple[float, float]:
+    """Empirical (variance, bias²) of a neighbour-mean estimator.
+
+    Returns the trace of the covariance of the estimates and the squared
+    bias against the exact neighbourhood mean — benchmark E10's quantities.
+    """
+    check_int_range("n_trials", n_trials, 2)
+    rng = as_rng(seed)
+    neigh = graph.neighbors(node)
+    if len(neigh) == 0:
+        raise GraphError(f"node {node} has no neighbours")
+    exact = features[neigh].mean(axis=0)
+    estimates = np.stack(
+        [
+            sample_neighbor_estimate(graph, node, features, k, method, seed=rng)
+            for _ in range(n_trials)
+        ]
+    )
+    variance = float(estimates.var(axis=0, ddof=1).sum())
+    bias_sq = float(((estimates.mean(axis=0) - exact) ** 2).sum())
+    return variance, bias_sq

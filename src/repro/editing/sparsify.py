@@ -1,0 +1,227 @@
+"""Graph sparsification (§3.3.1): prune edges, keep the operator.
+
+Three schemes mirroring the models the tutorial cites:
+
+* :func:`threshold_sparsify` — Unifews-style [25] entry-wise pruning of the
+  *normalised* operator: entries whose magnitude falls below a threshold
+  contribute little to any propagation and are dropped.
+* :func:`topk_sparsify` — per-node top-k strongest edges (fine-grained,
+  degree-equalising).
+* :func:`random_spectral_sparsify` — importance sampling with probabilities
+  proportional to :math:`w_{uv}(1/d_u + 1/d_v)`, the standard effective-
+  resistance proxy; sampled edges are reweighted :math:`1/(q\\,p_e)` so the
+  Laplacian stays unbiased (Spielman–Srivastava flavour).
+* :func:`effective_resistance_sparsify` — exact resistances from the
+  Laplacian pseudo-inverse; :math:`O(n^3)`, the small-graph gold standard.
+
+:func:`spectral_distance` quantifies how well a sparsifier preserved the
+spectrum — the quality measure for benchmark E9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConfigError, GraphError
+from repro.graph.core import Graph
+from repro.graph.ops import laplacian_matrix
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_int_range, check_positive
+
+
+@dataclass(frozen=True)
+class SparsifyResult:
+    """A sparsified graph plus bookkeeping.
+
+    Attributes
+    ----------
+    graph:
+        The sparsified graph (new object; features/labels carried over).
+    kept_fraction:
+        Fraction of undirected edges retained.
+    """
+
+    graph: Graph
+    kept_fraction: float
+
+
+def _undirected_upper_edges(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
+    """(upper-triangular edge array, weights) of an undirected graph."""
+    if graph.directed:
+        raise GraphError("sparsifiers operate on undirected graphs")
+    edges = graph.edge_array()
+    weights = graph.weights
+    mask = edges[:, 0] < edges[:, 1]
+    return edges[mask], weights[mask]
+
+
+def _rebuild(graph: Graph, edges: np.ndarray, weights: np.ndarray) -> Graph:
+    return Graph.from_edges(
+        edges, graph.n_nodes, weights=weights, x=graph.x, y=graph.y
+    )
+
+
+def threshold_sparsify(
+    graph: Graph, threshold: float, use_normalized: bool = True
+) -> SparsifyResult:
+    """Drop edges whose (normalised) weight magnitude is below ``threshold``.
+
+    With ``use_normalized`` the decision weight is the symmetric-normalised
+    operator entry :math:`w_{uv}/\\sqrt{d_u d_v}` — the quantity that bounds
+    an edge's contribution to any polynomial propagation (the Unifews
+    argument); the *stored* weight of surviving edges is unchanged.
+    """
+    check_positive("threshold", threshold, strict=False)
+    edges, weights = _undirected_upper_edges(graph)
+    if use_normalized:
+        deg = graph.degrees(weighted=True)
+        denom = np.sqrt(deg[edges[:, 0]] * deg[edges[:, 1]])
+        decision = np.abs(weights) / np.where(denom > 0, denom, 1.0)
+    else:
+        decision = np.abs(weights)
+    keep = decision >= threshold
+    total = len(edges)
+    return SparsifyResult(
+        _rebuild(graph, edges[keep], weights[keep]),
+        float(keep.sum()) / max(total, 1),
+    )
+
+
+def topk_sparsify(graph: Graph, k: int) -> SparsifyResult:
+    """Keep each node's ``k`` largest-weight incident edges.
+
+    An edge survives if *either* endpoint ranks it in its top-k, so the
+    result stays symmetric; low-degree nodes keep all their edges.
+    """
+    check_int_range("k", k, 1)
+    if graph.directed:
+        raise GraphError("sparsifiers operate on undirected graphs")
+    survivors: set[tuple[int, int]] = set()
+    for u in range(graph.n_nodes):
+        neigh = graph.neighbors(u)
+        w = graph.neighbor_weights(u)
+        if len(neigh) > k:
+            top = np.argsort(-w, kind="stable")[:k]
+            neigh = neigh[top]
+        for v in neigh:
+            v = int(v)
+            survivors.add((min(u, v), max(u, v)))
+    edges, weights = _undirected_upper_edges(graph)
+    keys = [(int(a), int(b)) for a, b in edges]
+    keep = np.asarray([key in survivors for key in keys], dtype=bool)
+    return SparsifyResult(
+        _rebuild(graph, edges[keep], weights[keep]),
+        float(keep.sum()) / max(len(edges), 1),
+    )
+
+
+def random_spectral_sparsify(
+    graph: Graph, n_samples: int, seed=None
+) -> SparsifyResult:
+    """Sample ``n_samples`` edges w.p. ∝ w(1/d_u + 1/d_v), reweighted.
+
+    The sampling distribution upper-bounds leverage scores on expander-like
+    graphs; reweighting keeps the expected Laplacian equal to the original,
+    so the sparsifier is spectrally unbiased.
+    """
+    check_int_range("n_samples", n_samples, 1)
+    rng = as_rng(seed)
+    edges, weights = _undirected_upper_edges(graph)
+    if not len(edges):
+        return SparsifyResult(graph, 1.0)
+    deg = graph.degrees(weighted=True)
+    importance = weights * (1.0 / deg[edges[:, 0]] + 1.0 / deg[edges[:, 1]])
+    probs = importance / importance.sum()
+    draws = rng.choice(len(edges), size=n_samples, replace=True, p=probs)
+    counts = np.bincount(draws, minlength=len(edges))
+    keep = counts > 0
+    new_weights = weights * counts / (n_samples * probs)
+    return SparsifyResult(
+        _rebuild(graph, edges[keep], new_weights[keep]),
+        float(keep.sum()) / len(edges),
+    )
+
+
+def effective_resistance_sparsify(
+    graph: Graph, n_samples: int, seed=None
+) -> SparsifyResult:
+    """Spielman–Srivastava sampling with *exact* effective resistances.
+
+    Computes the Laplacian pseudo-inverse densely — :math:`O(n^3)`, intended
+    for small graphs as the gold-standard comparator in benchmark E9.
+    """
+    check_int_range("n_samples", n_samples, 1)
+    if graph.n_nodes > 3000:
+        raise ConfigError(
+            "effective_resistance_sparsify is dense O(n^3); use "
+            "random_spectral_sparsify for graphs this large"
+        )
+    rng = as_rng(seed)
+    edges, weights = _undirected_upper_edges(graph)
+    if not len(edges):
+        return SparsifyResult(graph, 1.0)
+    lap = laplacian_matrix(graph, kind="comb").toarray()
+    pinv = np.linalg.pinv(lap)
+    u, v = edges[:, 0], edges[:, 1]
+    resistance = pinv[u, u] + pinv[v, v] - 2 * pinv[u, v]
+    importance = weights * np.maximum(resistance, 0.0)
+    total = importance.sum()
+    if total <= 0:
+        raise GraphError("all effective resistances vanished; graph degenerate")
+    probs = importance / total
+    draws = rng.choice(len(edges), size=n_samples, replace=True, p=probs)
+    counts = np.bincount(draws, minlength=len(edges))
+    keep = counts > 0
+    new_weights = np.zeros_like(weights)
+    nonzero = probs > 0
+    new_weights[nonzero] = weights[nonzero] * counts[nonzero] / (
+        n_samples * probs[nonzero]
+    )
+    return SparsifyResult(
+        _rebuild(graph, edges[keep], new_weights[keep]),
+        float(keep.sum()) / len(edges),
+    )
+
+
+def unifews_layer_operators(
+    graph: Graph, thresholds: list[float]
+) -> list[sp.csr_matrix]:
+    """Unifews' layer-dependent propagation: one pruned operator per layer.
+
+    Entry-wise pruning of the renormalised GCN operator with a per-layer
+    threshold (typically increasing with depth — deeper layers tolerate
+    more pruning since their inputs are already smoothed). Returns the
+    operator list a layered model applies layer by layer.
+    """
+    from repro.graph.ops import propagation_matrix
+
+    if not thresholds:
+        raise ConfigError("thresholds must be non-empty")
+    base = propagation_matrix(graph, scheme="gcn")
+    operators: list[sp.csr_matrix] = []
+    for threshold in thresholds:
+        check_positive("threshold", float(threshold), strict=False)
+        pruned = base.copy()
+        keep = np.abs(pruned.data) >= threshold
+        pruned.data = np.where(keep, pruned.data, 0.0)
+        pruned.eliminate_zeros()
+        operators.append(pruned.tocsr())
+    return operators
+
+
+def spectral_distance(original: Graph, sparsified: Graph, k: int = 16) -> float:
+    """Mean |λ_i − λ̃_i| over the ``k`` smallest normalised-Laplacian pairs.
+
+    Both graphs must share the node set. Small distance certifies that
+    propagation on the sparsified graph approximates the original — the
+    Unifews-style approximation-bound check.
+    """
+    if original.n_nodes != sparsified.n_nodes:
+        raise GraphError("spectral_distance requires a shared node set")
+    k = min(k, original.n_nodes)
+    lam_a = np.linalg.eigvalsh(laplacian_matrix(original, kind="sym").toarray())[:k]
+    lam_b = np.linalg.eigvalsh(laplacian_matrix(sparsified, kind="sym").toarray())[:k]
+    return float(np.abs(lam_a - lam_b).mean())

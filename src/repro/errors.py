@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error deliberately raised by library code derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or an operation unsupported by a graph."""
+
+
+class ShapeError(ReproError):
+    """An array argument has an incompatible shape."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class NotFittedError(ReproError):
+    """A model or index was queried before being fitted/built."""
+
+
+class ConfigError(ReproError):
+    """A hyper-parameter or option is outside its valid range."""

@@ -1,0 +1,56 @@
+"""Graph substrate: immutable CSR graphs, generators, operators, traversal.
+
+This subpackage is the storage layer every other part of the library builds
+on. A :class:`~repro.graph.core.Graph` stores adjacency in compressed sparse
+row (CSR) form, optionally with edge weights, node features, and labels.
+Graphs are immutable: editing operations (sparsification, coarsening,
+subgraph induction, ...) return new graphs.
+"""
+
+from repro.graph.core import Graph
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    caveman_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    ring_graph,
+    star_graph,
+    stochastic_block_model,
+)
+from repro.graph.ops import (
+    adjacency_matrix,
+    laplacian_matrix,
+    normalized_adjacency,
+    propagation_matrix,
+)
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_tree,
+    connected_components,
+    k_hop_neighborhood,
+    shortest_path_distance,
+)
+
+__all__ = [
+    "Graph",
+    "barabasi_albert_graph",
+    "caveman_graph",
+    "complete_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "path_graph",
+    "ring_graph",
+    "star_graph",
+    "stochastic_block_model",
+    "adjacency_matrix",
+    "laplacian_matrix",
+    "normalized_adjacency",
+    "propagation_matrix",
+    "bfs_distances",
+    "bfs_tree",
+    "connected_components",
+    "k_hop_neighborhood",
+    "shortest_path_distance",
+]

@@ -1,0 +1,208 @@
+"""Dynamic graphs and incremental PPR maintenance (§3.4.2).
+
+The tutorial's dynamic-graph direction asks how streaming updates can be
+accommodated by scalable GNN pipelines (GENTI [55] streams subgraph
+extraction; decoupled models need their embeddings maintained). The core
+primitive is *incremental PPR*: keeping a forward-push approximation valid
+under edge insertions without recomputing from scratch.
+
+Forward push maintains the exact linear invariant
+
+.. math:: e_s = r + \\tfrac{1}{\\alpha}\\big(I - (1-\\alpha) P^\\top\\big) p,
+
+with row-stochastic :math:`P = D^{-1}A`. An edge insertion ``(u, v)``
+changes only rows ``u`` and ``v`` of :math:`P`, so the invariant is
+restored *exactly* by the local residual correction
+
+.. math:: r \\mathrel{+}= \\tfrac{1-\\alpha}{\\alpha}\\,
+          p_u (P'_u - P_u) + \\tfrac{1-\\alpha}{\\alpha}\\, p_v (P'_v - P_v),
+
+which touches only the old neighbourhoods of the two endpoints. A signed
+local push then restores the accuracy guarantee. Cost per update:
+:math:`O(d_u + d_v)` plus the (empirically tiny) push work — versus a full
+recompute of the push from scratch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigError, GraphError
+from repro.graph.core import Graph
+from repro.utils.validation import check_int_range, check_positive
+
+
+class DynamicGraph:
+    """An undirected, unweighted graph supporting edge insertions.
+
+    Adjacency is stored as per-node Python lists (amortised O(1) append);
+    :meth:`snapshot` materialises an immutable CSR :class:`Graph` for use
+    with the static algorithms.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        check_int_range("n_nodes", n_nodes, 1)
+        self._adj: list[list[int]] = [[] for _ in range(n_nodes)]
+        self._n_edges = 0
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "DynamicGraph":
+        if graph.directed:
+            raise GraphError("DynamicGraph supports undirected graphs only")
+        dyn = cls(graph.n_nodes)
+        for u in range(graph.n_nodes):
+            dyn._adj[u] = [int(v) for v in graph.neighbors(u)]
+        dyn._n_edges = graph.n_edges // 2
+        return dyn
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def n_edges(self) -> int:
+        return self._n_edges
+
+    def degree(self, node: int) -> int:
+        return len(self._adj[node])
+
+    def neighbors(self, node: int) -> list[int]:
+        return self._adj[node]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        a = self._adj[u] if len(self._adj[u]) <= len(self._adj[v]) else self._adj[v]
+        other = v if a is self._adj[u] else u
+        return other in a
+
+    def insert_edge(self, u: int, v: int) -> None:
+        """Insert the undirected edge (u, v); duplicate/self edges rejected."""
+        n = self.n_nodes
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(f"edge ({u}, {v}) outside [0, {n})")
+        if u == v:
+            raise GraphError("self-loops are not supported")
+        if self.has_edge(u, v):
+            raise GraphError(f"edge ({u}, {v}) already present")
+        self._adj[u].append(v)
+        self._adj[v].append(u)
+        self._n_edges += 1
+
+    def snapshot(self) -> Graph:
+        """An immutable CSR copy of the current state."""
+        degrees = [len(a) for a in self._adj]
+        indptr = np.concatenate([[0], np.cumsum(degrees)]).astype(np.int64)
+        indices = np.fromiter(
+            (v for adj in self._adj for v in adj), dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        return Graph(indptr, indices, directed=False, validate=False)
+
+
+class IncrementalPPR:
+    """Single-source PPR maintained under edge insertions.
+
+    Parameters
+    ----------
+    dynamic:
+        The evolving graph; this object inserts edges *through*
+        :meth:`insert_edge` so estimate and graph stay in sync.
+    source:
+        PPR source node.
+    alpha, epsilon:
+        Teleport probability and push tolerance (|r_u| <= eps * d_u at
+        rest, exactly as static forward push).
+    """
+
+    def __init__(
+        self,
+        dynamic: DynamicGraph,
+        source: int,
+        alpha: float = 0.15,
+        epsilon: float = 1e-5,
+    ) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ConfigError(f"alpha must be in (0, 1), got {alpha}")
+        check_positive("epsilon", epsilon)
+        if not 0 <= source < dynamic.n_nodes:
+            raise GraphError(f"source {source} outside [0, {dynamic.n_nodes})")
+        self.graph = dynamic
+        self.source = source
+        self.alpha = alpha
+        self.epsilon = epsilon
+        self.estimate = np.zeros(dynamic.n_nodes)
+        self.residual = np.zeros(dynamic.n_nodes)
+        self.residual[source] = 1.0
+        self.last_push_count = 0
+        self._push()
+
+    # ------------------------------------------------------------------ #
+
+    def _push(self) -> None:
+        """Signed local push until |r_u| <= eps * d_u everywhere."""
+        alpha, eps = self.alpha, self.epsilon
+        adj = self.graph
+        queue: deque[int] = deque(
+            u for u in range(adj.n_nodes)
+            if adj.degree(u) > 0 and abs(self.residual[u]) > eps * adj.degree(u)
+        )
+        in_queue = np.zeros(adj.n_nodes, dtype=bool)
+        in_queue[list(queue)] = True
+        pushes = 0
+        while queue:
+            u = queue.popleft()
+            in_queue[u] = False
+            deg = adj.degree(u)
+            if deg == 0 or abs(self.residual[u]) <= eps * deg:
+                continue
+            mass = self.residual[u]
+            self.estimate[u] += alpha * mass
+            self.residual[u] = 0.0
+            share = (1.0 - alpha) * mass / deg
+            pushes += 1
+            for v in adj.neighbors(u):
+                self.residual[v] += share
+                dv = adj.degree(v)
+                if not in_queue[v] and abs(self.residual[v]) > eps * dv:
+                    queue.append(v)
+                    in_queue[v] = True
+        self.last_push_count = pushes
+
+    def _row_correction(self, u: int, new_neighbor: int) -> None:
+        """Restore the invariant for endpoint ``u`` gaining ``new_neighbor``.
+
+        Must be called *before* the edge is inserted (uses the old
+        neighbour list and degree).
+        """
+        p_u = self.estimate[u]
+        if p_u == 0.0:
+            return
+        d_old = self.graph.degree(u)
+        scale = (1.0 - self.alpha) / self.alpha * p_u
+        self.residual[new_neighbor] += scale / (d_old + 1)
+        if d_old > 0:
+            drop = scale / (d_old * (d_old + 1))
+            for w in self.graph.neighbors(u):
+                self.residual[w] -= drop
+
+    def insert_edge(self, u: int, v: int) -> None:
+        """Insert (u, v), restore the invariant locally, and re-push."""
+        self._row_correction(u, v)
+        self._row_correction(v, u)
+        self.graph.insert_edge(u, v)
+        self._push()
+
+    # ------------------------------------------------------------------ #
+
+    def check_invariant(self, atol: float = 1e-9) -> bool:
+        """Dense verification of the push invariant (testing aid, O(n^2))."""
+        snap = self.graph.snapshot()
+        deg = np.maximum(snap.degrees(), 1.0)
+        p_rw = snap.adjacency().multiply(1.0 / deg[:, None]).tocsr()
+        lhs = np.zeros(snap.n_nodes)
+        lhs[self.source] = 1.0
+        rhs = self.residual + (
+            self.estimate - (1.0 - self.alpha) * (p_rw.T @ self.estimate)
+        ) / self.alpha
+        return bool(np.allclose(lhs, rhs, atol=atol))

@@ -1,0 +1,163 @@
+"""Synthetic graph generators.
+
+These stand in for the industrial graphs the tutorial motivates (social,
+e-commerce, road, citation networks): Barabási–Albert for power-law degree
+skew, stochastic block models for community structure and controllable
+homophily, Erdős–Rényi for unstructured baselines, and deterministic
+families (ring, grid, path, star, caveman) whose spectra and distances are
+known in closed form — ideal for testing spectral filters and indexes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.core import Graph
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_int_range, check_probability
+
+
+def erdos_renyi_graph(n: int, p: float, seed=None) -> Graph:
+    """G(n, p) random undirected graph (no self-loops)."""
+    check_int_range("n", n, 1)
+    check_probability("p", p)
+    rng = as_rng(seed)
+    iu, ju = np.triu_indices(n, k=1)
+    mask = rng.random(len(iu)) < p
+    edges = np.column_stack([iu[mask], ju[mask]])
+    return Graph.from_edges(edges, n)
+
+
+def barabasi_albert_graph(n: int, m: int, seed=None) -> Graph:
+    """Preferential-attachment graph with ``m`` edges per new node.
+
+    Produces the heavy-tailed degree distributions typical of social and
+    e-commerce graphs, the regime where hub-aware techniques (importance
+    sampling, degree-dependent propagation) matter.
+    """
+    check_int_range("n", n, 2)
+    check_int_range("m", m, 1, n - 1)
+    rng = as_rng(seed)
+    # Start from a star on m+1 nodes so every node has degree >= 1.
+    edges: list[tuple[int, int]] = [(i, m) for i in range(m)]
+    # repeated_nodes holds one entry per edge endpoint: sampling uniformly
+    # from it is sampling proportionally to degree.
+    repeated: list[int] = [i for e in edges for i in e]
+    for new in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(int(repeated[rng.integers(len(repeated))]))
+        for t in targets:
+            edges.append((new, t))
+            repeated.extend((new, t))
+    return Graph.from_edges(np.asarray(edges, dtype=np.int64), n)
+
+
+def stochastic_block_model(
+    sizes: list[int],
+    p_matrix: np.ndarray,
+    seed=None,
+) -> Graph:
+    """Undirected SBM with community sizes ``sizes`` and link probs ``p_matrix``.
+
+    The returned graph carries block memberships as labels ``y``.
+    """
+    p_matrix = np.asarray(p_matrix, dtype=np.float64)
+    k = len(sizes)
+    if p_matrix.shape != (k, k):
+        raise ConfigError(f"p_matrix must be ({k}, {k}), got {p_matrix.shape}")
+    if not np.allclose(p_matrix, p_matrix.T):
+        raise ConfigError("p_matrix must be symmetric for an undirected SBM")
+    if np.any(p_matrix < 0) or np.any(p_matrix > 1):
+        raise ConfigError("p_matrix entries must be probabilities")
+    rng = as_rng(seed)
+    n = int(sum(sizes))
+    blocks = np.repeat(np.arange(k), sizes)
+    starts = np.concatenate([[0], np.cumsum(sizes)])
+    edge_chunks: list[np.ndarray] = []
+    for a in range(k):
+        for b in range(a, k):
+            p = p_matrix[a, b]
+            if p == 0.0:
+                continue
+            if a == b:
+                iu, ju = np.triu_indices(sizes[a], k=1)
+                iu, ju = iu + starts[a], ju + starts[a]
+            else:
+                iu, ju = np.meshgrid(
+                    np.arange(starts[a], starts[a + 1]),
+                    np.arange(starts[b], starts[b + 1]),
+                    indexing="ij",
+                )
+                iu, ju = iu.ravel(), ju.ravel()
+            mask = rng.random(len(iu)) < p
+            if mask.any():
+                edge_chunks.append(np.column_stack([iu[mask], ju[mask]]))
+    edges = (
+        np.concatenate(edge_chunks)
+        if edge_chunks
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    return Graph.from_edges(edges, n, y=blocks)
+
+
+def ring_graph(n: int) -> Graph:
+    """Cycle on ``n`` nodes. Laplacian eigenvalues are 2 - 2 cos(2πk/n)."""
+    check_int_range("n", n, 3)
+    nodes = np.arange(n)
+    edges = np.column_stack([nodes, (nodes + 1) % n])
+    return Graph.from_edges(edges, n)
+
+
+def path_graph(n: int) -> Graph:
+    """Simple path 0-1-...-(n-1); the long-range-dependency testbed."""
+    check_int_range("n", n, 2)
+    nodes = np.arange(n - 1)
+    edges = np.column_stack([nodes, nodes + 1])
+    return Graph.from_edges(edges, n)
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """2D 4-neighbour grid, a road-network-like planar graph."""
+    check_int_range("rows", rows, 1)
+    check_int_range("cols", cols, 1)
+    idx = np.arange(rows * cols).reshape(rows, cols)
+    right = np.column_stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()])
+    down = np.column_stack([idx[:-1, :].ravel(), idx[1:, :].ravel()])
+    return Graph.from_edges(np.concatenate([right, down]), rows * cols)
+
+
+def star_graph(n: int) -> Graph:
+    """Star with centre 0 and ``n - 1`` leaves; the extreme hub graph."""
+    check_int_range("n", n, 2)
+    leaves = np.arange(1, n)
+    edges = np.column_stack([np.zeros(n - 1, dtype=np.int64), leaves])
+    return Graph.from_edges(edges, n)
+
+
+def complete_graph(n: int) -> Graph:
+    check_int_range("n", n, 1)
+    iu, ju = np.triu_indices(n, k=1)
+    return Graph.from_edges(np.column_stack([iu, ju]), n)
+
+
+def caveman_graph(n_cliques: int, clique_size: int) -> Graph:
+    """Connected caveman graph: cliques chained into a ring.
+
+    A classic high-clustering, high-diameter topology where graph partitioning
+    achieves near-zero edge cut.
+    """
+    check_int_range("n_cliques", n_cliques, 2)
+    check_int_range("clique_size", clique_size, 2)
+    n = n_cliques * clique_size
+    chunks: list[np.ndarray] = []
+    for c in range(n_cliques):
+        base = c * clique_size
+        iu, ju = np.triu_indices(clique_size, k=1)
+        chunks.append(np.column_stack([iu + base, ju + base]))
+        # Bridge the last node of this clique to the first of the next.
+        nxt = ((c + 1) % n_cliques) * clique_size
+        chunks.append(np.array([[base + clique_size - 1, nxt]]))
+    labels = np.repeat(np.arange(n_cliques), clique_size)
+    return Graph.from_edges(np.concatenate(chunks), n, y=labels)

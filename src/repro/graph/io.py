@@ -1,0 +1,109 @@
+"""Plain-text and NPZ persistence for graphs.
+
+Two formats are supported:
+
+* **Edge-list text** (``.txt``/``.tsv``): one ``src dst [weight]`` triple per
+  line, ``#`` comments allowed — the lingua franca of graph repositories.
+* **NPZ** (``.npz``): the CSR arrays plus features/labels in one compressed
+  file; lossless and fast, used for caching precomputed embeddings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.core import Graph
+
+
+def save_edge_list(graph: Graph, path: str | Path) -> None:
+    """Write the stored arcs of ``graph`` as ``src dst weight`` lines."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(f"# nodes {graph.n_nodes} directed {int(graph.directed)}\n")
+        for src, dst, w in graph.iter_edges():
+            fh.write(f"{src} {dst} {w:.10g}\n")
+
+
+def load_edge_list(
+    path: str | Path, n_nodes: int | None = None, directed: bool = False
+) -> Graph:
+    """Read an edge-list file into a graph.
+
+    A leading ``# nodes N directed D`` header (as written by
+    :func:`save_edge_list`) overrides ``n_nodes``/``directed`` when present.
+    For undirected files that already store both arc directions, weights of
+    duplicate arcs are merged by :meth:`Graph.from_scipy` summing — so we
+    deduplicate exact (src, dst) repeats first.
+    """
+    path = Path(path)
+    edges: list[tuple[int, int]] = []
+    weights: list[float] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) >= 4 and parts[0] == "nodes":
+                    n_nodes = int(parts[1])
+                    directed = bool(int(parts[3]))
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"malformed edge line: {line!r}")
+            edges.append((int(parts[0]), int(parts[1])))
+            weights.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    if not edges:
+        raise GraphError(f"no edges found in {path}")
+    arr = np.asarray(edges, dtype=np.int64)
+    warr = np.asarray(weights, dtype=np.float64)
+    if n_nodes is None:
+        n_nodes = int(arr.max()) + 1
+    seen: dict[tuple[int, int], int] = {}
+    keep: list[int] = []
+    for i, (s, d) in enumerate(map(tuple, arr)):
+        if (s, d) in seen:
+            continue
+        seen[(s, d)] = i
+        keep.append(i)
+    arr, warr = arr[keep], warr[keep]
+    if not directed:
+        # Keep only one representative per unordered pair; from_edges
+        # re-symmetrises.
+        canon = np.sort(arr, axis=1)
+        _, first = np.unique(canon, axis=0, return_index=True)
+        first.sort()
+        arr, warr = arr[first], warr[first]
+    return Graph.from_edges(arr, n_nodes, weights=warr, directed=directed)
+
+
+def save_npz(graph: Graph, path: str | Path) -> None:
+    """Persist CSR arrays + features/labels to a compressed ``.npz``."""
+    payload = {
+        "indptr": graph.indptr,
+        "indices": graph.indices,
+        "weights": graph.weights,
+        "directed": np.array([graph.directed]),
+    }
+    if graph.x is not None:
+        payload["x"] = graph.x
+    if graph.y is not None:
+        payload["y"] = graph.y
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_npz(path: str | Path) -> Graph:
+    """Inverse of :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        return Graph(
+            data["indptr"],
+            data["indices"],
+            data["weights"],
+            x=data["x"] if "x" in data else None,
+            y=data["y"] if "y" in data else None,
+            directed=bool(data["directed"][0]),
+        )

@@ -1,0 +1,103 @@
+"""Matrix operators derived from a graph: normalised adjacency, Laplacians.
+
+These are the building blocks of every propagation scheme in the tutorial:
+the GCN operator ``D^{-1/2} (A + I) D^{-1/2}``, random-walk transition
+matrices for PPR, and normalised Laplacians for spectral filtering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConfigError
+from repro.graph.core import Graph
+
+_NORMALIZATIONS = ("sym", "rw", "col", "none")
+_LAPLACIANS = ("sym", "rw", "comb")
+
+
+def adjacency_matrix(graph: Graph, self_loops: bool = False) -> sp.csr_matrix:
+    """Adjacency of ``graph``, optionally with unit self-loops added."""
+    adj = graph.adjacency()
+    if self_loops:
+        adj = adj.tolil()
+        adj.setdiag(1.0)
+        adj = adj.tocsr()
+    return adj
+
+
+def _degree_power(adj: sp.csr_matrix, power: float) -> sp.dia_matrix:
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    scaled = np.zeros_like(deg)
+    np.power(deg, power, where=deg > 0, out=scaled)
+    return sp.diags(scaled)
+
+
+def normalized_adjacency(
+    graph: Graph, kind: str = "sym", self_loops: bool = True
+) -> sp.csr_matrix:
+    """Normalised adjacency operator.
+
+    ``kind`` selects the normalisation:
+
+    - ``"sym"``: :math:`D^{-1/2} A D^{-1/2}` (GCN operator; spectrum in [-1, 1])
+    - ``"rw"``: :math:`D^{-1} A` (row-stochastic random-walk operator)
+    - ``"col"``: :math:`A D^{-1}` (column-stochastic; PPR push convention)
+    - ``"none"``: plain :math:`A`
+    """
+    if kind not in _NORMALIZATIONS:
+        raise ConfigError(f"kind must be one of {_NORMALIZATIONS}, got {kind!r}")
+    adj = adjacency_matrix(graph, self_loops=self_loops)
+    if kind == "none":
+        return adj
+    if kind == "sym":
+        d = _degree_power(adj, -0.5)
+        return (d @ adj @ d).tocsr()
+    if kind == "rw":
+        return (_degree_power(adj, -1.0) @ adj).tocsr()
+    return (adj @ _degree_power(adj, -1.0)).tocsr()
+
+
+def laplacian_matrix(graph: Graph, kind: str = "sym") -> sp.csr_matrix:
+    """Graph Laplacian.
+
+    - ``"comb"``: combinatorial :math:`L = D - A`
+    - ``"sym"``: symmetric-normalised :math:`I - D^{-1/2} A D^{-1/2}`
+      (eigenvalues in [0, 2])
+    - ``"rw"``: random-walk :math:`I - D^{-1} A`
+    """
+    if kind not in _LAPLACIANS:
+        raise ConfigError(f"kind must be one of {_LAPLACIANS}, got {kind!r}")
+    adj = graph.adjacency()
+    n = graph.n_nodes
+    eye = sp.identity(n, format="csr")
+    if kind == "comb":
+        deg = sp.diags(np.asarray(adj.sum(axis=1)).ravel())
+        return (deg - adj).tocsr()
+    norm = "sym" if kind == "sym" else "rw"
+    return (eye - normalized_adjacency(graph, kind=norm, self_loops=False)).tocsr()
+
+
+def propagation_matrix(
+    graph: Graph, scheme: str = "gcn", alpha: float | None = None
+) -> sp.csr_matrix:
+    """Named propagation operators used across the model zoo.
+
+    - ``"gcn"``: renormalised GCN operator :math:`\\hat D^{-1/2} \\hat A \\hat D^{-1/2}`
+      with :math:`\\hat A = A + I`.
+    - ``"rw"``: random-walk operator :math:`D^{-1} A` without self-loops.
+    - ``"lazy"``: lazy walk :math:`(1-\\alpha) I + \\alpha D^{-1} A`
+      (requires ``alpha``).
+    """
+    if scheme == "gcn":
+        return normalized_adjacency(graph, kind="sym", self_loops=True)
+    if scheme == "rw":
+        return normalized_adjacency(graph, kind="rw", self_loops=False)
+    if scheme == "lazy":
+        if alpha is None or not 0.0 < alpha <= 1.0:
+            raise ConfigError("lazy walk requires alpha in (0, 1]")
+        rw = normalized_adjacency(graph, kind="rw", self_loops=False)
+        eye = sp.identity(graph.n_nodes, format="csr")
+        return ((1.0 - alpha) * eye + alpha * rw).tocsr()
+    raise ConfigError(f"unknown propagation scheme {scheme!r}")

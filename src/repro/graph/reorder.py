@@ -1,0 +1,91 @@
+"""Graph reordering (§3.1.3, [36]): node orderings and locality metrics.
+
+"Can graph reordering speed up GNN training?" [36] studies how relabelling
+nodes improves the memory locality of sparse propagation. Implemented
+orderings:
+
+* :func:`degree_ordering` — hubs first (the classic heuristic for
+  power-law graphs: hot rows become contiguous).
+* :func:`rcm_ordering` — Reverse Cuthill–McKee: BFS from a peripheral
+  low-degree node, neighbours visited in degree order, then reversed —
+  the standard bandwidth-minimising ordering.
+* :func:`random_ordering` — the control.
+
+:func:`bandwidth` and :func:`average_index_distance` quantify locality
+deterministically (they do not depend on a machine's cache), and
+:func:`permute_graph` applies an ordering to a whole featured graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.core import Graph
+from repro.utils.rng import as_rng
+
+
+def permute_graph(graph: Graph, order: np.ndarray) -> Graph:
+    """Relabel nodes so that old node ``order[i]`` becomes new node ``i``."""
+    order = np.asarray(order, dtype=np.int64)
+    if sorted(order.tolist()) != list(range(graph.n_nodes)):
+        raise GraphError("order must be a permutation of all nodes")
+    adj = graph.adjacency()[order][:, order].tocsr()
+    return Graph.from_scipy(
+        adj,
+        x=None if graph.x is None else graph.x[order],
+        y=None if graph.y is None else graph.y[order],
+        directed=graph.directed,
+    )
+
+
+def random_ordering(graph: Graph, seed=None) -> np.ndarray:
+    return as_rng(seed).permutation(graph.n_nodes)
+
+
+def degree_ordering(graph: Graph) -> np.ndarray:
+    """Nodes by decreasing degree (ties by id)."""
+    return np.lexsort((np.arange(graph.n_nodes), -graph.degrees()))
+
+
+def rcm_ordering(graph: Graph) -> np.ndarray:
+    """Reverse Cuthill–McKee over each connected component."""
+    n = graph.n_nodes
+    degrees = graph.degrees()
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    # Process components starting from their minimum-degree node.
+    by_degree = np.lexsort((np.arange(n), degrees))
+    for start in by_degree:
+        start = int(start)
+        if visited[start]:
+            continue
+        visited[start] = True
+        queue: deque[int] = deque([start])
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            neigh = [int(v) for v in graph.neighbors(u) if not visited[v]]
+            neigh.sort(key=lambda v: (degrees[v], v))
+            for v in neigh:
+                visited[v] = True
+                queue.append(v)
+    return np.asarray(order[::-1], dtype=np.int64)
+
+
+def bandwidth(graph: Graph) -> int:
+    """Max |i - j| over edges — the quantity RCM minimises."""
+    if graph.n_edges == 0:
+        return 0
+    edges = graph.edge_array()
+    return int(np.abs(edges[:, 0] - edges[:, 1]).max())
+
+
+def average_index_distance(graph: Graph) -> float:
+    """Mean |i - j| over edges — a smoother locality score than bandwidth."""
+    if graph.n_edges == 0:
+        return 0.0
+    edges = graph.edge_array()
+    return float(np.abs(edges[:, 0] - edges[:, 1]).mean())

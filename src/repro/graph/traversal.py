@@ -1,0 +1,135 @@
+"""Classic graph traversal: BFS, connected components, k-hop neighbourhoods.
+
+These routines double as (a) substrates for samplers and subgraph extraction
+and (b) the exact baselines that indexes such as hub labeling are benchmarked
+against.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.core import Graph
+
+UNREACHED = -1
+
+
+def bfs_distances(graph: Graph, source: int) -> np.ndarray:
+    """Hop distance from ``source`` to every node (-1 when unreachable)."""
+    if not 0 <= source < graph.n_nodes:
+        raise GraphError(f"source {source} outside [0, {graph.n_nodes})")
+    dist = np.full(graph.n_nodes, UNREACHED, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while len(frontier):
+        level += 1
+        neigh = np.concatenate([graph.neighbors(u) for u in frontier])
+        neigh = np.unique(neigh)
+        fresh = neigh[dist[neigh] == UNREACHED]
+        dist[fresh] = level
+        frontier = fresh
+    return dist
+
+
+def shortest_path_distance(graph: Graph, source: int, target: int) -> int:
+    """Exact hop distance between two nodes via bidirectional BFS.
+
+    Returns -1 when disconnected. This is the baseline that hub labeling
+    (§3.2.2) accelerates.
+    """
+    if source == target:
+        return 0
+    seen_s = {source: 0}
+    seen_t = {target: 0}
+    front_s, front_t = deque([source]), deque([target])
+    dist_s, dist_t = 0, 0
+    while front_s and front_t:
+        # Expand the smaller frontier.
+        if len(front_s) <= len(front_t):
+            dist_s += 1
+            best = _expand(graph, front_s, seen_s, seen_t, dist_s)
+        else:
+            dist_t += 1
+            best = _expand(graph, front_t, seen_t, seen_s, dist_t)
+        if best is not None:
+            return best
+    return UNREACHED
+
+
+def _expand(graph, frontier, seen_self, seen_other, depth) -> int | None:
+    best: int | None = None
+    for _ in range(len(frontier)):
+        u = frontier.popleft()
+        for v in graph.neighbors(u):
+            v = int(v)
+            if v in seen_self:
+                continue
+            seen_self[v] = depth
+            if v in seen_other:
+                total = depth + seen_other[v]
+                best = total if best is None else min(best, total)
+            frontier.append(v)
+    return best
+
+
+def bfs_tree(graph: Graph, source: int) -> np.ndarray:
+    """BFS parent array (parent of the source is itself; -1 unreachable)."""
+    parent = np.full(graph.n_nodes, UNREACHED, dtype=np.int64)
+    parent[source] = source
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            v = int(v)
+            if parent[v] == UNREACHED:
+                parent[v] = u
+                queue.append(v)
+    return parent
+
+
+def connected_components(graph: Graph) -> np.ndarray:
+    """Component id per node (directed graphs use weak connectivity)."""
+    g = graph.to_undirected() if graph.directed else graph
+    comp = np.full(g.n_nodes, UNREACHED, dtype=np.int64)
+    cid = 0
+    for start in range(g.n_nodes):
+        if comp[start] != UNREACHED:
+            continue
+        comp[start] = cid
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in g.neighbors(u):
+                v = int(v)
+                if comp[v] == UNREACHED:
+                    comp[v] = cid
+                    queue.append(v)
+        cid += 1
+    return comp
+
+
+def k_hop_neighborhood(
+    graph: Graph, seeds: np.ndarray | list[int], k: int
+) -> np.ndarray:
+    """All nodes within ``k`` hops of any seed (seeds included), sorted.
+
+    The size of this set as a function of ``k`` is exactly the
+    "neighborhood explosion" quantity of §3.1.3.
+    """
+    seeds = np.asarray(seeds, dtype=np.int64)
+    reached = np.zeros(graph.n_nodes, dtype=bool)
+    reached[seeds] = True
+    frontier = np.unique(seeds)
+    for _ in range(k):
+        if not len(frontier):
+            break
+        neigh = np.concatenate([graph.neighbors(u) for u in frontier])
+        neigh = np.unique(neigh)
+        fresh = neigh[~reached[neigh]]
+        reached[fresh] = True
+        frontier = fresh
+    return np.flatnonzero(reached)

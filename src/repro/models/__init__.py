@@ -1,0 +1,86 @@
+"""The scalable-GNN model zoo.
+
+Models fall into the tutorial's architectural families:
+
+* **Iterative full-graph** — :class:`GCN`, :class:`APPNP`,
+  :class:`SpectralBasisGNN`, :class:`ImplicitGNN`, :class:`MultiscaleImplicitGNN`.
+* **Sampled mini-batch** — :class:`GraphSAGE` (works with any block sampler).
+* **Decoupled (precompute → MLP)** — :class:`SGC`, :class:`SIGNModel`,
+  :class:`GAMLP`, :class:`LD2`, :class:`SIMGA`, :class:`PPRGo`,
+  :class:`SCARA`.
+* **Inference optimisation** — :class:`NodeAdaptiveInference`.
+
+Every decoupled model exposes ``precompute(graph) -> np.ndarray`` (the
+one-time graph-side cost) and is then trained as a plain MLP over rows —
+which is precisely why this family mini-batches trivially (§3.1.2).
+"""
+
+from repro.models.appnp import APPNP
+from repro.models.atp import ATP, NIGCN
+from repro.models.contrastive import (
+    ContrastiveEncoder,
+    linear_probe,
+    train_contrastive,
+)
+from repro.models.gamlp import GAMLP
+from repro.models.gcn import GCN, GCNConv
+from repro.models.graph_transformer import GraphTransformer
+from repro.models.implicit import ImplicitGNN, MultiscaleImplicitGNN
+from repro.models.krr import (
+    KernelRidgeClassifier,
+    condense_landmarks,
+    propagated_representation,
+    sntk_kernel,
+)
+from repro.models.kg_embedding import (
+    TransE,
+    tail_mean_reciprocal_rank,
+    tail_ranking_accuracy,
+    train_transe,
+)
+from repro.models.ld2 import LD2
+from repro.models.nai import NodeAdaptiveInference, train_depth_calibrated
+from repro.models.pprgo import PPRGo
+from repro.models.pyramid import PyramidGNN
+from repro.models.sage import GraphSAGE, SAGEConv
+from repro.models.scara import SCARA, feature_push
+from repro.models.sgc import SGC, SIGNModel, hop_features
+from repro.models.simga import SIMGA
+from repro.models.spectral_gnn import SpectralBasisGNN
+
+__all__ = [
+    "GCN",
+    "GCNConv",
+    "GraphSAGE",
+    "SAGEConv",
+    "SGC",
+    "SIGNModel",
+    "hop_features",
+    "APPNP",
+    "PPRGo",
+    "SCARA",
+    "feature_push",
+    "GAMLP",
+    "LD2",
+    "SIMGA",
+    "NIGCN",
+    "ATP",
+    "PyramidGNN",
+    "SpectralBasisGNN",
+    "GraphTransformer",
+    "ImplicitGNN",
+    "MultiscaleImplicitGNN",
+    "NodeAdaptiveInference",
+    "train_depth_calibrated",
+    "ContrastiveEncoder",
+    "train_contrastive",
+    "linear_probe",
+    "KernelRidgeClassifier",
+    "sntk_kernel",
+    "propagated_representation",
+    "condense_landmarks",
+    "TransE",
+    "train_transe",
+    "tail_ranking_accuracy",
+    "tail_mean_reciprocal_rank",
+]

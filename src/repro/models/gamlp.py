@@ -1,0 +1,81 @@
+"""GAMLP [56]: hop-level attention over decoupled multi-scale embeddings.
+
+GAMLP precomputes the hop features :math:`[X, \\hat A X, ..., \\hat A^K X]`
+(like SIGN) but combines them with *node-wise learnable attention*: each
+node decides how much every propagation depth matters to it — the
+"fine-grained" capability of §3.1.3 — while training remains a mini-batch
+MLP because propagation was decoupled up front.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.graph.core import Graph
+from repro.models.sgc import hop_features
+from repro.tensor import functional as F
+from repro.tensor.autograd import Tensor
+from repro.tensor.nn import MLP, Linear, Module
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_int_range
+
+
+class GAMLP(Module):
+    """JK-attention GAMLP: per-node softmax weights over K+1 hop embeddings.
+
+    ``precompute`` returns the stacked hop features as a list; ``forward``
+    takes the per-hop row batches (aligned lists) and computes
+
+    .. math::
+        s_u^{(k)} = h_u^{(k)} \\cdot w, \\quad
+        \\alpha_u = \\mathrm{softmax}(s_u), \\quad
+        z_u = f_\\theta\\Big(\\sum_k \\alpha_u^{(k)} h_u^{(k)}\\Big).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        n_classes: int,
+        k_hops: int = 3,
+        dropout: float = 0.0,
+        seed=None,
+    ) -> None:
+        super().__init__()
+        check_int_range("k_hops", k_hops, 1)
+        rng = as_rng(seed)
+        self.k_hops = k_hops
+        self.attention = Linear(in_features, 1, bias=False, seed=rng)
+        self.head = MLP(in_features, hidden, n_classes, n_layers=2,
+                        dropout=dropout, seed=rng)
+        # Constant one-hot selectors for slicing attention columns.
+        self._selectors = [
+            Tensor(np.eye(k_hops + 1)[:, k : k + 1]) for k in range(k_hops + 1)
+        ]
+
+    def precompute(self, graph: Graph) -> list[np.ndarray]:
+        return hop_features(graph, self.k_hops)
+
+    def forward(self, hop_rows: list[np.ndarray]) -> Tensor:
+        if len(hop_rows) != self.k_hops + 1:
+            raise ShapeError(
+                f"expected {self.k_hops + 1} hop matrices, got {len(hop_rows)}"
+            )
+        hops = [
+            r if isinstance(r, Tensor) else Tensor(r) for r in hop_rows
+        ]
+        scores = F.concat([self.attention(h) for h in hops], axis=1)
+        weights = F.softmax(scores, axis=1)  # (batch, K+1)
+        combined = None
+        for k, h in enumerate(hops):
+            w_k = weights @ self._selectors[k]  # (batch, 1)
+            term = w_k * h
+            combined = term if combined is None else combined + term
+        return self.head(combined)
+
+    def attention_weights(self, hop_rows: list[np.ndarray]) -> np.ndarray:
+        """Per-node hop attention (for inspection), shape (batch, K+1)."""
+        hops = [r if isinstance(r, Tensor) else Tensor(r) for r in hop_rows]
+        scores = F.concat([self.attention(h) for h in hops], axis=1)
+        return F.softmax(scores, axis=1).data

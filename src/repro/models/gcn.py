@@ -1,0 +1,91 @@
+"""Full-batch GCN (Kipf & Welling) — the iterative baseline of every bench.
+
+Each layer computes :math:`H' = \\sigma(\\hat A H W)` with the renormalised
+operator :math:`\\hat A = \\hat D^{-1/2}(A+I)\\hat D^{-1/2}`. The whole graph
+participates in every training step: this is the model whose memory and
+time the scalable families are measured against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConfigError
+from repro.graph.core import Graph
+from repro.graph.ops import propagation_matrix
+from repro.tensor import functional as F
+from repro.tensor.autograd import Tensor, spmm
+from repro.tensor.nn import Dropout, Linear, Module
+from repro.utils.rng import as_rng
+
+
+class GCNConv(Module):
+    """One graph-convolution layer: ``spmm(A_hat, x) @ W (+ b)``."""
+
+    def __init__(self, in_features: int, out_features: int, seed=None) -> None:
+        super().__init__()
+        self.linear = Linear(in_features, out_features, seed=seed)
+
+    def forward(self, adj: sp.spmatrix, x: Tensor) -> Tensor:
+        return self.linear(spmm(adj, x))
+
+
+class GCN(Module):
+    """A multi-layer GCN for node classification.
+
+    Parameters
+    ----------
+    in_features, hidden, n_classes:
+        Layer widths.
+    n_layers:
+        Number of graph convolutions (the receptive-field radius).
+    dropout:
+        Dropout before every convolution.
+
+    Call with ``(adj, x)`` where ``adj`` is the (precomputed) propagation
+    operator; use :meth:`prepare` to build it once per graph.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        n_classes: int,
+        n_layers: int = 2,
+        dropout: float = 0.5,
+        seed=None,
+    ) -> None:
+        super().__init__()
+        if n_layers < 1:
+            raise ConfigError(f"n_layers must be >= 1, got {n_layers}")
+        rng = as_rng(seed)
+        dims = [in_features] + [hidden] * (n_layers - 1) + [n_classes]
+        self.convs = [GCNConv(dims[i], dims[i + 1], seed=rng) for i in range(n_layers)]
+        self.dropout = Dropout(dropout, seed=rng) if dropout > 0 else None
+
+    @staticmethod
+    def prepare(graph: Graph) -> sp.csr_matrix:
+        """The propagation operator this model expects (build once)."""
+        return propagation_matrix(graph, scheme="gcn")
+
+    def forward(self, adj, x: Tensor | np.ndarray) -> Tensor:
+        """``adj`` is one operator, or a per-layer list (Unifews-style
+        layer-dependent propagation)."""
+        if isinstance(adj, (list, tuple)):
+            if len(adj) != len(self.convs):
+                raise ConfigError(
+                    f"got {len(adj)} operators for {len(self.convs)} layers"
+                )
+            operators = list(adj)
+        else:
+            operators = [adj] * len(self.convs)
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        for i, (conv, op) in enumerate(zip(self.convs, operators)):
+            if self.dropout is not None:
+                x = self.dropout(x)
+            x = conv(op, x)
+            if i < len(self.convs) - 1:
+                x = F.relu(x)
+        return x

@@ -1,0 +1,162 @@
+"""Graph Transformer with shortest-path-distance attention bias (§3.2.2).
+
+Graph Transformers treat the node set as a sequence: plain attention is
+permutation-invariant and *blind to the topology*. DHIL-GT [27] injects
+structure as a learnable bias on attention scores indexed by the
+shortest-path distance (SPD) of each node pair — and uses a hub-label
+index (§ :mod:`repro.analytics.hub_labeling`) to answer the SPD queries
+fast. Here:
+
+* :func:`spd_bucket_masks` builds per-distance-bucket mask matrices,
+  either from all-pairs BFS (small graphs) or from a hub-label index
+  (on-demand pair batches — the DHIL-GT pattern).
+* :class:`GraphTransformer` is a residual two-block Transformer whose
+  attention logits receive :math:`b_{\\text{bucket}(d(u,v))}`; setting
+  ``use_spd_bias=False`` ablates the bias (benchmark E18).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytics.hub_labeling import HubLabeling
+from repro.errors import ConfigError
+from repro.graph.core import Graph
+from repro.graph.traversal import bfs_distances
+from repro.tensor import functional as F
+from repro.tensor.autograd import Tensor
+from repro.tensor.nn import MLP, Linear, Module, Parameter
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_int_range
+
+
+def spd_buckets(distances: np.ndarray, max_distance: int) -> np.ndarray:
+    """Map raw SPDs to bucket ids: 0..max_distance-1, far, unreachable."""
+    distances = np.asarray(distances)
+    buckets = np.minimum(np.where(distances < 0, max_distance + 1, distances),
+                         max_distance)
+    buckets[distances < 0] = max_distance + 1
+    return buckets.astype(np.int64)
+
+
+def spd_bucket_masks(
+    graph: Graph,
+    nodes: np.ndarray | None = None,
+    max_distance: int = 3,
+    index: HubLabeling | None = None,
+) -> list[np.ndarray]:
+    """One 0/1 mask per SPD bucket over the chosen ``nodes``.
+
+    With an :class:`HubLabeling` ``index`` the pairwise distances come from
+    label joins (the scalable on-demand path for sampled node batches);
+    otherwise from per-source BFS (fine for whole small graphs).
+    """
+    check_int_range("max_distance", max_distance, 1)
+    if nodes is None:
+        nodes = np.arange(graph.n_nodes)
+    nodes = np.asarray(nodes, dtype=np.int64)
+    m = len(nodes)
+    dist = np.empty((m, m), dtype=np.int64)
+    if index is not None:
+        for i, u in enumerate(nodes):
+            for j, v in enumerate(nodes):
+                dist[i, j] = index.query(int(u), int(v))
+    else:
+        for i, u in enumerate(nodes):
+            dist[i] = bfs_distances(graph, int(u))[nodes]
+    buckets = spd_buckets(dist, max_distance)
+    n_buckets = max_distance + 2
+    return [(buckets == b).astype(np.float64) for b in range(n_buckets)]
+
+
+class _BiasedSelfAttention(Module):
+    """Single-head attention with learnable per-SPD-bucket score bias."""
+
+    def __init__(self, dim: int, n_buckets: int, seed=None) -> None:
+        super().__init__()
+        rng = as_rng(seed)
+        self.query = Linear(dim, dim, bias=False, seed=rng)
+        self.key = Linear(dim, dim, bias=False, seed=rng)
+        self.value = Linear(dim, dim, bias=False, seed=rng)
+        self.bias = Parameter(np.zeros((1, n_buckets)))
+        self._selectors = [
+            Tensor(np.eye(n_buckets)[:, b : b + 1]) for b in range(n_buckets)
+        ]
+        self._scale = 1.0 / np.sqrt(dim)
+
+    def forward(self, x: Tensor, bucket_masks: list[Tensor] | None) -> Tensor:
+        q, k, v = self.query(x), self.key(x), self.value(x)
+        scores = (q @ k.T) * self._scale
+        if bucket_masks is not None:
+            for b, mask in enumerate(bucket_masks):
+                coeff = self.bias @ self._selectors[b]  # (1, 1)
+                scores = scores + coeff * mask
+        attn = F.softmax(scores, axis=1)
+        return attn @ v
+
+
+class GraphTransformer(Module):
+    """A compact Graph Transformer for node classification.
+
+    Parameters
+    ----------
+    use_spd_bias:
+        When False, attention sees the node set only (the ablation arm of
+        benchmark E18 — structurally blind).
+    max_distance:
+        SPD bucket resolution; pairs further than this share one bucket.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        dim: int,
+        n_classes: int,
+        n_layers: int = 2,
+        max_distance: int = 3,
+        use_spd_bias: bool = True,
+        dropout: float = 0.0,
+        seed=None,
+    ) -> None:
+        super().__init__()
+        check_int_range("n_layers", n_layers, 1)
+        check_int_range("max_distance", max_distance, 1)
+        rng = as_rng(seed)
+        self.use_spd_bias = use_spd_bias
+        self.max_distance = max_distance
+        n_buckets = max_distance + 2
+        self.embed = Linear(in_features, dim, seed=rng)
+        self.attentions = [
+            _BiasedSelfAttention(dim, n_buckets, seed=rng)
+            for _ in range(n_layers)
+        ]
+        self.ffns = [
+            MLP(dim, 2 * dim, dim, n_layers=2, dropout=dropout, seed=rng)
+            for _ in range(n_layers)
+        ]
+        self.head = Linear(dim, n_classes, seed=rng)
+
+    def prepare(self, graph: Graph, index: HubLabeling | None = None):
+        """Bucket-mask tensors for full-graph training (or None if unbiased)."""
+        if not self.use_spd_bias:
+            return None
+        masks = spd_bucket_masks(
+            graph, max_distance=self.max_distance, index=index
+        )
+        return [Tensor(m) for m in masks]
+
+    def forward(self, bucket_masks, x: np.ndarray | Tensor) -> Tensor:
+        if not isinstance(x, Tensor):
+            x = Tensor(x)
+        if self.use_spd_bias and bucket_masks is None:
+            raise ConfigError("model expects SPD bucket masks; call prepare()")
+        h = self.embed(x)
+        masks = bucket_masks if self.use_spd_bias else None
+        for attention, ffn in zip(self.attentions, self.ffns):
+            h = h + attention(h, masks)
+            h = h + ffn(h)
+        return self.head(h)
+
+    def spd_bias_values(self) -> np.ndarray:
+        """Learned per-bucket biases of the first layer (inspection)."""
+        return self.attentions[0].bias.data.ravel().copy()

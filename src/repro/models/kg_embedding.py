@@ -1,0 +1,145 @@
+"""TransE-style knowledge-graph embeddings on the autograd engine.
+
+The reasoning model that consumes the gathered triples of
+:mod:`repro.graph.hetero` (the TIGER [48] pipeline's learner). TransE
+scores a triple (h, r, t) by :math:`-\\|e_h + w_r - e_t\\|^2`; training
+maximises the margin between true triples and negatives obtained by
+corrupting one side. Deliberately minimal — the reproduction target is the
+*pipeline* (gather query-relevant triples, then train small), not KG SOTA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.hetero import KnowledgeGraph
+from repro.tensor import functional as F
+from repro.tensor.autograd import Tensor, no_grad
+from repro.tensor.nn import Module, Parameter
+from repro.tensor.optim import Adam
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_int_range
+
+
+class TransE(Module):
+    """Translational KG embedding with squared-distance scoring."""
+
+    def __init__(self, n_entities: int, n_relations: int, dim: int = 16,
+                 seed=None) -> None:
+        super().__init__()
+        check_int_range("dim", dim, 1)
+        rng = as_rng(seed)
+        scale = 1.0 / np.sqrt(dim)
+        self.entity = Parameter(rng.uniform(-scale, scale, size=(n_entities, dim)))
+        self.relation = Parameter(rng.uniform(-scale, scale, size=(n_relations, dim)))
+
+    def score(self, triples: np.ndarray) -> Tensor:
+        """Scores (higher = more plausible) for an ``(m, 3)`` triple array."""
+        triples = np.asarray(triples, dtype=np.int64).reshape(-1, 3)
+        e_h = self.entity.gather_rows(triples[:, 0])
+        w_r = self.relation.gather_rows(triples[:, 1])
+        e_t = self.entity.gather_rows(triples[:, 2])
+        diff = e_h + w_r - e_t
+        return (diff * diff).sum(axis=1) * -1.0
+
+    def forward(self, triples: np.ndarray) -> Tensor:
+        return self.score(triples)
+
+
+def _corrupt(triples: np.ndarray, n_entities: int, rng) -> np.ndarray:
+    """Negative triples: replace head or tail with a random entity."""
+    out = triples.copy()
+    replace_tail = rng.random(len(out)) < 0.5
+    randoms = rng.integers(0, n_entities, size=len(out))
+    out[replace_tail, 2] = randoms[replace_tail]
+    out[~replace_tail, 0] = randoms[~replace_tail]
+    return out
+
+
+def train_transe(
+    kg: KnowledgeGraph,
+    dim: int = 16,
+    epochs: int = 100,
+    batch_size: int = 256,
+    lr: float = 0.02,
+    margin: float = 1.0,
+    seed=None,
+) -> TransE:
+    """Margin-ranking training over the KG's triples."""
+    check_int_range("epochs", epochs, 1)
+    if margin <= 0:
+        raise ConfigError(f"margin must be > 0, got {margin}")
+    rng = as_rng(seed)
+    model = TransE(kg.n_entities, kg.n_relations, dim=dim, seed=rng)
+    opt = Adam(model.parameters(), lr=lr)
+    triples = kg.triples
+    model.train()
+    for _ in range(epochs):
+        perm = rng.permutation(len(triples))
+        for start in range(0, len(perm), batch_size):
+            batch = triples[perm[start : start + batch_size]]
+            negatives = _corrupt(batch, kg.n_entities, rng)
+            opt.zero_grad()
+            pos = model.score(batch)
+            neg = model.score(negatives)
+            # Hinge: max(0, margin - pos + neg), mean over the batch.
+            loss = F.relu(neg - pos + margin).mean()
+            loss.backward()
+            opt.step()
+    model.eval()
+    return model
+
+
+def tail_mean_reciprocal_rank(
+    model: TransE,
+    kg: KnowledgeGraph,
+    queries: np.ndarray,
+    n_candidates: int = 32,
+    seed=None,
+) -> float:
+    """MRR of the true tail among random distractors (companion to hits@1)."""
+    check_int_range("n_candidates", n_candidates, 1)
+    rng = as_rng(seed)
+    queries = np.asarray(queries, dtype=np.int64).reshape(-1, 3)
+    reciprocal = 0.0
+    with no_grad():
+        for h, r, t in queries:
+            distractors = rng.integers(0, kg.n_entities, size=n_candidates)
+            tails = np.concatenate([[t], distractors])
+            cand = np.column_stack(
+                [np.full(len(tails), h), np.full(len(tails), r), tails]
+            )
+            scores = model.score(cand).data
+            rank = 1 + int(np.sum(scores > scores[0]))
+            reciprocal += 1.0 / rank
+    return reciprocal / len(queries)
+
+
+def tail_ranking_accuracy(
+    model: TransE,
+    kg: KnowledgeGraph,
+    queries: np.ndarray,
+    n_candidates: int = 32,
+    seed=None,
+) -> float:
+    """Hits@1 of the true tail among random distractor tails.
+
+    For each query triple, the true tail competes with ``n_candidates``
+    random entities; the score's argmax must pick the truth.
+    """
+    check_int_range("n_candidates", n_candidates, 1)
+    rng = as_rng(seed)
+    queries = np.asarray(queries, dtype=np.int64).reshape(-1, 3)
+    hits = 0
+    with no_grad():
+        for h, r, t in queries:
+            distractors = rng.integers(0, kg.n_entities, size=n_candidates)
+            tails = np.concatenate([[t], distractors])
+            cand = np.column_stack(
+                [np.full(len(tails), h), np.full(len(tails), r), tails]
+            )
+            scores = model.score(cand).data
+            if int(np.argmax(scores)) == 0:
+                hits += 1
+    return hits / len(queries)

@@ -1,0 +1,19 @@
+"""Storage-tier simulations: feature caching for sample-based training."""
+
+from repro.storage.feature_cache import (
+    BeladyCache,
+    CacheStats,
+    LruCache,
+    StaticCache,
+    sampling_access_stream,
+    simulate_cache,
+)
+
+__all__ = [
+    "CacheStats",
+    "LruCache",
+    "StaticCache",
+    "BeladyCache",
+    "sampling_access_stream",
+    "simulate_cache",
+]

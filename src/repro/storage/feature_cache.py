@@ -1,0 +1,152 @@
+"""Feature-cache simulation for sample-based GNN training (Ginex [39]).
+
+Billion-scale training keeps features on slow storage and caches hot rows
+in memory; Ginex shows that, because sampling accesses are driven by node
+degrees, (a) Belady's clairvoyant-optimal policy can actually be *run*
+(the access trace of an epoch is known after sampling) and (b) a static
+degree-ranked cache already captures most of the benefit on power-law
+graphs. This module reproduces that storage argument:
+
+* :func:`sampling_access_stream` — the feature-row access trace a neighbour
+  sampler generates over an epoch.
+* Three policies with one interface: :class:`LruCache` (classic dynamic),
+  :class:`StaticCache` (pin the globally hottest rows, Ginex-style
+  degree/frequency ranking), :class:`BeladyCache` (offline optimal —
+  evicts the row reused furthest in the future).
+* :func:`simulate_cache` — hit-rate accounting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.core import Graph
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_int_range
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss accounting of one simulated trace."""
+
+    hits: int
+    misses: int
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / max(self.accesses, 1)
+
+
+class LruCache:
+    """Least-recently-used eviction."""
+
+    def __init__(self, capacity: int) -> None:
+        check_int_range("capacity", capacity, 1)
+        self.capacity = capacity
+        self._store: OrderedDict[int, None] = OrderedDict()
+
+    def access(self, key: int) -> bool:
+        if key in self._store:
+            self._store.move_to_end(key)
+            return True
+        if len(self._store) >= self.capacity:
+            self._store.popitem(last=False)
+        self._store[key] = None
+        return False
+
+
+class StaticCache:
+    """A pinned set of keys chosen up front (Ginex's degree/frequency rank)."""
+
+    def __init__(self, pinned: np.ndarray, capacity: int) -> None:
+        check_int_range("capacity", capacity, 1)
+        self.capacity = capacity
+        self._pinned = set(map(int, np.asarray(pinned)[:capacity]))
+
+    def access(self, key: int) -> bool:
+        return key in self._pinned
+
+
+class BeladyCache:
+    """Offline-optimal eviction: needs the full trace up front."""
+
+    def __init__(self, capacity: int, trace: np.ndarray) -> None:
+        check_int_range("capacity", capacity, 1)
+        self.capacity = capacity
+        trace = np.asarray(trace, dtype=np.int64)
+        # next_use[i] = next position where trace[i]'s key recurs (inf if never).
+        last_seen: dict[int, int] = {}
+        self._next_use = np.full(len(trace), np.inf)
+        for i in range(len(trace) - 1, -1, -1):
+            key = int(trace[i])
+            self._next_use[i] = last_seen.get(key, np.inf)
+            last_seen[key] = i
+        self._position = 0
+        self._store: dict[int, float] = {}  # key -> its next use position
+
+    def access(self, key: int) -> bool:
+        i = self._position
+        self._position += 1
+        hit = key in self._store
+        if hit:
+            self._store[key] = self._next_use[i]
+            return True
+        if len(self._store) >= self.capacity:
+            victim = max(self._store, key=self._store.get)
+            # Belady never caches a key used later than everything resident.
+            if self._next_use[i] < self._store[victim]:
+                del self._store[victim]
+                self._store[key] = self._next_use[i]
+        else:
+            self._store[key] = self._next_use[i]
+        return False
+
+
+def sampling_access_stream(
+    graph: Graph,
+    seeds: np.ndarray,
+    fanout: int = 10,
+    n_layers: int = 2,
+    batch_size: int = 64,
+    seed=None,
+) -> np.ndarray:
+    """The feature-row access trace of one epoch of neighbour sampling.
+
+    For each mini-batch the trace records every source node whose feature
+    row must be gathered (batch nodes plus sampled multi-hop neighbours) —
+    the stream a storage tier actually sees.
+    """
+    from repro.editing.sampling import NeighborSampler
+
+    check_int_range("fanout", fanout, 1)
+    check_int_range("batch_size", batch_size, 1)
+    rng = as_rng(seed)
+    sampler = NeighborSampler(graph, [fanout] * n_layers, seed=rng)
+    seeds = np.asarray(seeds, dtype=np.int64)
+    perm = rng.permutation(seeds)
+    trace: list[np.ndarray] = []
+    for start in range(0, len(perm), batch_size):
+        batch = perm[start : start + batch_size]
+        blocks = sampler.sample(batch)
+        trace.append(blocks[0].src_ids)
+    if not trace:
+        raise ConfigError("empty access stream; provide at least one seed")
+    return np.concatenate(trace)
+
+
+def simulate_cache(cache, trace: np.ndarray) -> CacheStats:
+    """Run ``trace`` through any cache exposing ``access(key) -> bool``."""
+    hits = 0
+    trace = np.asarray(trace, dtype=np.int64)
+    for key in trace:
+        if cache.access(int(key)):
+            hits += 1
+    return CacheStats(hits=hits, misses=len(trace) - hits)

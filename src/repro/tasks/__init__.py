@@ -1,0 +1,38 @@
+"""Downstream tasks beyond node classification.
+
+§3.1.1 names node classification, link prediction, and graph regression
+as the fundamental graph understanding tasks; this subpackage provides
+the latter two (node classification lives in :mod:`repro.training`).
+"""
+
+from repro.tasks.graph_level import (
+    GraphRegressionDataset,
+    GraphRegressor,
+    clustering_coefficient,
+    graph_property_dataset,
+    pooled_graph_embedding,
+    train_graph_regression,
+)
+from repro.tasks.linkpred import (
+    LinkSplit,
+    auc_score,
+    dot_product_link_scores,
+    split_edges,
+    SurelLinkPredictor,
+    EmbeddingLinkPredictor,
+)
+
+__all__ = [
+    "LinkSplit",
+    "split_edges",
+    "auc_score",
+    "dot_product_link_scores",
+    "EmbeddingLinkPredictor",
+    "SurelLinkPredictor",
+    "GraphRegressionDataset",
+    "GraphRegressor",
+    "clustering_coefficient",
+    "graph_property_dataset",
+    "pooled_graph_embedding",
+    "train_graph_regression",
+]

@@ -1,0 +1,160 @@
+"""Graph-level regression (§3.1.1 names graph regression as a core task).
+
+A molecule-property-style workload without molecules: many small random
+graphs, each labelled with a structural property (mean clustering
+coefficient). The model is fully decoupled: per-graph embeddings are
+mean-pooled hop features plus cheap structural statistics, precomputed
+once; the regressor is a plain MLP trained with mini-batches of graph
+rows — the decoupling recipe applied at graph level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.graph.core import Graph
+from repro.graph.generators import barabasi_albert_graph, erdos_renyi_graph
+from repro.graph.ops import propagation_matrix
+from repro.tensor.autograd import Tensor, no_grad
+from repro.tensor.nn import MLP, Module
+from repro.tensor.optim import Adam
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_int_range
+
+
+def clustering_coefficient(graph: Graph) -> float:
+    """Mean local clustering coefficient (the regression target)."""
+    adj = graph.adjacency()
+    adj_bool = adj.copy()
+    adj_bool.data = np.ones_like(adj_bool.data)
+    # triangles through each node = diag(A^3) / 2 for simple graphs.
+    a2 = adj_bool @ adj_bool
+    tri = np.asarray((a2.multiply(adj_bool)).sum(axis=1)).ravel() / 2.0
+    deg = graph.degrees()
+    possible = deg * (deg - 1) / 2.0
+    local = np.where(possible > 0, tri / np.where(possible > 0, possible, 1.0), 0.0)
+    return float(local.mean())
+
+
+@dataclass(frozen=True)
+class GraphRegressionDataset:
+    """A bag of small graphs with scalar targets and a split."""
+
+    graphs: list[Graph]
+    targets: np.ndarray
+    train_ids: np.ndarray
+    test_ids: np.ndarray
+
+
+def graph_property_dataset(
+    n_graphs: int = 300,
+    min_nodes: int = 12,
+    max_nodes: int = 40,
+    n_features: int = 4,
+    seed=None,
+) -> GraphRegressionDataset:
+    """Random ER/BA graphs labelled with mean clustering coefficient.
+
+    A 50/50 ER-vs-BA mix gives a wide target spread (BA graphs cluster far
+    more); node features are random (the target is purely structural, so
+    a sane model must use the topology).
+    """
+    check_int_range("n_graphs", n_graphs, 4)
+    check_int_range("min_nodes", min_nodes, 4)
+    check_int_range("max_nodes", max_nodes, min_nodes)
+    rng = as_rng(seed)
+    graphs: list[Graph] = []
+    targets = np.empty(n_graphs)
+    for i in range(n_graphs):
+        n = int(rng.integers(min_nodes, max_nodes + 1))
+        if i % 2 == 0:
+            g = erdos_renyi_graph(n, float(rng.uniform(0.15, 0.5)), seed=rng)
+        else:
+            m = int(rng.integers(2, max(3, n // 4)))
+            g = barabasi_albert_graph(n, m, seed=rng)
+        g = g.with_data(x=rng.normal(size=(n, n_features)))
+        graphs.append(g)
+        targets[i] = clustering_coefficient(g)
+    perm = rng.permutation(n_graphs)
+    split_at = int(0.75 * n_graphs)
+    return GraphRegressionDataset(
+        graphs, targets, np.sort(perm[:split_at]), np.sort(perm[split_at:])
+    )
+
+
+def pooled_graph_embedding(graph: Graph, k_hops: int = 2) -> np.ndarray:
+    """Mean-pooled hop features + structural statistics for one graph."""
+    check_int_range("k_hops", k_hops, 0)
+    if graph.x is None:
+        raise ConfigError("graph needs features for pooled embeddings")
+    prop = propagation_matrix(graph, scheme="gcn")
+    pooled = [graph.x.mean(axis=0)]
+    h = graph.x
+    for _ in range(k_hops):
+        h = prop @ h
+        pooled.append(h.mean(axis=0))
+    deg = graph.degrees()
+    stats = np.array(
+        [
+            graph.n_nodes,
+            deg.mean(),
+            deg.std(),
+            deg.max(),
+            graph.n_edges / max(graph.n_nodes, 1),
+        ]
+    )
+    return np.concatenate(pooled + [stats])
+
+
+class GraphRegressor(Module):
+    """MLP over precomputed pooled graph embeddings."""
+
+    def __init__(self, in_features: int, hidden: int = 32, seed=None) -> None:
+        super().__init__()
+        self.net = MLP(in_features, hidden, 1, n_layers=2, seed=seed)
+
+    def forward(self, rows: np.ndarray | Tensor) -> Tensor:
+        if not isinstance(rows, Tensor):
+            rows = Tensor(rows)
+        return self.net(rows)
+
+
+def train_graph_regression(
+    dataset: GraphRegressionDataset,
+    k_hops: int = 2,
+    hidden: int = 8,
+    epochs: int = 800,
+    lr: float = 0.01,
+    seed=None,
+) -> tuple[GraphRegressor, float, float]:
+    """Train and evaluate; returns (model, test MAE, test R^2)."""
+    rng = as_rng(seed)
+    embeddings = np.stack(
+        [pooled_graph_embedding(g, k_hops) for g in dataset.graphs]
+    )
+    # Standardise features for a well-conditioned regression.
+    mu, sigma = embeddings.mean(axis=0), embeddings.std(axis=0)
+    embeddings = (embeddings - mu) / np.where(sigma > 0, sigma, 1.0)
+    model = GraphRegressor(embeddings.shape[1], hidden, seed=rng)
+    opt = Adam(model.parameters(), lr=lr, weight_decay=1e-4)
+    x_train = Tensor(embeddings[dataset.train_ids])
+    y_train = Tensor(dataset.targets[dataset.train_ids][:, None])
+    model.train()
+    for _ in range(epochs):
+        opt.zero_grad()
+        diff = model(x_train) - y_train
+        loss = (diff * diff).mean()
+        loss.backward()
+        opt.step()
+    model.eval()
+    with no_grad():
+        pred = model(Tensor(embeddings[dataset.test_ids])).data.ravel()
+    truth = dataset.targets[dataset.test_ids]
+    mae = float(np.abs(pred - truth).mean())
+    ss_res = float(((pred - truth) ** 2).sum())
+    ss_tot = float(((truth - truth.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / max(ss_tot, 1e-12)
+    return model, mae, r2

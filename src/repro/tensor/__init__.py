@@ -1,0 +1,45 @@
+"""A minimal deep-learning substrate: NumPy reverse-mode autograd + layers.
+
+The tutorial's scalability arguments concern graph-side computation, not the
+neural backend, so instead of depending on PyTorch we implement the backend
+from scratch: a :class:`~repro.tensor.autograd.Tensor` with reverse-mode
+automatic differentiation, neural-network modules, optimisers, and a
+numerical gradient checker. Sparse matrices (SciPy CSR) participate as
+constants in ``spmm``, which is exactly how graph propagation enters GNNs.
+"""
+
+from repro.tensor.autograd import Tensor, no_grad
+from repro.tensor import functional
+from repro.tensor import init
+from repro.tensor.nn import (
+    MLP,
+    Dropout,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from repro.tensor.optim import SGD, Adam, AdamW, clip_grad_norm
+from repro.tensor.gradcheck import check_gradients
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "init",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Dropout",
+    "ReLU",
+    "Tanh",
+    "Sequential",
+    "MLP",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "check_gradients",
+]

@@ -1,0 +1,44 @@
+"""Weight initialisers (Glorot/He families) used by the nn layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+
+def glorot_uniform(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    rng = as_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def glorot_normal(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    rng = as_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    """He/Kaiming uniform, suited to ReLU networks."""
+    rng = as_rng(rng)
+    fan_in, _ = _fans(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...], rng=None) -> np.ndarray:
+    return np.ones(shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    return shape[0], shape[1]

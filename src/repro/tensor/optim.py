@@ -1,0 +1,141 @@
+"""First-order optimisers: SGD (with momentum), Adam, AdamW.
+
+Each optimiser holds references to the parameters it updates and per-
+parameter state keyed by identity; ``step()`` consumes the ``.grad`` fields
+populated by backward and ``zero_grad()`` clears them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tensor.nn import Parameter
+from repro.utils.validation import check_positive
+
+
+class Optimizer:
+    """Common bookkeeping for all optimisers."""
+
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        self.params = list(params)
+        if not self.params:
+            raise ConfigError("optimizer received no parameters")
+        self.lr = check_positive("lr", lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.weight_decay = check_positive("weight_decay", weight_decay, strict=False)
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                vel = self._velocity.get(id(p))
+                vel = grad if vel is None else self.momentum * vel + grad
+                self._velocity[id(p)] = vel
+                grad = vel
+            p.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with L2 regularisation folded into the grad."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.001,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ConfigError(f"betas must be in [0, 1), got {betas}")
+        self.betas = (b1, b2)
+        self.eps = check_positive("eps", eps)
+        self.weight_decay = check_positive("weight_decay", weight_decay, strict=False)
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def _decayed_grad(self, p: Parameter) -> np.ndarray:
+        grad = p.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.data
+        return grad
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.betas
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = self._decayed_grad(p)
+            m = self._m.get(id(p), np.zeros_like(p.data))
+            v = self._v.get(id(p), np.zeros_like(p.data))
+            m = b1 * m + (1 - b1) * grad
+            v = b2 * v + (1 - b2) * grad**2
+            self._m[id(p)], self._v[id(p)] = m, v
+            m_hat = m / (1 - b1**self._t)
+            v_hat = v / (1 - b2**self._t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def _decayed_grad(self, p: Parameter) -> np.ndarray:
+        return p.grad
+
+    def step(self) -> None:
+        if self.weight_decay:
+            for p in self.params:
+                if p.grad is not None:
+                    p.data -= self.lr * self.weight_decay * p.data
+        super().step()
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients in-place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    check_positive("max_norm", max_norm)
+    total = 0.0
+    grads = [p.grad for p in params if p.grad is not None]
+    for g in grads:
+        total += float(np.sum(g**2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad = p.grad * scale
+    return norm

@@ -1,0 +1,46 @@
+"""Trainers, metrics, early stopping, and simulated distributed training.
+
+One trainer per architectural family (full-batch, decoupled, sampled,
+subgraph, PPRGo-style support batches) so that every model in
+:mod:`repro.models` has a ready-made training loop, all reporting the same
+:class:`TrainResult` for apples-to-apples benchmarking.
+"""
+
+from repro.training.compensated import train_clustergcn_compensated
+from repro.training.distributed import DistributedResult, simulate_distributed_training
+from repro.training.metrics import accuracy, confusion_matrix, macro_f1
+from repro.training.pipeline import (
+    PipelinePlan,
+    pipelined_makespan,
+    plan_execution,
+    serial_makespan,
+)
+from repro.training.trainers import (
+    EarlyStopping,
+    TrainResult,
+    train_decoupled,
+    train_full_batch,
+    train_pprgo,
+    train_sampled,
+    train_subgraph,
+)
+
+__all__ = [
+    "accuracy",
+    "macro_f1",
+    "confusion_matrix",
+    "TrainResult",
+    "EarlyStopping",
+    "train_full_batch",
+    "train_decoupled",
+    "train_sampled",
+    "train_subgraph",
+    "train_pprgo",
+    "DistributedResult",
+    "simulate_distributed_training",
+    "train_clustergcn_compensated",
+    "PipelinePlan",
+    "serial_makespan",
+    "pipelined_makespan",
+    "plan_execution",
+]

@@ -1,0 +1,143 @@
+"""Simulated distributed GNN training over graph partitions (§3.4.3).
+
+Real distributed stacks (ByteGNN, SANCUS, G3, ...) are multi-machine
+systems; what the tutorial's partitioning argument actually concerns is the
+*communication volume* induced by the partition quality. This simulation
+preserves exactly that quantity:
+
+* each worker owns one partition and trains a local GCN on the induced
+  subgraph (cross-partition edges are unavailable locally),
+* each round the workers' parameters are averaged (synchronous data
+  parallelism),
+* communication is accounted analytically: halo feature exchange is
+  ``cross-partition arcs × feature dim`` floats per epoch (what an exact
+  system would ship), parameter synchronisation is ``2 × n_params`` floats
+  per worker per round.
+
+Better partitioners ⇒ fewer cross-partition arcs ⇒ less communication —
+the claim benchmark E12 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.synthetic import Split
+from repro.errors import ConfigError
+from repro.graph.core import Graph
+from repro.models.gcn import GCN
+from repro.tensor import functional as F
+from repro.tensor.autograd import no_grad
+from repro.tensor.optim import Adam
+from repro.training.metrics import accuracy
+from repro.utils.rng import as_rng, split_rng
+from repro.utils.validation import check_int_range
+
+
+@dataclass(frozen=True)
+class DistributedResult:
+    """Outcome of a simulated distributed run.
+
+    Attributes
+    ----------
+    test_accuracy:
+        Accuracy of the final averaged model, evaluated on the full graph.
+    halo_floats_per_epoch:
+        Floats an exact system would exchange per epoch for cross-partition
+        neighbour features.
+    param_sync_floats_per_round:
+        Floats moved per parameter-averaging round (all workers).
+    cross_partition_arcs:
+        Directed arcs crossing partitions (the raw cut measure).
+    """
+
+    test_accuracy: float
+    halo_floats_per_epoch: int
+    param_sync_floats_per_round: int
+    cross_partition_arcs: int
+
+
+def simulate_distributed_training(
+    graph: Graph,
+    split: Split,
+    assignment: np.ndarray,
+    n_parts: int,
+    epochs: int = 50,
+    hidden: int = 32,
+    lr: float = 0.01,
+    weight_decay: float = 5e-4,
+    seed=None,
+) -> DistributedResult:
+    """Run synchronous partition-parallel GCN training (simulated)."""
+    if graph.x is None or graph.y is None:
+        raise ConfigError("graph needs features and labels")
+    check_int_range("n_parts", n_parts, 2)
+    assignment = np.asarray(assignment, dtype=np.int64)
+    rng = as_rng(seed)
+    worker_rngs = split_rng(rng, n_parts)
+
+    edges = graph.edge_array()
+    cross_arcs = int(np.sum(assignment[edges[:, 0]] != assignment[edges[:, 1]]))
+    feature_dim = graph.x.shape[1]
+
+    # Build one local world per worker.
+    train_mask = np.zeros(graph.n_nodes, dtype=bool)
+    train_mask[split.train] = True
+    workers = []
+    for p in range(n_parts):
+        nodes = np.flatnonzero(assignment == p)
+        sub = graph.subgraph(nodes)
+        local_train = np.flatnonzero(train_mask[nodes])
+        model = GCN(
+            feature_dim, hidden, graph.n_classes, n_layers=2,
+            dropout=0.3, seed=worker_rngs[p],
+        )
+        workers.append(
+            {
+                "model": model,
+                "prep": GCN.prepare(sub),
+                "sub": sub,
+                "train_ids": local_train,
+                "opt": Adam(model.parameters(), lr=lr, weight_decay=weight_decay),
+            }
+        )
+    n_params = workers[0]["model"].n_parameters()
+    # Start all workers from identical weights.
+    shared = workers[0]["model"].state_dict()
+    for w in workers[1:]:
+        w["model"].load_state_dict(shared)
+
+    for _ in range(epochs):
+        for w in workers:
+            if len(w["train_ids"]) == 0:
+                continue
+            model = w["model"]
+            model.train()
+            w["opt"].zero_grad()
+            logits = model(w["prep"], w["sub"].x)
+            loss = F.cross_entropy(
+                logits.gather_rows(w["train_ids"]), w["sub"].y[w["train_ids"]]
+            )
+            loss.backward()
+            w["opt"].step()
+        # Synchronous parameter averaging.
+        states = [w["model"].state_dict() for w in workers]
+        averaged = {
+            key: np.mean([s[key] for s in states], axis=0) for key in states[0]
+        }
+        for w in workers:
+            w["model"].load_state_dict(averaged)
+
+    final = workers[0]["model"]
+    final.eval()
+    with no_grad():
+        logits = final(GCN.prepare(graph), graph.x).data
+    test_acc = accuracy(logits[split.test].argmax(axis=1), graph.y[split.test])
+    return DistributedResult(
+        test_accuracy=test_acc,
+        halo_floats_per_epoch=cross_arcs * feature_dim,
+        param_sync_floats_per_round=2 * n_params * n_parts,
+        cross_partition_arcs=cross_arcs,
+    )

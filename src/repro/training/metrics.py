@@ -1,0 +1,54 @@
+"""Classification metrics shared by trainers and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def _check(pred: np.ndarray, truth: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(pred)
+    truth = np.asarray(truth)
+    if pred.shape != truth.shape:
+        raise ShapeError(f"pred shape {pred.shape} != truth shape {truth.shape}")
+    if pred.size == 0:
+        raise ShapeError("metrics require at least one sample")
+    return pred, truth
+
+
+def accuracy(pred: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of exact matches."""
+    pred, truth = _check(pred, truth)
+    return float((pred == truth).mean())
+
+
+def confusion_matrix(pred: np.ndarray, truth: np.ndarray, n_classes: int | None = None) -> np.ndarray:
+    """``(n_classes, n_classes)`` counts; rows = truth, columns = predicted."""
+    pred, truth = _check(pred, truth)
+    if n_classes is None:
+        n_classes = int(max(pred.max(), truth.max())) + 1
+    out = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(out, (truth, pred), 1)
+    return out
+
+
+def macro_f1(pred: np.ndarray, truth: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 scores (absent classes excluded)."""
+    pred, truth = _check(pred, truth)
+    cm = confusion_matrix(pred, truth)
+    f1s = []
+    for c in range(cm.shape[0]):
+        tp = cm[c, c]
+        fp = cm[:, c].sum() - tp
+        fn = cm[c, :].sum() - tp
+        if tp + fp + fn == 0:
+            continue
+        precision = tp / (tp + fp) if tp + fp else 0.0
+        recall = tp / (tp + fn) if tp + fn else 0.0
+        f1s.append(
+            2 * precision * recall / (precision + recall)
+            if precision + recall
+            else 0.0
+        )
+    return float(np.mean(f1s)) if f1s else 0.0

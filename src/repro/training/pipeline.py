@@ -1,0 +1,131 @@
+"""Device-acceleration simulation (§3.3.2): pipelined sampling + training.
+
+GIDS [1], NeutronOrch [38] and DAHA [22] are systems that overlap CPU-side
+sampling/feature loading with GPU-side training and plan which device runs
+which stage. With no GPU here, we keep the *scheduling* substance and
+simulate the hardware: each mini-batch passes through three stages —
+
+  sample → transfer (gather + host-to-device copy) → train —
+
+and the simulator computes makespans under serial execution vs a pipelined
+schedule with a bounded prefetch queue. :func:`plan_execution` is the
+DAHA-style cost-model planner: given per-device stage costs it chooses the
+placement (and tells you the bottleneck stage), because on a pipeline the
+makespan converges to ``n_batches * max(stage times)``.
+
+Stage durations can be synthetic or *measured* from the real samplers and
+trainers in this library (benchmark E21 does the latter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.validation import check_int_range
+
+
+@dataclass(frozen=True)
+class PipelinePlan:
+    """A placement decision with its predicted cost.
+
+    Attributes
+    ----------
+    sample_device, train_device:
+        "cpu" or "gpu" placement per stage.
+    predicted_makespan:
+        Pipelined makespan under the cost model.
+    bottleneck:
+        The stage that dominates steady-state throughput.
+    """
+
+    sample_device: str
+    train_device: str
+    predicted_makespan: float
+    bottleneck: str
+
+
+def serial_makespan(stage_times: np.ndarray) -> float:
+    """Total time when every batch runs sample→transfer→train serially."""
+    stage_times = _check_stages(stage_times)
+    return float(stage_times.sum())
+
+
+def pipelined_makespan(stage_times: np.ndarray, queue_depth: int = 2) -> float:
+    """Makespan of a 3-stage pipeline with a bounded prefetch queue.
+
+    Classic list-scheduling recurrence: stage ``s`` of batch ``i`` starts
+    when (a) stage ``s-1`` of batch ``i`` is done, (b) stage ``s`` of batch
+    ``i-1`` is done, and (c) for the first stage, the queue has a free slot
+    (i.e. batch ``i - queue_depth`` has been consumed by stage 2).
+    """
+    stage_times = _check_stages(stage_times)
+    check_int_range("queue_depth", queue_depth, 1)
+    n, n_stages = stage_times.shape
+    finish = np.zeros((n, n_stages))
+    for i in range(n):
+        for s in range(n_stages):
+            start = 0.0
+            if s > 0:
+                start = max(start, finish[i, s - 1])
+            if i > 0:
+                start = max(start, finish[i - 1, s])
+            if s == 0 and i >= queue_depth:
+                # Can't sample batch i until batch i-queue_depth left queue.
+                start = max(start, finish[i - queue_depth, 1])
+            finish[i, s] = start + stage_times[i, s]
+    return float(finish[-1, -1])
+
+
+def _check_stages(stage_times) -> np.ndarray:
+    arr = np.asarray(stage_times, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != 3:
+        raise ConfigError(
+            f"stage_times must be (n_batches, 3) [sample, transfer, train], "
+            f"got shape {arr.shape}"
+        )
+    if np.any(arr < 0):
+        raise ConfigError("stage times must be non-negative")
+    return arr
+
+
+def plan_execution(
+    sample_cost: dict[str, float],
+    train_cost: dict[str, float],
+    transfer_cost: float,
+    n_batches: int,
+) -> PipelinePlan:
+    """DAHA-style cost-model placement of sampling and training.
+
+    ``sample_cost`` / ``train_cost`` map device name → per-batch seconds.
+    Co-locating both stages on one device serialises them (no overlap);
+    split placements pipeline, so the steady-state batch cost is the max
+    stage time plus the transfer.
+    """
+    check_int_range("n_batches", n_batches, 1)
+    for name, costs in (("sample_cost", sample_cost), ("train_cost", train_cost)):
+        if not costs:
+            raise ConfigError(f"{name} must name at least one device")
+    best: PipelinePlan | None = None
+    for s_dev, s_time in sample_cost.items():
+        for t_dev, t_time in train_cost.items():
+            moved = transfer_cost if s_dev != t_dev else 0.0
+            if s_dev == t_dev:
+                # Same device: stages serialise.
+                per_batch = s_time + t_time
+                makespan = n_batches * per_batch
+                bottleneck = "colocated"
+            else:
+                stages = {"sample": s_time, "transfer": moved, "train": t_time}
+                bottleneck = max(stages, key=stages.get)
+                makespan = (
+                    n_batches * max(stages.values())
+                    + sum(stages.values())
+                    - max(stages.values())
+                )
+            candidate = PipelinePlan(s_dev, t_dev, makespan, bottleneck)
+            if best is None or candidate.predicted_makespan < best.predicted_makespan:
+                best = candidate
+    return best

@@ -1,0 +1,408 @@
+"""Training loops, one per architectural family.
+
+All trainers share conventions: Adam, cross-entropy on the train split,
+early stopping on validation accuracy (restoring the best weights), and a
+:class:`TrainResult` separating *precompute time* (the one-time graph-side
+work of decoupled models) from *training time* (the per-epoch loop) — the
+split that makes the decoupling speedup of §3.1.2 visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.synthetic import Split
+from repro.errors import ConfigError
+from repro.graph.core import Graph
+from repro.tensor import functional as F
+from repro.tensor.autograd import no_grad
+from repro.tensor.nn import Module
+from repro.tensor.optim import Adam
+from repro.training.metrics import accuracy
+from repro.utils.rng import as_rng
+from repro.utils.timer import Timer
+from repro.utils.validation import check_int_range
+
+
+@dataclass
+class TrainResult:
+    """Unified training outcome.
+
+    Attributes
+    ----------
+    test_accuracy, val_accuracy:
+        Accuracy of the restored-best model.
+    best_epoch:
+        Epoch achieving the best validation accuracy.
+    precompute_time:
+        Seconds of one-time graph-side work (0 for iterative models).
+    train_time:
+        Seconds spent in the epoch loop.
+    train_losses, val_accuracies:
+        Per-epoch histories.
+    """
+
+    test_accuracy: float
+    val_accuracy: float
+    best_epoch: int
+    precompute_time: float
+    train_time: float
+    train_losses: list[float] = field(default_factory=list)
+    val_accuracies: list[float] = field(default_factory=list)
+
+
+class EarlyStopping:
+    """Patience-based early stopping that snapshots the best state dict."""
+
+    def __init__(self, model: Module, patience: int = 20) -> None:
+        check_int_range("patience", patience, 1)
+        self.model = model
+        self.patience = patience
+        self.best_metric = -np.inf
+        self.best_epoch = -1
+        self._best_state: dict | None = None
+        self._bad_epochs = 0
+
+    def update(self, metric: float, epoch: int) -> bool:
+        """Record ``metric``; return True when training should stop."""
+        if metric > self.best_metric:
+            self.best_metric = metric
+            self.best_epoch = epoch
+            self._best_state = self.model.state_dict()
+            self._bad_epochs = 0
+        else:
+            self._bad_epochs += 1
+        return self._bad_epochs >= self.patience
+
+    def restore(self) -> None:
+        if self._best_state is not None:
+            self.model.load_state_dict(self._best_state)
+
+
+def _predict(logits: np.ndarray) -> np.ndarray:
+    return logits.argmax(axis=1)
+
+
+def _slice_embeddings(emb, ids: np.ndarray):
+    """Row-slice an embedding array or an aligned list of arrays."""
+    if isinstance(emb, list):
+        return [e[ids] for e in emb]
+    return emb[ids]
+
+
+def _iterate_batches(ids: np.ndarray, batch_size: int, rng) -> list[np.ndarray]:
+    perm = rng.permutation(ids)
+    return [perm[i : i + batch_size] for i in range(0, len(perm), batch_size)]
+
+
+# --------------------------------------------------------------------- #
+# Full-batch iterative models (GCN, APPNP, Implicit*)
+# --------------------------------------------------------------------- #
+
+
+def train_full_batch(
+    model: Module,
+    graph: Graph,
+    split: Split,
+    epochs: int = 200,
+    lr: float = 0.01,
+    weight_decay: float = 5e-4,
+    patience: int = 30,
+) -> TrainResult:
+    """Train a model with ``prepare(graph)`` + ``forward(prep, x)``.
+
+    Every epoch runs the graph-coupled forward over all nodes — the cost
+    profile the scalable families avoid.
+    """
+    if graph.x is None or graph.y is None:
+        raise ConfigError("graph needs features and labels")
+    pre_timer = Timer()
+    with pre_timer:
+        prep = model.prepare(graph)
+    opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+    stopper = EarlyStopping(model, patience=patience)
+    result = TrainResult(0.0, 0.0, -1, pre_timer.elapsed, 0.0)
+    train_timer = Timer()
+    y = graph.y
+    for epoch in range(epochs):
+        with train_timer:
+            model.train()
+            opt.zero_grad()
+            logits = model(prep, graph.x)
+            loss = F.cross_entropy(logits.gather_rows(split.train), y[split.train])
+            loss.backward()
+            opt.step()
+        model.eval()
+        with no_grad():
+            val_logits = model(prep, graph.x).data
+        val_acc = accuracy(_predict(val_logits[split.val]), y[split.val])
+        result.train_losses.append(loss.item())
+        result.val_accuracies.append(val_acc)
+        if stopper.update(val_acc, epoch):
+            break
+    stopper.restore()
+    model.eval()
+    with no_grad():
+        logits = model(prep, graph.x).data
+    result.test_accuracy = accuracy(_predict(logits[split.test]), y[split.test])
+    result.val_accuracy = stopper.best_metric
+    result.best_epoch = stopper.best_epoch
+    result.train_time = train_timer.elapsed
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Decoupled models (SGC, SIGN, SCARA, LD2, SIMGA, GAMLP, SpectralBasis)
+# --------------------------------------------------------------------- #
+
+
+def train_decoupled(
+    model: Module,
+    graph: Graph,
+    split: Split,
+    epochs: int = 200,
+    batch_size: int = 256,
+    lr: float = 0.01,
+    weight_decay: float = 5e-4,
+    patience: int = 30,
+    seed=None,
+) -> TrainResult:
+    """Precompute-once, then mini-batch MLP training over embedding rows."""
+    if graph.y is None:
+        raise ConfigError("graph needs labels")
+    check_int_range("batch_size", batch_size, 1)
+    rng = as_rng(seed)
+    pre_timer = Timer()
+    with pre_timer:
+        emb = model.precompute(graph)
+    opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+    stopper = EarlyStopping(model, patience=patience)
+    result = TrainResult(0.0, 0.0, -1, pre_timer.elapsed, 0.0)
+    train_timer = Timer()
+    y = graph.y
+    val_rows = _slice_embeddings(emb, split.val)
+    test_rows = _slice_embeddings(emb, split.test)
+    for epoch in range(epochs):
+        with train_timer:
+            model.train()
+            epoch_loss = 0.0
+            for batch in _iterate_batches(split.train, batch_size, rng):
+                opt.zero_grad()
+                logits = model(_slice_embeddings(emb, batch))
+                loss = F.cross_entropy(logits, y[batch])
+                loss.backward()
+                opt.step()
+                epoch_loss += loss.item() * len(batch)
+        model.eval()
+        with no_grad():
+            val_acc = accuracy(_predict(model(val_rows).data), y[split.val])
+        result.train_losses.append(epoch_loss / len(split.train))
+        result.val_accuracies.append(val_acc)
+        if stopper.update(val_acc, epoch):
+            break
+    stopper.restore()
+    model.eval()
+    with no_grad():
+        test_pred = _predict(model(test_rows).data)
+    result.test_accuracy = accuracy(test_pred, y[split.test])
+    result.val_accuracy = stopper.best_metric
+    result.best_epoch = stopper.best_epoch
+    result.train_time = train_timer.elapsed
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Sampled mini-batch models (GraphSAGE with any block sampler)
+# --------------------------------------------------------------------- #
+
+
+def train_sampled(
+    model,
+    graph: Graph,
+    split: Split,
+    sampler,
+    epochs: int = 50,
+    batch_size: int = 64,
+    lr: float = 0.01,
+    weight_decay: float = 5e-4,
+    patience: int = 15,
+    seed=None,
+) -> TrainResult:
+    """Mini-batch training over sampler blocks; exact full-graph eval."""
+    if graph.x is None or graph.y is None:
+        raise ConfigError("graph needs features and labels")
+    rng = as_rng(seed)
+    pre_timer = Timer()
+    with pre_timer:
+        full_op = model.prepare(graph)
+    opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+    stopper = EarlyStopping(model, patience=patience)
+    result = TrainResult(0.0, 0.0, -1, pre_timer.elapsed, 0.0)
+    train_timer = Timer()
+    y = graph.y
+    for epoch in range(epochs):
+        with train_timer:
+            model.train()
+            epoch_loss = 0.0
+            for batch in _iterate_batches(split.train, batch_size, rng):
+                blocks = sampler.sample(batch)
+                x_src = graph.x[blocks[0].src_ids]
+                opt.zero_grad()
+                logits = model.forward_blocks(blocks, x_src)
+                loss = F.cross_entropy(logits, y[blocks[-1].dst_ids])
+                loss.backward()
+                opt.step()
+                epoch_loss += loss.item() * len(batch)
+        model.eval()
+        with no_grad():
+            full_logits = model.forward_full(full_op, graph.x).data
+        val_acc = accuracy(_predict(full_logits[split.val]), y[split.val])
+        result.train_losses.append(epoch_loss / len(split.train))
+        result.val_accuracies.append(val_acc)
+        if stopper.update(val_acc, epoch):
+            break
+    stopper.restore()
+    model.eval()
+    with no_grad():
+        full_logits = model.forward_full(full_op, graph.x).data
+    result.test_accuracy = accuracy(_predict(full_logits[split.test]), y[split.test])
+    result.val_accuracy = stopper.best_metric
+    result.best_epoch = stopper.best_epoch
+    result.train_time = train_timer.elapsed
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Subgraph-batch training (Cluster-GCN / GraphSAINT styles)
+# --------------------------------------------------------------------- #
+
+
+def train_subgraph(
+    model: Module,
+    graph: Graph,
+    split: Split,
+    batch_fn: Callable[[np.random.Generator], np.ndarray],
+    epochs: int = 50,
+    batches_per_epoch: int = 4,
+    lr: float = 0.01,
+    weight_decay: float = 5e-4,
+    patience: int = 15,
+    seed=None,
+) -> TrainResult:
+    """Train a full-batch model (e.g. GCN) on sampled subgraphs.
+
+    ``batch_fn(rng)`` returns the *global node ids* of one subgraph batch
+    (Cluster-GCN partitions, GraphSAINT samples, ...). The loss is taken on
+    the training nodes inside each batch; evaluation is exact on the full
+    graph.
+    """
+    if graph.x is None or graph.y is None:
+        raise ConfigError("graph needs features and labels")
+    rng = as_rng(seed)
+    pre_timer = Timer()
+    with pre_timer:
+        full_prep = model.prepare(graph)
+    opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+    stopper = EarlyStopping(model, patience=patience)
+    result = TrainResult(0.0, 0.0, -1, pre_timer.elapsed, 0.0)
+    train_timer = Timer()
+    y = graph.y
+    train_mask = np.zeros(graph.n_nodes, dtype=bool)
+    train_mask[split.train] = True
+    for epoch in range(epochs):
+        with train_timer:
+            model.train()
+            epoch_loss, n_seen = 0.0, 0
+            for _ in range(batches_per_epoch):
+                nodes = np.asarray(batch_fn(rng), dtype=np.int64)
+                local_train = np.flatnonzero(train_mask[nodes])
+                if len(local_train) == 0:
+                    continue
+                sub = graph.subgraph(nodes)
+                sub_prep = model.prepare(sub)
+                opt.zero_grad()
+                logits = model(sub_prep, sub.x)
+                loss = F.cross_entropy(
+                    logits.gather_rows(local_train), y[nodes[local_train]]
+                )
+                loss.backward()
+                opt.step()
+                epoch_loss += loss.item() * len(local_train)
+                n_seen += len(local_train)
+        model.eval()
+        with no_grad():
+            full_logits = model(full_prep, graph.x).data
+        val_acc = accuracy(_predict(full_logits[split.val]), y[split.val])
+        result.train_losses.append(epoch_loss / max(n_seen, 1))
+        result.val_accuracies.append(val_acc)
+        if stopper.update(val_acc, epoch):
+            break
+    stopper.restore()
+    model.eval()
+    with no_grad():
+        full_logits = model(full_prep, graph.x).data
+    result.test_accuracy = accuracy(_predict(full_logits[split.test]), y[split.test])
+    result.val_accuracy = stopper.best_metric
+    result.best_epoch = stopper.best_epoch
+    result.train_time = train_timer.elapsed
+    return result
+
+
+# --------------------------------------------------------------------- #
+# PPRGo-style support-batch training
+# --------------------------------------------------------------------- #
+
+
+def train_pprgo(
+    model,
+    graph: Graph,
+    split: Split,
+    epochs: int = 100,
+    batch_size: int = 128,
+    lr: float = 0.01,
+    weight_decay: float = 5e-4,
+    patience: int = 20,
+    seed=None,
+) -> TrainResult:
+    """Train a model whose forward takes node-id batches (PPRGo)."""
+    if graph.y is None:
+        raise ConfigError("graph needs labels")
+    rng = as_rng(seed)
+    pre_timer = Timer()
+    with pre_timer:
+        model.precompute(graph)
+    opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+    stopper = EarlyStopping(model, patience=patience)
+    result = TrainResult(0.0, 0.0, -1, pre_timer.elapsed, 0.0)
+    train_timer = Timer()
+    y = graph.y
+    for epoch in range(epochs):
+        with train_timer:
+            model.train()
+            epoch_loss = 0.0
+            for batch in _iterate_batches(split.train, batch_size, rng):
+                opt.zero_grad()
+                logits = model(batch)
+                loss = F.cross_entropy(logits, y[batch])
+                loss.backward()
+                opt.step()
+                epoch_loss += loss.item() * len(batch)
+        model.eval()
+        with no_grad():
+            val_acc = accuracy(_predict(model(split.val).data), y[split.val])
+        result.train_losses.append(epoch_loss / len(split.train))
+        result.val_accuracies.append(val_acc)
+        if stopper.update(val_acc, epoch):
+            break
+    stopper.restore()
+    model.eval()
+    with no_grad():
+        test_pred = _predict(model(split.test).data)
+    result.test_accuracy = accuracy(test_pred, y[split.test])
+    result.val_accuracy = stopper.best_metric
+    result.best_epoch = stopper.best_epoch
+    result.train_time = train_timer.elapsed
+    return result

@@ -1,0 +1,17 @@
+"""Shared utilities: RNG handling, timers, and argument validation."""
+
+from repro.utils.rng import as_rng
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "as_rng",
+    "Timer",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+]

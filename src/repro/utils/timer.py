@@ -1,0 +1,45 @@
+"""Wall-clock timing helper used by trainers and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Accumulating wall-clock timer usable as a context manager.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the running interval and return its duration in seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        interval = time.perf_counter() - self._start
+        self.elapsed += interval
+        self._start = None
+        return interval
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None

@@ -1,0 +1,43 @@
+"""Argument validation helpers shared across the library.
+
+All helpers raise :class:`repro.errors.ConfigError` with a message naming the
+offending parameter, so user mistakes surface at the API boundary rather than
+as obscure NumPy failures deep inside an algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative when not strict)."""
+    if strict and not value > 0:
+        raise ConfigError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ConfigError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the half-open interval (0, 1]."""
+    if not 0.0 < value <= 1.0:
+        raise ConfigError(f"{name} must be in (0, 1], got {value!r}")
+    return value
+
+
+def check_int_range(name: str, value: int, low: int, high: int | None = None) -> int:
+    """Validate that integer ``value`` is in ``[low, high]`` (high optional)."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise ConfigError(f"{name} must be an int, got {type(value).__name__}")
+    if value < low or (high is not None and value > high):
+        bound = f"[{low}, {high}]" if high is not None else f">= {low}"
+        raise ConfigError(f"{name} must be {bound}, got {value}")
+    return value

@@ -1,0 +1,83 @@
+"""Shared fixtures: small deterministic graphs and datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import contextual_sbm
+from repro.graph import (
+    Graph,
+    barabasi_albert_graph,
+    grid_graph,
+    ring_graph,
+    stochastic_block_model,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle():
+    """The 3-cycle: smallest graph with nontrivial structure."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 0)], 3)
+
+
+@pytest.fixture
+def path4():
+    """Path 0-1-2-3."""
+    return Graph.from_edges([(0, 1), (1, 2), (2, 3)], 4)
+
+
+@pytest.fixture
+def ba_graph():
+    """A 120-node power-law graph, connected by construction."""
+    return barabasi_albert_graph(120, 3, seed=7)
+
+
+@pytest.fixture
+def sbm_graph():
+    """Two 40-node communities with sparse cross-links."""
+    return stochastic_block_model(
+        [40, 40], [[0.25, 0.02], [0.02, 0.25]], seed=11
+    )
+
+
+@pytest.fixture
+def ring12():
+    return ring_graph(12)
+
+
+@pytest.fixture
+def grid5x5():
+    return grid_graph(5, 5)
+
+
+@pytest.fixture
+def featured_graph(rng):
+    """A BA graph with random features and 3-class labels."""
+    g = barabasi_albert_graph(90, 3, seed=3)
+    return g.with_data(
+        x=rng.normal(size=(90, 6)), y=rng.integers(0, 3, size=90)
+    )
+
+
+@pytest.fixture(scope="session")
+def csbm_dataset():
+    """A homophilous cSBM dataset shared across training tests."""
+    return contextual_sbm(
+        240, n_classes=3, homophily=0.85, avg_degree=8,
+        n_features=12, feature_signal=1.5, seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def heterophilous_dataset():
+    """A strongly heterophilous cSBM with weak feature signal."""
+    return contextual_sbm(
+        240, n_classes=2, homophily=0.05, avg_degree=10,
+        n_features=12, feature_signal=0.5, seed=6,
+    )

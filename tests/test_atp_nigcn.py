@@ -1,0 +1,98 @@
+"""Tests for degree-adaptive propagation models (NIGCN/ATP-style)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.atp import (
+    ATP,
+    NIGCN,
+    atp_propagation_matrix,
+    degree_adaptive_hop_weights,
+)
+
+
+class TestHopWeights:
+    def test_rows_are_simplex(self):
+        w = degree_adaptive_hop_weights(np.array([1.0, 5.0, 100.0]), 4)
+        assert w.shape == (3, 5)
+        assert np.allclose(w.sum(axis=1), 1.0)
+        assert np.all(w >= 0)
+
+    def test_hubs_concentrate_shallow(self):
+        w = degree_adaptive_hop_weights(np.array([1.0, 500.0]), 6)
+        low_deg, high_deg = w[0], w[1]
+        # Expected hop depth is smaller for the hub.
+        depths = np.arange(7)
+        assert (high_deg * depths).sum() < (low_deg * depths).sum()
+
+    def test_zero_hops_trivial(self):
+        w = degree_adaptive_hop_weights(np.array([3.0]), 0)
+        assert np.allclose(w, 1.0)
+
+    def test_temperature_validated(self):
+        with pytest.raises(ConfigError):
+            degree_adaptive_hop_weights(np.ones(2), 2, base_temperature=0.0)
+
+    def test_larger_temperature_goes_deeper(self):
+        shallow = degree_adaptive_hop_weights(np.array([4.0]), 6, 2.0)[0]
+        deep = degree_adaptive_hop_weights(np.array([4.0]), 6, 12.0)[0]
+        depths = np.arange(7)
+        assert (deep * depths).sum() > (shallow * depths).sum()
+
+
+class TestAtpOperator:
+    def test_beta_one_is_row_stochastic(self, ba_graph):
+        p = atp_propagation_matrix(ba_graph, beta=1.0)
+        assert np.allclose(np.asarray(p.sum(axis=1)).ravel(), 1.0)
+
+    def test_beta_half_is_symmetric(self, ba_graph):
+        p = atp_propagation_matrix(ba_graph, beta=0.5)
+        assert abs(p - p.T).max() < 1e-12
+
+    def test_low_beta_dampens_hub_senders(self, ba_graph):
+        # Sender weight carries d_u^(beta-1): lowering beta shrinks the
+        # hub's column (messages *sent by* the hub).
+        hub = int(np.argmax(ba_graph.degrees()))
+        damped = atp_propagation_matrix(ba_graph, beta=0.2).tocsc()
+        neutral = atp_propagation_matrix(ba_graph, beta=0.5).tocsc()
+        assert np.abs(damped[:, hub]).sum() < np.abs(neutral[:, hub]).sum()
+
+    def test_beta_validated(self, ba_graph):
+        with pytest.raises(ConfigError):
+            atp_propagation_matrix(ba_graph, beta=1.5)
+
+
+class TestModels:
+    def test_nigcn_learns(self, csbm_dataset):
+        from repro.training import train_decoupled
+
+        graph, split = csbm_dataset
+        model = NIGCN(graph.n_features, 32, graph.n_classes, seed=0)
+        res = train_decoupled(model, graph, split, epochs=60, seed=0)
+        assert res.test_accuracy > 0.8
+
+    def test_atp_learns(self, csbm_dataset):
+        from repro.training import train_decoupled
+
+        graph, split = csbm_dataset
+        # cSBM has no hubs: neutral beta = symmetric GCN operator.
+        model = ATP(graph.n_features, 32, graph.n_classes, beta=0.5, seed=0)
+        res = train_decoupled(model, graph, split, epochs=60, seed=0)
+        assert res.test_accuracy > 0.8
+
+    def test_nigcn_embedding_shape(self, featured_graph):
+        model = NIGCN(6, 16, 3, k_hops=3, seed=0)
+        emb = model.precompute(featured_graph)
+        assert emb.shape == featured_graph.x.shape
+
+    def test_atp_embedding_width(self, featured_graph):
+        model = ATP(6, 16, 3, seed=0)
+        emb = model.precompute(featured_graph)
+        assert emb.shape == (featured_graph.n_nodes, 18)
+
+    def test_requires_features(self, ba_graph):
+        with pytest.raises(ConfigError):
+            NIGCN(6, 16, 3, seed=0).precompute(ba_graph)
+        with pytest.raises(ConfigError):
+            ATP(6, 16, 3, seed=0).precompute(ba_graph)

@@ -1,0 +1,155 @@
+"""Tests for bench utilities (memory, tables) and the taxonomy module."""
+
+import numpy as np
+import pytest
+
+from repro import taxonomy
+from repro.bench import (
+    Table,
+    decoupled_batch_floats,
+    format_bytes,
+    format_seconds,
+    full_batch_training_floats,
+    sampled_batch_training_floats,
+    subgraph_batch_training_floats,
+)
+from repro.editing import NeighborSampler
+from repro.errors import ShapeError
+
+
+class TestMemoryAccounting:
+    def test_full_batch_scales_with_n(self):
+        small = full_batch_training_floats(1000, 5000, 32, 64, 4)
+        large = full_batch_training_floats(10_000, 50_000, 32, 64, 4)
+        assert large == pytest.approx(10 * small, rel=0.01)
+
+    def test_decoupled_independent_of_graph(self):
+        a = decoupled_batch_floats(128, 32, 64, 4)
+        # no graph-size parameter exists at all: same batch, same floats
+        assert a == decoupled_batch_floats(128, 32, 64, 4)
+        assert a < full_batch_training_floats(10_000, 50_000, 32, 64, 4)
+
+    def test_sampled_counts_block_sizes(self, featured_graph):
+        sampler = NeighborSampler(featured_graph, [4, 4], seed=0)
+        blocks = sampler.sample(np.arange(8))
+        floats = sampled_batch_training_floats(blocks, 6, 16, 3)
+        assert floats > 0
+        assert floats < full_batch_training_floats(
+            featured_graph.n_nodes, featured_graph.n_edges, 6, 16, 3
+        )
+
+    def test_subgraph_is_small_full_batch(self):
+        assert subgraph_batch_training_floats(100, 400, 16, 32, 4) == \
+            full_batch_training_floats(100, 400, 16, 32, 4)
+
+
+class TestFormatting:
+    def test_seconds_units(self):
+        assert format_seconds(2e-6).endswith("us")
+        assert format_seconds(5e-3).endswith("ms")
+        assert format_seconds(2.5).endswith("s")
+
+    def test_bytes_units(self):
+        assert format_bytes(100) == "100.0B"
+        assert format_bytes(2048) == "2.0KiB"
+        assert "MiB" in format_bytes(5 * 1024**2)
+        assert "GiB" in format_bytes(3 * 1024**3)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("title", ["col", "x"])
+        t.add_row("a", 1)
+        t.add_row("bbbb", 22)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "title"
+        assert len(set(len(l) for l in lines[1:])) == 1  # aligned
+
+    def test_wrong_arity_rejected(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ShapeError):
+            t.add_row(1)
+
+    def test_float_formatting(self):
+        t = Table("t", ["v"])
+        t.add_row(0.123456789)
+        assert "0.1235" in t.render()
+
+    def test_csv_roundtrip(self, tmp_path):
+        t = Table("t", ["a", "b"])
+        t.add_row(1, 2)
+        path = tmp_path / "out.csv"
+        t.to_csv(path)
+        assert path.read_text().splitlines() == ["a,b", "1,2"]
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ShapeError):
+            Table("t", [])
+
+
+class TestTaxonomy:
+    def test_every_implemented_leaf_resolves(self):
+        report = taxonomy.coverage_report()
+        implemented = [
+            leaf for leaf in taxonomy.iter_leaves() if leaf.implementation
+        ]
+        assert implemented, "taxonomy must map leaves to code"
+        for leaf in implemented:
+            assert report[(leaf.name, leaf.section)], (
+                f"broken mapping for {leaf.name}"
+            )
+
+    def test_future_directions_have_prototypes(self):
+        future = [
+            leaf
+            for leaf in taxonomy.iter_leaves()
+            if leaf.section.startswith("3.4")
+        ]
+        assert len(future) == 3
+        # The paper lists these as open; this library ships prototypes.
+        assert all(leaf.implementation for leaf in future)
+        for leaf in future:
+            assert taxonomy.resolve_implementation(leaf) is not None
+
+    def test_render_contains_all_sections(self):
+        text = taxonomy.render()
+        for token in (
+            "Graph Analytics",
+            "Graph Editing",
+            "Spectral Embeddings",
+            "Hub Labeling",
+            "Graph Coarsening",
+            "Future Direction",
+        ):
+            assert token in text
+
+    def test_paper_branch_names_present(self):
+        names = {leaf.name for leaf in taxonomy.iter_leaves()}
+        for expected in (
+            "Combined Embeddings",
+            "Adaptive Basis",
+            "Topology Similarity",
+            "Matrix Decomposition",
+            "Approximate Iteration",
+            "Graph Expressiveness",
+            "Graph Variance",
+            "Device Acceleration",
+            "Subgraph Generation",
+            "Subgraph Storage",
+            "Structure-based",
+            "Spectral-based",
+        ):
+            assert expected in names
+
+    def test_challenges_listed(self):
+        assert "Neighborhood Explosion" in taxonomy.CHALLENGES
+        assert len(taxonomy.CHALLENGES) == 4
+
+    def test_resolve_returns_objects(self):
+        from repro.analytics.hub_labeling import HubLabeling
+
+        leaf = next(
+            l for l in taxonomy.iter_leaves() if l.name == "Hub Labeling"
+        )
+        assert taxonomy.resolve_implementation(leaf) is HubLabeling

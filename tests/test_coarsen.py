@@ -1,0 +1,163 @@
+"""Tests for coarsening, condensation, and coarse-node batches."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, GraphError
+from repro.editing.coarsen import (
+    coarse_node_batches,
+    eigenbasis_matching_condense,
+    heavy_edge_matching_level,
+    lift_to_original,
+    multilevel_coarsen,
+    project_to_coarse,
+    spectral_coarsening_distance,
+)
+from repro.editing.partition import ldg_partition
+from repro.graph import caveman_graph, complete_graph
+
+
+class TestHeavyEdgeMatching:
+    def test_one_level_roughly_halves(self, ba_graph):
+        coarse, membership = heavy_edge_matching_level(ba_graph, seed=0)
+        assert ba_graph.n_nodes * 0.4 <= coarse.n_nodes <= ba_graph.n_nodes * 0.75
+        assert membership.max() == coarse.n_nodes - 1
+
+    def test_membership_covers_all(self, ba_graph):
+        _, membership = heavy_edge_matching_level(ba_graph, seed=1)
+        assert membership.shape == (ba_graph.n_nodes,)
+        assert len(np.unique(membership)) == membership.max() + 1
+
+    def test_clusters_at_most_two(self, ba_graph):
+        _, membership = heavy_edge_matching_level(ba_graph, seed=2)
+        assert np.bincount(membership).max() <= 2
+
+    def test_total_weight_conserved(self, ba_graph):
+        # Contracted edge weight lands either in coarse edges or collapses
+        # as (dropped) self-loops; total = original.
+        coarse, membership = heavy_edge_matching_level(ba_graph, seed=3)
+        intra = 0.0
+        edges = ba_graph.edge_array()
+        same = membership[edges[:, 0]] == membership[edges[:, 1]]
+        intra = ba_graph.weights[same].sum()
+        assert coarse.weights.sum() + intra == pytest.approx(
+            ba_graph.weights.sum()
+        )
+
+
+class TestMultilevelCoarsen:
+    def test_reaches_target_ratio(self, ba_graph):
+        res = multilevel_coarsen(ba_graph, 0.25, seed=0)
+        assert res.graph.n_nodes <= int(np.ceil(0.25 * ba_graph.n_nodes))
+
+    def test_sizes_sum_to_n(self, ba_graph):
+        res = multilevel_coarsen(ba_graph, 0.3, seed=0)
+        assert res.sizes.sum() == ba_graph.n_nodes
+
+    def test_features_are_member_means(self, featured_graph):
+        res = multilevel_coarsen(featured_graph, 0.4, seed=0)
+        for c in [0, 1]:
+            members = np.flatnonzero(res.membership == c)
+            assert np.allclose(
+                res.graph.x[c], featured_graph.x[members].mean(axis=0)
+            )
+
+    def test_labels_majority(self, featured_graph):
+        res = multilevel_coarsen(featured_graph, 0.4, seed=0)
+        for c in range(min(5, res.graph.n_nodes)):
+            members = np.flatnonzero(res.membership == c)
+            votes = np.bincount(featured_graph.y[members])
+            assert res.graph.y[c] == votes.argmax()
+
+    def test_algebraic_method(self, ba_graph):
+        res = multilevel_coarsen(ba_graph, 0.3, method="algebraic", seed=0)
+        assert res.graph.n_nodes <= 0.35 * ba_graph.n_nodes
+
+    def test_invalid_method(self, ba_graph):
+        with pytest.raises(ConfigError):
+            multilevel_coarsen(ba_graph, 0.3, method="magic")
+
+    def test_spectrum_roughly_preserved_on_caveman(self):
+        g = caveman_graph(10, 6)
+        res = multilevel_coarsen(g, 0.5, seed=0)
+        assert spectral_coarsening_distance(g, res, k=6) < 0.35
+
+
+class TestProjectLift:
+    def test_project_mean(self):
+        membership = np.array([0, 0, 1])
+        vals = np.array([[1.0], [3.0], [5.0]])
+        out = project_to_coarse(membership, vals, reduce="mean")
+        assert np.allclose(out, [[2.0], [5.0]])
+
+    def test_project_sum(self):
+        membership = np.array([0, 0, 1])
+        vals = np.array([[1.0], [3.0], [5.0]])
+        out = project_to_coarse(membership, vals, reduce="sum")
+        assert np.allclose(out, [[4.0], [5.0]])
+
+    def test_lift_inverse_of_constant_project(self):
+        membership = np.array([0, 1, 1, 0])
+        coarse = np.array([[7.0], [9.0]])
+        lifted = lift_to_original(membership, coarse)
+        assert np.allclose(lifted[:, 0], [7, 9, 9, 7])
+
+    def test_project_invalid_reduce(self):
+        with pytest.raises(ConfigError):
+            project_to_coarse(np.array([0]), np.array([[1.0]]), reduce="max")
+
+
+class TestEigenbasisCondense:
+    def test_output_size(self, ba_graph):
+        res = eigenbasis_matching_condense(ba_graph, 20, k_eigs=10, seed=0)
+        assert res.graph.n_nodes <= 20
+        assert res.membership.shape == (ba_graph.n_nodes,)
+
+    def test_low_spectrum_matched(self):
+        g = caveman_graph(8, 6)
+        res = eigenbasis_matching_condense(g, 16, k_eigs=8, seed=0)
+        assert spectral_coarsening_distance(g, res, k=6) < 0.3
+
+    def test_carries_features(self, featured_graph):
+        res = eigenbasis_matching_condense(featured_graph, 15, k_eigs=8, seed=0)
+        assert res.graph.x is not None
+        assert res.graph.x.shape == (res.graph.n_nodes, featured_graph.x.shape[1])
+
+    def test_n_coarse_validated(self, ba_graph):
+        with pytest.raises(ConfigError):
+            eigenbasis_matching_condense(ba_graph, 1)
+
+
+class TestCoarseNodeBatches:
+    def test_batches_cover_all_nodes(self, featured_graph):
+        pr = ldg_partition(featured_graph, 4, seed=0)
+        batches = coarse_node_batches(featured_graph, pr.assignment, 4)
+        covered = np.sort(np.concatenate([b.local_nodes for b in batches]))
+        assert np.array_equal(covered, np.arange(featured_graph.n_nodes))
+
+    def test_coarse_nodes_marked(self, featured_graph):
+        pr = ldg_partition(featured_graph, 4, seed=0)
+        batches = coarse_node_batches(featured_graph, pr.assignment, 4)
+        for b in batches:
+            assert b.is_coarse.sum() <= 3  # at most one per foreign part
+            assert not b.is_coarse[: len(b.local_nodes)].any()
+
+    def test_coarse_node_features_are_part_means(self, featured_graph):
+        pr = ldg_partition(featured_graph, 3, seed=0)
+        batches = coarse_node_batches(featured_graph, pr.assignment, 3)
+        b = batches[0]
+        assert b.graph.x is not None
+        # Local rows carry original features.
+        assert np.allclose(
+            b.graph.x[: len(b.local_nodes)], featured_graph.x[b.local_nodes]
+        )
+
+    def test_assignment_validated(self, featured_graph):
+        with pytest.raises(GraphError):
+            coarse_node_batches(featured_graph, np.zeros(3, dtype=int), 2)
+
+    def test_complete_graph_single_part_no_coarse(self):
+        g = complete_graph(6).with_data(x=np.ones((6, 2)))
+        batches = coarse_node_batches(g, np.zeros(6, dtype=int), 1)
+        assert len(batches) == 1
+        assert batches[0].is_coarse.sum() == 0

@@ -1,0 +1,131 @@
+"""Tests for community detection and the GraphRAG-lite retrieval index."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.communities import label_propagation_communities, modularity
+from repro.errors import ConfigError, GraphError, NotFittedError, ShapeError
+from repro.graph import Graph, caveman_graph, complete_graph, stochastic_block_model
+from repro.retrieval import CommunityIndex, flat_retrieve
+
+
+class TestLabelPropagation:
+    def test_caveman_recovers_cliques(self):
+        g = caveman_graph(6, 10)
+        comm = label_propagation_communities(g, seed=0)
+        # Each clique must be monochromatic.
+        for c in range(6):
+            block = comm[c * 10 : (c + 1) * 10]
+            assert len(np.unique(block)) == 1
+
+    def test_sbm_communities_align_with_blocks(self):
+        g = stochastic_block_model(
+            [40, 40], [[0.4, 0.01], [0.01, 0.4]], seed=0
+        )
+        comm = label_propagation_communities(g, seed=0)
+        # Purity of the dominant community per block.
+        purity = 0
+        for b in (0, 1):
+            members = comm[g.y == b]
+            purity += np.bincount(members).max()
+        assert purity / g.n_nodes > 0.9
+
+    def test_complete_graph_single_community(self):
+        comm = label_propagation_communities(complete_graph(10), seed=0)
+        assert comm.max() == 0
+
+    def test_labels_compact(self, ba_graph):
+        comm = label_propagation_communities(ba_graph, seed=0)
+        assert set(np.unique(comm)) == set(range(comm.max() + 1))
+
+    def test_directed_rejected(self):
+        g = Graph.from_edges([(0, 1)], 2, directed=True)
+        with pytest.raises(GraphError):
+            label_propagation_communities(g)
+
+
+class TestModularity:
+    def test_good_partition_high_q(self):
+        g = caveman_graph(6, 10)
+        truth = np.repeat(np.arange(6), 10)
+        assert modularity(g, truth) > 0.7
+
+    def test_single_community_zero_ish(self, ba_graph):
+        q = modularity(ba_graph, np.zeros(ba_graph.n_nodes, dtype=int))
+        assert q == pytest.approx(0.0, abs=1e-9)
+
+    def test_random_partition_lower_than_truth(self):
+        g = caveman_graph(6, 10)
+        truth = np.repeat(np.arange(6), 10)
+        rng = np.random.default_rng(0)
+        scrambled = rng.permutation(truth)
+        assert modularity(g, scrambled) < modularity(g, truth)
+
+    def test_shape_check(self, ba_graph):
+        with pytest.raises(GraphError):
+            modularity(ba_graph, np.zeros(3, dtype=int))
+
+
+@pytest.fixture
+def clustered_corpus(rng):
+    graph = caveman_graph(8, 12)
+    comm = np.repeat(np.arange(8), 12)
+    centers = rng.normal(size=(8, 16)) * 3
+    embeddings = centers[comm] + rng.normal(size=(graph.n_nodes, 16))
+    return graph, embeddings, comm
+
+
+class TestFlatRetrieve:
+    def test_returns_nearest(self, rng):
+        emb = np.eye(5)
+        got = flat_retrieve(emb, np.array([0, 0, 1, 0, 0.0]), 1)
+        assert got[0] == 2
+
+    def test_k_results_ordered(self, clustered_corpus, rng):
+        _, emb, _ = clustered_corpus
+        q = rng.normal(size=16)
+        got = flat_retrieve(emb, q, 5)
+        assert len(got) == 5
+
+    def test_zero_query_rejected(self, clustered_corpus):
+        _, emb, _ = clustered_corpus
+        with pytest.raises(ConfigError):
+            flat_retrieve(emb, np.zeros(16), 3)
+
+
+class TestCommunityIndex:
+    def test_high_recall_with_fraction_scanned(self, clustered_corpus, rng):
+        graph, emb, _ = clustered_corpus
+        index = CommunityIndex(n_probe=2, seed=0).build(graph, emb)
+        queries = emb[rng.choice(len(emb), 12, replace=False)]
+        recall, frac = index.recall_against_flat(queries, 5)
+        assert recall > 0.85
+        assert frac < 0.6
+
+    def test_more_probes_more_recall_more_cost(self, clustered_corpus, rng):
+        graph, emb, _ = clustered_corpus
+        queries = rng.normal(size=(10, 16))
+        r1, f1 = CommunityIndex(n_probe=1, seed=0).build(graph, emb).recall_against_flat(queries, 5)
+        r4, f4 = CommunityIndex(n_probe=4, seed=0).build(graph, emb).recall_against_flat(queries, 5)
+        assert r4 >= r1
+        assert f4 > f1
+
+    def test_uses_given_assignment(self, clustered_corpus):
+        graph, emb, comm = clustered_corpus
+        index = CommunityIndex(n_probe=1, seed=0).build(graph, emb, assignment=comm)
+        assert index.n_communities == 8
+
+    def test_retrieve_before_build(self):
+        with pytest.raises(NotFittedError):
+            CommunityIndex().retrieve(np.ones(4), 2)
+
+    def test_embedding_shape_checked(self, clustered_corpus):
+        graph, emb, _ = clustered_corpus
+        with pytest.raises(ShapeError):
+            CommunityIndex().build(graph, emb[:5])
+
+    def test_last_scanned_tracks_work(self, clustered_corpus, rng):
+        graph, emb, _ = clustered_corpus
+        index = CommunityIndex(n_probe=1, seed=0).build(graph, emb)
+        index.retrieve(rng.normal(size=16), 3)
+        assert 0 < index.last_scanned < graph.n_nodes

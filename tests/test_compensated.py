@@ -1,0 +1,78 @@
+"""Tests for LMC-style compensated subgraph training."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import contextual_sbm
+from repro.editing import ldg_partition, random_partition
+from repro.errors import ConfigError
+from repro.training import train_clustergcn_compensated
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return contextual_sbm(
+        500, n_classes=3, homophily=0.9, avg_degree=10, n_features=16,
+        feature_signal=0.4, seed=3,
+    )
+
+
+class TestCompensatedTraining:
+    def test_learns_on_good_partition(self, workload):
+        graph, split = workload
+        part = ldg_partition(graph, 6, seed=0)
+        res = train_clustergcn_compensated(
+            graph, split, part.assignment, 6, epochs=40, seed=0
+        )
+        assert res.test_accuracy > 0.75
+
+    def test_compensation_helps_under_bad_partition(self, workload):
+        graph, split = workload
+        part = random_partition(graph, 12, seed=0)
+        comp = train_clustergcn_compensated(
+            graph, split, part.assignment, 12, epochs=40,
+            use_compensation=True, seed=0,
+        )
+        plain = train_clustergcn_compensated(
+            graph, split, part.assignment, 12, epochs=40,
+            use_compensation=False, seed=0,
+        )
+        assert comp.test_accuracy > plain.test_accuracy - 0.02
+
+    def test_result_bookkeeping(self, workload):
+        graph, split = workload
+        part = ldg_partition(graph, 4, seed=0)
+        res = train_clustergcn_compensated(
+            graph, split, part.assignment, 4, epochs=10, patience=10, seed=0
+        )
+        assert len(res.train_losses) == len(res.val_accuracies)
+        assert res.precompute_time > 0
+        assert res.train_time > 0
+
+    def test_requires_labels(self, ba_graph):
+        from repro.datasets.synthetic import Split
+
+        with pytest.raises(ConfigError):
+            train_clustergcn_compensated(
+                ba_graph,
+                Split(np.array([0]), np.array([1]), np.array([2])),
+                np.zeros(ba_graph.n_nodes, dtype=int), 1,
+            )
+
+    def test_assignment_shape_checked(self, workload):
+        graph, split = workload
+        with pytest.raises(ConfigError):
+            train_clustergcn_compensated(
+                graph, split, np.zeros(3, dtype=int), 1
+            )
+
+    def test_deterministic_under_seed(self, workload):
+        graph, split = workload
+        part = ldg_partition(graph, 4, seed=0)
+        a = train_clustergcn_compensated(
+            graph, split, part.assignment, 4, epochs=8, seed=5
+        )
+        b = train_clustergcn_compensated(
+            graph, split, part.assignment, 4, epochs=8, seed=5
+        )
+        assert a.test_accuracy == b.test_accuracy

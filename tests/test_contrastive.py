@@ -1,0 +1,96 @@
+"""Tests for the decoupled contrastive-learning pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models.contrastive import (
+    ContrastiveEncoder,
+    info_nce,
+    linear_probe,
+    make_views,
+    train_contrastive,
+)
+from repro.tensor import Tensor
+
+
+class TestViews:
+    def test_shapes(self, featured_graph):
+        views = make_views(featured_graph, n_views=3, k_hops=2, seed=0)
+        assert views.shape == (3, featured_graph.n_nodes, 6)
+
+    def test_views_differ(self, featured_graph):
+        views = make_views(featured_graph, n_views=2, seed=0)
+        assert not np.allclose(views[0], views[1])
+
+    def test_no_corruption_views_identical(self, featured_graph):
+        views = make_views(
+            featured_graph, n_views=2, edge_drop=0.0, feature_mask=0.0, seed=0
+        )
+        assert np.allclose(views[0], views[1])
+
+    def test_requires_features(self, ba_graph):
+        with pytest.raises(ConfigError):
+            make_views(ba_graph, seed=0)
+
+    def test_deterministic_under_seed(self, featured_graph):
+        a = make_views(featured_graph, n_views=2, seed=5)
+        b = make_views(featured_graph, n_views=2, seed=5)
+        assert np.allclose(a, b)
+
+
+class TestInfoNCE:
+    def test_identical_views_low_loss(self, rng):
+        z = Tensor(rng.normal(size=(16, 8)) * 5)
+        loss_same = info_nce(z, z, temperature=0.1).item()
+        other = Tensor(rng.normal(size=(16, 8)) * 5)
+        loss_diff = info_nce(z, other, temperature=0.1).item()
+        assert loss_same < loss_diff
+
+    def test_scalar_output(self, rng):
+        z1 = Tensor(rng.normal(size=(8, 4)))
+        z2 = Tensor(rng.normal(size=(8, 4)))
+        assert info_nce(z1, z2).size == 1
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ConfigError):
+            info_nce(Tensor(rng.normal(size=(4, 2))), Tensor(rng.normal(size=(5, 2))))
+
+    def test_temperature_validated(self, rng):
+        z = Tensor(rng.normal(size=(4, 2)))
+        with pytest.raises(ConfigError):
+            info_nce(z, z, temperature=0.0)
+
+    def test_gradient_flows(self, rng):
+        z1 = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        z2 = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        info_nce(z1, z2).backward()
+        assert z1.grad is not None
+        assert z2.grad is not None
+
+
+class TestPipeline:
+    def test_embeddings_shape(self, csbm_dataset):
+        graph, _ = csbm_dataset
+        emb = train_contrastive(graph, embedding_dim=16, epochs=5, seed=0)
+        assert emb.shape == (graph.n_nodes, 16)
+
+    def test_few_label_probe_beats_raw_features(self, csbm_dataset):
+        graph, split = csbm_dataset
+        rng = np.random.default_rng(0)
+        few = rng.choice(split.train, size=12, replace=False)
+        emb = train_contrastive(graph, epochs=30, seed=0)
+        acc_emb = linear_probe(emb, graph.y, few, split.test, seed=0)
+        acc_raw = linear_probe(graph.x, graph.y, few, split.test, seed=0)
+        assert acc_emb > acc_raw + 0.1
+
+    def test_probe_separates_classes_fully_supervised(self, csbm_dataset):
+        graph, split = csbm_dataset
+        emb = train_contrastive(graph, epochs=30, seed=0)
+        acc = linear_probe(emb, graph.y, split.train, split.test, seed=0)
+        assert acc > 0.8
+
+    def test_encoder_module(self, rng):
+        enc = ContrastiveEncoder(8, 16, 4, seed=0)
+        out = enc(rng.normal(size=(10, 8)))
+        assert out.shape == (10, 4)

@@ -1,0 +1,170 @@
+"""Targeted coverage for paths the per-module suites don't exercise."""
+
+import importlib.util
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.datasets import contextual_sbm
+from repro.editing import LayerSampler, fennel_partition, multilevel_partition
+from repro.graph import Graph, star_graph
+from repro.models import (
+    GraphSAGE,
+    MultiscaleImplicitGNN,
+    PPRGo,
+    SGC,
+    SIGNModel,
+)
+from repro.training import train_full_batch, train_sampled
+
+
+class TestTrainerVariants:
+    def test_sage_trains_with_layer_sampler(self, csbm_dataset):
+        graph, split = csbm_dataset
+        model = GraphSAGE(graph.n_features, 16, graph.n_classes, seed=0)
+        sampler = LayerSampler(graph, n_layers=2, n_per_layer=80, seed=0)
+        res = train_sampled(model, graph, split, sampler, epochs=20, seed=0)
+        assert res.test_accuracy > 0.6
+
+    def test_multiscale_implicit_trains(self, csbm_dataset):
+        graph, split = csbm_dataset
+        model = MultiscaleImplicitGNN(
+            graph.n_features, 16, graph.n_classes, scales=(1, 2),
+            gamma=0.8, seed=0,
+        )
+        res = train_full_batch(model, graph, split, epochs=40, lr=0.02)
+        assert res.test_accuracy > 0.7
+        weights = model.scale_logits.data
+        assert weights.shape == (1, 2)
+
+    def test_sign_at_least_matches_sgc(self, csbm_dataset):
+        from repro.training import train_decoupled
+
+        graph, split = csbm_dataset
+        sgc = SGC(graph.n_features, graph.n_classes, k_hops=2, hidden=16, seed=0)
+        sign = SIGNModel(graph.n_features, graph.n_classes, k_hops=2,
+                         hidden=16, seed=0)
+        acc_sgc = train_decoupled(sgc, graph, split, epochs=40, seed=0).test_accuracy
+        acc_sign = train_decoupled(sign, graph, split, epochs=40, seed=0).test_accuracy
+        assert acc_sign > acc_sgc - 0.1
+
+    def test_pprgo_precompute_deterministic(self, csbm_dataset):
+        graph, _ = csbm_dataset
+        a = PPRGo(graph.n_features, 8, graph.n_classes, topk=8, seed=0)
+        b = PPRGo(graph.n_features, 8, graph.n_classes, topk=8, seed=0)
+        pi_a = a.precompute(graph)
+        pi_b = b.precompute(graph)
+        assert (pi_a != pi_b).nnz == 0
+
+
+class TestPartitionVariants:
+    def test_multilevel_custom_coarsen_to(self, sbm_graph):
+        res = multilevel_partition(sbm_graph, 2, coarsen_to=20, seed=0)
+        assert res.assignment.max() <= 1
+        assert res.balance < 1.5
+
+    def test_fennel_balance_on_star(self):
+        # All mass wants to sit with the hub; capacity must prevent it.
+        g = star_graph(60)
+        res = fennel_partition(g, 3, seed=0)
+        assert res.balance <= 1.2
+
+
+class TestDegenerateGraphs:
+    def test_isolated_nodes_survive_decoupled_pipeline(self, rng):
+        # A graph with isolated nodes: zero rows in every operator.
+        edges = [(0, 1), (1, 2)]
+        g = Graph.from_edges(edges, 6, x=rng.normal(size=(6, 4)),
+                             y=rng.integers(0, 2, 6))
+        model = SGC(4, 2, k_hops=2, hidden=8, seed=0)
+        emb = model.precompute(g)
+        assert np.all(np.isfinite(emb))
+        # With GCN renormalisation, isolated nodes keep their self-loop
+        # feature instead of vanishing.
+        assert not np.allclose(emb[5], 0.0)
+
+    def test_single_edge_graph_hub_labeling(self):
+        from repro.analytics import HubLabeling
+
+        g = Graph.from_edges([(0, 1)], 2)
+        hl = HubLabeling().build(g)
+        assert hl.query(0, 1) == 1
+
+    def test_two_node_ppr(self):
+        from repro.analytics.ppr import ppr_forward_push, ppr_power_iteration
+
+        g = Graph.from_edges([(0, 1)], 2)
+        exact = ppr_power_iteration(g, 0, alpha=0.3)
+        push = ppr_forward_push(g, 0, alpha=0.3, epsilon=1e-10)
+        assert np.allclose(exact, push.estimate, atol=1e-8)
+
+
+class TestWalkStorageEdgeCases:
+    def test_star_center_walks_visit_leaves(self):
+        from repro.editing.subgraph import WalkSetStorage
+
+        g = star_graph(20)
+        storage = WalkSetStorage(n_walks=50, walk_length=2, seed=0).build(g)
+        nodes, _ = storage.query_node(0)
+        assert len(nodes) > 10  # many distinct leaves visited
+
+    def test_leaf_walks_bounce_through_center(self):
+        from repro.editing.subgraph import WalkSetStorage
+
+        g = star_graph(10)
+        storage = WalkSetStorage(n_walks=10, walk_length=2, seed=0).build(g)
+        walks = storage.walks_of(3)
+        assert np.all(walks[:, 1] == 0)  # step 1 must hit the centre
+
+
+class TestSimRankDecay:
+    def test_higher_decay_raises_estimates(self, sbm_graph):
+        from repro.analytics.simrank import SimRankFingerprints
+
+        low = SimRankFingerprints(n_walks=200, decay=0.3, seed=0).build(sbm_graph)
+        high = SimRankFingerprints(n_walks=200, decay=0.9, seed=0).build(sbm_graph)
+        s_low = low.query(0)
+        s_high = high.query(0)
+        mask = np.arange(sbm_graph.n_nodes) != 0
+        assert s_high[mask].sum() > s_low[mask].sum()
+
+
+class TestExamplesAreValidModules:
+    @pytest.mark.parametrize("name", [
+        "quickstart",
+        "heterophily_anomaly",
+        "social_recommendation",
+        "road_network_distributed",
+        "graph_property_regression",
+        "streaming_updates",
+    ])
+    def test_example_compiles_and_has_main(self, name):
+        path = (
+            pathlib.Path(__file__).resolve().parents[1]
+            / "examples" / f"{name}.py"
+        )
+        assert path.exists()
+        spec = importlib.util.spec_from_file_location(name, path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # imports only; main() not called
+        assert callable(module.main)
+
+
+class TestPackageSurface:
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.__version__
+        assert repro.Graph is Graph
+
+    def test_all_lists_resolve(self):
+        import repro.analytics as analytics
+        import repro.editing as editing
+        import repro.models as models
+        import repro.tasks as tasks
+        import repro.training as training
+
+        for module in (analytics, editing, models, tasks, training):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

@@ -1,0 +1,114 @@
+"""Tests for synthetic dataset generators and splits."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Split,
+    chain_classification,
+    contextual_sbm,
+    random_split,
+    scale_free_classification,
+)
+from repro.errors import ConfigError
+
+
+def edge_homophily(graph) -> float:
+    edges = graph.edge_array()
+    return float((graph.y[edges[:, 0]] == graph.y[edges[:, 1]]).mean())
+
+
+class TestRandomSplit:
+    def test_disjoint_and_complete(self):
+        s = random_split(100, 0.6, 0.2, seed=0)
+        all_ids = np.concatenate([s.train, s.val, s.test])
+        assert len(np.unique(all_ids)) == 100
+        assert s.n_total == 100
+
+    def test_fractions_respected(self):
+        s = random_split(1000, 0.5, 0.25, seed=0)
+        assert len(s.train) == 500
+        assert len(s.val) == 250
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ConfigError):
+            random_split(100, 0.8, 0.3)
+
+    def test_deterministic(self):
+        a = random_split(50, seed=3)
+        b = random_split(50, seed=3)
+        assert np.array_equal(a.train, b.train)
+
+
+class TestContextualSBM:
+    def test_shapes(self):
+        g, split = contextual_sbm(200, n_classes=4, seed=0)
+        assert g.n_nodes == 200
+        assert g.x.shape == (200, 16)
+        assert g.n_classes == 4
+        assert split.n_total == 200
+
+    def test_homophily_knob(self):
+        g_hom, _ = contextual_sbm(400, homophily=0.9, avg_degree=12, seed=1)
+        g_het, _ = contextual_sbm(400, homophily=0.1, avg_degree=12, seed=1)
+        assert edge_homophily(g_hom) > 0.7
+        assert edge_homophily(g_het) < 0.3
+
+    def test_average_degree_near_target(self):
+        g, _ = contextual_sbm(500, avg_degree=14, seed=2)
+        assert 10 < g.degrees().mean() < 18
+
+    def test_feature_signal_separates_classes(self):
+        g, _ = contextual_sbm(300, n_classes=2, feature_signal=4.0, seed=3)
+        mean0 = g.x[g.y == 0].mean(axis=0)
+        mean1 = g.x[g.y == 1].mean(axis=0)
+        assert np.linalg.norm(mean0 - mean1) > 2.0
+
+    def test_zero_signal_no_separation(self):
+        g, _ = contextual_sbm(300, n_classes=2, feature_signal=0.0, seed=3)
+        mean0 = g.x[g.y == 0].mean(axis=0)
+        mean1 = g.x[g.y == 1].mean(axis=0)
+        assert np.linalg.norm(mean0 - mean1) < 0.5
+
+    def test_homophily_validated(self):
+        with pytest.raises(ConfigError):
+            contextual_sbm(100, homophily=1.2)
+
+
+class TestScaleFree:
+    def test_shapes_and_label_locality(self):
+        g, split = scale_free_classification(300, n_classes=3, seed=0)
+        assert g.n_nodes == 300
+        assert edge_homophily(g) > 0.5  # smoothing makes labels local
+
+    def test_degree_skew_present(self):
+        g, _ = scale_free_classification(400, seed=1)
+        deg = g.degrees()
+        assert deg.max() > 4 * np.median(deg)
+
+
+class TestChainClassification:
+    def test_structure(self):
+        g, split = chain_classification(10, 8, seed=0)
+        assert g.n_nodes == 80
+        assert g.n_undirected_edges == 10 * 7
+        assert set(np.unique(g.y)) <= {0, 1}
+
+    def test_head_carries_signal(self):
+        g, _ = chain_classification(5, 6, seed=1)
+        heads = np.arange(5) * 6
+        head_norm = np.abs(g.x[heads]).max()
+        body_norm = np.abs(np.delete(g.x, heads, axis=0)).max()
+        assert head_norm > 3 * body_norm
+
+    def test_split_tests_far_half(self):
+        chain_length = 8
+        g, split = chain_classification(6, chain_length, seed=2)
+        positions = split.test % chain_length
+        assert positions.min() >= chain_length // 2
+
+    def test_labels_constant_within_chain(self):
+        g, _ = chain_classification(4, 5, seed=3)
+        for c in range(4):
+            chain = g.y[c * 5 : (c + 1) * 5]
+            assert len(np.unique(chain)) == 1

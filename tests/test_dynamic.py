@@ -1,0 +1,119 @@
+"""Tests for dynamic graphs and incremental PPR maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.ppr import ppr_forward_push, ppr_power_iteration
+from repro.errors import GraphError
+from repro.graph import barabasi_albert_graph, path_graph
+from repro.graph.dynamic import DynamicGraph, IncrementalPPR
+
+
+class TestDynamicGraph:
+    def test_from_graph_roundtrip(self, ba_graph):
+        dyn = DynamicGraph.from_graph(ba_graph)
+        assert dyn.snapshot() == ba_graph
+
+    def test_insert_edge(self):
+        dyn = DynamicGraph(4)
+        dyn.insert_edge(0, 1)
+        dyn.insert_edge(1, 2)
+        assert dyn.n_edges == 2
+        assert dyn.has_edge(1, 0)
+        assert not dyn.has_edge(0, 2)
+
+    def test_snapshot_reflects_inserts(self):
+        dyn = DynamicGraph(3)
+        dyn.insert_edge(0, 2)
+        snap = dyn.snapshot()
+        assert snap.has_edge(0, 2)
+        assert snap.n_undirected_edges == 1
+
+    def test_duplicate_rejected(self):
+        dyn = DynamicGraph(3)
+        dyn.insert_edge(0, 1)
+        with pytest.raises(GraphError):
+            dyn.insert_edge(1, 0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            DynamicGraph(3).insert_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            DynamicGraph(3).insert_edge(0, 5)
+
+    def test_directed_source_rejected(self):
+        from repro.graph import Graph
+
+        g = Graph.from_edges([(0, 1)], 2, directed=True)
+        with pytest.raises(GraphError):
+            DynamicGraph.from_graph(g)
+
+
+class TestIncrementalPPR:
+    def test_initial_matches_static_push(self, ba_graph):
+        dyn = DynamicGraph.from_graph(ba_graph)
+        inc = IncrementalPPR(dyn, 0, alpha=0.2, epsilon=1e-6)
+        static = ppr_forward_push(ba_graph, 0, alpha=0.2, epsilon=1e-6)
+        exact = ppr_power_iteration(ba_graph, 0, alpha=0.2, tol=1e-12)
+        assert np.abs(inc.estimate - exact).max() < 1e-4
+        assert np.abs(static.estimate - exact).max() < 1e-4
+
+    def test_invariant_maintained_exactly(self, ba_graph, rng):
+        dyn = DynamicGraph.from_graph(ba_graph)
+        inc = IncrementalPPR(dyn, 0, alpha=0.2, epsilon=1e-5)
+        assert inc.check_invariant()
+        for _ in range(30):
+            while True:
+                u = int(rng.integers(ba_graph.n_nodes))
+                v = int(rng.integers(ba_graph.n_nodes))
+                if u != v and not dyn.has_edge(u, v):
+                    break
+            inc.insert_edge(u, v)
+            assert inc.check_invariant()
+
+    def test_tracks_exact_ppr_through_updates(self, ba_graph, rng):
+        dyn = DynamicGraph.from_graph(ba_graph)
+        inc = IncrementalPPR(dyn, 3, alpha=0.2, epsilon=1e-7)
+        for _ in range(20):
+            while True:
+                u = int(rng.integers(ba_graph.n_nodes))
+                v = int(rng.integers(ba_graph.n_nodes))
+                if u != v and not dyn.has_edge(u, v):
+                    break
+            inc.insert_edge(u, v)
+        exact = ppr_power_iteration(dyn.snapshot(), 3, alpha=0.2, tol=1e-12)
+        wdeg = dyn.snapshot().degrees()
+        assert np.all(np.abs(exact - inc.estimate) <= 1e-7 * wdeg + 1e-9)
+
+    def test_edge_changing_structure_changes_estimate(self):
+        # Connect two halves of a path: mass must flow into the far half.
+        g = path_graph(10)
+        dyn = DynamicGraph.from_graph(g)
+        inc = IncrementalPPR(dyn, 0, alpha=0.3, epsilon=1e-8)
+        before = inc.estimate[9]
+        inc.insert_edge(0, 9)
+        assert inc.estimate[9] > before * 2
+
+    def test_updates_are_cheap(self, ba_graph, rng):
+        dyn = DynamicGraph.from_graph(ba_graph)
+        inc = IncrementalPPR(dyn, 0, alpha=0.2, epsilon=1e-5)
+        initial_pushes = inc.last_push_count
+        push_counts = []
+        for _ in range(10):
+            while True:
+                u = int(rng.integers(ba_graph.n_nodes))
+                v = int(rng.integers(ba_graph.n_nodes))
+                if u != v and not dyn.has_edge(u, v):
+                    break
+            inc.insert_edge(u, v)
+            push_counts.append(inc.last_push_count)
+        assert np.mean(push_counts) < 0.3 * max(initial_pushes, 1)
+
+    def test_invalid_alpha(self, ba_graph):
+        dyn = DynamicGraph.from_graph(ba_graph)
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            IncrementalPPR(dyn, 0, alpha=1.5)

@@ -1,0 +1,120 @@
+"""Tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import (
+    barabasi_albert_graph,
+    caveman_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    ring_graph,
+    star_graph,
+    stochastic_block_model,
+)
+from repro.graph.traversal import connected_components
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        g = erdos_renyi_graph(200, 0.05, seed=0)
+        expected = 0.05 * 200 * 199 / 2
+        assert 0.7 * expected < g.n_undirected_edges < 1.3 * expected
+
+    def test_p_zero_empty(self):
+        assert erdos_renyi_graph(10, 0.0, seed=0).n_edges == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi_graph(8, 1.0, seed=0)
+        assert g.n_undirected_edges == 28
+
+    def test_deterministic_under_seed(self):
+        assert erdos_renyi_graph(30, 0.2, seed=1) == erdos_renyi_graph(30, 0.2, seed=1)
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigError):
+            erdos_renyi_graph(10, 1.5)
+
+
+class TestBarabasiAlbert:
+    def test_connected(self):
+        g = barabasi_albert_graph(150, 2, seed=0)
+        assert connected_components(g).max() == 0
+
+    def test_edge_count(self):
+        n, m = 100, 3
+        g = barabasi_albert_graph(n, m, seed=0)
+        # m initial star edges + m per new node
+        assert g.n_undirected_edges == m + (n - m - 1) * m
+
+    def test_degree_skew(self):
+        g = barabasi_albert_graph(400, 2, seed=0)
+        deg = g.degrees()
+        assert deg.max() > 5 * np.median(deg)
+
+    def test_m_bounds(self):
+        with pytest.raises(ConfigError):
+            barabasi_albert_graph(5, 5)
+
+
+class TestSBM:
+    def test_block_labels_attached(self):
+        g = stochastic_block_model([10, 20], [[0.5, 0.0], [0.0, 0.5]], seed=0)
+        assert np.array_equal(np.bincount(g.y), [10, 20])
+
+    def test_no_cross_edges_when_p_out_zero(self):
+        g = stochastic_block_model([15, 15], [[0.6, 0.0], [0.0, 0.6]], seed=0)
+        edges = g.edge_array()
+        assert np.all(g.y[edges[:, 0]] == g.y[edges[:, 1]])
+
+    def test_asymmetric_p_rejected(self):
+        with pytest.raises(ConfigError):
+            stochastic_block_model([5, 5], [[0.5, 0.1], [0.2, 0.5]])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            stochastic_block_model([5, 5, 5], [[0.5, 0.1], [0.1, 0.5]])
+
+    def test_probability_range_enforced(self):
+        with pytest.raises(ConfigError):
+            stochastic_block_model([5, 5], [[1.5, 0.0], [0.0, 0.5]])
+
+
+class TestDeterministicFamilies:
+    def test_ring_degrees(self):
+        g = ring_graph(10)
+        assert np.all(g.degrees() == 2)
+
+    def test_path_degrees(self):
+        g = path_graph(5)
+        assert sorted(g.degrees()) == [1, 1, 2, 2, 2]
+
+    def test_grid_size_and_edges(self):
+        g = grid_graph(3, 4)
+        assert g.n_nodes == 12
+        assert g.n_undirected_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degrees()[0] == 6
+        assert np.all(g.degrees()[1:] == 1)
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert np.all(g.degrees() == 5)
+
+    def test_caveman_connected_with_labels(self):
+        g = caveman_graph(4, 5)
+        assert g.n_nodes == 20
+        assert connected_components(g).max() == 0
+        assert g.y is not None
+        assert len(np.unique(g.y)) == 4
+
+    def test_caveman_mostly_intra_clique(self):
+        g = caveman_graph(4, 6)
+        edges = g.edge_array()
+        cross = np.sum(g.y[edges[:, 0]] != g.y[edges[:, 1]]) // 2
+        assert cross == 4  # exactly the ring bridges

@@ -1,0 +1,79 @@
+"""Tests for edge-list and NPZ graph persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.core import Graph
+from repro.graph.io import load_edge_list, load_npz, save_edge_list, save_npz
+
+
+class TestEdgeListIO:
+    def test_roundtrip(self, ba_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(ba_graph, path)
+        assert load_edge_list(path) == ba_graph
+
+    def test_roundtrip_weighted(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (1, 2)], 3, weights=np.array([0.5, 2.0]))
+        path = tmp_path / "w.txt"
+        save_edge_list(g, path)
+        assert load_edge_list(path) == g
+
+    def test_header_sets_n_nodes(self, tmp_path):
+        path = tmp_path / "h.txt"
+        path.write_text("# nodes 10 directed 0\n0 1\n")
+        g = load_edge_list(path)
+        assert g.n_nodes == 10
+
+    def test_plain_file_without_header(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text("0 1\n1 2\n")
+        g = load_edge_list(path)
+        assert g.n_nodes == 3
+        assert g.n_undirected_edges == 2
+
+    def test_directed_roundtrip(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (2, 1)], 3, directed=True)
+        path = tmp_path / "d.txt"
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded.directed
+        assert loaded == g
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nodes 3 directed 0\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# a comment\n\n0 1\n")
+        assert load_edge_list(path).n_undirected_edges == 1
+
+
+class TestNpzIO:
+    def test_roundtrip_structure(self, ba_graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(ba_graph, path)
+        assert load_npz(path) == ba_graph
+
+    def test_roundtrip_with_data(self, featured_graph, tmp_path):
+        path = tmp_path / "f.npz"
+        save_npz(featured_graph, path)
+        loaded = load_npz(path)
+        assert np.array_equal(loaded.x, featured_graph.x)
+        assert np.array_equal(loaded.y, featured_graph.y)
+
+    def test_directed_flag_preserved(self, tmp_path):
+        g = Graph.from_edges([(0, 1)], 2, directed=True)
+        path = tmp_path / "d.npz"
+        save_npz(g, path)
+        assert load_npz(path).directed

@@ -1,0 +1,74 @@
+"""Tests for graph-level regression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import complete_graph, path_graph, ring_graph
+from repro.tasks import (
+    clustering_coefficient,
+    graph_property_dataset,
+    pooled_graph_embedding,
+    train_graph_regression,
+)
+
+
+class TestClusteringCoefficient:
+    def test_complete_graph_is_one(self):
+        assert clustering_coefficient(complete_graph(6)) == pytest.approx(1.0)
+
+    def test_tree_is_zero(self):
+        assert clustering_coefficient(path_graph(8)) == 0.0
+
+    def test_ring_is_zero(self):
+        assert clustering_coefficient(ring_graph(8)) == 0.0
+
+    def test_triangle_with_tail(self):
+        from repro.graph import Graph
+
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)], 4)
+        # Nodes 0,1: coefficient 1; node 2: 1/3; node 3: 0 (deg 1).
+        assert clustering_coefficient(g) == pytest.approx((1 + 1 + 1 / 3 + 0) / 4)
+
+    def test_in_unit_interval(self, ba_graph):
+        c = clustering_coefficient(ba_graph)
+        assert 0.0 <= c <= 1.0
+
+
+class TestDataset:
+    def test_shapes_and_split(self):
+        ds = graph_property_dataset(n_graphs=20, seed=0)
+        assert len(ds.graphs) == 20
+        assert ds.targets.shape == (20,)
+        assert len(ds.train_ids) + len(ds.test_ids) == 20
+        assert not set(ds.train_ids) & set(ds.test_ids)
+
+    def test_targets_match_property(self):
+        ds = graph_property_dataset(n_graphs=8, seed=1)
+        for g, t in zip(ds.graphs, ds.targets):
+            assert clustering_coefficient(g) == pytest.approx(t)
+
+    def test_target_spread(self):
+        ds = graph_property_dataset(n_graphs=40, seed=2)
+        assert ds.targets.std() > 0.05
+
+    def test_deterministic(self):
+        a = graph_property_dataset(n_graphs=10, seed=3)
+        b = graph_property_dataset(n_graphs=10, seed=3)
+        assert np.allclose(a.targets, b.targets)
+
+
+class TestEmbeddingAndTraining:
+    def test_pooled_embedding_shape(self, featured_graph):
+        emb = pooled_graph_embedding(featured_graph, k_hops=2)
+        assert emb.shape == (3 * 6 + 5,)
+
+    def test_pooled_requires_features(self, ba_graph):
+        with pytest.raises(ConfigError):
+            pooled_graph_embedding(ba_graph)
+
+    def test_regression_beats_mean_predictor(self):
+        ds = graph_property_dataset(n_graphs=200, seed=0)
+        _, mae, r2 = train_graph_regression(ds, epochs=600, seed=0)
+        assert r2 > 0.2, "must explain variance beyond the mean predictor"
+        assert mae < ds.targets.std()

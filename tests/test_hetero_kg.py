@@ -1,0 +1,155 @@
+"""Tests for the knowledge-graph substrate and TransE embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, GraphError
+from repro.graph.hetero import (
+    KnowledgeGraph,
+    random_knowledge_graph,
+)
+from repro.models.kg_embedding import (
+    TransE,
+    tail_ranking_accuracy,
+    train_transe,
+)
+
+
+@pytest.fixture(scope="module")
+def kg():
+    return random_knowledge_graph(
+        n_entities=120, n_relations=6, n_triples=800, seed=0
+    )
+
+
+class TestKnowledgeGraph:
+    def test_sizes_inferred(self):
+        kg = KnowledgeGraph(np.array([[0, 0, 1], [2, 1, 0]]))
+        assert kg.n_entities == 3
+        assert kg.n_relations == 2
+        assert kg.n_triples == 2
+
+    def test_shape_validated(self):
+        with pytest.raises(GraphError):
+            KnowledgeGraph(np.zeros((3, 2), dtype=int))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            KnowledgeGraph(np.empty((0, 3), dtype=int))
+
+    def test_declared_sizes_validated(self):
+        with pytest.raises(GraphError):
+            KnowledgeGraph(np.array([[0, 0, 5]]), n_entities=3)
+
+    def test_incident_triples(self):
+        kg = KnowledgeGraph(np.array([[0, 0, 1], [1, 1, 2]]))
+        assert set(kg.incident_triples(1)) == {0, 1}
+        assert set(kg.incident_triples(0)) == {0}
+
+    def test_incident_bounds(self, kg):
+        with pytest.raises(GraphError):
+            kg.incident_triples(10_000)
+
+    def test_triples_immutable(self, kg):
+        with pytest.raises(ValueError):
+            kg.triples[0, 0] = 99
+
+
+class TestRelationSimilarity:
+    def test_diagonal_one(self, kg):
+        sim = kg.relation_cooccurrence()
+        assert np.allclose(np.diag(sim), 1.0)
+
+    def test_symmetric_in_unit_range(self, kg):
+        sim = kg.relation_cooccurrence()
+        assert np.allclose(sim, sim.T)
+        assert sim.min() >= -1e-12 and sim.max() <= 1 + 1e-12
+
+    def test_same_cluster_relations_more_similar(self):
+        # Two relations confined to disjoint entity sets are dissimilar.
+        triples = np.array([[0, 0, 1], [1, 0, 2], [10, 1, 11], [11, 1, 12]])
+        sim = KnowledgeGraph(triples).relation_cooccurrence()
+        assert sim[0, 1] == pytest.approx(0.0)
+
+
+class TestGathering:
+    def test_budget_respected(self, kg):
+        res = kg.gather_for_query(0, 0, rounds=2, per_round_budget=10)
+        assert len(res.triples) <= 20
+        assert res.rounds <= 2
+
+    def test_gathered_triples_touch_entities(self, kg):
+        res = kg.gather_for_query(0, 0, rounds=2, per_round_budget=15)
+        gathered = kg.triples[res.triples]
+        touched = set(map(int, gathered[:, [0, 2]].ravel())) | {0}
+        assert touched == set(map(int, res.entities))
+
+    def test_relevance_bias(self, kg):
+        # Gathered triples should over-represent relations similar to the
+        # query relation, versus the global distribution.
+        sim = kg.relation_cooccurrence()
+        r = 0
+        res = kg.gather_for_query(
+            int(kg.triples[kg.triples[:, 1] == r][0, 0]), r,
+            rounds=2, per_round_budget=40, similarity=sim,
+        )
+        gathered_rels = kg.triples[res.triples, 1]
+        mean_sim_gathered = sim[r][gathered_rels].mean()
+        mean_sim_global = sim[r][kg.triples[:, 1]].mean()
+        assert mean_sim_gathered > mean_sim_global
+
+    def test_invalid_relation(self, kg):
+        with pytest.raises(GraphError):
+            kg.gather_for_query(0, 999)
+
+    def test_subgraph_from_triples(self, kg):
+        res = kg.gather_for_query(0, 0, rounds=1, per_round_budget=8)
+        sub = kg.subgraph_from_triples(res.triples)
+        assert sub.n_triples == len(res.triples)
+        assert sub.n_entities == kg.n_entities  # id space preserved
+
+    def test_subgraph_empty_rejected(self, kg):
+        with pytest.raises(GraphError):
+            kg.subgraph_from_triples(np.array([], dtype=np.int64))
+
+
+class TestTransE:
+    def test_score_shape(self, kg):
+        model = TransE(kg.n_entities, kg.n_relations, dim=8, seed=0)
+        scores = model.score(kg.triples[:5])
+        assert scores.shape == (5,)
+
+    def test_perfect_translation_scores_zero(self):
+        model = TransE(3, 1, dim=2, seed=0)
+        model.entity.data[...] = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 5.0]])
+        model.relation.data[...] = np.array([[1.0, 0.0]])
+        scores = model.score(np.array([[0, 0, 1], [0, 0, 2]]))
+        assert scores.data[0] == pytest.approx(0.0)
+        assert scores.data[1] < -1.0
+
+    def test_training_beats_random_ranking(self, kg, rng):
+        model = train_transe(kg, dim=16, epochs=80, seed=0)
+        queries = kg.triples[rng.choice(kg.n_triples, 60, replace=False)]
+        acc = tail_ranking_accuracy(model, kg, queries, n_candidates=32, seed=1)
+        assert acc > 5 * (1 / 33), "must beat the random-ranking baseline"
+
+    def test_untrained_is_near_random(self, kg, rng):
+        model = TransE(kg.n_entities, kg.n_relations, dim=16, seed=0)
+        queries = kg.triples[rng.choice(kg.n_triples, 60, replace=False)]
+        acc = tail_ranking_accuracy(model, kg, queries, n_candidates=32, seed=1)
+        assert acc < 0.3
+
+    def test_margin_validated(self, kg):
+        with pytest.raises(ConfigError):
+            train_transe(kg, margin=0.0, epochs=1)
+
+    def test_mrr_improves_with_training(self, kg, rng):
+        from repro.models.kg_embedding import tail_mean_reciprocal_rank
+
+        queries = kg.triples[rng.choice(kg.n_triples, 50, replace=False)]
+        untrained = TransE(kg.n_entities, kg.n_relations, dim=16, seed=0)
+        trained = train_transe(kg, dim=16, epochs=80, seed=0)
+        mrr_u = tail_mean_reciprocal_rank(untrained, kg, queries, seed=1)
+        mrr_t = tail_mean_reciprocal_rank(trained, kg, queries, seed=1)
+        assert mrr_t > mrr_u + 0.2
+        assert 0.0 < mrr_t <= 1.0

@@ -1,0 +1,77 @@
+"""Tests for pruned landmark (hub) labeling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, NotFittedError
+from repro.analytics.hub_labeling import HubLabeling
+from repro.graph import Graph, bfs_distances, grid_graph, path_graph, star_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("builder", [
+        lambda: grid_graph(4, 5),
+        lambda: path_graph(12),
+        lambda: star_graph(9),
+    ])
+    def test_exact_on_structured_graphs(self, builder):
+        g = builder()
+        hl = HubLabeling().build(g)
+        for s in range(g.n_nodes):
+            d = bfs_distances(g, s)
+            for t in range(g.n_nodes):
+                assert hl.query(s, t) == d[t]
+
+    def test_exact_on_random_graph(self, ba_graph, rng):
+        hl = HubLabeling().build(ba_graph)
+        for s in rng.choice(ba_graph.n_nodes, 8, replace=False):
+            d = bfs_distances(ba_graph, int(s))
+            for t in rng.choice(ba_graph.n_nodes, 15, replace=False):
+                assert hl.query(int(s), int(t)) == d[t]
+
+    def test_disconnected_pairs(self):
+        g = Graph.from_edges([(0, 1), (2, 3)], 4)
+        hl = HubLabeling().build(g)
+        assert hl.query(0, 3) == -1
+        assert hl.query(0, 1) == 1
+
+    def test_self_distance_zero(self, ba_graph):
+        hl = HubLabeling().build(ba_graph)
+        assert hl.query(5, 5) == 0
+
+    def test_query_batch(self, grid5x5):
+        hl = HubLabeling().build(grid5x5)
+        pairs = np.array([[0, 24], [0, 4], [12, 12]])
+        assert np.array_equal(hl.query_batch(pairs), [8, 4, 0])
+
+
+class TestIndexProperties:
+    def test_query_before_build(self):
+        with pytest.raises(NotFittedError):
+            HubLabeling().query(0, 1)
+
+    def test_rejects_directed(self):
+        g = Graph.from_edges([(0, 1)], 2, directed=True)
+        with pytest.raises(GraphError):
+            HubLabeling().build(g)
+
+    def test_invalid_node(self, grid5x5):
+        hl = HubLabeling().build(grid5x5)
+        with pytest.raises(GraphError):
+            hl.query(0, 99)
+
+    def test_star_labels_tiny(self):
+        # On a star, the centre covers everything: labels stay O(1).
+        hl = HubLabeling().build(star_graph(50))
+        assert hl.average_label_size <= 2.5
+
+    def test_pruning_beats_full_labels(self, ba_graph):
+        # Without pruning every node would hold n labels.
+        hl = HubLabeling().build(ba_graph)
+        assert hl.average_label_size < ba_graph.n_nodes / 4
+
+    def test_hub_hierarchy_is_high_degree(self, ba_graph):
+        hl = HubLabeling().build(ba_graph)
+        top = hl.hub_hierarchy(5)
+        degrees = ba_graph.degrees()
+        assert set(top) == set(np.argsort(-degrees, kind="stable")[:5])

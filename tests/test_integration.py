@@ -1,0 +1,149 @@
+"""Cross-module integration scenarios: full pipelines, end to end."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import contextual_sbm
+from repro.editing import (
+    ldg_partition,
+    threshold_sparsify,
+)
+from repro.editing.coarsen import coarse_node_batches, multilevel_coarsen
+from repro.models import GCN, SGC
+from repro.tensor import functional as F
+from repro.tensor.autograd import no_grad
+from repro.tensor.optim import Adam
+from repro.training import accuracy, train_decoupled, train_full_batch
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return contextual_sbm(
+        500, n_classes=3, homophily=0.85, avg_degree=10, n_features=16,
+        feature_signal=1.2, seed=7,
+    )
+
+
+class TestSparsifyThenTrain:
+    def test_pipeline_preserves_accuracy(self, workload):
+        graph, split = workload
+        base = train_full_batch(
+            GCN(16, 32, 3, seed=0), graph, split, epochs=60
+        ).test_accuracy
+        sparsified = threshold_sparsify(graph, 0.05).graph
+        pruned = train_full_batch(
+            GCN(16, 32, 3, seed=0), sparsified, split, epochs=60
+        ).test_accuracy
+        assert pruned > base - 0.07
+
+
+class TestCoarsenThenDecouple:
+    def test_coarse_precompute_then_lift(self, workload):
+        # Decoupled model trained on the coarse graph, lifted to the fine
+        # graph through the membership: the full multilevel pipeline.
+        from repro.editing.coarsen import lift_to_original
+        from repro.datasets.synthetic import Split
+
+        graph, split = workload
+        res = multilevel_coarsen(graph, 0.4, seed=0)
+        coarse = res.graph
+        n_c = coarse.n_nodes
+        coarse_split = Split(np.arange(n_c), np.arange(n_c), np.arange(n_c))
+        model = SGC(16, 3, k_hops=2, hidden=32, seed=0)
+        train_decoupled(model, coarse, coarse_split, epochs=60, seed=0)
+        model.eval()
+        emb = model.precompute(coarse)
+        with no_grad():
+            coarse_pred = model(emb).data.argmax(axis=1)
+        lifted = lift_to_original(res.membership, coarse_pred)
+        acc = accuracy(lifted[split.test], graph.y[split.test])
+        assert acc > 0.7
+
+
+class TestSeignnCoarseBatches:
+    def test_training_on_coarse_node_batches(self, workload):
+        # SEIGNN-style: train a GCN over partition batches augmented with
+        # coarse summary nodes; loss masked to real nodes only.
+        graph, split = workload
+        part = ldg_partition(graph, 4, seed=0)
+        batches = coarse_node_batches(graph, part.assignment, 4)
+        train_mask = np.zeros(graph.n_nodes, dtype=bool)
+        train_mask[split.train] = True
+        model = GCN(16, 32, 3, seed=0)
+        opt = Adam(model.parameters(), lr=0.01, weight_decay=5e-4)
+        preps = [(b, GCN.prepare(b.graph)) for b in batches]
+        for _ in range(40):
+            for batch, prep in preps:
+                local_train = np.flatnonzero(train_mask[batch.local_nodes])
+                if len(local_train) == 0:
+                    continue
+                model.train()
+                opt.zero_grad()
+                logits = model(prep, batch.graph.x)
+                loss = F.cross_entropy(
+                    logits.gather_rows(local_train),
+                    graph.y[batch.local_nodes[local_train]],
+                )
+                loss.backward()
+                opt.step()
+        model.eval()
+        with no_grad():
+            full_logits = model(GCN.prepare(graph), graph.x).data
+        acc = accuracy(full_logits[split.test].argmax(axis=1), graph.y[split.test])
+        assert acc > 0.8
+
+    def test_coarse_nodes_carry_cross_partition_signal(self, workload):
+        # Removing the coarse nodes from the batches loses the
+        # cross-partition edge mass they summarise.
+        graph, _ = workload
+        part = ldg_partition(graph, 4, seed=0)
+        batches = coarse_node_batches(graph, part.assignment, 4)
+        for batch in batches:
+            if batch.is_coarse.any():
+                coarse_weight = batch.graph.adjacency()[
+                    :, np.flatnonzero(batch.is_coarse)
+                ].sum()
+                assert coarse_weight > 0
+
+
+class TestDynamicEmbeddingRefresh:
+    def test_incremental_ppr_feeds_decoupled_model(self, workload):
+        # Maintain a PPR row under stream updates, use it as an embedding
+        # feature: the dynamic-decoupled pipeline of §3.4.2.
+        from repro.graph.dynamic import DynamicGraph, IncrementalPPR
+
+        graph, split = workload
+        dyn = DynamicGraph.from_graph(graph)
+        inc = IncrementalPPR(dyn, int(split.train[0]), alpha=0.2, epsilon=1e-5)
+        before = inc.estimate.copy()
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            while True:
+                u = int(rng.integers(graph.n_nodes))
+                v = int(rng.integers(graph.n_nodes))
+                if u != v and not dyn.has_edge(u, v):
+                    break
+            inc.insert_edge(u, v)
+        assert inc.check_invariant()
+        assert not np.allclose(before, inc.estimate)
+
+
+class TestRetrievalOverLearnedEmbeddings:
+    def test_contrastive_embeddings_power_retrieval(self, workload):
+        from repro.models import train_contrastive
+        from repro.retrieval import CommunityIndex
+
+        graph, _ = workload
+        emb = train_contrastive(graph, epochs=15, seed=0)
+        # Label propagation can collapse on dense homophilous graphs;
+        # feed the index a partitioner's communities instead (the two
+        # modules compose through the assignment argument).
+        part = ldg_partition(graph, 6, seed=0)
+        index = CommunityIndex(n_probe=2, seed=0).build(
+            graph, emb, assignment=part.assignment
+        )
+        rng = np.random.default_rng(1)
+        queries = emb[rng.choice(graph.n_nodes, 8, replace=False)]
+        recall, frac = index.recall_against_flat(queries, 5)
+        assert recall > 0.5
+        assert frac < 0.7

@@ -1,0 +1,113 @@
+"""Tests for the GC-SNTK-style kernel ridge regression condensation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, NotFittedError, ShapeError
+from repro.models.krr import (
+    KernelRidgeClassifier,
+    condense_landmarks,
+    propagated_representation,
+    sntk_kernel,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    from repro.datasets import contextual_sbm
+
+    graph, split = contextual_sbm(
+        500, n_classes=3, homophily=0.85, avg_degree=10, n_features=16,
+        feature_signal=0.8, seed=0,
+    )
+    return graph, split, propagated_representation(graph, 2)
+
+
+class TestKernel:
+    def test_rows_are_unit(self, workload):
+        _, _, rep = workload
+        assert np.allclose(np.linalg.norm(rep, axis=1), 1.0)
+
+    def test_kernel_symmetric_psd(self, workload):
+        _, _, rep = workload
+        k = sntk_kernel(rep[:60], depth=2)
+        assert np.allclose(k, k.T)
+        assert np.linalg.eigvalsh(k).min() >= -1e-8
+
+    def test_kernel_diag_maximal_for_unit_rows(self, workload):
+        _, _, rep = workload
+        k = sntk_kernel(rep[:40], depth=3)
+        assert np.all(np.diag(k) >= k.max(axis=1) - 1e-9)
+
+    def test_cross_kernel_shape(self, workload):
+        _, _, rep = workload
+        assert sntk_kernel(rep[:10], rep[:7], depth=2).shape == (10, 7)
+
+    def test_dim_mismatch(self, workload):
+        _, _, rep = workload
+        with pytest.raises(ShapeError):
+            sntk_kernel(rep[:5], rep[:5, :4])
+
+
+class TestClassifier:
+    def test_closed_form_fit_learns(self, workload):
+        graph, split, rep = workload
+        clf = KernelRidgeClassifier(ridge=1e-2).fit(
+            rep[split.train], graph.y[split.train]
+        )
+        acc = (clf.predict(rep[split.test]) == graph.y[split.test]).mean()
+        assert acc > 0.85
+
+    def test_predict_before_fit(self, workload):
+        _, _, rep = workload
+        with pytest.raises(NotFittedError):
+            KernelRidgeClassifier().predict(rep[:3])
+
+    def test_soft_targets_accepted(self, workload):
+        graph, split, rep = workload
+        soft = np.full((len(split.train), 3), 1 / 3)
+        clf = KernelRidgeClassifier().fit(rep[split.train], soft)
+        assert clf.decision(rep[:5]).shape == (5, 3)
+
+    def test_ridge_validated(self):
+        with pytest.raises(ConfigError):
+            KernelRidgeClassifier(ridge=0.0)
+
+    def test_high_ridge_shrinks_decision(self, workload):
+        graph, split, rep = workload
+        weak = KernelRidgeClassifier(ridge=1e3).fit(
+            rep[split.train], graph.y[split.train]
+        )
+        strong = KernelRidgeClassifier(ridge=1e-3).fit(
+            rep[split.train], graph.y[split.train]
+        )
+        assert np.abs(weak.decision(rep[:20])).mean() < np.abs(
+            strong.decision(rep[:20])
+        ).mean()
+
+
+class TestCondensation:
+    def test_landmark_shapes(self, workload):
+        graph, split, rep = workload
+        lm, soft = condense_landmarks(
+            rep[split.train], graph.y[split.train], 30, seed=0
+        )
+        assert lm.shape[1] == rep.shape[1]
+        assert lm.shape[0] <= 30
+        assert np.allclose(soft.sum(axis=1), 1.0)
+
+    def test_condensed_fit_close_to_full(self, workload):
+        graph, split, rep = workload
+        full = KernelRidgeClassifier().fit(rep[split.train], graph.y[split.train])
+        acc_full = (full.predict(rep[split.test]) == graph.y[split.test]).mean()
+        lm, soft = condense_landmarks(
+            rep[split.train], graph.y[split.train], 30, seed=0
+        )
+        small = KernelRidgeClassifier().fit(lm, soft)
+        acc_small = (small.predict(rep[split.test]) == graph.y[split.test]).mean()
+        assert acc_small > acc_full - 0.08
+
+    def test_landmark_count_validated(self, workload):
+        graph, split, rep = workload
+        with pytest.raises(ConfigError):
+            condense_landmarks(rep[:10], graph.y[:10], 10)

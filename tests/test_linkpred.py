@@ -1,0 +1,120 @@
+"""Tests for the link-prediction task module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, GraphError, NotFittedError
+from repro.graph import Graph, complete_graph
+from repro.models import hop_features
+from repro.tasks import (
+    EmbeddingLinkPredictor,
+    SurelLinkPredictor,
+    auc_score,
+    dot_product_link_scores,
+    split_edges,
+)
+
+
+@pytest.fixture(scope="module")
+def community_split():
+    from repro.datasets import contextual_sbm
+
+    graph, _ = contextual_sbm(
+        300, n_classes=3, homophily=0.9, avg_degree=10, n_features=12,
+        feature_signal=1.0, seed=0,
+    )
+    return graph, split_edges(graph, 0.1, seed=0)
+
+
+class TestSplitEdges:
+    def test_no_leakage(self, community_split):
+        graph, ls = community_split
+        for u, v in ls.test_pos:
+            assert graph.has_edge(int(u), int(v))
+            assert not ls.train_graph.has_edge(int(u), int(v))
+
+    def test_negatives_are_non_edges(self, community_split):
+        graph, ls = community_split
+        for u, v in np.concatenate([ls.test_neg, ls.train_neg]):
+            assert not graph.has_edge(int(u), int(v))
+            assert u != v
+
+    def test_counts(self, community_split):
+        graph, ls = community_split
+        total = graph.n_undirected_edges
+        assert len(ls.test_pos) == max(1, int(0.1 * total))
+        assert len(ls.train_pos) + len(ls.test_pos) == total
+        assert len(ls.test_neg) == len(ls.test_pos)
+
+    def test_train_graph_carries_features(self, community_split):
+        graph, ls = community_split
+        assert np.array_equal(ls.train_graph.x, graph.x)
+
+    def test_directed_rejected(self):
+        g = Graph.from_edges([(0, 1)], 2, directed=True)
+        with pytest.raises(GraphError):
+            split_edges(g)
+
+    def test_dense_graph_negative_sampling_fails_loudly(self):
+        g = complete_graph(5)
+        with pytest.raises(GraphError):
+            split_edges(g, 0.5, seed=0)
+
+
+class TestAuc:
+    def test_perfect_separation(self):
+        assert auc_score(np.array([2.0, 3.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_inverted(self):
+        assert auc_score(np.array([0.0]), np.array([1.0])) == 0.0
+
+    def test_random_is_half(self, rng):
+        scores = rng.normal(size=2000)
+        assert auc_score(scores[:1000], scores[1000:]) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_get_midrank(self):
+        assert auc_score(np.array([1.0]), np.array([1.0])) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            auc_score(np.array([]), np.array([1.0]))
+
+
+class TestPredictors:
+    def test_dot_product_beats_random(self, community_split):
+        graph, ls = community_split
+        emb = hop_features(ls.train_graph, 2)[-1]
+        auc = auc_score(
+            dot_product_link_scores(emb, ls.test_pos),
+            dot_product_link_scores(emb, ls.test_neg),
+        )
+        assert auc > 0.65
+
+    def test_embedding_predictor_beats_random(self, community_split):
+        graph, ls = community_split
+        emb = hop_features(ls.train_graph, 2)[-1]
+        pred = EmbeddingLinkPredictor(epochs=30, seed=0).fit(emb, ls)
+        auc = auc_score(pred.predict(ls.test_pos), pred.predict(ls.test_neg))
+        assert auc > 0.65
+
+    def test_surel_predictor_beats_random(self, community_split):
+        graph, ls = community_split
+        pred = SurelLinkPredictor(n_walks=24, walk_length=3, epochs=30, seed=0)
+        pred.fit(ls)
+        auc = auc_score(pred.predict(ls.test_pos), pred.predict(ls.test_neg))
+        assert auc > 0.65
+
+    def test_predict_before_fit(self, community_split):
+        graph, ls = community_split
+        with pytest.raises(NotFittedError):
+            SurelLinkPredictor(seed=0).predict(ls.test_pos)
+        with pytest.raises(NotFittedError):
+            EmbeddingLinkPredictor(seed=0).predict(ls.test_pos)
+
+    def test_surel_features_shape(self, community_split):
+        graph, ls = community_split
+        pred = SurelLinkPredictor(n_walks=8, walk_length=2, seed=0)
+        pred.storage.build(ls.train_graph)
+        feats = pred._pair_features(ls.test_pos[:4])
+        # mean + max of 2*(L+1) columns, plus (L+1) overlap sums.
+        assert feats.shape == (4, 2 * 2 * 3 + 3)

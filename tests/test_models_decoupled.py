@@ -1,0 +1,202 @@
+"""Tests for decoupled models: SGC, SIGN, SCARA, LD2, SIMGA, GAMLP, spectral."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.graph.ops import propagation_matrix
+from repro.models import (
+    GAMLP,
+    LD2,
+    SCARA,
+    SGC,
+    SIGNModel,
+    SIMGA,
+    SpectralBasisGNN,
+    feature_push,
+    hop_features,
+)
+from repro.models.ld2 import ld2_embeddings
+from repro.models.simga import simga_aggregation_matrix
+from repro.tensor import functional as F
+
+
+class TestHopFeatures:
+    def test_count_and_shapes(self, featured_graph):
+        hops = hop_features(featured_graph, 3)
+        assert len(hops) == 4
+        assert all(h.shape == featured_graph.x.shape for h in hops)
+
+    def test_zeroth_hop_is_x(self, featured_graph):
+        hops = hop_features(featured_graph, 2)
+        assert np.array_equal(hops[0], featured_graph.x)
+
+    def test_hops_are_repeated_propagation(self, featured_graph):
+        hops = hop_features(featured_graph, 2)
+        prop = propagation_matrix(featured_graph, scheme="gcn")
+        assert np.allclose(hops[2], prop @ (prop @ featured_graph.x))
+
+    def test_requires_features(self, ba_graph):
+        with pytest.raises(ValueError):
+            hop_features(ba_graph, 2)
+
+
+class TestSGCAndSIGN:
+    def test_sgc_precompute_is_last_hop(self, featured_graph):
+        model = SGC(6, 3, k_hops=2, seed=0)
+        emb = model.precompute(featured_graph)
+        assert np.allclose(emb, hop_features(featured_graph, 2)[2])
+
+    def test_sgc_forward_shape(self, featured_graph):
+        model = SGC(6, 3, k_hops=1, hidden=8, seed=0)
+        emb = model.precompute(featured_graph)
+        assert model(emb[:10]).shape == (10, 3)
+
+    def test_sign_concatenates(self, featured_graph):
+        model = SIGNModel(6, 3, k_hops=2, seed=0)
+        emb = model.precompute(featured_graph)
+        assert emb.shape == (featured_graph.n_nodes, 6 * 3)
+
+    def test_sign_forward_shape(self, featured_graph):
+        model = SIGNModel(6, 3, k_hops=2, hidden=8, seed=0)
+        emb = model.precompute(featured_graph)
+        assert model(emb[:5]).shape == (5, 3)
+
+
+class TestFeaturePush:
+    def test_matches_dense_series(self, featured_graph):
+        # Tight epsilon -> equals alpha * sum (1-a)^k (A D^-1)^k X.
+        from repro.graph.ops import normalized_adjacency
+
+        alpha = 0.3
+        emb = feature_push(featured_graph, featured_graph.x, alpha=alpha,
+                           epsilon=1e-12)
+        p_col = normalized_adjacency(featured_graph, kind="col",
+                                     self_loops=False).toarray()
+        acc = np.zeros_like(featured_graph.x)
+        term = featured_graph.x.copy()
+        for _ in range(300):
+            acc += alpha * term
+            term = (1 - alpha) * (p_col @ term)
+        assert np.allclose(emb, acc, atol=1e-6)
+
+    def test_loose_epsilon_less_work_but_close(self, featured_graph):
+        tight = feature_push(featured_graph, featured_graph.x, epsilon=1e-10)
+        loose = feature_push(featured_graph, featured_graph.x, epsilon=1e-2)
+        assert np.abs(tight - loose).max() < 0.5
+
+    def test_alpha_validation(self, featured_graph):
+        with pytest.raises(ConfigError):
+            feature_push(featured_graph, featured_graph.x, alpha=1.5)
+
+    def test_feature_shape_validation(self, featured_graph):
+        with pytest.raises(ConfigError):
+            feature_push(featured_graph, np.ones((3, 2)))
+
+    def test_scara_model_shapes(self, featured_graph):
+        model = SCARA(6, 8, 3, seed=0)
+        emb = model.precompute(featured_graph)
+        assert emb.shape == featured_graph.x.shape
+        assert model(emb[:7]).shape == (7, 3)
+
+
+class TestLD2:
+    def test_embedding_width(self, featured_graph):
+        emb = ld2_embeddings(featured_graph, k_hops=2)
+        assert emb.shape == (featured_graph.n_nodes, 6 * 5)
+
+    def test_contains_identity_view(self, featured_graph):
+        emb = ld2_embeddings(featured_graph, k_hops=1)
+        assert np.array_equal(emb[:, :6], featured_graph.x)
+
+    def test_model_forward(self, featured_graph):
+        model = LD2(6, 8, 3, k_hops=2, seed=0)
+        emb = model.precompute(featured_graph)
+        assert model(emb[:4]).shape == (4, 3)
+
+    def test_requires_features(self, ba_graph):
+        with pytest.raises(ConfigError):
+            ld2_embeddings(ba_graph, 2)
+
+
+class TestSIMGA:
+    def test_aggregation_matrix_row_normalised(self, sbm_graph):
+        s = simga_aggregation_matrix(sbm_graph, topk=5, n_walks=50, seed=0)
+        sums = np.asarray(s.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_aggregation_topk_sparsity(self, sbm_graph):
+        s = simga_aggregation_matrix(sbm_graph, topk=5, n_walks=50, seed=0)
+        assert np.diff(s.indptr).max() <= 5
+
+    def test_model_embedding_width(self, featured_graph):
+        model = SIMGA(6, 8, 3, topk=4, n_walks=30, seed=0)
+        emb = model.precompute(featured_graph)
+        assert emb.shape == (featured_graph.n_nodes, 12)
+
+
+class TestGAMLP:
+    def test_forward_shape(self, featured_graph):
+        model = GAMLP(6, 8, 3, k_hops=2, seed=0)
+        hops = model.precompute(featured_graph)
+        out = model([h[:10] for h in hops])
+        assert out.shape == (10, 3)
+
+    def test_attention_weights_simplex(self, featured_graph):
+        model = GAMLP(6, 8, 3, k_hops=3, seed=0)
+        hops = model.precompute(featured_graph)
+        w = model.attention_weights([h[:20] for h in hops])
+        assert w.shape == (20, 4)
+        assert np.allclose(w.sum(axis=1), 1.0)
+        assert np.all(w >= 0)
+
+    def test_hop_count_validated(self, featured_graph):
+        model = GAMLP(6, 8, 3, k_hops=2, seed=0)
+        hops = model.precompute(featured_graph)
+        with pytest.raises(ShapeError):
+            model(hops[:2])
+
+    def test_gradients_reach_attention(self, featured_graph):
+        model = GAMLP(6, 8, 3, k_hops=2, seed=0)
+        hops = model.precompute(featured_graph)
+        loss = F.cross_entropy(model([h[:30] for h in hops]),
+                               featured_graph.y[:30])
+        loss.backward()
+        assert model.attention.weight.grad is not None
+        assert np.abs(model.attention.weight.grad).sum() > 0
+
+
+class TestSpectralBasisGNN:
+    @pytest.mark.parametrize("basis", ["monomial", "chebyshev", "bernstein"])
+    def test_forward_shape(self, featured_graph, basis):
+        model = SpectralBasisGNN(6, 8, 3, degree=3, basis=basis, seed=0)
+        signals = model.precompute(featured_graph)
+        assert len(signals) == 4
+        out = model([s[:6] for s in signals])
+        assert out.shape == (6, 3)
+
+    def test_theta_initialised_identity(self, featured_graph):
+        model = SpectralBasisGNN(6, 8, 3, degree=2, seed=0)
+        coeffs = model.filter_coefficients()
+        assert coeffs[0] == 1.0
+        assert np.all(coeffs[1:] == 0.0)
+
+    def test_theta_learns(self, featured_graph):
+        model = SpectralBasisGNN(6, 8, 3, degree=2, seed=0)
+        signals = model.precompute(featured_graph)
+        loss = F.cross_entropy(
+            model([s[:40] for s in signals]), featured_graph.y[:40]
+        )
+        loss.backward()
+        assert model.theta.grad is not None
+        assert np.abs(model.theta.grad).sum() > 0
+
+    def test_basis_validation(self):
+        with pytest.raises(ConfigError):
+            SpectralBasisGNN(4, 8, 2, basis="wavelet")
+
+    def test_signal_count_validated(self, featured_graph):
+        model = SpectralBasisGNN(6, 8, 3, degree=3, seed=0)
+        signals = model.precompute(featured_graph)
+        with pytest.raises(ShapeError):
+            model(signals[:2])

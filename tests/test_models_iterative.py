@@ -1,0 +1,154 @@
+"""Tests for full-batch iterative models: GCN, APPNP, implicit GNNs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ConvergenceError
+from repro.models import APPNP, GCN, ImplicitGNN, MultiscaleImplicitGNN
+from repro.models.implicit import implicit_solve
+from repro.tensor import Tensor, check_gradients
+from repro.tensor.autograd import no_grad
+
+
+class TestGCN:
+    def test_output_shape(self, featured_graph):
+        model = GCN(6, 8, 3, seed=0)
+        logits = model(GCN.prepare(featured_graph), featured_graph.x)
+        assert logits.shape == (featured_graph.n_nodes, 3)
+
+    def test_layer_validation(self):
+        with pytest.raises(ConfigError):
+            GCN(4, 8, 2, n_layers=0)
+
+    def test_deterministic_seed(self, featured_graph):
+        prep = GCN.prepare(featured_graph)
+        a = GCN(6, 8, 3, dropout=0.0, seed=4)(prep, featured_graph.x).data
+        b = GCN(6, 8, 3, dropout=0.0, seed=4)(prep, featured_graph.x).data
+        assert np.array_equal(a, b)
+
+    def test_single_layer_receptive_field(self, featured_graph):
+        # With 1 layer, perturbing features of a non-neighbour of node 0
+        # does not change node 0's logits.
+        model = GCN(6, 8, 3, n_layers=1, dropout=0.0, seed=0)
+        model.eval()
+        prep = GCN.prepare(featured_graph)
+        base = model(prep, featured_graph.x).data[0]
+        neigh = set(featured_graph.neighbors(0)) | {0}
+        far = next(v for v in range(featured_graph.n_nodes) if v not in neigh)
+        x2 = featured_graph.x.copy()
+        x2[far] += 100.0
+        perturbed = model(prep, x2).data[0]
+        assert np.allclose(base, perturbed)
+
+    def test_gradients_flow_to_all_layers(self, featured_graph):
+        model = GCN(6, 8, 3, n_layers=2, dropout=0.0, seed=0)
+        prep = GCN.prepare(featured_graph)
+        from repro.tensor import functional as F
+
+        loss = F.cross_entropy(model(prep, featured_graph.x), featured_graph.y)
+        loss.backward()
+        for p in model.parameters():
+            assert p.grad is not None
+
+
+class TestAPPNP:
+    def test_output_shape(self, featured_graph):
+        model = APPNP(6, 8, 3, seed=0)
+        logits = model(APPNP.prepare(featured_graph), featured_graph.x)
+        assert logits.shape == (featured_graph.n_nodes, 3)
+
+    def test_global_receptive_field(self, featured_graph):
+        # Even with an MLP (no graph in the trainable part), 10-step PPR
+        # propagation spreads any feature perturbation graph-wide.
+        model = APPNP(6, 8, 3, dropout=0.0, k_steps=10, seed=0)
+        model.eval()
+        prep = APPNP.prepare(featured_graph)
+        base = model(prep, featured_graph.x).data
+        x2 = featured_graph.x.copy()
+        x2[50] += 10.0
+        diff = np.abs(model(prep, x2).data - base).sum(axis=1)
+        assert (diff > 1e-9).mean() > 0.9
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigError):
+            APPNP(4, 8, 2, alpha=0.0)
+
+    def test_alpha_one_recovers_mlp(self, featured_graph):
+        # alpha -> 1 means no propagation: logits equal MLP output.
+        model = APPNP(6, 8, 3, alpha=0.999999, dropout=0.0, k_steps=3, seed=0)
+        model.eval()
+        prep = APPNP.prepare(featured_graph)
+        out = model(prep, featured_graph.x).data
+        mlp_out = model.mlp(Tensor(featured_graph.x)).data
+        assert np.allclose(out, mlp_out, atol=1e-4)
+
+
+class TestImplicitSolve:
+    def test_solves_linear_system(self, featured_graph, rng):
+        op = ImplicitGNN.prepare(featured_graph)
+        gamma = 0.7
+        b = rng.normal(size=(featured_graph.n_nodes, 3))
+        z = implicit_solve(op, gamma, Tensor(b), tol=1e-12).data
+        assert np.allclose(z, gamma * (op @ z) + b, atol=1e-9)
+
+    def test_closed_form_small(self, triangle, rng):
+        op = ImplicitGNN.prepare(triangle)
+        gamma = 0.5
+        b = rng.normal(size=(3, 2))
+        z = implicit_solve(op, gamma, Tensor(b), tol=1e-13).data
+        exact = np.linalg.solve(np.eye(3) - gamma * op.toarray(), b)
+        assert np.allclose(z, exact, atol=1e-9)
+
+    def test_gradient_via_adjoint(self, triangle, rng):
+        op = ImplicitGNN.prepare(triangle)
+        b = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        assert check_gradients(
+            lambda b: (implicit_solve(op, 0.6, b, tol=1e-13) ** 2).sum(), [b],
+            atol=1e-4,
+        )
+
+    def test_gamma_validation(self, triangle):
+        with pytest.raises(ConfigError):
+            implicit_solve(ImplicitGNN.prepare(triangle), 1.0, Tensor(np.ones((3, 1))))
+
+    def test_divergent_operator_raises(self, triangle):
+        import scipy.sparse as sp
+
+        bad = sp.csr_matrix(3.0 * np.ones((3, 3)))
+        with pytest.raises(ConvergenceError):
+            implicit_solve(bad, 0.9, Tensor(np.ones((3, 1))), max_iter=30)
+
+
+class TestImplicitGNN:
+    def test_output_shape(self, featured_graph):
+        model = ImplicitGNN(6, 8, 3, seed=0)
+        out = model(ImplicitGNN.prepare(featured_graph), featured_graph.x)
+        assert out.shape == (featured_graph.n_nodes, 3)
+
+    def test_single_layer_global_field(self, featured_graph):
+        model = ImplicitGNN(6, 8, 3, gamma=0.9, dropout=0.0, seed=0)
+        model.eval()
+        op = ImplicitGNN.prepare(featured_graph)
+        with no_grad():
+            base = model(op, featured_graph.x).data
+            x2 = featured_graph.x.copy()
+            x2[0] += 10.0
+            diff = np.abs(model(op, x2).data - base).sum(axis=1)
+        assert (diff > 1e-12).mean() > 0.9
+
+    def test_multiscale_shapes(self, featured_graph):
+        model = MultiscaleImplicitGNN(6, 8, 3, scales=(1, 2), seed=0)
+        ops = model.prepare(featured_graph)
+        assert len(ops) == 2
+        out = model(ops, featured_graph.x)
+        assert out.shape == (featured_graph.n_nodes, 3)
+
+    def test_multiscale_operator_count_checked(self, featured_graph):
+        model = MultiscaleImplicitGNN(6, 8, 3, scales=(1, 2), seed=0)
+        ops = model.prepare(featured_graph)
+        with pytest.raises(ConfigError):
+            model(ops[:1], featured_graph.x)
+
+    def test_multiscale_scale_validation(self):
+        with pytest.raises(ConfigError):
+            MultiscaleImplicitGNN(4, 8, 2, scales=())

@@ -1,0 +1,137 @@
+"""Tests for GraphSAGE, PPRGo, and node-adaptive inference."""
+
+import numpy as np
+import pytest
+
+from repro.editing.sampling import LaborSampler, NeighborSampler
+from repro.errors import ConfigError, NotFittedError
+from repro.models import SGC, GraphSAGE, NodeAdaptiveInference, PPRGo
+from repro.tensor.autograd import no_grad
+
+
+class TestGraphSAGE:
+    def test_forward_blocks_shape(self, featured_graph):
+        model = GraphSAGE(6, 8, 3, n_layers=2, seed=0)
+        sampler = NeighborSampler(featured_graph, [4, 4], seed=0)
+        seeds = np.arange(12)
+        blocks = sampler.sample(seeds)
+        out = model.forward_blocks(blocks, featured_graph.x[blocks[0].src_ids])
+        assert out.shape == (12, 3)
+
+    def test_blocks_must_match_layers(self, featured_graph):
+        model = GraphSAGE(6, 8, 3, n_layers=2, seed=0)
+        sampler = NeighborSampler(featured_graph, [4], seed=0)
+        blocks = sampler.sample(np.arange(3))
+        with pytest.raises(ConfigError):
+            model.forward_blocks(blocks, featured_graph.x[blocks[0].src_ids])
+
+    def test_full_forward_shape(self, featured_graph):
+        model = GraphSAGE(6, 8, 3, n_layers=2, seed=0)
+        out = model.forward_full(GraphSAGE.prepare(featured_graph), featured_graph.x)
+        assert out.shape == (featured_graph.n_nodes, 3)
+
+    def test_full_fanout_matches_full_forward(self, featured_graph):
+        # With fanout >= max degree, sampled blocks equal full aggregation.
+        model = GraphSAGE(6, 8, 3, n_layers=1, dropout=0.0, seed=0)
+        model.eval()
+        max_deg = int(featured_graph.degrees().max())
+        sampler = NeighborSampler(featured_graph, [max_deg + 1], seed=0)
+        seeds = np.arange(featured_graph.n_nodes)
+        blocks = sampler.sample(seeds)
+        with no_grad():
+            sampled = model.forward_blocks(
+                blocks, featured_graph.x[blocks[0].src_ids]
+            ).data
+            full = model.forward_full(
+                GraphSAGE.prepare(featured_graph), featured_graph.x
+            ).data
+        assert np.allclose(sampled, full, atol=1e-10)
+
+    def test_works_with_labor_sampler(self, featured_graph):
+        model = GraphSAGE(6, 8, 3, n_layers=2, seed=0)
+        sampler = LaborSampler(featured_graph, [4, 4], seed=0)
+        blocks = sampler.sample(np.arange(6))
+        out = model.forward_blocks(blocks, featured_graph.x[blocks[0].src_ids])
+        assert out.shape == (6, 3)
+
+
+class TestPPRGo:
+    def test_requires_precompute(self, featured_graph):
+        model = PPRGo(6, 8, 3, seed=0)
+        with pytest.raises(NotFittedError):
+            model(np.arange(3))
+
+    def test_requires_features(self, ba_graph):
+        model = PPRGo(6, 8, 3, seed=0)
+        with pytest.raises(ConfigError):
+            model.precompute(ba_graph)
+
+    def test_pi_rows_normalised_topk(self, featured_graph):
+        model = PPRGo(6, 8, 3, topk=8, seed=0)
+        pi = model.precompute(featured_graph)
+        sums = np.asarray(pi.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+        assert np.diff(pi.indptr).max() <= 8
+
+    def test_forward_shape(self, featured_graph):
+        model = PPRGo(6, 8, 3, topk=8, seed=0)
+        model.precompute(featured_graph)
+        assert model(np.arange(9)).shape == (9, 3)
+
+    def test_batch_support_smaller_than_graph(self, featured_graph):
+        model = PPRGo(6, 8, 3, topk=4, seed=0)
+        model.precompute(featured_graph)
+        support = model.batch_support_size(np.arange(5))
+        assert support <= 5 * 4
+        assert support < featured_graph.n_nodes
+
+    def test_alpha_validated(self):
+        with pytest.raises(ConfigError):
+            PPRGo(4, 8, 2, alpha=1.0)
+
+
+class TestNodeAdaptiveInference:
+    @pytest.fixture
+    def trained_sgc(self, csbm_dataset):
+        from repro.training import train_decoupled
+
+        graph, split = csbm_dataset
+        model = SGC(graph.n_features, graph.n_classes, k_hops=3, hidden=16, seed=0)
+        train_decoupled(model, graph, split, epochs=60, seed=0)
+        return graph, split, model
+
+    def test_threshold_zero_exits_immediately(self, trained_sgc):
+        graph, _, model = trained_sgc
+        nai = NodeAdaptiveInference(model, threshold=0.0)
+        res = nai.predict(graph)
+        assert np.all(res.hops_used == 0)
+        assert res.ops_used == 0
+        assert res.ops_saved_fraction == 1.0
+
+    def test_threshold_one_runs_full_depth(self, trained_sgc):
+        graph, _, model = trained_sgc
+        nai = NodeAdaptiveInference(model, threshold=1.0)
+        res = nai.predict(graph)
+        assert np.all(res.hops_used == model.k_hops)
+        assert res.ops_saved_fraction == pytest.approx(0.0, abs=1e-9)
+
+    def test_intermediate_threshold_saves_ops_keeps_accuracy(self, trained_sgc):
+        from repro.training import accuracy
+
+        graph, split, model = trained_sgc
+        full = NodeAdaptiveInference(model, threshold=1.0).predict(graph)
+        adaptive = NodeAdaptiveInference(model, threshold=0.95).predict(graph)
+        acc_full = accuracy(full.predictions[split.test], graph.y[split.test])
+        acc_adaptive = accuracy(adaptive.predictions[split.test], graph.y[split.test])
+        assert adaptive.ops_used <= full.ops_used
+        assert acc_adaptive >= acc_full - 0.1
+
+    def test_all_nodes_predicted(self, trained_sgc):
+        graph, _, model = trained_sgc
+        res = NodeAdaptiveInference(model, threshold=0.9).predict(graph)
+        assert np.all(res.predictions >= 0)
+
+    def test_threshold_validated(self, trained_sgc):
+        _, _, model = trained_sgc
+        with pytest.raises(ConfigError):
+            NodeAdaptiveInference(model, threshold=1.5)

@@ -1,0 +1,216 @@
+"""Tests for nn modules and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.tensor import (
+    MLP,
+    Adam,
+    AdamW,
+    Dropout,
+    Linear,
+    SGD,
+    Sequential,
+    Tanh,
+    Tensor,
+    clip_grad_norm,
+    functional as F,
+)
+from repro.tensor.nn import Module, Parameter, ReLU
+
+
+class TestModule:
+    def test_parameter_discovery_nested(self):
+        class Inner(Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = Linear(2, 3, seed=0)
+
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = Inner()
+                self.extra = Parameter(np.zeros(4))
+                self.layers = [Linear(3, 3, seed=1), Linear(3, 1, seed=2)]
+
+        names = dict(Outer().named_parameters())
+        assert "inner.lin.weight" in names
+        assert "extra" in names
+        assert "layers.0.weight" in names
+        assert "layers.1.bias" in names
+
+    def test_n_parameters(self):
+        lin = Linear(4, 3, seed=0)
+        assert lin.n_parameters() == 4 * 3 + 3
+
+    def test_train_eval_propagates(self):
+        mlp = MLP(2, 4, 2, dropout=0.5, seed=0)
+        mlp.eval()
+        assert not mlp.dropout.training
+        mlp.train()
+        assert mlp.dropout.training
+
+    def test_state_dict_roundtrip(self):
+        a = MLP(3, 5, 2, seed=0)
+        b = MLP(3, 5, 2, seed=1)
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.ones((2, 3)))
+        assert np.allclose(a(x).data, b(x).data)
+
+    def test_state_dict_mismatch_raises(self):
+        a = MLP(3, 5, 2, seed=0)
+        state = a.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(ConfigError):
+            a.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_raises(self):
+        a = MLP(3, 5, 2, seed=0)
+        state = a.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ConfigError):
+            a.load_state_dict(state)
+
+    def test_zero_grad_clears(self):
+        lin = Linear(2, 2, seed=0)
+        out = lin(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+
+class TestLayers:
+    def test_linear_affine(self):
+        lin = Linear(2, 2, seed=0)
+        lin.weight.data[...] = np.eye(2)
+        lin.bias.data[...] = np.array([1.0, -1.0])
+        out = lin(Tensor(np.array([[2.0, 3.0]])))
+        assert np.allclose(out.data, [[3.0, 2.0]])
+
+    def test_linear_no_bias(self):
+        lin = Linear(3, 2, bias=False, seed=0)
+        assert lin.bias is None
+        assert lin.n_parameters() == 6
+
+    def test_dropout_eval_identity(self):
+        d = Dropout(0.9, seed=0)
+        d.eval()
+        x = Tensor(np.ones(10))
+        assert d(x) is x
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ConfigError):
+            Dropout(1.0)
+
+    def test_sequential_composes(self):
+        seq = Sequential(Linear(2, 4, seed=0), ReLU(), Linear(4, 1, seed=1), Tanh())
+        out = seq(Tensor(np.ones((3, 2))))
+        assert out.shape == (3, 1)
+        assert np.all(np.abs(out.data) <= 1.0)
+
+    def test_mlp_layer_count(self):
+        mlp = MLP(3, 8, 2, n_layers=3, seed=0)
+        assert len(mlp.linears) == 3
+
+    def test_mlp_single_layer(self):
+        mlp = MLP(3, 8, 2, n_layers=1, seed=0)
+        assert len(mlp.linears) == 1
+
+    def test_mlp_invalid_layers(self):
+        with pytest.raises(ConfigError):
+            MLP(3, 8, 2, n_layers=0)
+
+
+def _quadratic_problem(seed=0):
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=(4, 4))
+    param = Parameter(np.zeros((4, 4)))
+
+    def loss_fn():
+        diff = param - Tensor(target)
+        return (diff * diff).sum()
+
+    return param, target, loss_fn
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize("opt_cls,kwargs", [
+        (SGD, {"lr": 0.1}),
+        (SGD, {"lr": 0.05, "momentum": 0.9}),
+        (Adam, {"lr": 0.1}),
+        (AdamW, {"lr": 0.1, "weight_decay": 1e-4}),
+    ])
+    def test_converges_on_quadratic(self, opt_cls, kwargs):
+        param, target, loss_fn = _quadratic_problem()
+        opt = opt_cls([param], **kwargs)
+        for _ in range(300):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        assert np.allclose(param.data, target, atol=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        param1, target, loss1 = _quadratic_problem()
+        param2, _, loss2 = _quadratic_problem()
+        for opt, loss in [
+            (Adam([param1], lr=0.05, weight_decay=0.0), loss1),
+            (Adam([param2], lr=0.05, weight_decay=1.0), loss2),
+        ]:
+            for _ in range(400):
+                opt.zero_grad()
+                loss().backward()
+                opt.step()
+        assert np.linalg.norm(param2.data) < np.linalg.norm(param1.data)
+
+    def test_skips_params_without_grad(self):
+        a, b = Parameter(np.ones(2)), Parameter(np.ones(2))
+        opt = SGD([a, b], lr=0.1)
+        (a.sum() * 2).backward()
+        opt.step()
+        assert np.array_equal(b.data, np.ones(2))
+        assert not np.array_equal(a.data, np.ones(2))
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ConfigError):
+            SGD([], lr=0.1)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ConfigError):
+            SGD([Parameter(np.ones(1))], momentum=1.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigError):
+            Adam([Parameter(np.ones(1))], betas=(1.0, 0.9))
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([3.0, 4.0, 0.0])
+        norm = clip_grad_norm([p], 1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_clip_grad_norm_no_clip_below_max(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        clip_grad_norm([p], 1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(0.5)
+
+
+class TestEndToEndTraining:
+    def test_mlp_learns_linear_boundary(self, rng):
+        x = rng.normal(size=(300, 5))
+        w = rng.normal(size=5)
+        y = (x @ w > 0).astype(int)
+        mlp = MLP(5, 16, 2, n_layers=2, seed=0)
+        opt = Adam(mlp.parameters(), lr=0.01)
+        xt = Tensor(x)
+        for _ in range(300):
+            opt.zero_grad()
+            F.cross_entropy(mlp(xt), y).backward()
+            opt.step()
+        mlp.eval()
+        acc = (mlp(xt).data.argmax(1) == y).mean()
+        assert acc > 0.95

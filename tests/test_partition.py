@@ -1,0 +1,119 @@
+"""Tests for partitioners and Cluster-GCN batches."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, GraphError
+from repro.editing.partition import (
+    cluster_batches,
+    edge_cut,
+    fennel_partition,
+    ldg_partition,
+    multilevel_partition,
+    partition_balance,
+    random_partition,
+)
+from repro.graph import caveman_graph, stochastic_block_model
+
+
+@pytest.fixture
+def sbm4():
+    return stochastic_block_model(
+        [30] * 4,
+        np.full((4, 4), 0.01) + np.eye(4) * 0.29,
+        seed=3,
+    )
+
+
+ALL_PARTITIONERS = [random_partition, ldg_partition, fennel_partition, multilevel_partition]
+
+
+class TestAssignmentValidity:
+    @pytest.mark.parametrize("fn", ALL_PARTITIONERS)
+    def test_every_node_assigned(self, sbm4, fn):
+        res = fn(sbm4, 4, seed=0)
+        assert res.assignment.shape == (sbm4.n_nodes,)
+        assert res.assignment.min() >= 0
+        assert res.assignment.max() < 4
+
+    @pytest.mark.parametrize("fn", ALL_PARTITIONERS)
+    def test_balance_bounded(self, sbm4, fn):
+        res = fn(sbm4, 4, seed=0)
+        assert res.balance <= 1.6
+
+    @pytest.mark.parametrize("fn", ALL_PARTITIONERS)
+    def test_deterministic_under_seed(self, sbm4, fn):
+        a = fn(sbm4, 3, seed=42).assignment
+        b = fn(sbm4, 3, seed=42).assignment
+        assert np.array_equal(a, b)
+
+    def test_k_bounds(self, sbm4):
+        with pytest.raises(ConfigError):
+            random_partition(sbm4, 0)
+
+
+class TestQuality:
+    def test_streaming_beats_random(self, sbm4):
+        rand_cut = random_partition(sbm4, 4, seed=0).edge_cut
+        assert ldg_partition(sbm4, 4, seed=0).edge_cut < rand_cut
+        assert fennel_partition(sbm4, 4, seed=0).edge_cut < rand_cut
+
+    def test_multilevel_best_on_caveman(self):
+        g = caveman_graph(8, 8)
+        res = multilevel_partition(g, 4, seed=0)
+        # Optimal cut is 4 bridge edges; allow small slack.
+        assert res.edge_cut <= 10
+
+    def test_multilevel_recovers_sbm_blocks(self, sbm4):
+        res = multilevel_partition(sbm4, 4, seed=1)
+        # Most intra-block pairs should land together: measure purity.
+        purity = 0
+        for p in range(4):
+            members = sbm4.y[res.assignment == p]
+            if len(members):
+                purity += np.bincount(members).max()
+        assert purity / sbm4.n_nodes > 0.6
+
+    def test_fennel_gamma_validated(self, sbm4):
+        with pytest.raises(ConfigError):
+            fennel_partition(sbm4, 2, gamma=1.0)
+
+    def test_ldg_slack_validated(self, sbm4):
+        with pytest.raises(ConfigError):
+            ldg_partition(sbm4, 2, capacity_slack=0.5)
+
+
+class TestMetrics:
+    def test_edge_cut_zero_single_part(self, sbm4):
+        assert edge_cut(sbm4, np.zeros(sbm4.n_nodes, dtype=int)) == 0
+
+    def test_edge_cut_counts_undirected_once(self, triangle):
+        cut = edge_cut(triangle, np.array([0, 0, 1]))
+        assert cut == 2
+
+    def test_edge_cut_shape_check(self, triangle):
+        with pytest.raises(GraphError):
+            edge_cut(triangle, np.zeros(5, dtype=int))
+
+    def test_balance_perfect(self):
+        assert partition_balance(np.array([0, 0, 1, 1]), 2) == 1.0
+
+    def test_balance_skewed(self):
+        assert partition_balance(np.array([0, 0, 0, 1]), 2) == 1.5
+
+
+class TestClusterBatches:
+    def test_covers_all_nodes(self, sbm4):
+        res = ldg_partition(sbm4, 6, seed=0)
+        batches = cluster_batches(res.assignment, 6, 2, seed=0)
+        all_nodes = np.sort(np.concatenate(batches))
+        assert np.array_equal(all_nodes, np.arange(sbm4.n_nodes))
+
+    def test_batch_count(self, sbm4):
+        res = ldg_partition(sbm4, 6, seed=0)
+        assert len(cluster_batches(res.assignment, 6, 2, seed=0)) == 3
+
+    def test_parts_per_batch_validated(self, sbm4):
+        res = ldg_partition(sbm4, 4, seed=0)
+        with pytest.raises(ConfigError):
+            cluster_batches(res.assignment, 4, 5)

@@ -1,0 +1,136 @@
+"""Tests for the pipeline simulator and ADGNN-style greedy sampling."""
+
+import numpy as np
+import pytest
+
+from repro.editing import aggregation_difference, greedy_aggregation_sample
+from repro.errors import ConfigError, GraphError
+from repro.training.pipeline import (
+    pipelined_makespan,
+    plan_execution,
+    serial_makespan,
+)
+
+
+class TestGreedyAggregation:
+    def test_full_budget_zero_difference(self, ba_graph, rng):
+        feats = rng.normal(size=(ba_graph.n_nodes, 4))
+        node = 5
+        deg = len(ba_graph.neighbors(node))
+        chosen = greedy_aggregation_sample(ba_graph, node, feats, deg)
+        assert aggregation_difference(ba_graph, node, feats, chosen) < 1e-9
+
+    def test_greedy_beats_random(self, ba_graph, rng):
+        feats = rng.normal(size=(ba_graph.n_nodes, 6))
+        hub = int(np.argmax(ba_graph.degrees()))
+        k = 4
+        greedy = greedy_aggregation_sample(ba_graph, hub, feats, k)
+        d_greedy = aggregation_difference(ba_graph, hub, feats, greedy)
+        d_random = np.mean([
+            aggregation_difference(
+                ba_graph, hub, feats,
+                rng.choice(ba_graph.neighbors(hub), k, replace=False),
+            )
+            for _ in range(30)
+        ])
+        assert d_greedy < d_random
+
+    def test_difference_monotone_in_budget(self, ba_graph, rng):
+        feats = rng.normal(size=(ba_graph.n_nodes, 4))
+        hub = int(np.argmax(ba_graph.degrees()))
+        diffs = [
+            aggregation_difference(
+                ba_graph, hub, feats,
+                greedy_aggregation_sample(ba_graph, hub, feats, k),
+            )
+            for k in (1, 4, 16)
+        ]
+        assert diffs[2] <= diffs[1] <= diffs[0]
+
+    def test_chosen_are_neighbours(self, ba_graph, rng):
+        feats = rng.normal(size=(ba_graph.n_nodes, 4))
+        chosen = greedy_aggregation_sample(ba_graph, 10, feats, 3)
+        assert set(chosen) <= set(int(v) for v in ba_graph.neighbors(10))
+
+    def test_isolated_node_rejected(self, rng):
+        from repro.graph import Graph
+
+        g = Graph.from_edges([(0, 1)], 3)
+        with pytest.raises(GraphError):
+            greedy_aggregation_sample(g, 2, rng.normal(size=(3, 2)), 1)
+
+    def test_empty_chosen_rejected(self, ba_graph, rng):
+        with pytest.raises(ConfigError):
+            aggregation_difference(
+                ba_graph, 0, rng.normal(size=(ba_graph.n_nodes, 2)),
+                np.array([], dtype=np.int64),
+            )
+
+
+class TestMakespans:
+    def test_serial_is_sum(self):
+        times = np.tile([1.0, 0.5, 2.0], (4, 1))
+        assert serial_makespan(times) == pytest.approx(14.0)
+
+    def test_pipeline_never_slower_than_serial(self, rng):
+        times = rng.uniform(0.1, 1.0, size=(10, 3))
+        assert pipelined_makespan(times) <= serial_makespan(times) + 1e-12
+
+    def test_pipeline_bound_by_bottleneck(self):
+        # Steady state: one batch per bottleneck-stage interval.
+        times = np.tile([1.0, 0.1, 3.0], (20, 1))
+        mk = pipelined_makespan(times, queue_depth=4)
+        assert mk == pytest.approx(20 * 3.0 + 1.0 + 0.1, rel=0.01)
+
+    def test_queue_depth_one_limits_overlap(self):
+        times = np.tile([1.0, 0.0, 1.0], (10, 1))
+        deep = pipelined_makespan(times, queue_depth=4)
+        shallow = pipelined_makespan(times, queue_depth=1)
+        assert deep <= shallow
+
+    def test_single_batch_equals_serial(self):
+        times = np.array([[0.3, 0.1, 0.4]])
+        assert pipelined_makespan(times) == pytest.approx(serial_makespan(times))
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigError):
+            serial_makespan(np.ones((3, 2)))
+        with pytest.raises(ConfigError):
+            pipelined_makespan(-np.ones((3, 3)))
+
+
+class TestPlanner:
+    def test_prefers_split_when_both_fast(self):
+        plan = plan_execution(
+            {"cpu": 0.01, "gpu": 0.004}, {"cpu": 0.05, "gpu": 0.008},
+            transfer_cost=0.002, n_batches=100,
+        )
+        assert plan.sample_device == "cpu"
+        assert plan.train_device == "gpu"
+        assert plan.bottleneck == "sample"
+
+    def test_colocates_when_transfer_dominates(self):
+        plan = plan_execution(
+            {"gpu": 0.001}, {"gpu": 0.001}, transfer_cost=10.0, n_batches=10,
+        )
+        assert plan.sample_device == plan.train_device == "gpu"
+        assert plan.bottleneck == "colocated"
+
+    def test_predicted_makespan_is_minimum(self):
+        sample = {"cpu": 0.02, "gpu": 0.01}
+        train = {"cpu": 0.1, "gpu": 0.01}
+        plan = plan_execution(sample, train, 0.005, 50)
+        # Enumerate all placements and verify optimality.
+        def cost(sd, td):
+            moved = 0.005 if sd != td else 0.0
+            if sd == td:
+                return 50 * (sample[sd] + train[td])
+            stages = [sample[sd], moved, train[td]]
+            return 50 * max(stages) + sum(stages) - max(stages)
+
+        best = min(cost(s, t) for s in sample for t in train)
+        assert plan.predicted_makespan == pytest.approx(best)
+
+    def test_empty_costs_rejected(self):
+        with pytest.raises(ConfigError):
+            plan_execution({}, {"gpu": 1.0}, 0.0, 1)

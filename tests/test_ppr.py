@@ -1,0 +1,149 @@
+"""Tests for Personalized PageRank estimators and their guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, GraphError
+from repro.analytics.ppr import (
+    ppr_forward_push,
+    ppr_matrix,
+    ppr_monte_carlo,
+    ppr_power_iteration,
+    topk_ppr,
+)
+from repro.graph import Graph, barabasi_albert_graph, ring_graph, star_graph
+
+
+class TestPowerIteration:
+    def test_is_probability_vector(self, ba_graph):
+        pi = ppr_power_iteration(ba_graph, 0, alpha=0.2)
+        assert pi.min() >= 0
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_satisfies_fixed_point(self, ba_graph):
+        from repro.graph.ops import normalized_adjacency
+
+        alpha = 0.2
+        pi = ppr_power_iteration(ba_graph, 3, alpha=alpha, tol=1e-13)
+        p_rw = normalized_adjacency(ba_graph, kind="rw", self_loops=False)
+        e = np.zeros(ba_graph.n_nodes)
+        e[3] = 1.0
+        rhs = alpha * e + (1 - alpha) * (pi @ p_rw)
+        assert np.allclose(pi, rhs, atol=1e-10)
+
+    def test_source_mass_at_least_alpha(self, ba_graph):
+        pi = ppr_power_iteration(ba_graph, 5, alpha=0.3)
+        assert pi[5] >= 0.3
+
+    def test_alpha_one_limit_concentrates_on_source(self, ba_graph):
+        pi = ppr_power_iteration(ba_graph, 0, alpha=0.99)
+        assert pi[0] > 0.98
+
+    def test_symmetric_graph_symmetry(self):
+        # On a ring, PPR from node 0 is symmetric around it.
+        g = ring_graph(9)
+        pi = ppr_power_iteration(g, 0, alpha=0.2)
+        assert pi[1] == pytest.approx(pi[8])
+        assert pi[2] == pytest.approx(pi[7])
+
+    def test_invalid_alpha(self, ba_graph):
+        with pytest.raises(GraphError):
+            ppr_power_iteration(ba_graph, 0, alpha=1.0)
+
+    def test_isolated_source_rejected(self):
+        g = Graph.from_edges([(0, 1)], 3)
+        with pytest.raises(GraphError):
+            ppr_power_iteration(g, 2)
+
+    def test_nonconvergence_raises(self, ba_graph):
+        with pytest.raises(ConvergenceError):
+            ppr_power_iteration(ba_graph, 0, alpha=0.01, tol=1e-15, max_iter=2)
+
+
+class TestForwardPush:
+    def test_error_bound_per_node(self, ba_graph):
+        alpha, eps = 0.2, 1e-4
+        exact = ppr_power_iteration(ba_graph, 0, alpha=alpha, tol=1e-12)
+        push = ppr_forward_push(ba_graph, 0, alpha=alpha, epsilon=eps)
+        degrees = ba_graph.degrees()
+        assert np.all(exact - push.estimate >= -1e-12)  # lower bound
+        assert np.all(exact - push.estimate <= eps * degrees + 1e-12)
+
+    def test_estimate_plus_residual_is_unit_mass(self, ba_graph):
+        push = ppr_forward_push(ba_graph, 0, alpha=0.2, epsilon=1e-3)
+        # alpha * residual still unpushed; estimate + residual mass = 1
+        assert push.estimate.sum() + push.residual.sum() == pytest.approx(1.0)
+
+    def test_work_decreases_with_epsilon(self, ba_graph):
+        loose = ppr_forward_push(ba_graph, 0, alpha=0.2, epsilon=1e-2)
+        tight = ppr_forward_push(ba_graph, 0, alpha=0.2, epsilon=1e-6)
+        assert loose.n_pushes < tight.n_pushes
+
+    def test_locality_on_large_graph(self):
+        # With loose epsilon the push touches a bounded region even as the
+        # graph grows: the sublinearity claim of §3.2.
+        g_small = barabasi_albert_graph(500, 3, seed=0)
+        g_large = barabasi_albert_graph(5000, 3, seed=0)
+        eps = 5e-3
+        touched_small = ppr_forward_push(g_small, 0, epsilon=eps).n_touched
+        touched_large = ppr_forward_push(g_large, 0, epsilon=eps).n_touched
+        assert touched_large < 3 * touched_small  # not proportional to n
+
+    def test_star_center_push(self):
+        g = star_graph(10)
+        push = ppr_forward_push(g, 0, alpha=0.5, epsilon=1e-8)
+        # All leaves equal by symmetry.
+        assert np.allclose(push.estimate[1:], push.estimate[1])
+
+
+class TestMonteCarlo:
+    def test_close_to_exact(self, ba_graph):
+        exact = ppr_power_iteration(ba_graph, 0, alpha=0.2)
+        mc = ppr_monte_carlo(ba_graph, 0, alpha=0.2, n_walks=40000, seed=0)
+        assert np.abs(mc - exact).max() < 0.02
+
+    def test_is_distribution(self, ba_graph):
+        mc = ppr_monte_carlo(ba_graph, 0, alpha=0.2, n_walks=1000, seed=1)
+        assert mc.sum() == pytest.approx(1.0)
+
+    def test_error_shrinks_with_walks(self, ba_graph):
+        exact = ppr_power_iteration(ba_graph, 0, alpha=0.2)
+        err = []
+        for walks in (500, 50000):
+            mc = ppr_monte_carlo(ba_graph, 0, alpha=0.2, n_walks=walks, seed=2)
+            err.append(np.abs(mc - exact).sum())
+        assert err[1] < err[0]
+
+    def test_deterministic_under_seed(self, ba_graph):
+        a = ppr_monte_carlo(ba_graph, 0, n_walks=100, seed=3)
+        b = ppr_monte_carlo(ba_graph, 0, n_walks=100, seed=3)
+        assert np.array_equal(a, b)
+
+
+class TestTopK:
+    def test_source_ranked_first(self, ba_graph):
+        nodes, scores = topk_ppr(ba_graph, 7, 5)
+        assert nodes[0] == 7
+        assert np.all(np.diff(scores) <= 0)
+
+    def test_k_larger_than_support(self, triangle):
+        nodes, _ = topk_ppr(triangle, 0, 100)
+        assert len(nodes) <= 3
+
+    def test_matches_exact_ranking(self, ba_graph):
+        exact = ppr_power_iteration(ba_graph, 2, alpha=0.15)
+        nodes, _ = topk_ppr(ba_graph, 2, 10, epsilon=1e-7)
+        exact_top = set(np.argsort(-exact)[:10])
+        assert len(set(nodes) & exact_top) >= 8
+
+
+class TestPprMatrix:
+    def test_rows_are_push_estimates(self, triangle):
+        mat = ppr_matrix(triangle, alpha=0.3, epsilon=1e-8)
+        for s in range(3):
+            exact = ppr_power_iteration(triangle, s, alpha=0.3)
+            assert np.allclose(mat[s], exact, atol=1e-5)
+
+    def test_sources_subset(self, ba_graph):
+        mat = ppr_matrix(ba_graph, sources=np.array([0, 5]))
+        assert mat.shape == (2, ba_graph.n_nodes)

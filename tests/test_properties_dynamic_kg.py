@@ -1,0 +1,126 @@
+"""Property-based tests: incremental PPR streams, KG gathering, coarsening."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analytics.ppr import ppr_power_iteration
+from repro.editing.coarsen import multilevel_coarsen, project_to_coarse
+from repro.graph import Graph
+from repro.graph.dynamic import DynamicGraph, IncrementalPPR
+from repro.graph.hetero import KnowledgeGraph
+
+
+@st.composite
+def connected_graph_with_stream(draw):
+    """A connected base graph plus a stream of fresh edges to insert."""
+    n = draw(st.integers(min_value=4, max_value=14))
+    edges = set()
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        edges.add((parent, v))
+    base = Graph.from_edges(np.asarray(sorted(edges)), n)
+    n_stream = draw(st.integers(1, 6))
+    stream = []
+    present = set(edges) | {(b, a) for a, b in edges}
+    for _ in range(n_stream):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        key = (min(a, b), max(a, b))
+        if a != b and key not in present:
+            present.add(key)
+            present.add((key[1], key[0]))
+            stream.append(key)
+    return base, stream
+
+
+@settings(max_examples=40, deadline=None)
+@given(connected_graph_with_stream(), st.floats(0.1, 0.8))
+def test_incremental_ppr_invariant_any_stream(data, alpha):
+    base, stream = data
+    dyn = DynamicGraph.from_graph(base)
+    inc = IncrementalPPR(dyn, 0, alpha=alpha, epsilon=1e-6)
+    assert inc.check_invariant()
+    for u, v in stream:
+        inc.insert_edge(u, v)
+        assert inc.check_invariant()
+    # And the estimate respects the push bound against exact PPR.
+    exact = ppr_power_iteration(dyn.snapshot(), 0, alpha=alpha, tol=1e-12)
+    bound = 1e-6 * dyn.snapshot().degrees() + 1e-9
+    assert np.all(np.abs(exact - inc.estimate) <= bound)
+
+
+@st.composite
+def small_kgs(draw):
+    n_ent = draw(st.integers(4, 20))
+    n_rel = draw(st.integers(1, 5))
+    m = draw(st.integers(3, 40))
+    triples = []
+    for _ in range(m):
+        h = draw(st.integers(0, n_ent - 1))
+        t = draw(st.integers(0, n_ent - 1))
+        r = draw(st.integers(0, n_rel - 1))
+        triples.append((h, r, t))
+    return KnowledgeGraph(np.asarray(triples), n_ent, n_rel)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_kgs(), st.integers(1, 3), st.integers(1, 10))
+def test_kg_gather_budget_and_connectivity(kg, rounds, budget):
+    head = int(kg.triples[0, 0])
+    rel = int(kg.triples[0, 1])
+    res = kg.gather_for_query(head, rel, rounds=rounds, per_round_budget=budget)
+    assert len(res.triples) <= rounds * budget
+    assert head in res.entities
+    # Every gathered triple touches at least one gathered entity.
+    ent = set(map(int, res.entities))
+    for idx in res.triples:
+        h, _, t = kg.triples[idx]
+        assert int(h) in ent and int(t) in ent
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_kgs())
+def test_kg_similarity_is_valid_kernel(kg):
+    sim = kg.relation_cooccurrence()
+    assert np.allclose(sim, sim.T)
+    used = np.unique(kg.triples[:, 1])
+    assert np.allclose(np.diag(sim)[used], 1.0)  # unused relations stay 0
+    eigs = np.linalg.eigvalsh(sim)
+    assert eigs.min() >= -1e-8  # PSD (it is a Gram matrix)
+
+
+@st.composite
+def featured_random_graphs(draw):
+    n = draw(st.integers(4, 20))
+    edges = set()
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        edges.add((parent, v))
+    extra = draw(st.integers(0, 10))
+    for _ in range(extra):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    x = np.arange(n, dtype=np.float64).reshape(-1, 1)
+    return Graph.from_edges(np.asarray(sorted(edges)), n, x=x)
+
+
+@settings(max_examples=40, deadline=None)
+@given(featured_random_graphs(), st.floats(0.2, 0.9))
+def test_coarsening_conserves_feature_mass(g, ratio):
+    res = multilevel_coarsen(g, ratio, seed=0)
+    # Size-weighted coarse feature sum equals the fine feature sum.
+    coarse_mass = float((res.graph.x[:, 0] * res.sizes).sum())
+    assert np.isclose(coarse_mass, g.x[:, 0].sum())
+    # project_to_coarse(sum) agrees with membership bincount weighting.
+    summed = project_to_coarse(res.membership, g.x, reduce="sum")
+    assert np.allclose(summed[:, 0], np.bincount(res.membership, weights=g.x[:, 0]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(featured_random_graphs(), st.floats(0.2, 0.9))
+def test_coarsening_membership_is_surjective(g, ratio):
+    res = multilevel_coarsen(g, ratio, seed=0)
+    assert set(np.unique(res.membership)) == set(range(res.graph.n_nodes))
+    assert res.sizes.sum() == g.n_nodes

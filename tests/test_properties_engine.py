@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for the autograd engine and algorithms."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.graph import Graph
+from repro.analytics.ppr import ppr_forward_push, ppr_power_iteration
+from repro.editing.partition import edge_cut, ldg_partition
+from repro.editing.sparsify import threshold_sparsify
+from repro.tensor import Tensor, functional as F
+
+
+small_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    elements=st.floats(-5, 5, allow_nan=False, width=32),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_softmax_always_simplex(arr):
+    out = F.softmax(Tensor(arr), axis=1).data
+    assert np.allclose(out.sum(axis=1), 1.0)
+    assert np.all(out >= 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_relu_idempotent(arr):
+    t = Tensor(arr)
+    once = F.relu(t).data
+    twice = F.relu(F.relu(t)).data
+    assert np.array_equal(once, twice)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays, small_arrays)
+def test_add_commutative_grads(a, b):
+    if a.shape != b.shape:
+        return
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    (ta + tb).sum().backward()
+    assert np.allclose(ta.grad, tb.grad)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_arrays)
+def test_sum_axis_consistency(arr):
+    t = Tensor(arr)
+    assert np.allclose(
+        t.sum(axis=0).data.sum(), t.sum(axis=1).data.sum()
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays)
+def test_cross_entropy_nonnegative(arr):
+    labels = np.zeros(arr.shape[0], dtype=int)
+    loss = F.cross_entropy(Tensor(arr), labels)
+    assert loss.item() >= -1e-12
+
+
+@st.composite
+def connected_graphs(draw, max_n=16):
+    """Connected graphs: a random tree plus optional extra edges."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    edges = []
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        edges.append((parent, v))
+    extra = draw(st.integers(0, n))
+    for _ in range(extra):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b:
+            edges.append((a, b))
+    return Graph.from_edges(np.asarray(edges, dtype=np.int64), n)
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs(), st.floats(0.05, 0.9))
+def test_ppr_is_distribution(g, alpha):
+    pi = ppr_power_iteration(g, 0, alpha=alpha)
+    assert abs(pi.sum() - 1.0) < 1e-8
+    assert pi.min() >= -1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs(), st.floats(0.1, 0.8))
+def test_push_lower_bounds_exact(g, alpha):
+    exact = ppr_power_iteration(g, 0, alpha=alpha, tol=1e-12)
+    push = ppr_forward_push(g, 0, alpha=alpha, epsilon=1e-4)
+    assert np.all(push.estimate <= exact + 1e-9)
+    # The push guarantee is in *weighted* degree (duplicate edges merge).
+    assert np.all(
+        exact - push.estimate <= 1e-4 * g.degrees(weighted=True) + 1e-9
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs(max_n=20), st.integers(2, 4))
+def test_partition_covers_everything(g, k):
+    k = min(k, g.n_nodes)
+    res = ldg_partition(g, k, seed=0)
+    assert len(res.assignment) == g.n_nodes
+    assert res.edge_cut == edge_cut(g, res.assignment)
+    assert res.edge_cut <= g.n_undirected_edges
+
+
+@settings(max_examples=30, deadline=None)
+@given(connected_graphs(), st.floats(0.0, 0.5))
+def test_sparsify_never_adds_edges(g, threshold):
+    res = threshold_sparsify(g, threshold)
+    assert res.graph.n_undirected_edges <= g.n_undirected_edges
+    for u, v, _ in res.graph.iter_edges():
+        assert g.has_edge(int(u), int(v))

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for graph invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Graph
+from repro.graph.ops import laplacian_matrix, normalized_adjacency
+from repro.graph.traversal import bfs_distances, connected_components
+
+
+@st.composite
+def random_graphs(draw, max_nodes=24):
+    """Arbitrary undirected graphs with at least one edge."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    max_edges = n * (n - 1) // 2
+    n_edges = draw(st.integers(min_value=1, max_value=min(max_edges, 40)))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda p: p[0] != p[1]),
+            min_size=n_edges,
+            max_size=n_edges,
+        )
+    )
+    return Graph.from_edges(np.asarray(pairs, dtype=np.int64), n)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_adjacency_symmetric(g):
+    adj = g.adjacency()
+    assert abs(adj - adj.T).max() < 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_degree_sum_equals_arcs(g):
+    assert g.degrees().sum() == g.n_edges
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_handshake_lemma(g):
+    loops = sum(1 for u, v, _ in g.iter_edges() if u == v)
+    assert g.n_edges - loops == 2 * (g.n_undirected_edges - loops)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_subgraph_edges_subset(g):
+    nodes = np.arange(0, g.n_nodes, 2)
+    sub = g.subgraph(nodes)
+    for i, j, _ in sub.iter_edges():
+        assert g.has_edge(int(nodes[i]), int(nodes[j]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_laplacian_psd(g):
+    lap = laplacian_matrix(g, kind="sym").toarray()
+    eigs = np.linalg.eigvalsh(lap)
+    assert eigs.min() >= -1e-8
+    assert eigs.max() <= 2.0 + 1e-8
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_zero_eigs_match_components_with_edges(g):
+    # A component contributes a zero eigenvalue of the sym-normalised
+    # Laplacian iff it contains an edge; isolated nodes contribute 1s.
+    lap = laplacian_matrix(g, kind="sym").toarray()
+    eigs = np.linalg.eigvalsh(lap)
+    comp = connected_components(g)
+    deg = g.degrees()
+    components_with_edges = len({int(comp[v]) for v in range(g.n_nodes) if deg[v] > 0})
+    assert np.sum(np.abs(eigs) < 1e-8) == components_with_edges
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_rw_normalisation_row_stochastic_where_defined(g):
+    p = normalized_adjacency(g, kind="rw", self_loops=False)
+    row_sums = np.asarray(p.sum(axis=1)).ravel()
+    deg = g.degrees()
+    assert np.allclose(row_sums[deg > 0], 1.0)
+    assert np.allclose(row_sums[deg == 0], 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_bfs_triangle_inequality(g):
+    d0 = bfs_distances(g, 0)
+    for u, v, _ in g.iter_edges():
+        if d0[u] >= 0 and d0[v] >= 0:
+            assert abs(d0[u] - d0[v]) <= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_components_partition_nodes(g):
+    comp = connected_components(g)
+    assert comp.min() == 0
+    assert len(comp) == g.n_nodes
+    # Every edge stays within one component.
+    for u, v, _ in g.iter_edges():
+        assert comp[u] == comp[v]
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_add_remove_self_loops_roundtrip(g):
+    g2 = g.add_self_loops().remove_self_loops()
+    base = g.remove_self_loops()
+    assert g2 == base

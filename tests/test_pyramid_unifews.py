@@ -1,0 +1,109 @@
+"""Tests for PyramidGNN, Unifews layer operators, and layer_norm."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import contextual_sbm
+from repro.editing import unifews_layer_operators
+from repro.errors import ConfigError, ShapeError
+from repro.models import GCN, PyramidGNN
+from repro.tensor import Tensor, check_gradients, functional as F
+from repro.training import train_decoupled, train_full_batch
+
+
+class TestLayerNorm:
+    def test_rows_standardised(self, rng):
+        out = F.layer_norm(Tensor(rng.normal(size=(6, 10)) * 7 + 3)).data
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-12)
+        assert np.allclose(out.std(axis=1), 1.0, atol=1e-3)
+
+    def test_gradient(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        assert check_gradients(lambda x: (F.layer_norm(x) ** 2).sum(), [x])
+
+    def test_scale_invariance(self, rng):
+        x = rng.normal(size=(4, 6))
+        a = F.layer_norm(Tensor(x)).data
+        b = F.layer_norm(Tensor(10.0 * x)).data
+        assert np.allclose(a, b, atol=1e-6)
+
+
+class TestPyramidGNN:
+    def test_precompute_band_count(self, featured_graph):
+        model = PyramidGNN(6, 24, 3, seed=0)
+        bands = model.precompute(featured_graph)
+        assert len(bands) == 4
+        assert all(b.shape == featured_graph.x.shape for b in bands)
+
+    def test_identity_band_is_raw(self, featured_graph):
+        model = PyramidGNN(6, 24, 3, bands=("identity", "low"), seed=0)
+        bands = model.precompute(featured_graph)
+        assert np.array_equal(bands[0], featured_graph.x)
+
+    def test_forward_shape(self, featured_graph):
+        model = PyramidGNN(6, 24, 3, seed=0)
+        bands = model.precompute(featured_graph)
+        out = model([b[:7] for b in bands])
+        assert out.shape == (7, 3)
+
+    def test_band_count_validated(self, featured_graph):
+        model = PyramidGNN(6, 24, 3, seed=0)
+        bands = model.precompute(featured_graph)
+        with pytest.raises(ShapeError):
+            model(bands[:2])
+
+    def test_unknown_band(self):
+        with pytest.raises(ConfigError):
+            PyramidGNN(6, 24, 3, bands=("ultra",))
+
+    def test_learns_on_both_homophily_regimes(self):
+        for homophily in (0.9, 0.05):
+            graph, split = contextual_sbm(
+                400, n_classes=2, homophily=homophily, avg_degree=8,
+                n_features=16, feature_signal=0.4, seed=0,
+            )
+            model = PyramidGNN(16, 48, 2, seed=0)
+            res = train_decoupled(model, graph, split, epochs=80, seed=0)
+            assert res.test_accuracy > 0.7, f"failed at homophily {homophily}"
+
+
+class TestUnifewsLayerOperators:
+    def test_operator_count_and_monotone_nnz(self, featured_graph):
+        ops = unifews_layer_operators(featured_graph, [0.0, 0.05, 0.1])
+        assert len(ops) == 3
+        assert ops[0].nnz >= ops[1].nnz >= ops[2].nnz
+
+    def test_zero_threshold_keeps_base(self, featured_graph):
+        from repro.graph.ops import propagation_matrix
+
+        ops = unifews_layer_operators(featured_graph, [0.0])
+        base = propagation_matrix(featured_graph, scheme="gcn")
+        assert (ops[0] != base).nnz == 0
+
+    def test_empty_thresholds_rejected(self, featured_graph):
+        with pytest.raises(ConfigError):
+            unifews_layer_operators(featured_graph, [])
+
+    def test_gcn_accepts_operator_list(self, csbm_dataset):
+        graph, split = csbm_dataset
+        ops = unifews_layer_operators(graph, [0.01, 0.03])
+
+        class UnifewsGCN(GCN):
+            def __init__(self, *args, operators=None, **kwargs):
+                super().__init__(*args, **kwargs)
+                self._operators = operators
+
+            def prepare(self, _graph):
+                return self._operators
+
+        model = UnifewsGCN(
+            graph.n_features, 32, graph.n_classes, seed=0, operators=ops
+        )
+        res = train_full_batch(model, graph, split, epochs=60)
+        assert res.test_accuracy > 0.8
+
+    def test_gcn_operator_count_validated(self, featured_graph):
+        model = GCN(6, 8, 3, n_layers=2, seed=0)
+        ops = unifews_layer_operators(featured_graph, [0.0])
+        with pytest.raises(ConfigError):
+            model(ops, featured_graph.x)

@@ -1,0 +1,229 @@
+"""Tests for node-, layer-, and subgraph-level samplers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, GraphError
+from repro.editing.sampling import (
+    HistoryCache,
+    LaborSampler,
+    LayerSampler,
+    NeighborSampler,
+    aggregate_with_cache,
+    edge_subgraph_sample,
+    estimate_aggregation_variance,
+    node_subgraph_sample,
+    random_walk_subgraph_sample,
+    sample_neighbor_estimate,
+)
+from repro.graph import star_graph
+from repro.graph.ops import normalized_adjacency
+
+
+class TestNeighborSampler:
+    def test_block_shapes(self, ba_graph):
+        sampler = NeighborSampler(ba_graph, [4, 4], seed=0)
+        seeds = np.arange(8)
+        blocks = sampler.sample(seeds)
+        assert len(blocks) == 2
+        assert np.array_equal(blocks[-1].dst_ids, seeds)
+        assert np.array_equal(blocks[-1].src_ids[: len(seeds)], seeds)
+
+    def test_dst_prefix_invariant(self, ba_graph):
+        blocks = NeighborSampler(ba_graph, [3, 3, 3], seed=1).sample(np.arange(5))
+        for b in blocks:
+            assert np.array_equal(b.src_ids[: b.n_dst], b.dst_ids)
+
+    def test_fanout_respected(self, ba_graph):
+        blocks = NeighborSampler(ba_graph, [3], seed=2).sample(np.arange(20))
+        row_nnz = np.diff(blocks[0].matrix.indptr)
+        assert row_nnz.max() <= 3
+
+    def test_full_neighborhood_when_degree_small(self):
+        g = star_graph(5)
+        blocks = NeighborSampler(g, [10], seed=0).sample(np.array([1]))
+        assert blocks[0].matrix.nnz == 1  # leaf has exactly one neighbour
+
+    def test_mean_weights(self, ba_graph):
+        blocks = NeighborSampler(ba_graph, [4], seed=3).sample(np.arange(10))
+        sums = np.asarray(blocks[0].matrix.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_empty_fanouts_rejected(self, ba_graph):
+        with pytest.raises(ConfigError):
+            NeighborSampler(ba_graph, [])
+
+
+class TestLaborSampler:
+    def test_blocks_smaller_than_independent(self, ba_graph):
+        seeds = np.arange(40)
+        n_trials = 10
+        labor_sizes, uniform_sizes = [], []
+        for s in range(n_trials):
+            labor_sizes.append(
+                LaborSampler(ba_graph, [5], seed=s).sample(seeds)[0].n_src
+            )
+            uniform_sizes.append(
+                NeighborSampler(ba_graph, [5], seed=s).sample(seeds)[0].n_src
+            )
+        assert np.mean(labor_sizes) < np.mean(uniform_sizes)
+
+    def test_estimator_unbiased(self, ba_graph, rng):
+        # Mean over many samples approximates the exact neighbourhood mean.
+        feats = rng.normal(size=(ba_graph.n_nodes, 4))
+        node = int(np.argmax(ba_graph.degrees()))
+        est = np.mean(
+            [
+                sample_neighbor_estimate(ba_graph, node, feats, 5, "labor", seed=s)
+                for s in range(2000)
+            ],
+            axis=0,
+        )
+        exact = feats[ba_graph.neighbors(node)].mean(axis=0)
+        assert np.allclose(est, exact, atol=0.06)
+
+    def test_sample_structure(self, ba_graph):
+        blocks = LaborSampler(ba_graph, [4, 4], seed=0).sample(np.arange(6))
+        assert len(blocks) == 2
+        for b in blocks:
+            assert np.array_equal(b.src_ids[: b.n_dst], b.dst_ids)
+
+
+class TestLayerSampler:
+    def test_layer_budget_bounds_block(self, ba_graph):
+        sampler = LayerSampler(ba_graph, n_layers=2, n_per_layer=20, seed=0)
+        blocks = sampler.sample(np.arange(10))
+        for b in blocks:
+            assert b.n_src <= b.n_dst + 20
+
+    def test_estimator_unbiased(self, ba_graph, rng):
+        feats = rng.normal(size=(ba_graph.n_nodes, 3))
+        ahat = normalized_adjacency(ba_graph, kind="sym", self_loops=True)
+        seeds = np.arange(5)
+        exact = (ahat @ feats)[seeds]
+        acc = np.zeros_like(exact)
+        n_rep = 3000
+        sampler = LayerSampler(ba_graph, 1, 30, seed=0)
+        for _ in range(n_rep):
+            block = sampler.sample(seeds)[0]
+            acc += block.matrix @ feats[block.src_ids]
+        assert np.allclose(acc / n_rep, exact, atol=0.05)
+
+
+class TestSubgraphSamplers:
+    def test_node_sample_size(self, ba_graph):
+        nodes, sub = node_subgraph_sample(ba_graph, 30, seed=0)
+        assert len(nodes) == 30
+        assert sub.n_nodes == 30
+
+    def test_node_sample_budget_capped(self, triangle):
+        nodes, _ = node_subgraph_sample(triangle, 100, seed=0)
+        assert len(nodes) == 3
+
+    def test_node_sample_custom_prob(self, ba_graph):
+        prob = np.zeros(ba_graph.n_nodes)
+        prob[:40] = 1.0
+        nodes, _ = node_subgraph_sample(ba_graph, 20, seed=0, prob=prob)
+        assert nodes.max() < 40
+
+    def test_node_sample_bad_prob_shape(self, ba_graph):
+        with pytest.raises(GraphError):
+            node_subgraph_sample(ba_graph, 5, prob=np.ones(3))
+
+    def test_edge_sample_nodes_from_edges(self, ba_graph):
+        nodes, sub = edge_subgraph_sample(ba_graph, 40, seed=0)
+        assert sub.n_nodes == len(nodes)
+        assert sub.n_edges > 0
+
+    def test_rw_sample_connected_ish(self, ba_graph):
+        nodes, sub = random_walk_subgraph_sample(ba_graph, 5, 6, seed=0)
+        # Walk-union subgraphs keep walk edges, so few isolated nodes.
+        assert (sub.degrees() == 0).mean() < 0.3
+
+    def test_deterministic(self, ba_graph):
+        a, _ = node_subgraph_sample(ba_graph, 20, seed=9)
+        b, _ = node_subgraph_sample(ba_graph, 20, seed=9)
+        assert np.array_equal(a, b)
+
+
+class TestVarianceEstimation:
+    def test_variance_drops_with_budget(self, ba_graph, rng):
+        feats = rng.normal(size=(ba_graph.n_nodes, 4))
+        hub = int(np.argmax(ba_graph.degrees()))
+        v_small, _ = estimate_aggregation_variance(
+            ba_graph, hub, feats, 2, "uniform", n_trials=400, seed=0
+        )
+        v_large, _ = estimate_aggregation_variance(
+            ba_graph, hub, feats, 20, "uniform", n_trials=400, seed=0
+        )
+        assert v_large < v_small
+
+    def test_without_replacement_no_worse(self, ba_graph, rng):
+        feats = rng.normal(size=(ba_graph.n_nodes, 4))
+        hub = int(np.argmax(ba_graph.degrees()))
+        v_wo, _ = estimate_aggregation_variance(
+            ba_graph, hub, feats, 8, "uniform", n_trials=600, seed=1
+        )
+        v_w, _ = estimate_aggregation_variance(
+            ba_graph, hub, feats, 8, "uniform_replace", n_trials=600, seed=1
+        )
+        assert v_wo <= v_w * 1.1
+
+    def test_full_budget_zero_variance(self, ba_graph, rng):
+        feats = rng.normal(size=(ba_graph.n_nodes, 2))
+        node = 5
+        deg = len(ba_graph.neighbors(node))
+        var, bias = estimate_aggregation_variance(
+            ba_graph, node, feats, deg, "uniform", n_trials=50, seed=2
+        )
+        assert var == pytest.approx(0.0, abs=1e-18)
+        assert bias == pytest.approx(0.0, abs=1e-18)
+
+    def test_unknown_method(self, ba_graph, rng):
+        with pytest.raises(ConfigError):
+            sample_neighbor_estimate(ba_graph, 0, rng.normal(size=(120, 2)), 3, "nope")
+
+    def test_isolated_node_rejected(self, rng):
+        from repro.graph import Graph
+
+        g = Graph.from_edges([(0, 1)], 3)
+        with pytest.raises(GraphError):
+            sample_neighbor_estimate(g, 2, rng.normal(size=(3, 2)), 1, "uniform")
+
+
+class TestHistoryCache:
+    def test_update_and_get(self):
+        cache = HistoryCache(10, 3)
+        cache.update(np.array([1, 4]), np.ones((2, 3)))
+        assert np.array_equal(cache.get(np.array([1])), np.ones((1, 3)))
+        assert cache.fill_fraction == pytest.approx(0.2)
+
+    def test_aggregate_with_cache_exact_when_full_budget(self, ba_graph, rng):
+        feats = rng.normal(size=(ba_graph.n_nodes, 3))
+        cache = HistoryCache(ba_graph.n_nodes, 3)
+        node = 5
+        deg = len(ba_graph.neighbors(node))
+        est = aggregate_with_cache(ba_graph, node, feats, cache, deg, seed=0)
+        exact = feats[ba_graph.neighbors(node)].mean(axis=0)
+        assert np.allclose(est, exact)
+
+    def test_cache_reduces_error_over_rounds(self, ba_graph, rng):
+        # As the cache fills with exact (stationary) features, the cached
+        # estimator converges to the exact mean.
+        feats = rng.normal(size=(ba_graph.n_nodes, 3))
+        hub = int(np.argmax(ba_graph.degrees()))
+        exact = feats[ba_graph.neighbors(hub)].mean(axis=0)
+        cache = HistoryCache(ba_graph.n_nodes, 3)
+        errs = []
+        for round_i in range(30):
+            est = aggregate_with_cache(ba_graph, hub, feats, cache, 4, seed=round_i)
+            errs.append(np.linalg.norm(est - exact))
+        assert np.mean(errs[-5:]) < np.mean(errs[:5])
+
+    def test_no_neighbours_rejected(self, rng):
+        from repro.graph import Graph
+
+        g = Graph.from_edges([(0, 1)], 3)
+        cache = HistoryCache(3, 2)
+        with pytest.raises(GraphError):
+            aggregate_with_cache(g, 2, rng.normal(size=(3, 2)), cache, 1)

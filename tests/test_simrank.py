@@ -1,0 +1,103 @@
+"""Tests for SimRank: exact iteration and fingerprint index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, NotFittedError
+from repro.analytics.simrank import (
+    SimRankFingerprints,
+    simrank_matrix,
+    topk_simrank,
+)
+from repro.graph import Graph, complete_graph, star_graph
+
+
+class TestSimrankMatrix:
+    def test_diagonal_is_one(self, sbm_graph):
+        sim = simrank_matrix(sbm_graph, n_iter=5)
+        assert np.allclose(np.diag(sim), 1.0)
+
+    def test_symmetric(self, sbm_graph):
+        sim = simrank_matrix(sbm_graph, n_iter=5)
+        assert np.allclose(sim, sim.T)
+
+    def test_values_in_unit_interval(self, sbm_graph):
+        sim = simrank_matrix(sbm_graph, n_iter=8)
+        assert sim.min() >= -1e-12
+        assert sim.max() <= 1.0 + 1e-12
+
+    def test_star_leaves_maximally_similar(self):
+        # All leaves of a star share their single neighbour: sim = decay.
+        sim = simrank_matrix(star_graph(6), decay=0.6, n_iter=20)
+        assert sim[1, 2] == pytest.approx(0.6, abs=1e-6)
+
+    def test_disconnected_pairs_zero(self):
+        g = Graph.from_edges([(0, 1), (2, 3)], 4)
+        sim = simrank_matrix(g, n_iter=10)
+        assert sim[0, 2] == 0.0
+
+    def test_decay_monotonicity(self, sbm_graph):
+        low = simrank_matrix(sbm_graph, decay=0.3, n_iter=8)
+        high = simrank_matrix(sbm_graph, decay=0.9, n_iter=8)
+        off = ~np.eye(sbm_graph.n_nodes, dtype=bool)
+        assert high[off].sum() > low[off].sum()
+
+
+class TestFingerprints:
+    def test_query_before_build_raises(self):
+        with pytest.raises(NotFittedError):
+            SimRankFingerprints().query(0)
+
+    def test_self_similarity_one(self, sbm_graph):
+        idx = SimRankFingerprints(n_walks=50, seed=0).build(sbm_graph)
+        assert idx.query(3)[3] == 1.0
+
+    def test_estimates_close_to_exact(self, sbm_graph):
+        exact = simrank_matrix(sbm_graph, n_iter=12)
+        idx = SimRankFingerprints(n_walks=800, walk_length=10, seed=0).build(sbm_graph)
+        est = idx.query(0)
+        assert np.abs(est - exact[0]).mean() < 0.02
+
+    def test_more_walks_reduce_error(self, sbm_graph):
+        exact = simrank_matrix(sbm_graph, n_iter=12)
+        errs = []
+        for walks in (20, 2000):
+            idx = SimRankFingerprints(n_walks=walks, walk_length=10, seed=1).build(
+                sbm_graph
+            )
+            errs.append(np.abs(idx.query(0) - exact[0]).mean())
+        assert errs[1] < errs[0]
+
+    def test_index_bytes_scales_with_walks(self, sbm_graph):
+        small = SimRankFingerprints(n_walks=10, seed=0).build(sbm_graph)
+        large = SimRankFingerprints(n_walks=40, seed=0).build(sbm_graph)
+        assert large.index_bytes == 4 * small.index_bytes
+
+    def test_invalid_source(self, sbm_graph):
+        idx = SimRankFingerprints(n_walks=10, seed=0).build(sbm_graph)
+        with pytest.raises(GraphError):
+            idx.query(1000)
+
+    def test_topk_excludes_source(self, sbm_graph):
+        idx = SimRankFingerprints(n_walks=100, seed=0).build(sbm_graph)
+        nodes, sims = idx.topk(0, 5)
+        assert 0 not in nodes
+        assert len(nodes) == 5
+        assert np.all(np.diff(sims) <= 0)
+
+    def test_topk_finds_same_community(self, sbm_graph):
+        # In a 2-block SBM the most similar nodes should be same-block.
+        idx = SimRankFingerprints(n_walks=300, walk_length=8, seed=2).build(sbm_graph)
+        nodes, _ = idx.topk(0, 10)
+        same_block = np.sum(sbm_graph.y[nodes] == sbm_graph.y[0])
+        assert same_block >= 7
+
+    def test_oneshot_helper(self, sbm_graph):
+        nodes, sims = topk_simrank(sbm_graph, 0, 3, seed=0)
+        assert len(nodes) == 3
+
+    def test_complete_graph_all_similar(self):
+        g = complete_graph(6)
+        idx = SimRankFingerprints(n_walks=200, seed=0).build(g)
+        sims = idx.query(0)
+        assert sims[1:].min() > 0.1

@@ -1,0 +1,141 @@
+"""Tests for graph sparsification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, GraphError
+from repro.editing.sparsify import (
+    effective_resistance_sparsify,
+    random_spectral_sparsify,
+    spectral_distance,
+    threshold_sparsify,
+    topk_sparsify,
+)
+from repro.graph import Graph, complete_graph, star_graph
+
+
+class TestThreshold:
+    def test_zero_threshold_keeps_all(self, ba_graph):
+        res = threshold_sparsify(ba_graph, 0.0)
+        assert res.kept_fraction == 1.0
+        assert res.graph.n_edges == ba_graph.n_edges
+
+    def test_huge_threshold_drops_all(self, ba_graph):
+        res = threshold_sparsify(ba_graph, 10.0)
+        assert res.graph.n_edges == 0
+
+    def test_monotone_in_threshold(self, ba_graph):
+        kept = [
+            threshold_sparsify(ba_graph, t).kept_fraction
+            for t in (0.01, 0.05, 0.2)
+        ]
+        assert kept == sorted(kept, reverse=True)
+
+    def test_normalized_drops_hub_hub_edges_first(self):
+        # In a star + one leaf-leaf edge, the leaf-leaf normalised weight
+        # (1/sqrt(1*2)-ish) exceeds centre-leaf (1/sqrt(high degree)).
+        g = star_graph(20)
+        adj = g.adjacency().tolil()
+        adj[1, 2] = adj[2, 1] = 1.0
+        g2 = Graph.from_scipy(adj.tocsr())
+        res = threshold_sparsify(g2, 0.3)
+        assert res.graph.has_edge(1, 2)
+        assert not res.graph.has_edge(0, 5)
+
+    def test_unnormalized_uses_raw_weights(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], 3, weights=np.array([1.0, 0.1]))
+        res = threshold_sparsify(g, 0.5, use_normalized=False)
+        assert res.graph.has_edge(0, 1)
+        assert not res.graph.has_edge(1, 2)
+
+    def test_carries_features(self, featured_graph):
+        res = threshold_sparsify(featured_graph, 0.05)
+        assert np.array_equal(res.graph.x, featured_graph.x)
+
+    def test_rejects_directed(self):
+        g = Graph.from_edges([(0, 1)], 2, directed=True)
+        with pytest.raises(GraphError):
+            threshold_sparsify(g, 0.1)
+
+
+class TestTopK:
+    def test_low_degree_nodes_untouched(self, ba_graph):
+        res = topk_sparsify(ba_graph, 3)
+        deg_before = ba_graph.degrees()
+        deg_after = res.graph.degrees()
+        low = deg_before <= 3
+        assert np.all(deg_after[low] == deg_before[low])
+
+    def test_caps_are_soft_due_to_symmetry(self, ba_graph):
+        # An edge survives if either endpoint keeps it, so degrees can
+        # exceed k — but total edges must shrink on a skewed graph.
+        res = topk_sparsify(ba_graph, 2)
+        assert res.graph.n_undirected_edges < ba_graph.n_undirected_edges
+
+    def test_k_huge_keeps_everything(self, ba_graph):
+        res = topk_sparsify(ba_graph, 10_000)
+        assert res.kept_fraction == 1.0
+
+    def test_keeps_heaviest(self):
+        g = Graph.from_edges(
+            [(0, 1), (0, 2), (0, 3)], 4, weights=np.array([3.0, 2.0, 1.0])
+        )
+        res = topk_sparsify(g, 1)
+        assert res.graph.has_edge(0, 1)
+        # (0,2) survives via node 2's own top-1; (0,3) via node 3's.
+        assert res.graph.has_edge(0, 2)
+
+
+class TestRandomSpectral:
+    def test_expected_laplacian_unbiased(self, ba_graph):
+        # Averaging many sparsifier weights approaches the original weights.
+        acc = np.zeros_like(ba_graph.adjacency().toarray())
+        n_rep = 60
+        for s in range(n_rep):
+            res = random_spectral_sparsify(ba_graph, 400, seed=s)
+            acc += res.graph.adjacency().toarray()
+        acc /= n_rep
+        orig = ba_graph.adjacency().toarray()
+        assert np.abs(acc - orig).mean() < 0.15
+
+    def test_fewer_samples_fewer_edges(self, ba_graph):
+        few = random_spectral_sparsify(ba_graph, 50, seed=0)
+        many = random_spectral_sparsify(ba_graph, 2000, seed=0)
+        assert few.graph.n_undirected_edges < many.graph.n_undirected_edges
+
+    def test_spectral_distance_improves_with_budget(self, ba_graph):
+        coarse = random_spectral_sparsify(ba_graph, 60, seed=1)
+        fine = random_spectral_sparsify(ba_graph, 3000, seed=1)
+        assert spectral_distance(ba_graph, fine.graph) < spectral_distance(
+            ba_graph, coarse.graph
+        )
+
+
+class TestEffectiveResistance:
+    def test_tree_edges_always_kept_eventually(self):
+        # On a tree every edge has resistance 1 (must be sampled to connect).
+        from repro.graph import path_graph
+
+        g = path_graph(10)
+        res = effective_resistance_sparsify(g, 2000, seed=0)
+        assert res.kept_fraction == 1.0
+
+    def test_complete_graph_thins(self):
+        g = complete_graph(20)
+        res = effective_resistance_sparsify(g, 60, seed=0)
+        assert res.kept_fraction < 0.5
+
+    def test_size_guard(self):
+        with pytest.raises(ConfigError):
+            effective_resistance_sparsify(
+                Graph.from_edges([(0, 1)], 4000), 10
+            )
+
+
+class TestSpectralDistance:
+    def test_identity_zero(self, ba_graph):
+        assert spectral_distance(ba_graph, ba_graph) == 0.0
+
+    def test_requires_same_nodes(self, ba_graph, triangle):
+        with pytest.raises(GraphError):
+            spectral_distance(ba_graph, triangle)

@@ -1,0 +1,165 @@
+"""Tests for spectral filters: bases, fitting, application, Krylov."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.analytics.spectral import (
+    PolynomialFilter,
+    fit_filter,
+    krylov_filter_signal,
+    laplacian_spectrum,
+    reference_response,
+)
+from repro.graph import ring_graph
+from repro.graph.ops import laplacian_matrix
+
+
+@pytest.fixture
+def ring():
+    return ring_graph(24)
+
+
+@pytest.fixture
+def eigensystem(ring):
+    lap = laplacian_matrix(ring, kind="sym").toarray()
+    w, v = np.linalg.eigh(lap)
+    return w, v
+
+
+class TestSpectrum:
+    def test_full_spectrum_sorted(self, ring):
+        lam = laplacian_spectrum(ring)
+        assert np.all(np.diff(lam) >= -1e-12)
+
+    def test_full_spectrum_range(self, ba_graph):
+        lam = laplacian_spectrum(ba_graph)
+        assert lam.min() >= -1e-9 and lam.max() <= 2 + 1e-9
+
+    def test_partial_spectrum_matches_full(self, ring):
+        full = laplacian_spectrum(ring)
+        part = laplacian_spectrum(ring, k=4)
+        assert np.allclose(part, full[:4], atol=1e-6)
+
+    def test_smallest_eigenvalue_zero_connected(self, ba_graph):
+        assert laplacian_spectrum(ba_graph)[0] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestReferenceResponses:
+    def test_low_pass_decreasing(self):
+        f = reference_response("low")
+        lam = np.linspace(0, 2, 20)
+        assert np.all(np.diff(f(lam)) < 0)
+
+    def test_high_pass_increasing(self):
+        f = reference_response("high")
+        lam = np.linspace(0, 2, 20)
+        assert np.all(np.diff(f(lam)) > 0)
+
+    def test_band_peaks_at_one(self):
+        f = reference_response("band")
+        assert f(np.array([1.0]))[0] == pytest.approx(1.0)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            reference_response("nope")
+
+
+class TestPolynomialFilter:
+    def test_monomial_response(self):
+        f = PolynomialFilter(np.array([1.0, 2.0, 3.0]), basis="monomial")
+        lam = np.array([0.5])
+        assert f.response(lam)[0] == pytest.approx(1 + 2 * 0.5 + 3 * 0.25)
+
+    def test_chebyshev_recurrence(self):
+        # T_2(x) = 2x^2 - 1 on x = lam - 1
+        f = PolynomialFilter(np.array([0.0, 0.0, 1.0]), basis="chebyshev")
+        lam = np.array([1.5])
+        assert f.response(lam)[0] == pytest.approx(2 * 0.5**2 - 1)
+
+    def test_bernstein_partition_of_unity(self):
+        f = PolynomialFilter(np.ones(5), basis="bernstein")
+        lam = np.linspace(0, 2, 11)
+        assert np.allclose(f.response(lam), 1.0)
+
+    def test_invalid_basis(self):
+        with pytest.raises(ConfigError):
+            PolynomialFilter(np.ones(3), basis="fourier")
+
+    def test_empty_coefficients(self):
+        with pytest.raises(ShapeError):
+            PolynomialFilter(np.array([]))
+
+    @pytest.mark.parametrize("basis", ["monomial", "chebyshev", "bernstein"])
+    def test_apply_scales_eigenvectors_by_response(self, ring, eigensystem, basis):
+        w, v = eigensystem
+        f = fit_filter(reference_response("band"), degree=6, basis=basis)
+        for idx in (0, 5, 12):
+            sig = v[:, idx]
+            out = f.apply(ring, sig)
+            expected = f.response(np.array([w[idx]]))[0] * sig
+            assert np.allclose(out, expected, atol=1e-10)
+
+    def test_apply_multichannel(self, ring, rng):
+        f = fit_filter(reference_response("low"), degree=4)
+        sig = rng.normal(size=(ring.n_nodes, 3))
+        assert f.apply(ring, sig).shape == (ring.n_nodes, 3)
+
+    def test_apply_shape_check(self, ring):
+        f = PolynomialFilter(np.ones(2))
+        with pytest.raises(ShapeError):
+            f.apply(ring, np.ones(5))
+
+
+class TestFitFilter:
+    @pytest.mark.parametrize("basis", ["monomial", "chebyshev", "bernstein"])
+    def test_fit_quality(self, basis):
+        target = reference_response("band")
+        f = fit_filter(target, degree=10, basis=basis)
+        lam = np.linspace(0, 2, 101)
+        rmse = np.sqrt(np.mean((f.response(lam) - target(lam)) ** 2))
+        assert rmse < 0.01
+
+    def test_higher_degree_fits_better(self):
+        target = reference_response("comb")
+        lam = np.linspace(0, 2, 101)
+        errs = []
+        for degree in (2, 10):
+            f = fit_filter(target, degree=degree)
+            errs.append(np.sqrt(np.mean((f.response(lam) - target(lam)) ** 2)))
+        assert errs[1] < errs[0]
+
+    def test_exact_for_polynomial_target(self):
+        f = fit_filter(lambda lam: 1 + lam**2, degree=2, basis="monomial")
+        assert np.allclose(f.coefficients, [1.0, 0.0, 1.0], atol=1e-8)
+
+
+class TestKrylovFilter:
+    def test_recovers_polynomial_target(self, ring, rng):
+        # target = p(L) x lies in the Krylov space of x, so the adaptive
+        # filter must reconstruct it (near) exactly.
+        lap = laplacian_matrix(ring, kind="sym")
+        x = rng.normal(size=ring.n_nodes)
+        target = 0.5 * x + 0.3 * (lap @ x) - 0.1 * (lap @ (lap @ x))
+        filtered, coeffs = krylov_filter_signal(ring, x, target, degree=3)
+        assert np.allclose(filtered, target, atol=1e-8)
+
+    def test_lower_degree_cannot_recover(self, ring, rng):
+        lap = laplacian_matrix(ring, kind="sym")
+        x = rng.normal(size=ring.n_nodes)
+        target = lap @ (lap @ (lap @ x))
+        filtered, _ = krylov_filter_signal(ring, x, target, degree=1)
+        assert not np.allclose(filtered, target, atol=1e-3)
+
+    def test_multichannel_shapes(self, ring, rng):
+        x = rng.normal(size=(ring.n_nodes, 2))
+        filtered, coeffs = krylov_filter_signal(ring, x, x, degree=2)
+        assert filtered.shape == x.shape
+        assert coeffs.shape == (2, 3)
+
+    def test_shape_mismatch(self, ring, rng):
+        with pytest.raises(ShapeError):
+            krylov_filter_signal(
+                ring, rng.normal(size=ring.n_nodes),
+                rng.normal(size=(ring.n_nodes, 2)), degree=2,
+            )

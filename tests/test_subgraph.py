@@ -1,0 +1,108 @@
+"""Tests for subgraph extraction and walk-set storage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, NotFittedError
+from repro.editing.subgraph import (
+    WalkSetStorage,
+    ego_subgraph,
+    relative_position_encoding,
+)
+from repro.graph import bfs_distances, path_graph, ring_graph
+
+
+class TestEgoSubgraph:
+    def test_matches_bfs_ball(self, ba_graph):
+        nodes, sub = ego_subgraph(ba_graph, 0, 2)
+        d = bfs_distances(ba_graph, 0)
+        assert np.array_equal(nodes, np.flatnonzero((d >= 0) & (d <= 2)))
+        assert sub.n_nodes == len(nodes)
+
+    def test_zero_hop_is_single_node(self, ba_graph):
+        nodes, sub = ego_subgraph(ba_graph, 3, 0)
+        assert np.array_equal(nodes, [3])
+        assert sub.n_nodes == 1
+
+    def test_invalid_node(self, ba_graph):
+        with pytest.raises(GraphError):
+            ego_subgraph(ba_graph, 10_000, 1)
+
+
+class TestRPE:
+    def test_step_zero_counts_source(self):
+        walks = np.array([[0, 1, 2], [0, 2, 1]])
+        rpe = relative_position_encoding(walks, np.array([0, 1, 2]))
+        assert rpe[0, 0] == 2  # both walks start at 0
+        assert rpe[1, 1] == 1  # node 1 visited once at step 1
+        assert rpe[2, 2] == 1
+
+    def test_counts_sum_per_step(self, ba_graph):
+        storage = WalkSetStorage(n_walks=8, walk_length=3, seed=0).build(ba_graph)
+        walks = storage.walks_of(0)
+        nodes = np.unique(walks)
+        rpe = relative_position_encoding(walks, nodes)
+        assert np.allclose(rpe.sum(axis=0), 8)
+
+    def test_nodes_outside_set_ignored(self):
+        walks = np.array([[0, 5]])
+        rpe = relative_position_encoding(walks, np.array([0]))
+        assert rpe.shape == (1, 2)
+        assert rpe[0, 1] == 0
+
+
+class TestWalkSetStorage:
+    def test_build_shapes(self, ba_graph):
+        storage = WalkSetStorage(n_walks=6, walk_length=4, seed=0).build(ba_graph)
+        walks = storage.walks_of(10)
+        assert walks.shape == (6, 5)
+        assert np.all(walks[:, 0] == 10)
+
+    def test_walk_steps_are_edges(self, ba_graph):
+        storage = WalkSetStorage(n_walks=4, walk_length=3, seed=1).build(ba_graph)
+        walks = storage.walks_of(0)
+        for walk in walks:
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert a == b or ba_graph.has_edge(int(a), int(b))
+
+    def test_query_before_build(self):
+        with pytest.raises(NotFittedError):
+            WalkSetStorage().walks_of(0)
+
+    def test_query_node(self, ba_graph):
+        storage = WalkSetStorage(n_walks=8, walk_length=3, seed=2).build(ba_graph)
+        nodes, rpe = storage.query_node(4)
+        assert 4 in nodes
+        assert rpe.shape == (len(nodes), 4)
+
+    def test_query_pair_joins(self, ba_graph):
+        storage = WalkSetStorage(n_walks=8, walk_length=3, seed=3).build(ba_graph)
+        nodes, rpe = storage.query_pair(0, 7)
+        nodes_u, _ = storage.query_node(0)
+        nodes_v, _ = storage.query_node(7)
+        assert np.array_equal(nodes, np.union1d(nodes_u, nodes_v))
+        assert rpe.shape == (len(nodes), 8)  # 2 * (L+1)
+
+    def test_pair_rpe_halves_align(self, ba_graph):
+        storage = WalkSetStorage(n_walks=5, walk_length=2, seed=4).build(ba_graph)
+        nodes, rpe = storage.query_pair(1, 2)
+        u_only = relative_position_encoding(storage.walks_of(1), nodes)
+        assert np.array_equal(rpe[:, :3], u_only)
+
+    def test_storage_bytes(self, ba_graph):
+        storage = WalkSetStorage(n_walks=10, walk_length=4, seed=0).build(ba_graph)
+        assert storage.storage_bytes == ba_graph.n_nodes * 10 * 5 * 8
+
+    def test_dead_end_walks_stay_put(self):
+        # Path endpoint 0 bounces between 0 and 1 but never crashes.
+        g = path_graph(3)
+        storage = WalkSetStorage(n_walks=4, walk_length=5, seed=0).build(g)
+        walks = storage.walks_of(0)
+        assert walks.max() <= 2
+
+    def test_ring_walks_stay_local(self):
+        g = ring_graph(30)
+        storage = WalkSetStorage(n_walks=10, walk_length=3, seed=0).build(g)
+        nodes, _ = storage.query_node(0)
+        dist = np.minimum(nodes, 30 - nodes)
+        assert dist.max() <= 3

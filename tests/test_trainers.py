@@ -1,0 +1,182 @@
+"""Tests for training loops, early stopping, metrics, distributed sim."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Split
+from repro.editing import NeighborSampler, cluster_batches, ldg_partition, node_subgraph_sample
+from repro.errors import ConfigError, ShapeError
+from repro.models import GCN, SGC, GraphSAGE, PPRGo
+from repro.tensor.nn import MLP
+from repro.training import (
+    EarlyStopping,
+    accuracy,
+    confusion_matrix,
+    macro_f1,
+    simulate_distributed_training,
+    train_decoupled,
+    train_full_batch,
+    train_pprgo,
+    train_sampled,
+    train_subgraph,
+)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_confusion_matrix(self):
+        cm = confusion_matrix(np.array([0, 1, 1]), np.array([0, 0, 1]), 2)
+        assert np.array_equal(cm, [[1, 1], [0, 1]])
+
+    def test_macro_f1_perfect(self):
+        y = np.array([0, 1, 2, 0])
+        assert macro_f1(y, y) == 1.0
+
+    def test_macro_f1_balances_classes(self):
+        truth = np.array([0] * 90 + [1] * 10)
+        pred = np.zeros(100, dtype=int)  # always majority
+        assert macro_f1(pred, truth) < accuracy(pred, truth)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        model = MLP(2, 4, 2, seed=0)
+        stopper = EarlyStopping(model, patience=3)
+        assert not stopper.update(0.5, 0)
+        assert not stopper.update(0.4, 1)
+        assert not stopper.update(0.4, 2)
+        assert stopper.update(0.4, 3)
+
+    def test_improvement_resets(self):
+        model = MLP(2, 4, 2, seed=0)
+        stopper = EarlyStopping(model, patience=2)
+        stopper.update(0.5, 0)
+        stopper.update(0.4, 1)
+        stopper.update(0.6, 2)
+        assert stopper.best_epoch == 2
+        assert not stopper.update(0.5, 3)
+
+    def test_restore_recovers_best_weights(self):
+        model = MLP(2, 4, 2, seed=0)
+        stopper = EarlyStopping(model, patience=5)
+        stopper.update(0.9, 0)
+        best = model.state_dict()
+        for p in model.parameters():
+            p.data += 1.0
+        stopper.update(0.1, 1)
+        stopper.restore()
+        for key, val in model.state_dict().items():
+            assert np.allclose(val, best[key])
+
+
+class TestTrainers:
+    def test_full_batch_learns(self, csbm_dataset):
+        graph, split = csbm_dataset
+        model = GCN(graph.n_features, 16, graph.n_classes, seed=0)
+        res = train_full_batch(model, graph, split, epochs=80)
+        assert res.test_accuracy > 0.8
+        assert res.train_time > 0
+        assert len(res.train_losses) == len(res.val_accuracies)
+
+    def test_full_batch_requires_labels(self, ba_graph):
+        model = GCN(4, 8, 2, seed=0)
+        with pytest.raises(ConfigError):
+            train_full_batch(model, ba_graph, Split(np.array([0]), np.array([1]), np.array([2])))
+
+    def test_decoupled_learns(self, csbm_dataset):
+        graph, split = csbm_dataset
+        model = SGC(graph.n_features, graph.n_classes, k_hops=2, hidden=16, seed=0)
+        res = train_decoupled(model, graph, split, epochs=60, seed=0)
+        assert res.test_accuracy > 0.8
+        assert res.precompute_time > 0
+
+    def test_decoupled_early_stops(self, csbm_dataset):
+        graph, split = csbm_dataset
+        model = SGC(graph.n_features, graph.n_classes, k_hops=2, hidden=16, seed=0)
+        res = train_decoupled(model, graph, split, epochs=10_000, patience=5, seed=0)
+        assert len(res.val_accuracies) < 10_000
+
+    def test_sampled_learns(self, csbm_dataset):
+        graph, split = csbm_dataset
+        model = GraphSAGE(graph.n_features, 16, graph.n_classes, seed=0)
+        sampler = NeighborSampler(graph, [5, 5], seed=0)
+        res = train_sampled(model, graph, split, sampler, epochs=25, seed=0)
+        assert res.test_accuracy > 0.75
+
+    def test_subgraph_learns_clustergcn(self, csbm_dataset):
+        graph, split = csbm_dataset
+        pr = ldg_partition(graph, 6, seed=0)
+
+        def batch_fn(rng):
+            return cluster_batches(pr.assignment, 6, 2, seed=rng)[0]
+
+        model = GCN(graph.n_features, 16, graph.n_classes, seed=0)
+        res = train_subgraph(model, graph, split, batch_fn, epochs=40, seed=0)
+        assert res.test_accuracy > 0.75
+
+    def test_subgraph_learns_graphsaint(self, csbm_dataset):
+        graph, split = csbm_dataset
+
+        def batch_fn(rng):
+            nodes, _ = node_subgraph_sample(graph, 80, seed=rng)
+            return nodes
+
+        model = GCN(graph.n_features, 16, graph.n_classes, seed=0)
+        res = train_subgraph(model, graph, split, batch_fn, epochs=40, seed=0)
+        assert res.test_accuracy > 0.7
+
+    def test_pprgo_learns(self, csbm_dataset):
+        graph, split = csbm_dataset
+        model = PPRGo(graph.n_features, 16, graph.n_classes, topk=16, seed=0)
+        res = train_pprgo(model, graph, split, epochs=40, seed=0)
+        assert res.test_accuracy > 0.75
+
+    def test_decoupled_deterministic(self, csbm_dataset):
+        graph, split = csbm_dataset
+        accs = []
+        for _ in range(2):
+            model = SGC(graph.n_features, graph.n_classes, k_hops=2, hidden=16, seed=1)
+            res = train_decoupled(model, graph, split, epochs=20, seed=1)
+            accs.append(res.test_accuracy)
+        assert accs[0] == accs[1]
+
+
+class TestDistributed:
+    def test_runs_and_accounts_communication(self, csbm_dataset):
+        graph, split = csbm_dataset
+        pr = ldg_partition(graph, 4, seed=0)
+        res = simulate_distributed_training(
+            graph, split, pr.assignment, 4, epochs=30, seed=0
+        )
+        assert res.test_accuracy > 0.6
+        assert res.halo_floats_per_epoch == res.cross_partition_arcs * graph.n_features
+        assert res.param_sync_floats_per_round > 0
+
+    def test_better_partition_less_communication(self, csbm_dataset):
+        from repro.editing import random_partition
+
+        graph, split = csbm_dataset
+        good = ldg_partition(graph, 4, seed=0)
+        bad = random_partition(graph, 4, seed=0)
+        res_good = simulate_distributed_training(
+            graph, split, good.assignment, 4, epochs=3, seed=0
+        )
+        res_bad = simulate_distributed_training(
+            graph, split, bad.assignment, 4, epochs=3, seed=0
+        )
+        assert res_good.halo_floats_per_epoch < res_bad.halo_floats_per_epoch
+
+    def test_n_parts_validated(self, csbm_dataset):
+        graph, split = csbm_dataset
+        with pytest.raises(ConfigError):
+            simulate_distributed_training(graph, split, np.zeros(graph.n_nodes, dtype=int), 1)

@@ -1,0 +1,106 @@
+"""Tests for BFS, components, k-hop neighbourhoods, shortest paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    Graph,
+    bfs_distances,
+    bfs_tree,
+    connected_components,
+    grid_graph,
+    k_hop_neighborhood,
+    path_graph,
+    ring_graph,
+    shortest_path_distance,
+)
+
+
+class TestBfsDistances:
+    def test_path_distances(self):
+        d = bfs_distances(path_graph(5), 0)
+        assert np.array_equal(d, [0, 1, 2, 3, 4])
+
+    def test_ring_distances_symmetric(self):
+        d = bfs_distances(ring_graph(8), 0)
+        assert d[4] == 4
+        assert d[1] == d[7] == 1
+
+    def test_unreachable_is_minus_one(self):
+        g = Graph.from_edges([(0, 1), (2, 3)], 4)
+        d = bfs_distances(g, 0)
+        assert d[2] == -1 and d[3] == -1
+
+    def test_invalid_source(self, triangle):
+        with pytest.raises(GraphError):
+            bfs_distances(triangle, 5)
+
+
+class TestShortestPathDistance:
+    def test_matches_bfs_on_grid(self):
+        g = grid_graph(4, 4)
+        d = bfs_distances(g, 0)
+        for target in range(16):
+            assert shortest_path_distance(g, 0, target) == d[target]
+
+    def test_same_node_zero(self, triangle):
+        assert shortest_path_distance(triangle, 1, 1) == 0
+
+    def test_disconnected_minus_one(self):
+        g = Graph.from_edges([(0, 1), (2, 3)], 4)
+        assert shortest_path_distance(g, 0, 3) == -1
+
+    def test_matches_bfs_on_random_graph(self, ba_graph, rng):
+        d = bfs_distances(ba_graph, 3)
+        for target in rng.choice(ba_graph.n_nodes, 10, replace=False):
+            assert shortest_path_distance(ba_graph, 3, int(target)) == d[target]
+
+
+class TestBfsTree:
+    def test_parents_reduce_distance(self, ba_graph):
+        parent = bfs_tree(ba_graph, 0)
+        dist = bfs_distances(ba_graph, 0)
+        for v in range(1, ba_graph.n_nodes):
+            if parent[v] >= 0:
+                assert dist[parent[v]] == dist[v] - 1
+
+    def test_source_is_own_parent(self, triangle):
+        assert bfs_tree(triangle, 2)[2] == 2
+
+
+class TestConnectedComponents:
+    def test_single_component(self, ba_graph):
+        assert connected_components(ba_graph).max() == 0
+
+    def test_two_components(self):
+        g = Graph.from_edges([(0, 1), (2, 3)], 5)
+        comp = connected_components(g)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert len(np.unique(comp)) == 3  # isolated node 4 is its own
+
+    def test_directed_uses_weak_connectivity(self):
+        g = Graph.from_edges([(0, 1)], 2, directed=True)
+        comp = connected_components(g)
+        assert comp[0] == comp[1]
+
+
+class TestKHopNeighborhood:
+    def test_zero_hops_is_seeds(self, ba_graph):
+        assert np.array_equal(k_hop_neighborhood(ba_graph, [5], 0), [5])
+
+    def test_one_hop_is_closed_neighborhood(self, triangle):
+        assert np.array_equal(k_hop_neighborhood(triangle, [0], 1), [0, 1, 2])
+
+    def test_monotone_in_k(self, ba_graph):
+        sizes = [len(k_hop_neighborhood(ba_graph, [0], k)) for k in range(5)]
+        assert sizes == sorted(sizes)
+
+    def test_matches_bfs_ball(self, grid5x5):
+        d = bfs_distances(grid5x5, 12)
+        ball = k_hop_neighborhood(grid5x5, [12], 2)
+        assert np.array_equal(ball, np.flatnonzero((d >= 0) & (d <= 2)))
+
+    def test_multiple_seeds(self, path4):
+        assert np.array_equal(k_hop_neighborhood(path4, [0, 3], 1), [0, 1, 2, 3])

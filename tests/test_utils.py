@@ -1,0 +1,113 @@
+"""Tests for repro.utils: rng plumbing, timers, validation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils import Timer, as_rng, check_fraction, check_positive, check_probability
+from repro.utils.rng import split_rng
+from repro.utils.validation import check_int_range
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        assert as_rng(42).random() == as_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert as_rng(1).random() != as_rng(2).random()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_split_rng_independent(self):
+        children = split_rng(as_rng(0), 3)
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 3
+
+    def test_split_rng_deterministic(self):
+        a = [c.random() for c in split_rng(as_rng(5), 2)]
+        b = [c.random() for c in split_rng(as_rng(5), 2)]
+        assert a == b
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_multiple_intervals_accumulate(self):
+        t = Timer()
+        with t:
+            time.sleep(0.005)
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed > first
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_stop_returns_interval(self):
+        t = Timer()
+        t.start()
+        interval = t.stop()
+        assert interval >= 0.0
+        assert interval == t.elapsed
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ConfigError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_check_positive_nonstrict_accepts_zero(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_check_positive_nonstrict_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_check_probability_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ConfigError):
+            check_probability("p", 1.01)
+        with pytest.raises(ConfigError):
+            check_probability("p", -0.01)
+
+    def test_check_fraction(self):
+        assert check_fraction("f", 1.0) == 1.0
+        with pytest.raises(ConfigError):
+            check_fraction("f", 0.0)
+
+    def test_check_int_range(self):
+        assert check_int_range("k", 3, 1, 5) == 3
+        with pytest.raises(ConfigError):
+            check_int_range("k", 0, 1)
+        with pytest.raises(ConfigError):
+            check_int_range("k", 6, 1, 5)
+
+    def test_check_int_range_rejects_bool_and_float(self):
+        with pytest.raises(ConfigError):
+            check_int_range("k", True, 0)
+        with pytest.raises(ConfigError):
+            check_int_range("k", 2.0, 0)
