@@ -11,6 +11,8 @@ Scalable Graph Neural Networks: The Perspective of Graph Data Management"*:
 * :mod:`repro.editing` — graph editing (§3.3): sparsification, sampling,
   partitioning, coarsening/condensation, subgraph extraction.
 * :mod:`repro.models` — the scalable-GNN zoo (§3.1–3.3) built on the above.
+* :mod:`repro.perf` — operator caching and the shared chunked propagation
+  engine: precomputation reuse across every decoupled model.
 * :mod:`repro.training` — trainers, metrics, simulated distributed training.
 * :mod:`repro.datasets` — synthetic node-classification workloads.
 * :mod:`repro.bench` — timing/memory accounting and table formatting.

@@ -43,7 +43,17 @@ class Graph:
         graphs must store both arc directions; this is validated.
     """
 
-    __slots__ = ("indptr", "indices", "weights", "x", "y", "directed", "_n_nodes")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "weights",
+        "x",
+        "y",
+        "directed",
+        "_n_nodes",
+        "_csr",
+        "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -90,6 +100,8 @@ class Graph:
         self.y = y
         self.directed = bool(directed)
         self._n_nodes = n_nodes
+        self._csr: sp.csr_matrix | None = None
+        self._fingerprint: str | None = None
         for arr in (self.indptr, self.indices, self.weights, self.x, self.y):
             if arr is not None:
                 arr.setflags(write=False)
@@ -255,11 +267,33 @@ class Graph:
     # ------------------------------------------------------------------ #
 
     def adjacency(self) -> sp.csr_matrix:
-        """The (weighted) adjacency matrix as a SciPy CSR matrix."""
-        return sp.csr_matrix(
-            (self.weights, self.indices, self.indptr),
-            shape=(self.n_nodes, self.n_nodes),
-        )
+        """The (weighted) adjacency matrix as a SciPy CSR matrix.
+
+        The matrix is built once and cached on the instance (the graph is
+        immutable, and the CSR shares the graph's read-only arrays).
+        Callers that need to mutate the result must ``copy()`` it first.
+        """
+        if self._csr is None:
+            self._csr = sp.csr_matrix(
+                (self.weights, self.indices, self.indptr),
+                shape=(self.n_nodes, self.n_nodes),
+            )
+        return self._csr
+
+    @property
+    def fingerprint(self) -> str:
+        """Lazy content hash of the CSR arrays (see :mod:`repro.perf`).
+
+        Computed once per instance; identical graphs (same ``indptr`` /
+        ``indices`` / ``weights`` / ``directed``) share the same digest
+        even across separately constructed instances, which is what lets
+        :class:`repro.perf.OperatorCache` reuse operators between them.
+        """
+        if self._fingerprint is None:
+            from repro.perf.fingerprint import graph_fingerprint
+
+            self._fingerprint = graph_fingerprint(self)
+        return self._fingerprint
 
     # ------------------------------------------------------------------ #
     # Derived graphs
@@ -285,16 +319,16 @@ class Graph:
         Existing self-loops are replaced rather than accumulated, matching
         the GCN renormalisation trick.
         """
-        adj = self.adjacency().tolil()
-        adj.setdiag(weight)
-        return Graph.from_scipy(
-            adj.tocsr(), x=self.x, y=self.y, directed=self.directed
-        )
+        adj = self.adjacency()
+        correction = np.full(self.n_nodes, float(weight)) - adj.diagonal()
+        out = (adj + sp.diags(correction)).tocsr()
+        out.eliminate_zeros()
+        return Graph.from_scipy(out, x=self.x, y=self.y, directed=self.directed)
 
     def remove_self_loops(self) -> "Graph":
-        adj = self.adjacency().tolil()
-        adj.setdiag(0.0)
-        out = adj.tocsr()
+        adj = self.adjacency()
+        diag = adj.diagonal()
+        out = (adj - sp.diags(diag)).tocsr() if diag.any() else adj.copy()
         out.eliminate_zeros()
         return Graph.from_scipy(out, x=self.x, y=self.y, directed=self.directed)
 

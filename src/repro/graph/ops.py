@@ -18,12 +18,16 @@ _LAPLACIANS = ("sym", "rw", "comb")
 
 
 def adjacency_matrix(graph: Graph, self_loops: bool = False) -> sp.csr_matrix:
-    """Adjacency of ``graph``, optionally with unit self-loops added."""
+    """Adjacency of ``graph``, optionally with unit self-loops added.
+
+    With ``self_loops`` this is the renormalisation-trick operator
+    :math:`A + I`, built as a single CSR addition (no ``tolil`` round
+    trip). Without it, the graph's cached CSR is returned directly —
+    ``copy()`` before mutating.
+    """
     adj = graph.adjacency()
     if self_loops:
-        adj = adj.tolil()
-        adj.setdiag(1.0)
-        adj = adj.tocsr()
+        adj = (adj + sp.eye(graph.n_nodes, format="csr")).tocsr()
     return adj
 
 

@@ -18,7 +18,7 @@ import scipy.sparse as sp
 
 from repro.errors import ConfigError
 from repro.graph.core import Graph
-from repro.graph.ops import propagation_matrix
+from repro.perf import cached_propagation_matrix
 from repro.tensor.autograd import Tensor, spmm
 from repro.tensor.nn import MLP, Module
 from repro.utils.validation import check_int_range
@@ -48,7 +48,7 @@ class APPNP(Module):
 
     @staticmethod
     def prepare(graph: Graph) -> sp.csr_matrix:
-        return propagation_matrix(graph, scheme="gcn")
+        return cached_propagation_matrix(graph, scheme="gcn")
 
     def forward(self, adj: sp.spmatrix, x: np.ndarray | Tensor) -> Tensor:
         if not isinstance(x, Tensor):

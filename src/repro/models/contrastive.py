@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.graph.core import Graph
-from repro.graph.ops import propagation_matrix
+from repro.perf import get_default_engine
 from repro.tensor import functional as F
 from repro.tensor.autograd import Tensor, no_grad
 from repro.tensor.nn import MLP, Module
@@ -58,15 +58,15 @@ def make_views(
     if graph.x is None:
         raise ConfigError("contrastive views require node features")
     rng = as_rng(seed)
+    engine = get_default_engine()
     views = []
     for _ in range(n_views):
         corrupted = _drop_edges(graph, edge_drop, rng)
         x = graph.x * (rng.random(graph.x.shape) >= feature_mask)
-        prop = propagation_matrix(corrupted, scheme="gcn")
-        h = x
-        for _ in range(k_hops):
-            h = prop @ h
-        views.append(h)
+        # Corrupted views are one-offs: chunked propagation, but no
+        # memoization (they would only evict reusable stacks).
+        hops = engine.propagate(corrupted, x, k_hops, kind="gcn", memoize=False)
+        views.append(hops[-1])
     return np.stack(views)
 
 
@@ -142,11 +142,9 @@ def train_contrastive(
             loss.backward()
             opt.step()
     encoder.eval()
-    # Final embeddings: encode the clean propagated features.
-    prop = propagation_matrix(graph, scheme="gcn")
-    h = graph.x
-    for _ in range(k_hops):
-        h = prop @ h
+    # Final embeddings: encode the clean propagated features (shared with
+    # any other decoupled model that propagated this graph).
+    h = get_default_engine().propagate(graph, graph.x, k_hops, kind="gcn")[-1]
     with no_grad():
         return encoder(h).data
 

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.graph.core import Graph
-from repro.models.sgc import hop_features
+from repro.perf import get_default_engine
 from repro.tensor import functional as F
 from repro.tensor.autograd import Tensor
 from repro.tensor.nn import MLP, Linear, Module
@@ -55,7 +55,8 @@ class GAMLP(Module):
         ]
 
     def precompute(self, graph: Graph) -> list[np.ndarray]:
-        return hop_features(graph, self.k_hops)
+        """Hop stack served by the shared engine (reused across models)."""
+        return get_default_engine().hop_features(graph, self.k_hops, kind="gcn")
 
     def forward(self, hop_rows: list[np.ndarray]) -> Tensor:
         if len(hop_rows) != self.k_hops + 1:

@@ -13,7 +13,7 @@ import scipy.sparse as sp
 
 from repro.errors import ConfigError
 from repro.graph.core import Graph
-from repro.graph.ops import propagation_matrix
+from repro.perf import cached_propagation_matrix
 from repro.tensor import functional as F
 from repro.tensor.autograd import Tensor, spmm
 from repro.tensor.nn import Dropout, Linear, Module
@@ -66,8 +66,8 @@ class GCN(Module):
 
     @staticmethod
     def prepare(graph: Graph) -> sp.csr_matrix:
-        """The propagation operator this model expects (build once)."""
-        return propagation_matrix(graph, scheme="gcn")
+        """The propagation operator this model expects (cached per graph)."""
+        return cached_propagation_matrix(graph, scheme="gcn")
 
     def forward(self, adj, x: Tensor | np.ndarray) -> Tensor:
         """``adj`` is one operator, or a per-layer list (Unifews-style

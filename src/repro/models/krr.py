@@ -30,7 +30,12 @@ from repro.utils.validation import check_int_range, check_positive
 
 
 def propagated_representation(graph: Graph, k_hops: int = 2) -> np.ndarray:
-    """Row-normalised :math:`\\hat A^k X` — the kernel's structural input."""
+    """Row-normalised :math:`\\hat A^k X` — the kernel's structural input.
+
+    The hop stack comes from the shared :class:`repro.perf`
+    propagation engine, so KRR condensation reuses whatever SGC/GAMLP
+    already computed for the same graph.
+    """
     rep = hop_features(graph, k_hops)[-1]
     norms = np.linalg.norm(rep, axis=1, keepdims=True)
     return rep / np.where(norms > 0, norms, 1.0)

@@ -19,27 +19,29 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.graph.core import Graph
-from repro.graph.ops import laplacian_matrix, propagation_matrix
+from repro.perf import get_default_engine
 from repro.tensor.autograd import Tensor
 from repro.tensor.nn import MLP, Module
 from repro.utils.validation import check_int_range
 
 
 def ld2_embeddings(graph: Graph, k_hops: int = 2) -> np.ndarray:
-    """The concatenated [identity | low-pass hops | high-pass hops] matrix."""
+    """The concatenated [identity | low-pass hops | high-pass hops] matrix.
+
+    Both filter stacks are served by the shared propagation engine, so the
+    low-pass hops are reused verbatim by SGC/SIGN/GAMLP runs on the same
+    graph and the Laplacian stack by the spectral models.
+    """
     check_int_range("k_hops", k_hops, 1)
     if graph.x is None:
         raise ConfigError("LD2 requires node features on the graph")
-    prop = propagation_matrix(graph, scheme="gcn")
-    lap = laplacian_matrix(graph, kind="sym")
+    engine = get_default_engine()
+    low = engine.propagate(graph, graph.x, k_hops, kind="gcn")
+    high = engine.propagate(graph, graph.x, k_hops, kind="lap")
     views = [graph.x]
-    low = graph.x
-    high = graph.x
-    for _ in range(k_hops):
-        low = prop @ low
-        high = lap @ high
-        views.append(low)
-        views.append(high)
+    for k in range(1, k_hops + 1):
+        views.append(low[k])
+        views.append(high[k])
     return np.concatenate(views, axis=1)
 
 

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.graph.core import Graph
-from repro.graph.ops import normalized_adjacency
+from repro.perf import cached_normalized_adjacency
 from repro.tensor.autograd import Tensor
 from repro.tensor.nn import MLP, Module
 from repro.utils.validation import check_positive
@@ -44,7 +44,7 @@ def feature_push(
     features = np.asarray(features, dtype=np.float64)
     if features.shape[0] != graph.n_nodes:
         raise ConfigError("features must have one row per node")
-    p_col = normalized_adjacency(graph, kind="col", self_loops=False)
+    p_col = cached_normalized_adjacency(graph, kind="col", self_loops=False)
     degrees = np.maximum(graph.degrees(weighted=True), 1.0)[:, None]
     estimate = np.zeros_like(features)
     residual = features.copy()

@@ -13,26 +13,25 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.core import Graph
-from repro.graph.ops import propagation_matrix
+from repro.perf import get_default_engine
 from repro.tensor.autograd import Tensor
 from repro.tensor.nn import MLP, Module
 from repro.utils.validation import check_int_range
 
 
 def hop_features(graph: Graph, k: int, scheme: str = "gcn") -> list[np.ndarray]:
-    """Precompute ``[X, ÂX, ..., Â^K X]`` with ``k`` sparse matmuls.
+    """Precompute ``[X, ÂX, ..., Â^K X]`` via the shared propagation engine.
 
     The single graph-touching step of the decoupled pipeline; everything
-    downstream is dense row-wise work.
+    downstream is dense row-wise work. Routed through
+    :class:`repro.perf.PropagationEngine`, so the operator and the hop
+    stack are built once and shared by every model that asks for the same
+    ``(graph, scheme)`` combination. The returned arrays are read-only.
     """
     check_int_range("k", k, 0)
     if graph.x is None:
         raise ValueError("graph needs features for hop_features")
-    prop = propagation_matrix(graph, scheme=scheme)
-    hops = [graph.x]
-    for _ in range(k):
-        hops.append(prop @ hops[-1])
-    return hops
+    return get_default_engine().hop_features(graph, k, kind=scheme)
 
 
 class SGC(Module):

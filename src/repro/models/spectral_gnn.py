@@ -20,7 +20,7 @@ import scipy.sparse as sp
 
 from repro.errors import ConfigError, ShapeError
 from repro.graph.core import Graph
-from repro.graph.ops import laplacian_matrix
+from repro.perf import cached_laplacian, chunked_spmm, get_default_engine
 from repro.tensor.autograd import Tensor
 from repro.tensor.nn import MLP, Module, Parameter
 from repro.utils.validation import check_int_range
@@ -36,31 +36,30 @@ def basis_signals(graph: Graph, degree: int, basis: str = "chebyshev") -> list[n
         raise ConfigError(f"basis must be one of {_BASES}, got {basis!r}")
     if graph.x is None:
         raise ConfigError("basis_signals requires node features on the graph")
-    lap = laplacian_matrix(graph, kind="sym")
     x = graph.x
     if basis == "monomial":
-        out = [x]
-        for _ in range(degree):
-            out.append(lap @ out[-1])
-        return out
+        # Monomial powers are a plain hop stack — served (and memoized)
+        # by the shared propagation engine.
+        return get_default_engine().propagate(graph, x, degree, kind="lap")
+    lap = cached_laplacian(graph, kind="sym")
     if basis == "chebyshev":
         shifted = (lap - sp.identity(graph.n_nodes, format="csr")).tocsr()
         out = [x]
         if degree >= 1:
-            out.append(shifted @ x)
+            out.append(chunked_spmm(shifted, x))
         for _ in range(2, degree + 1):
-            out.append(2 * (shifted @ out[-1]) - out[-2])
+            out.append(2 * chunked_spmm(shifted, out[-1]) - out[-2])
         return out
     # Bernstein: B_{k,K}(L/2) X.
-    half = 0.5 * lap
+    half = (0.5 * lap).tocsr()
     compl_powers = [x]
     for _ in range(degree):
-        compl_powers.append(compl_powers[-1] - half @ compl_powers[-1])
+        compl_powers.append(compl_powers[-1] - chunked_spmm(half, compl_powers[-1]))
     out = []
     for k in range(degree + 1):
         term = compl_powers[degree - k]
         for _ in range(k):
-            term = half @ term
+            term = chunked_spmm(half, term)
         out.append(comb(degree, k) * term)
     return out
 

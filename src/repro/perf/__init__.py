@@ -1,0 +1,54 @@
+"""Precomputation reuse: operator caching and shared chunked propagation.
+
+The paper's data-management thesis is that scalable GNNs win by *reusing
+precomputation*: decoupled models consume the same normalized-adjacency
+operators and K-hop propagated features, so building them once and sharing
+them across models dominates repeated construction. This subpackage makes
+that reuse concrete:
+
+* :mod:`repro.perf.fingerprint` — content hashing of immutable graphs and
+  arrays, the cache keys.
+* :mod:`repro.perf.operator_cache` — :class:`OperatorCache`, LRU-bounded
+  memoization of adjacency / normalized adjacency / Laplacian /
+  propagation operators with hit/miss accounting.
+* :mod:`repro.perf.propagation` — :class:`PropagationEngine`, row-chunked
+  (bounded-memory) K-hop SpMM with memoized hop stacks, the shared
+  ``propagate(graph, X, K, kind)`` entry point of every decoupled model.
+"""
+
+from repro.perf.fingerprint import array_fingerprint, graph_fingerprint
+from repro.perf.operator_cache import (
+    OperatorCache,
+    cached_adjacency,
+    cached_laplacian,
+    cached_normalized_adjacency,
+    cached_propagation_matrix,
+    get_default_cache,
+    set_default_cache,
+)
+from repro.perf.propagation import (
+    DEFAULT_CHUNK_ROWS,
+    PropagationEngine,
+    chunked_spmm,
+    get_default_engine,
+    propagate,
+    set_default_engine,
+)
+
+__all__ = [
+    "array_fingerprint",
+    "graph_fingerprint",
+    "OperatorCache",
+    "get_default_cache",
+    "set_default_cache",
+    "cached_adjacency",
+    "cached_normalized_adjacency",
+    "cached_laplacian",
+    "cached_propagation_matrix",
+    "PropagationEngine",
+    "chunked_spmm",
+    "propagate",
+    "get_default_engine",
+    "set_default_engine",
+    "DEFAULT_CHUNK_ROWS",
+]

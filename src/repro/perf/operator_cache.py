@@ -1,0 +1,221 @@
+"""Memoized construction of derived graph operators.
+
+Every decoupled model in the zoo (SGC/SIGN, GAMLP, SCARA, LD2, spectral
+filters, APPNP's propagation step, ...) consumes the same handful of
+operators — normalized adjacencies, Laplacians, the renormalised GCN
+operator — derived deterministically from an *immutable* graph. Rebuilding
+them per model call is pure waste: the data-management argument of the
+paper is that precomputation should be shared. :class:`OperatorCache`
+memoizes operator construction keyed by the graph's content fingerprint,
+with LRU bounds and hit/miss/eviction accounting (reusing the
+:class:`~repro.storage.feature_cache.CacheStats` convention of the
+storage tier).
+
+Cached matrices are returned *shared* between callers, with their
+underlying buffers flagged read-only so an accidental in-place mutation
+raises instead of silently corrupting every other consumer. Call
+``.copy()`` on a result before mutating it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+import scipy.sparse as sp
+
+from repro.errors import ConfigError
+from repro.graph import ops as graph_ops
+from repro.graph.core import Graph
+from repro.storage.feature_cache import CacheStats
+from repro.utils.validation import check_int_range
+
+
+def _freeze(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Mark a CSR matrix's buffers read-only (shared-cache safety)."""
+    for arr in (matrix.data, matrix.indices, matrix.indptr):
+        arr.setflags(write=False)
+    return matrix
+
+
+class OperatorCache:
+    """LRU-bounded memoization of graph operators keyed by content.
+
+    Entries are keyed by ``(graph.fingerprint, op, kind, self_loops,
+    alpha)``; because the fingerprint hashes the CSR arrays themselves, a
+    rebuilt-but-identical graph hits the cache while any structural or
+    weight change misses. Results are shared and frozen — copy before
+    mutating.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of cached operators; least-recently-used entries
+        are evicted beyond this bound.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        check_int_range("max_entries", max_entries, 1)
+        self.max_entries = max_entries
+        self._store: OrderedDict[tuple, sp.csr_matrix] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Core lookup
+    # ------------------------------------------------------------------ #
+
+    def _lookup(self, key: tuple, builder: Callable[[], sp.spmatrix]) -> sp.csr_matrix:
+        cached = self._store.get(key)
+        if cached is not None:
+            self._hits += 1
+            self._store.move_to_end(key)
+            return cached
+        self._misses += 1
+        matrix = _freeze(builder().tocsr())
+        self._store[key] = matrix
+        if len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            self._evictions += 1
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    # Operator accessors (mirror repro.graph.ops)
+    # ------------------------------------------------------------------ #
+
+    def adjacency(self, graph: Graph, self_loops: bool = False) -> sp.csr_matrix:
+        """Cached :func:`repro.graph.ops.adjacency_matrix`."""
+        key = (graph.fingerprint, "adjacency", None, bool(self_loops), None)
+        return self._lookup(
+            key, lambda: graph_ops.adjacency_matrix(graph, self_loops=self_loops)
+        )
+
+    def normalized_adjacency(
+        self, graph: Graph, kind: str = "sym", self_loops: bool = True
+    ) -> sp.csr_matrix:
+        """Cached :func:`repro.graph.ops.normalized_adjacency`."""
+        key = (graph.fingerprint, "norm_adj", kind, bool(self_loops), None)
+        return self._lookup(
+            key,
+            lambda: graph_ops.normalized_adjacency(
+                graph, kind=kind, self_loops=self_loops
+            ),
+        )
+
+    def laplacian(self, graph: Graph, kind: str = "sym") -> sp.csr_matrix:
+        """Cached :func:`repro.graph.ops.laplacian_matrix`."""
+        key = (graph.fingerprint, "laplacian", kind, None, None)
+        return self._lookup(
+            key, lambda: graph_ops.laplacian_matrix(graph, kind=kind)
+        )
+
+    def propagation(
+        self, graph: Graph, scheme: str = "gcn", alpha: float | None = None
+    ) -> sp.csr_matrix:
+        """Cached :func:`repro.graph.ops.propagation_matrix`."""
+        key = (
+            graph.fingerprint,
+            "propagation",
+            scheme,
+            None,
+            None if alpha is None else float(alpha),
+        )
+        return self._lookup(
+            key,
+            lambda: graph_ops.propagation_matrix(graph, scheme=scheme, alpha=alpha),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection / management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss/eviction accounting since construction (or clear)."""
+        return CacheStats(self._hits, self._misses, self._evictions)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by cached operator buffers."""
+        return sum(
+            m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+            for m in self._store.values()
+        )
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._store.clear()
+        self._hits = self._misses = self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats
+        return (
+            f"OperatorCache(entries={len(self)}/{self.max_entries}, "
+            f"hits={s.hits}, misses={s.misses}, evictions={s.evictions})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Process-wide default cache
+# --------------------------------------------------------------------- #
+
+_default_cache = OperatorCache()
+
+
+def get_default_cache() -> OperatorCache:
+    """The process-wide cache shared by models and trainers."""
+    return _default_cache
+
+
+def set_default_cache(cache: OperatorCache) -> OperatorCache:
+    """Swap the process-wide cache; returns the previous one."""
+    global _default_cache
+    if not isinstance(cache, OperatorCache):
+        raise ConfigError("set_default_cache expects an OperatorCache")
+    previous = _default_cache
+    _default_cache = cache
+    return previous
+
+
+def cached_adjacency(
+    graph: Graph, self_loops: bool = False, cache: OperatorCache | None = None
+) -> sp.csr_matrix:
+    """Adjacency (optionally ``A + I``) served from the operator cache."""
+    return (cache if cache is not None else _default_cache).adjacency(
+        graph, self_loops=self_loops
+    )
+
+
+def cached_normalized_adjacency(
+    graph: Graph,
+    kind: str = "sym",
+    self_loops: bool = True,
+    cache: OperatorCache | None = None,
+) -> sp.csr_matrix:
+    """Normalized adjacency served from the operator cache."""
+    return (cache if cache is not None else _default_cache).normalized_adjacency(
+        graph, kind=kind, self_loops=self_loops
+    )
+
+
+def cached_laplacian(
+    graph: Graph, kind: str = "sym", cache: OperatorCache | None = None
+) -> sp.csr_matrix:
+    """Graph Laplacian served from the operator cache."""
+    return (cache if cache is not None else _default_cache).laplacian(graph, kind=kind)
+
+
+def cached_propagation_matrix(
+    graph: Graph,
+    scheme: str = "gcn",
+    alpha: float | None = None,
+    cache: OperatorCache | None = None,
+) -> sp.csr_matrix:
+    """Named propagation operator served from the operator cache."""
+    return (cache if cache is not None else _default_cache).propagation(
+        graph, scheme=scheme, alpha=alpha
+    )

@@ -1,0 +1,287 @@
+"""Row-chunked K-hop propagation with memoized hop-feature stacks.
+
+The single graph-touching step of every decoupled model is the K-hop
+stack :math:`[X, PX, \\ldots, P^K X]` for some propagation operator
+:math:`P`. :class:`PropagationEngine` computes that stack *once* per
+``(graph, features, operator)`` combination and serves it to every model
+that asks — SGC, SIGN, GAMLP, LD2, KRR and the spectral filters all go
+through :meth:`PropagationEngine.propagate`, so repeat experiments on the
+same graph pay zero additional SpMM cost.
+
+The SpMM itself is *row-chunked* (:func:`chunked_spmm`): the operator is
+applied ``chunk_rows`` rows at a time, so the transient CSR slice stays
+bounded regardless of graph size — the bounded-peak-memory discipline of
+out-of-core systems (Ginex et al.), applied to in-memory precompute.
+
+Memoized stacks grow on demand: asking for ``K=4`` after ``K=2`` extends
+the cached stack by two hops instead of recomputing from scratch, and a
+shorter request is served as a prefix slice.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ConfigError
+from repro.graph.core import Graph
+from repro.perf.fingerprint import array_fingerprint
+from repro.perf.operator_cache import OperatorCache, get_default_cache
+from repro.storage.feature_cache import CacheStats
+from repro.utils.validation import check_int_range
+
+DEFAULT_CHUNK_ROWS = 16384
+
+_ENGINE_KINDS = ("gcn", "rw", "lazy", "col", "sym", "lap")
+
+
+def chunked_spmm(
+    operator: sp.spmatrix,
+    dense: np.ndarray,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+) -> np.ndarray:
+    """``operator @ dense`` computed ``chunk_rows`` rows at a time.
+
+    Numerically identical to the monolithic product, but only one
+    row-slice of the operator is materialized at a time, bounding peak
+    memory for the sparse intermediate on large graphs. Falls back to the
+    plain product when the operator fits in a single chunk.
+    """
+    check_int_range("chunk_rows", chunk_rows, 1)
+    dense = np.asarray(dense)
+    n_rows = operator.shape[0]
+    if n_rows <= chunk_rows:
+        return operator @ dense
+    operator = operator.tocsr()
+    out_shape = (n_rows,) if dense.ndim == 1 else (n_rows, dense.shape[1])
+    out = np.empty(out_shape, dtype=np.result_type(operator.dtype, dense.dtype))
+    for start in range(0, n_rows, chunk_rows):
+        stop = min(start + chunk_rows, n_rows)
+        out[start:stop] = operator[start:stop] @ dense
+    return out
+
+
+class PropagationEngine:
+    """Shared K-hop propagation: chunked SpMM + memoized hop stacks.
+
+    Parameters
+    ----------
+    cache:
+        Operator cache used to build/reuse the propagation operators; when
+        ``None`` the process-wide default cache is consulted at call time.
+    chunk_rows:
+        Row-chunk size for :func:`chunked_spmm`.
+    max_stacks:
+        LRU bound on memoized hop stacks (each stack holds ``K+1`` dense
+        ``(n, d)`` arrays, so this is the dominant memory knob).
+    """
+
+    def __init__(
+        self,
+        cache: OperatorCache | None = None,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        max_stacks: int = 8,
+    ) -> None:
+        check_int_range("chunk_rows", chunk_rows, 1)
+        check_int_range("max_stacks", max_stacks, 1)
+        self._cache = cache
+        self.chunk_rows = chunk_rows
+        self.max_stacks = max_stacks
+        self._stacks: OrderedDict[tuple, list[np.ndarray]] = OrderedDict()
+        self._feature_hashes: OrderedDict[int, tuple[np.ndarray, str]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def cache(self) -> OperatorCache:
+        """The operator cache this engine builds operators through."""
+        return self._cache if self._cache is not None else get_default_cache()
+
+    # ------------------------------------------------------------------ #
+    # Operators
+    # ------------------------------------------------------------------ #
+
+    def operator(
+        self, graph: Graph, kind: str = "gcn", alpha: float | None = None
+    ) -> sp.csr_matrix:
+        """The cached propagation operator for ``kind``.
+
+        - ``"gcn"`` / ``"rw"`` / ``"lazy"``: the schemes of
+          :func:`repro.graph.ops.propagation_matrix` (``lazy`` needs
+          ``alpha``).
+        - ``"col"``: column-stochastic :math:`A D^{-1}` (PPR push).
+        - ``"sym"``: :math:`D^{-1/2} A D^{-1/2}` without self-loops.
+        - ``"lap"``: symmetric-normalised Laplacian (high-pass filters).
+        """
+        if kind in ("gcn", "rw", "lazy"):
+            return self.cache.propagation(graph, scheme=kind, alpha=alpha)
+        if kind == "col":
+            return self.cache.normalized_adjacency(graph, kind="col", self_loops=False)
+        if kind == "sym":
+            return self.cache.normalized_adjacency(graph, kind="sym", self_loops=False)
+        if kind == "lap":
+            return self.cache.laplacian(graph, kind="sym")
+        raise ConfigError(f"kind must be one of {_ENGINE_KINDS}, got {kind!r}")
+
+    def _feature_fingerprint(self, features: np.ndarray) -> str:
+        """Content hash of a feature matrix, memoized by identity.
+
+        Read-only arrays (e.g. ``graph.x``, or a previously served hop)
+        cannot change content, so their digest is cached keyed by object
+        identity — repeat lookups of a warm stack cost O(1) instead of a
+        full re-hash. Writable arrays are always re-hashed.
+        """
+        if features.flags.writeable:
+            return array_fingerprint(features)
+        key = id(features)
+        entry = self._feature_hashes.get(key)
+        if entry is not None and entry[0] is features:
+            self._feature_hashes.move_to_end(key)
+            return entry[1]
+        digest = array_fingerprint(features)
+        # Holding a strong reference keeps the id from being recycled.
+        self._feature_hashes[key] = (features, digest)
+        if len(self._feature_hashes) > 4 * self.max_stacks:
+            self._feature_hashes.popitem(last=False)
+        return digest
+
+    # ------------------------------------------------------------------ #
+    # Propagation
+    # ------------------------------------------------------------------ #
+
+    def propagate(
+        self,
+        graph: Graph,
+        features: np.ndarray,
+        k: int,
+        kind: str = "gcn",
+        alpha: float | None = None,
+        memoize: bool = True,
+    ) -> list[np.ndarray]:
+        """The hop stack ``[X, PX, ..., P^K X]`` (``K+1`` arrays).
+
+        Served from the stack cache when the same ``(graph, features,
+        kind)`` combination was propagated before: shorter requests return
+        a prefix, longer ones extend the cached stack in place. Returned
+        arrays are read-only and shared — copy before mutating. Pass
+        ``memoize=False`` for one-off inputs (e.g. randomly corrupted
+        views) that should not occupy cache slots.
+        """
+        check_int_range("k", k, 0)
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[0] != graph.n_nodes:
+            raise ConfigError(
+                f"features must have one row per node "
+                f"({graph.n_nodes}), got {features.shape[0]}"
+            )
+        if not memoize:
+            operator = self.operator(graph, kind, alpha)
+            stack = [features]
+            for _ in range(k):
+                stack.append(chunked_spmm(operator, stack[-1], self.chunk_rows))
+            return stack
+        key = (
+            graph.fingerprint,
+            self._feature_fingerprint(features),
+            kind,
+            None if alpha is None else float(alpha),
+        )
+        stack = self._stacks.get(key)
+        if stack is not None and len(stack) > k:
+            self._hits += 1
+            self._stacks.move_to_end(key)
+            return list(stack[: k + 1])
+        self._misses += 1
+        if stack is None:
+            base = features if not features.flags.writeable else features.copy()
+            base.setflags(write=False)
+            stack = [base]
+        if len(stack) <= k:
+            operator = self.operator(graph, kind, alpha)
+            while len(stack) <= k:
+                nxt = chunked_spmm(operator, stack[-1], self.chunk_rows)
+                nxt.setflags(write=False)
+                stack.append(nxt)
+        self._stacks[key] = stack
+        self._stacks.move_to_end(key)
+        if len(self._stacks) > self.max_stacks:
+            self._stacks.popitem(last=False)
+            self._evictions += 1
+        return list(stack)
+
+    def hop_features(
+        self, graph: Graph, k: int, kind: str = "gcn", alpha: float | None = None
+    ) -> list[np.ndarray]:
+        """:meth:`propagate` applied to the graph's own feature matrix."""
+        if graph.x is None:
+            raise ValueError("graph needs features for hop_features")
+        return self.propagate(graph, graph.x, k, kind=kind, alpha=alpha)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> CacheStats:
+        """Stack-cache hit/miss/eviction accounting."""
+        return CacheStats(self._hits, self._misses, self._evictions)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by memoized hop stacks."""
+        return sum(arr.nbytes for stack in self._stacks.values() for arr in stack)
+
+    def clear(self) -> None:
+        """Drop every memoized stack and reset the counters."""
+        self._stacks.clear()
+        self._feature_hashes.clear()
+        self._hits = self._misses = self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._stacks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats
+        return (
+            f"PropagationEngine(stacks={len(self)}/{self.max_stacks}, "
+            f"hits={s.hits}, misses={s.misses}, chunk_rows={self.chunk_rows})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Process-wide default engine
+# --------------------------------------------------------------------- #
+
+_default_engine = PropagationEngine()
+
+
+def get_default_engine() -> PropagationEngine:
+    """The process-wide engine shared by the decoupled models."""
+    return _default_engine
+
+
+def set_default_engine(engine: PropagationEngine) -> PropagationEngine:
+    """Swap the process-wide engine; returns the previous one."""
+    global _default_engine
+    if not isinstance(engine, PropagationEngine):
+        raise ConfigError("set_default_engine expects a PropagationEngine")
+    previous = _default_engine
+    _default_engine = engine
+    return previous
+
+
+def propagate(
+    graph: Graph,
+    features: np.ndarray,
+    k: int,
+    kind: str = "gcn",
+    alpha: float | None = None,
+    engine: PropagationEngine | None = None,
+) -> list[np.ndarray]:
+    """Shared entry point: K-hop stack via the (default) engine."""
+    return (engine if engine is not None else _default_engine).propagate(
+        graph, features, k, kind=kind, alpha=alpha
+    )

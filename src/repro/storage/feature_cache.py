@@ -31,10 +31,16 @@ from repro.utils.validation import check_int_range
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss accounting of one simulated trace."""
+    """Hit/miss (and optional eviction) accounting of one cache.
+
+    Shared between the storage-tier simulations here and the live
+    operator/propagation caches in :mod:`repro.perf`, so every cache in
+    the library reports reuse the same way.
+    """
 
     hits: int
     misses: int
+    evictions: int = 0
 
     @property
     def accesses(self) -> int:

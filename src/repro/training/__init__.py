@@ -13,6 +13,7 @@ from repro.training.pipeline import (
     PipelinePlan,
     pipelined_makespan,
     plan_execution,
+    precompute_stage_profile,
     serial_makespan,
 )
 from repro.training.trainers import (
@@ -43,4 +44,5 @@ __all__ = [
     "serial_makespan",
     "pipelined_makespan",
     "plan_execution",
+    "precompute_stage_profile",
 ]

@@ -17,6 +17,7 @@ import numpy as np
 from repro.datasets.synthetic import Split
 from repro.errors import ConfigError
 from repro.graph.core import Graph
+from repro.perf import get_default_cache
 from repro.tensor import functional as F
 from repro.tensor.autograd import no_grad
 from repro.tensor.nn import Module
@@ -43,6 +44,10 @@ class TrainResult:
         Seconds spent in the epoch loop.
     train_losses, val_accuracies:
         Per-epoch histories.
+    operator_cache_hits, operator_cache_misses:
+        Shared :class:`repro.perf.OperatorCache` traffic during the
+        precompute/prepare phase — a repeat run on the same graph shows
+        hits and (near-)zero operator rebuild cost.
     """
 
     test_accuracy: float
@@ -52,6 +57,8 @@ class TrainResult:
     train_time: float
     train_losses: list[float] = field(default_factory=list)
     val_accuracies: list[float] = field(default_factory=list)
+    operator_cache_hits: int = 0
+    operator_cache_misses: int = 0
 
 
 class EarlyStopping:
@@ -98,6 +105,17 @@ def _iterate_batches(ids: np.ndarray, batch_size: int, rng) -> list[np.ndarray]:
     return [perm[i : i + batch_size] for i in range(0, len(perm), batch_size)]
 
 
+def _timed_precompute(fn):
+    """Run the one-time graph-side step, timing it and counting the shared
+    operator-cache traffic it generated."""
+    before = get_default_cache().stats
+    timer = Timer()
+    with timer:
+        out = fn()
+    after = get_default_cache().stats
+    return out, timer.elapsed, after.hits - before.hits, after.misses - before.misses
+
+
 # --------------------------------------------------------------------- #
 # Full-batch iterative models (GCN, APPNP, Implicit*)
 # --------------------------------------------------------------------- #
@@ -119,12 +137,11 @@ def train_full_batch(
     """
     if graph.x is None or graph.y is None:
         raise ConfigError("graph needs features and labels")
-    pre_timer = Timer()
-    with pre_timer:
-        prep = model.prepare(graph)
+    prep, pre_time, hits, misses = _timed_precompute(lambda: model.prepare(graph))
     opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
     stopper = EarlyStopping(model, patience=patience)
-    result = TrainResult(0.0, 0.0, -1, pre_timer.elapsed, 0.0)
+    result = TrainResult(0.0, 0.0, -1, pre_time, 0.0,
+                         operator_cache_hits=hits, operator_cache_misses=misses)
     train_timer = Timer()
     y = graph.y
     for epoch in range(epochs):
@@ -175,12 +192,11 @@ def train_decoupled(
         raise ConfigError("graph needs labels")
     check_int_range("batch_size", batch_size, 1)
     rng = as_rng(seed)
-    pre_timer = Timer()
-    with pre_timer:
-        emb = model.precompute(graph)
+    emb, pre_time, hits, misses = _timed_precompute(lambda: model.precompute(graph))
     opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
     stopper = EarlyStopping(model, patience=patience)
-    result = TrainResult(0.0, 0.0, -1, pre_timer.elapsed, 0.0)
+    result = TrainResult(0.0, 0.0, -1, pre_time, 0.0,
+                         operator_cache_hits=hits, operator_cache_misses=misses)
     train_timer = Timer()
     y = graph.y
     val_rows = _slice_embeddings(emb, split.val)
@@ -235,12 +251,11 @@ def train_sampled(
     if graph.x is None or graph.y is None:
         raise ConfigError("graph needs features and labels")
     rng = as_rng(seed)
-    pre_timer = Timer()
-    with pre_timer:
-        full_op = model.prepare(graph)
+    full_op, pre_time, hits, misses = _timed_precompute(lambda: model.prepare(graph))
     opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
     stopper = EarlyStopping(model, patience=patience)
-    result = TrainResult(0.0, 0.0, -1, pre_timer.elapsed, 0.0)
+    result = TrainResult(0.0, 0.0, -1, pre_time, 0.0,
+                         operator_cache_hits=hits, operator_cache_misses=misses)
     train_timer = Timer()
     y = graph.y
     for epoch in range(epochs):
@@ -302,12 +317,11 @@ def train_subgraph(
     if graph.x is None or graph.y is None:
         raise ConfigError("graph needs features and labels")
     rng = as_rng(seed)
-    pre_timer = Timer()
-    with pre_timer:
-        full_prep = model.prepare(graph)
+    full_prep, pre_time, hits, misses = _timed_precompute(lambda: model.prepare(graph))
     opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
     stopper = EarlyStopping(model, patience=patience)
-    result = TrainResult(0.0, 0.0, -1, pre_timer.elapsed, 0.0)
+    result = TrainResult(0.0, 0.0, -1, pre_time, 0.0,
+                         operator_cache_hits=hits, operator_cache_misses=misses)
     train_timer = Timer()
     y = graph.y
     train_mask = np.zeros(graph.n_nodes, dtype=bool)
@@ -371,12 +385,11 @@ def train_pprgo(
     if graph.y is None:
         raise ConfigError("graph needs labels")
     rng = as_rng(seed)
-    pre_timer = Timer()
-    with pre_timer:
-        model.precompute(graph)
+    _, pre_time, hits, misses = _timed_precompute(lambda: model.precompute(graph))
     opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
     stopper = EarlyStopping(model, patience=patience)
-    result = TrainResult(0.0, 0.0, -1, pre_timer.elapsed, 0.0)
+    result = TrainResult(0.0, 0.0, -1, pre_time, 0.0,
+                         operator_cache_hits=hits, operator_cache_misses=misses)
     train_timer = Timer()
     y = graph.y
     for epoch in range(epochs):

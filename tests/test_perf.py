@@ -1,0 +1,297 @@
+"""Tests for repro.perf: fingerprints, operator cache, propagation engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import Graph, barabasi_albert_graph, normalized_adjacency
+from repro.graph.ops import adjacency_matrix, propagation_matrix
+from repro.models import GAMLP, SGC
+from repro.perf import (
+    OperatorCache,
+    PropagationEngine,
+    array_fingerprint,
+    chunked_spmm,
+    get_default_cache,
+    get_default_engine,
+    graph_fingerprint,
+    set_default_cache,
+    set_default_engine,
+)
+from repro.training import precompute_stage_profile, train_decoupled
+
+
+@pytest.fixture
+def featured_ba(rng):
+    g = barabasi_albert_graph(150, 3, seed=3)
+    x = rng.normal(size=(150, 12))
+    y = rng.integers(0, 3, size=150)
+    return g.with_data(x=x, y=y)
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self, triangle):
+        rebuilt = Graph.from_edges([(0, 1), (1, 2), (2, 0)], 3)
+        assert rebuilt.fingerprint == triangle.fingerprint
+
+    def test_cached_on_instance(self, triangle):
+        assert triangle.fingerprint is triangle.fingerprint
+
+    def test_structure_changes_fingerprint(self, triangle, path4):
+        assert triangle.fingerprint != path4.fingerprint
+
+    def test_weights_change_fingerprint(self, triangle):
+        reweighted = triangle.reweighted(np.full(6, 2.0))
+        assert reweighted.fingerprint != triangle.fingerprint
+
+    def test_directedness_changes_fingerprint(self):
+        und = Graph.from_edges([(0, 1), (1, 0)], 2)
+        dir_ = Graph(und.indptr, und.indices, und.weights, directed=True)
+        assert und.fingerprint != dir_.fingerprint
+
+    def test_matches_free_function(self, ba_graph):
+        assert ba_graph.fingerprint == graph_fingerprint(ba_graph)
+
+    def test_array_fingerprint_none_distinct_from_empty(self):
+        assert array_fingerprint(None) != array_fingerprint(np.empty(0))
+
+    def test_array_fingerprint_dtype_sensitive(self):
+        a = np.arange(4, dtype=np.int64)
+        assert array_fingerprint(a) != array_fingerprint(a.astype(np.float64))
+
+
+class TestGraphAdjacencyCache:
+    def test_adjacency_is_cached(self, ba_graph):
+        assert ba_graph.adjacency() is ba_graph.adjacency()
+
+    def test_cached_adjacency_matches_arrays(self, triangle):
+        adj = triangle.adjacency()
+        assert np.array_equal(adj.indptr, triangle.indptr)
+        assert np.array_equal(adj.indices, triangle.indices)
+        assert np.array_equal(adj.data, triangle.weights)
+
+    def test_add_self_loops_replaces_and_preserves_original(self, triangle):
+        before = triangle.adjacency().toarray().copy()
+        looped = triangle.add_self_loops(weight=0.5)
+        assert np.allclose(looped.adjacency().diagonal(), 0.5)
+        assert np.array_equal(triangle.adjacency().toarray(), before)
+
+    def test_remove_self_loops_preserves_original(self):
+        g = Graph.from_edges([(0, 0), (0, 1)], 2)
+        before = g.adjacency().toarray().copy()
+        stripped = g.remove_self_loops()
+        assert not stripped.has_edge(0, 0)
+        assert np.array_equal(g.adjacency().toarray(), before)
+
+    def test_adjacency_matrix_self_loops_fast_path(self, triangle):
+        a = adjacency_matrix(triangle, self_loops=True)
+        assert np.all(a.diagonal() == 1.0)
+        assert a.nnz == triangle.n_edges + triangle.n_nodes
+
+
+class TestOperatorCache:
+    def test_hit_on_identical_content(self, ba_graph):
+        cache = OperatorCache()
+        first = cache.propagation(ba_graph, scheme="gcn")
+        rebuilt = Graph(ba_graph.indptr, ba_graph.indices, ba_graph.weights,
+                        validate=False)
+        second = cache.propagation(rebuilt, scheme="gcn")
+        assert first is second
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_distinct_kinds_are_distinct_entries(self, ba_graph):
+        cache = OperatorCache()
+        sym = cache.normalized_adjacency(ba_graph, kind="sym", self_loops=False)
+        rw = cache.normalized_adjacency(ba_graph, kind="rw", self_loops=False)
+        assert sym is not rw
+        assert cache.stats.misses == 2 and len(cache) == 2
+
+    def test_results_match_uncached_ops(self, ba_graph):
+        cache = OperatorCache()
+        cached = cache.normalized_adjacency(ba_graph, kind="sym", self_loops=True)
+        direct = normalized_adjacency(ba_graph, kind="sym", self_loops=True)
+        assert np.allclose(cached.toarray(), direct.toarray())
+
+    def test_lru_eviction(self, triangle, path4, ba_graph):
+        cache = OperatorCache(max_entries=2)
+        cache.propagation(triangle, scheme="gcn")
+        cache.propagation(path4, scheme="gcn")
+        cache.propagation(ba_graph, scheme="gcn")  # evicts triangle
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        cache.propagation(triangle, scheme="gcn")  # must rebuild
+        assert cache.stats.misses == 4
+
+    def test_lru_order_refreshed_on_hit(self, triangle, path4, ba_graph):
+        cache = OperatorCache(max_entries=2)
+        cache.propagation(triangle, scheme="gcn")
+        cache.propagation(path4, scheme="gcn")
+        cache.propagation(triangle, scheme="gcn")  # refresh triangle
+        cache.propagation(ba_graph, scheme="gcn")  # evicts path4, not triangle
+        cache.propagation(triangle, scheme="gcn")
+        assert cache.stats.hits == 2
+
+    def test_cached_matrix_is_read_only(self, ba_graph):
+        cache = OperatorCache()
+        op = cache.propagation(ba_graph, scheme="gcn")
+        with pytest.raises(ValueError):
+            op.data[0] = 99.0
+
+    def test_clear_resets(self, triangle):
+        cache = OperatorCache()
+        cache.laplacian(triangle)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 0
+
+    def test_nbytes_positive(self, ba_graph):
+        cache = OperatorCache()
+        cache.adjacency(ba_graph)
+        assert cache.nbytes > 0
+
+    def test_default_cache_swap(self):
+        fresh = OperatorCache()
+        old = set_default_cache(fresh)
+        try:
+            assert get_default_cache() is fresh
+        finally:
+            set_default_cache(old)
+
+
+class TestChunkedSpmm:
+    def test_matches_monolithic(self, ba_graph, rng):
+        op = propagation_matrix(ba_graph, scheme="gcn")
+        x = rng.normal(size=(ba_graph.n_nodes, 7))
+        assert np.allclose(chunked_spmm(op, x, chunk_rows=13), op @ x)
+
+    def test_vector_input(self, ba_graph, rng):
+        op = propagation_matrix(ba_graph, scheme="gcn")
+        v = rng.normal(size=ba_graph.n_nodes)
+        assert np.allclose(chunked_spmm(op, v, chunk_rows=17), op @ v)
+
+    def test_single_chunk_fast_path(self, triangle, rng):
+        op = propagation_matrix(triangle, scheme="gcn")
+        x = rng.normal(size=(3, 2))
+        assert np.allclose(chunked_spmm(op, x, chunk_rows=100), op @ x)
+
+
+class TestPropagationEngine:
+    def test_chunked_stack_matches_dense_loop(self, featured_ba):
+        engine = PropagationEngine(cache=OperatorCache(), chunk_rows=11)
+        stack = engine.propagate(featured_ba, featured_ba.x, 3, kind="gcn")
+        prop = propagation_matrix(featured_ba, scheme="gcn")
+        ref = featured_ba.x
+        for k in range(1, 4):
+            ref = prop @ ref
+            assert np.allclose(stack[k], ref)
+
+    def test_stack_memoized_and_prefix_served(self, featured_ba):
+        engine = PropagationEngine(cache=OperatorCache())
+        full = engine.propagate(featured_ba, featured_ba.x, 3, kind="gcn")
+        prefix = engine.propagate(featured_ba, featured_ba.x, 2, kind="gcn")
+        assert engine.stats.hits == 1
+        assert len(prefix) == 3
+        assert prefix[2] is full[2]
+
+    def test_stack_extended_not_recomputed(self, featured_ba):
+        engine = PropagationEngine(cache=OperatorCache())
+        short = engine.propagate(featured_ba, featured_ba.x, 2, kind="gcn")
+        longer = engine.propagate(featured_ba, featured_ba.x, 4, kind="gcn")
+        assert longer[2] is short[2]
+        assert len(longer) == 5
+
+    def test_memoize_false_bypasses_store(self, featured_ba):
+        engine = PropagationEngine(cache=OperatorCache())
+        engine.propagate(featured_ba, featured_ba.x, 2, kind="gcn", memoize=False)
+        assert len(engine) == 0
+        assert engine.stats.misses == 0
+
+    def test_lru_stack_eviction(self, featured_ba, rng):
+        engine = PropagationEngine(cache=OperatorCache(), max_stacks=2)
+        for _ in range(3):
+            engine.propagate(
+                featured_ba, rng.normal(size=(featured_ba.n_nodes, 4)), 1
+            )
+        assert len(engine) == 2
+        assert engine.stats.evictions == 1
+
+    def test_different_features_different_entries(self, featured_ba, rng):
+        engine = PropagationEngine(cache=OperatorCache())
+        engine.propagate(featured_ba, featured_ba.x, 1)
+        engine.propagate(featured_ba, rng.normal(size=featured_ba.x.shape), 1)
+        assert engine.stats.misses == 2
+
+    def test_rejects_misaligned_features(self, featured_ba):
+        engine = PropagationEngine(cache=OperatorCache())
+        with pytest.raises(ConfigError):
+            engine.propagate(featured_ba, np.ones((3, 2)), 1)
+
+    def test_rejects_unknown_kind(self, featured_ba):
+        engine = PropagationEngine(cache=OperatorCache())
+        with pytest.raises(ConfigError):
+            engine.propagate(featured_ba, featured_ba.x, 1, kind="bogus")
+
+    def test_returned_arrays_read_only(self, featured_ba):
+        engine = PropagationEngine(cache=OperatorCache())
+        stack = engine.propagate(featured_ba, featured_ba.x, 1)
+        with pytest.raises(ValueError):
+            stack[1][0, 0] = 1.0
+
+    def test_default_engine_swap(self):
+        fresh = PropagationEngine(cache=OperatorCache())
+        old = set_default_engine(fresh)
+        try:
+            assert get_default_engine() is fresh
+        finally:
+            set_default_engine(old)
+
+
+class TestModelSharing:
+    def test_sgc_and_gamlp_share_the_stack(self, featured_ba):
+        """Two decoupled models on one graph: one set of SpMMs, one operator."""
+        engine = PropagationEngine(cache=OperatorCache())
+        old = set_default_engine(engine)
+        try:
+            sgc = SGC(12, 3, k_hops=2, seed=0)
+            gamlp = GAMLP(12, 16, 3, k_hops=2, seed=0)
+            emb_sgc = sgc.precompute(featured_ba)
+            hops_gamlp = gamlp.precompute(featured_ba)
+            assert engine.stats.misses == 1  # SGC's cold pass
+            assert engine.stats.hits == 1  # GAMLP served from the stack
+            assert emb_sgc is hops_gamlp[2]
+            assert engine.cache.stats.misses == 1  # one operator build
+        finally:
+            set_default_engine(old)
+
+    def test_decoupled_training_end_to_end_through_engine(self, featured_ba):
+        engine = PropagationEngine(cache=OperatorCache())
+        old_engine = set_default_engine(engine)
+        old_cache = set_default_cache(engine.cache)
+        try:
+            split_ids = np.arange(featured_ba.n_nodes)
+            from repro.datasets.synthetic import Split
+
+            split = Split(split_ids[:90], split_ids[90:120], split_ids[120:])
+            r1 = train_decoupled(SGC(12, 3, k_hops=2, seed=0), featured_ba,
+                                 split, epochs=3, seed=0)
+            r2 = train_decoupled(GAMLP(12, 16, 3, k_hops=2, seed=0), featured_ba,
+                                 split, epochs=3, seed=0)
+            assert 0.0 <= r1.test_accuracy <= 1.0
+            assert 0.0 <= r2.test_accuracy <= 1.0
+            # The second model's precompute rebuilt nothing.
+            assert r1.operator_cache_misses == 1
+            assert r2.operator_cache_misses == 0
+        finally:
+            set_default_engine(old_engine)
+            set_default_cache(old_cache)
+
+
+class TestPipelineProfile:
+    def test_warm_not_slower_orders_of_magnitude(self, featured_ba):
+        cold, warm = precompute_stage_profile(featured_ba, k_hops=2)
+        assert cold >= 0.0 and warm >= 0.0
+        assert warm <= cold * 10  # warm pass is cache-served, never pathological
+
+    def test_requires_features(self, ba_graph):
+        with pytest.raises(ConfigError):
+            precompute_stage_profile(ba_graph)
