@@ -13,6 +13,8 @@ Scalable Graph Neural Networks: The Perspective of Graph Data Management"*:
 * :mod:`repro.models` — the scalable-GNN zoo (§3.1–3.3) built on the above.
 * :mod:`repro.perf` — operator caching and the shared chunked propagation
   engine: precomputation reuse across every decoupled model.
+* :mod:`repro.serving` — online inference: micro-batched request serving,
+  content-keyed embedding store, incremental dirty-set invalidation.
 * :mod:`repro.training` — trainers, metrics, simulated distributed training.
 * :mod:`repro.datasets` — synthetic node-classification workloads.
 * :mod:`repro.bench` — timing/memory accounting and table formatting.
@@ -23,8 +25,10 @@ from repro.errors import (
     ConfigError,
     ConvergenceError,
     GraphError,
+    LoadSheddingError,
     NotFittedError,
     ReproError,
+    ServingError,
     ShapeError,
 )
 from repro.graph import Graph
@@ -39,5 +43,7 @@ __all__ = [
     "ConvergenceError",
     "NotFittedError",
     "ConfigError",
+    "ServingError",
+    "LoadSheddingError",
     "__version__",
 ]

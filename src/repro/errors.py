@@ -30,3 +30,12 @@ class NotFittedError(ReproError):
 
 class ConfigError(ReproError):
     """A hyper-parameter or option is outside its valid range."""
+
+
+class ServingError(ReproError):
+    """An online-serving request could not be satisfied (unknown model,
+    graph/model mismatch, or an update applied to a non-dynamic model)."""
+
+
+class LoadSheddingError(ServingError):
+    """A request was rejected by admission control (the queue is full)."""

@@ -39,19 +39,39 @@ class DynamicGraph:
 
     Adjacency is stored as per-node Python lists (amortised O(1) append);
     :meth:`snapshot` materialises an immutable CSR :class:`Graph` for use
-    with the static algorithms.
+    with the static algorithms. Node features and labels (which edge
+    insertions never change) ride along and are carried into every
+    snapshot, so downstream consumers — decoupled-model inference in
+    particular — see a fully populated :class:`Graph` at each version.
     """
 
-    def __init__(self, n_nodes: int) -> None:
+    def __init__(
+        self,
+        n_nodes: int,
+        x: np.ndarray | None = None,
+        y: np.ndarray | None = None,
+    ) -> None:
         check_int_range("n_nodes", n_nodes, 1)
+        if x is not None:
+            x = np.asarray(x, dtype=np.float64)
+            if x.ndim != 2 or x.shape[0] != n_nodes:
+                raise ConfigError(
+                    f"x must be ({n_nodes}, d), got {x.shape}"
+                )
+        if y is not None:
+            y = np.asarray(y)
+            if y.shape != (n_nodes,):
+                raise ConfigError(f"y must be ({n_nodes},), got {y.shape}")
         self._adj: list[list[int]] = [[] for _ in range(n_nodes)]
         self._n_edges = 0
+        self.x = x
+        self.y = y
 
     @classmethod
     def from_graph(cls, graph: Graph) -> "DynamicGraph":
         if graph.directed:
             raise GraphError("DynamicGraph supports undirected graphs only")
-        dyn = cls(graph.n_nodes)
+        dyn = cls(graph.n_nodes, x=graph.x, y=graph.y)
         for u in range(graph.n_nodes):
             dyn._adj[u] = [int(v) for v in graph.neighbors(u)]
         dyn._n_edges = graph.n_edges // 2
@@ -90,14 +110,16 @@ class DynamicGraph:
         self._n_edges += 1
 
     def snapshot(self) -> Graph:
-        """An immutable CSR copy of the current state."""
+        """An immutable CSR copy of the current state (features/labels kept)."""
         degrees = [len(a) for a in self._adj]
         indptr = np.concatenate([[0], np.cumsum(degrees)]).astype(np.int64)
         indices = np.fromiter(
             (v for adj in self._adj for v in adj), dtype=np.int64,
             count=int(indptr[-1]),
         )
-        return Graph(indptr, indices, directed=False, validate=False)
+        return Graph(
+            indptr, indices, x=self.x, y=self.y, directed=False, validate=False
+        )
 
 
 class IncrementalPPR:

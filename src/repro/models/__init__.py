@@ -39,7 +39,11 @@ from repro.models.kg_embedding import (
     train_transe,
 )
 from repro.models.ld2 import LD2
-from repro.models.nai import NodeAdaptiveInference, train_depth_calibrated
+from repro.models.nai import (
+    NodeAdaptiveInference,
+    confidence_gated_predict,
+    train_depth_calibrated,
+)
 from repro.models.pprgo import PPRGo
 from repro.models.pyramid import PyramidGNN
 from repro.models.sage import GraphSAGE, SAGEConv
@@ -71,6 +75,7 @@ __all__ = [
     "ImplicitGNN",
     "MultiscaleImplicitGNN",
     "NodeAdaptiveInference",
+    "confidence_gated_predict",
     "train_depth_calibrated",
     "ContrastiveEncoder",
     "train_contrastive",

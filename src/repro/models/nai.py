@@ -90,6 +90,49 @@ def train_depth_calibrated(
     return model
 
 
+def confidence_gated_predict(
+    model,
+    hop_rows: list[np.ndarray],
+    threshold: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Early-exit predictions for a set of nodes given their per-depth rows.
+
+    ``hop_rows`` is a list of ``(m, d)`` arrays — the depth-0..K embeddings
+    of the *same* ``m`` nodes. Starting from depth 0, any node whose softmax
+    confidence reaches ``threshold`` is frozen; survivors fall through to
+    the final depth. Returns ``(predictions, hops_used)``, both ``(m,)``.
+
+    This is the gating kernel shared by whole-graph
+    :class:`NodeAdaptiveInference` and the per-micro-batch early exit of
+    :class:`repro.serving.ServingEngine`, so online and offline adaptive
+    inference decide identically.
+    """
+    check_probability("threshold", threshold)
+    if not hop_rows:
+        raise ConfigError("hop_rows must contain at least the depth-0 rows")
+    m = hop_rows[0].shape[0]
+    k = len(hop_rows) - 1
+    model.eval()
+    predictions = np.full(m, -1, dtype=np.int64)
+    hops_used = np.full(m, k, dtype=np.int64)
+    active = np.ones(m, dtype=bool)
+    for depth, feats in enumerate(hop_rows):
+        with no_grad():
+            logits = model(Tensor(feats[active])).data
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probs = np.exp(shifted)
+        probs /= probs.sum(axis=1, keepdims=True)
+        decide = (probs.max(axis=1) >= threshold) | (depth == k)
+        active_ids = np.flatnonzero(active)
+        done = active_ids[decide]
+        predictions[done] = probs.argmax(axis=1)[decide]
+        hops_used[done] = depth
+        active[done] = False
+        if not active.any():
+            break
+    return predictions, hops_used
+
+
 class NodeAdaptiveInference:
     """Confidence-gated propagation truncation for a trained SGC model.
 
@@ -119,32 +162,15 @@ class NodeAdaptiveInference:
         hops = hop_features(graph, k)
         n = graph.n_nodes
         feature_dim = graph.x.shape[1]
-        arcs = graph.n_edges
-        avg_degree = arcs / max(n, 1)
-        self.model.eval()
-        predictions = np.full(n, -1, dtype=np.int64)
-        hops_used = np.full(n, k, dtype=np.int64)
-        active = np.ones(n, dtype=bool)
-        ops_used = 0
-        for depth, feats in enumerate(hops):
-            if depth > 0:
-                # Propagating one hop for the still-active nodes touches
-                # their incident arcs once per feature channel.
-                ops_used += int(active.sum() * avg_degree * feature_dim)
-            with no_grad():
-                logits = self.model(Tensor(feats[active])).data
-            shifted = logits - logits.max(axis=1, keepdims=True)
-            probs = np.exp(shifted)
-            probs /= probs.sum(axis=1, keepdims=True)
-            confident = probs.max(axis=1) >= self.threshold
-            is_last = depth == k
-            decide = confident | is_last
-            active_ids = np.flatnonzero(active)
-            done = active_ids[decide]
-            predictions[done] = probs.argmax(axis=1)[decide]
-            hops_used[done] = depth
-            active[done] = False
-            if not active.any():
-                break
+        avg_degree = graph.n_edges / max(n, 1)
+        predictions, hops_used = confidence_gated_predict(
+            self.model, hops, self.threshold
+        )
+        # A node that finalises at depth h consumed propagation work at
+        # depths 1..h, i.e. it is "active" entering every depth <= h.
+        ops_used = sum(
+            int(np.count_nonzero(hops_used >= depth) * avg_degree * feature_dim)
+            for depth in range(1, k + 1)
+        )
         ops_full = int(k * n * avg_degree * feature_dim)
         return AdaptiveInferenceResult(predictions, hops_used, ops_full, ops_used)

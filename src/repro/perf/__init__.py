@@ -32,6 +32,7 @@ from repro.perf.propagation import (
     chunked_spmm,
     get_default_engine,
     propagate,
+    rows_spmm,
     set_default_engine,
 )
 
@@ -47,6 +48,7 @@ __all__ = [
     "cached_propagation_matrix",
     "PropagationEngine",
     "chunked_spmm",
+    "rows_spmm",
     "propagate",
     "get_default_engine",
     "set_default_engine",

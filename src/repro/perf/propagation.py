@@ -63,6 +63,21 @@ def chunked_spmm(
     return out
 
 
+def rows_spmm(
+    operator: sp.spmatrix, rows: np.ndarray, dense: np.ndarray
+) -> np.ndarray:
+    """``(operator @ dense)[rows]`` without computing the full product.
+
+    Slices the named rows out of the CSR operator and multiplies only that
+    band — cost proportional to the non-zeros of the selected rows, not the
+    whole graph. The localized-recompute kernel of incremental serving:
+    after an edge insertion only the dirty K-hop rows of a hop stack are
+    re-derived this way.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    return operator.tocsr()[rows] @ np.asarray(dense)
+
+
 class PropagationEngine:
     """Shared K-hop propagation: chunked SpMM + memoized hop stacks.
 

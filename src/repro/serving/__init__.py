@@ -1,0 +1,37 @@
+"""Online inference for decoupled GNNs: the request path of the library.
+
+The decoupled taxonomy branch (SGC/SCARA/PPRGo) moves all sparse graph
+work into precompute, which makes *serving* a pure data-management
+problem: keep the precomputed hop stacks warm (:class:`ModelRegistry`),
+amortise per-request overhead (:class:`BatchingQueue` micro-batching with
+load-shedding admission control), reuse answered predictions
+(:class:`EmbeddingStore`, content-fingerprint keyed, TTL-bounded), exit
+early on confident nodes (NAI), and absorb streaming edge insertions by
+recomputing only the dirty K-hop rows (:mod:`repro.serving.invalidation`).
+:class:`ServingEngine` wires the pieces into one facade with per-request
+p50/p95/p99 latency accounting.
+"""
+
+from repro.serving.batching import BatchingQueue, PredictRequest
+from repro.serving.engine import ServeResult, ServingEngine
+from repro.serving.invalidation import (
+    UpdateReport,
+    dirty_frontiers,
+    patch_stack,
+)
+from repro.serving.registry import ModelRegistry, ServedModel
+from repro.serving.store import CachedPrediction, EmbeddingStore
+
+__all__ = [
+    "ServingEngine",
+    "ServeResult",
+    "ModelRegistry",
+    "ServedModel",
+    "BatchingQueue",
+    "PredictRequest",
+    "EmbeddingStore",
+    "CachedPrediction",
+    "UpdateReport",
+    "dirty_frontiers",
+    "patch_stack",
+]

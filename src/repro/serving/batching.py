@@ -1,0 +1,146 @@
+"""Micro-batch coalescing of single-node inference requests.
+
+The decoupled-model serving path is embarrassingly batchable: a prediction
+is a dense row gather plus an MLP forward, so the per-request fixed cost
+(Python dispatch, tensor wrapping) dominates single-node calls. The
+:class:`BatchingQueue` coalesces requests under the classic two-knob
+policy — emit a batch when it reaches ``max_batch`` *or* when its oldest
+request has waited ``max_wait_s`` — and bounds the queue at ``max_queue``
+for admission control: a full queue sheds new arrivals immediately
+(:class:`repro.errors.LoadSheddingError`) instead of growing tail latency
+without bound.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import LoadSheddingError
+from repro.utils.validation import check_int_range, check_positive
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One enqueued single-node prediction request."""
+
+    request_id: int
+    node_id: int
+    model_key: str
+    enqueued_at: float
+
+
+class BatchingQueue:
+    """FIFO queue that coalesces requests into per-model micro-batches.
+
+    Parameters
+    ----------
+    max_batch:
+        Largest batch ever emitted.
+    max_wait_s:
+        A batch is considered ready once its oldest request has waited
+        this long, even if smaller than ``max_batch`` (latency bound).
+    max_queue:
+        Admission-control bound; :meth:`submit` raises
+        :class:`LoadSheddingError` when the queue is full.
+    clock:
+        Injectable monotonic clock (seconds) for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 64,
+        max_wait_s: float = 0.002,
+        max_queue: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        check_int_range("max_batch", max_batch, 1)
+        check_int_range("max_queue", max_queue, 1)
+        check_positive("max_wait_s", max_wait_s, strict=False)
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.max_queue = max_queue
+        self._clock = clock
+        self._queue: deque[PredictRequest] = deque()
+        self._next_id = 0
+        self.submitted = 0
+        self.shed = 0
+        self.batches_formed = 0
+        self.batched_requests = 0
+
+    # ------------------------------------------------------------------ #
+
+    def submit(self, node_id: int, model_key: str) -> PredictRequest:
+        """Enqueue a request; sheds (raises) when the queue is full."""
+        if len(self._queue) >= self.max_queue:
+            self.shed += 1
+            raise LoadSheddingError(
+                f"queue full ({self.max_queue} pending); request for node "
+                f"{node_id} shed"
+            )
+        request = PredictRequest(
+            request_id=self._next_id,
+            node_id=int(node_id),
+            model_key=model_key,
+            enqueued_at=self._clock(),
+        )
+        self._next_id += 1
+        self._queue.append(request)
+        self.submitted += 1
+        return request
+
+    def ready(self, now: float | None = None) -> bool:
+        """Whether a batch should be emitted under the max-batch/max-wait policy."""
+        if not self._queue:
+            return False
+        if len(self._queue) >= self.max_batch:
+            return True
+        now = self._clock() if now is None else now
+        return now - self._queue[0].enqueued_at >= self.max_wait_s
+
+    def next_batch(
+        self, now: float | None = None, force: bool = False
+    ) -> list[PredictRequest]:
+        """Pop the next micro-batch (possibly empty if nothing is ready).
+
+        Batches are homogeneous in model: the batch is formed from the
+        oldest request's model key, scanning FIFO and skipping requests
+        for other models (they keep their queue position and seniority).
+        """
+        if not self._queue or (not force and not self.ready(now)):
+            return []
+        target = self._queue[0].model_key
+        batch: list[PredictRequest] = []
+        kept: deque[PredictRequest] = deque()
+        while self._queue:
+            request = self._queue.popleft()
+            if request.model_key == target and len(batch) < self.max_batch:
+                batch.append(request)
+            else:
+                kept.append(request)
+        self._queue = kept
+        self.batches_formed += 1
+        self.batched_requests += len(batch)
+        return batch
+
+    def drain(self) -> Iterator[list[PredictRequest]]:
+        """Force-emit batches until the queue is empty."""
+        while self._queue:
+            yield self.next_batch(force=True)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches_formed if self.batches_formed else 0.0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchingQueue(pending={len(self)}, max_batch={self.max_batch}, "
+            f"max_wait_s={self.max_wait_s}, shed={self.shed})"
+        )

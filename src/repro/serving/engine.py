@@ -1,0 +1,326 @@
+"""The serving facade: registry + micro-batching + store + early exit.
+
+:class:`ServingEngine` is the online entry point of the library. A request
+is a ``(model, node_id)`` pair; the engine answers it from, in order:
+
+1. the :class:`~repro.serving.store.EmbeddingStore` (content-namespaced
+   cached prediction — O(1), no model work);
+2. a micro-batch through the :class:`~repro.serving.batching.BatchingQueue`
+   — rows gathered from the registry's warm hop stack, decided by the
+   NAI confidence gate (:func:`repro.models.nai.confidence_gated_predict`)
+   or a single full-depth forward.
+
+Admission control is load-shedding: when the queue is full the request is
+answered immediately with ``status="shed"`` rather than queued into an
+unbounded tail. Every completed request's queue-to-answer latency lands in
+a :class:`repro.utils.timer.LatencyHistogram` (p50/p95/p99).
+
+Streaming updates go through :meth:`ServingEngine.apply_update`: the edge
+is inserted into the model's :class:`~repro.graph.dynamic.DynamicGraph`,
+only the dirty K-hop rows of the hop stack are recomputed
+(:mod:`repro.serving.invalidation`), and exactly those nodes are evicted
+from the store.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import LoadSheddingError, ServingError
+from repro.graph.core import Graph
+from repro.models.nai import confidence_gated_predict
+from repro.serving.batching import BatchingQueue, PredictRequest
+from repro.serving.invalidation import UpdateReport, dirty_frontiers, patch_stack
+from repro.serving.registry import ModelRegistry, ServedModel
+from repro.serving.store import EmbeddingStore
+from repro.tensor.autograd import Tensor, no_grad
+from repro.utils.timer import LatencyHistogram
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """The answer to one single-node request."""
+
+    node_id: int
+    model_key: str
+    prediction: int
+    status: str  # "ok" | "shed"
+    cached: bool
+    hops_used: int
+    latency_s: float
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class ServingEngine:
+    """Online inference over registered decoupled models.
+
+    Parameters
+    ----------
+    registry, queue, store:
+        Injectable components; sensible defaults are built when omitted.
+        Pass ``store=None`` explicitly to disable prediction caching.
+    threshold:
+        NAI confidence gate for early exit.
+    early_exit:
+        When ``False`` every request is answered at full depth K with a
+        single head forward (the gate is skipped entirely).
+    clock:
+        Shared monotonic clock for queue wait + latency accounting.
+    """
+
+    _DEFAULT_STORE = object()  # sentinel: "build a fresh EmbeddingStore"
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        queue: BatchingQueue | None = None,
+        store: EmbeddingStore | None = _DEFAULT_STORE,  # type: ignore[assignment]
+        threshold: float = 0.9,
+        early_exit: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        check_probability("threshold", threshold)
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.queue = queue if queue is not None else BatchingQueue(clock=clock)
+        if store is ServingEngine._DEFAULT_STORE:
+            store = EmbeddingStore(clock=clock)
+        self.store = store
+        self.threshold = threshold
+        self.early_exit = early_exit
+        self._clock = clock
+        self.latency = LatencyHistogram()
+        self.served = 0
+        self.shed = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Registration / resolution
+    # ------------------------------------------------------------------ #
+
+    def register(
+        self,
+        name: str,
+        model,
+        graph: Graph,
+        kind: str = "gcn",
+        alpha: float | None = None,
+        version: int | None = None,
+    ) -> str:
+        """Register a trained decoupled model; returns its ``name@vN`` key."""
+        record = self.registry.register(
+            name, model, graph, kind=kind, alpha=alpha, version=version
+        )
+        return record.key
+
+    def _resolve(self, model: str | None) -> ServedModel:
+        if model is not None:
+            return self.registry.get(model)
+        names = self.registry.names()
+        if len(names) != 1:
+            raise ServingError(
+                "model must be named when the registry holds "
+                f"{len(names)} models ({names or 'none'})"
+            )
+        return self.registry.get(names[0])
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+
+    def predict(self, node_id: int, model: str | None = None) -> ServeResult:
+        """Answer one single-node request (flushes its micro-batch)."""
+        return self.predict_many([node_id], model=model)[0]
+
+    def predict_many(
+        self, node_ids: Sequence[int] | np.ndarray, model: str | None = None
+    ) -> list[ServeResult]:
+        """Stream requests through the batching queue, in arrival order.
+
+        Batches are emitted as soon as the queue policy marks them ready
+        (full batch, or the oldest request aging past ``max_wait_s``);
+        whatever remains is force-flushed at the end so the call always
+        returns a complete answer list aligned with ``node_ids``.
+        """
+        record = self._resolve(model)
+        n = record.graph.n_nodes
+        slots: list[ServeResult | int] = []
+        by_id: dict[int, ServeResult] = {}
+        for node_id in node_ids:
+            node_id = int(node_id)
+            if not 0 <= node_id < n:
+                raise ServingError(f"node {node_id} outside [0, {n})")
+            t0 = self._clock()
+            cached = (
+                self.store.get(record.namespace, node_id)
+                if self.store is not None
+                else None
+            )
+            if cached is not None:
+                self.cache_hits += 1
+                self.served += 1
+                latency = self._clock() - t0
+                self.latency.record(latency)
+                slots.append(ServeResult(
+                    node_id, record.key, cached.prediction, "ok", True,
+                    cached.hops_used, latency,
+                ))
+                continue
+            try:
+                request = self.queue.submit(node_id, record.key)
+            except LoadSheddingError:
+                self.shed += 1
+                slots.append(ServeResult(
+                    node_id, record.key, -1, "shed", False, 0,
+                    self._clock() - t0,
+                ))
+                continue
+            slots.append(request.request_id)
+            while self.queue.ready():
+                self._process_batch(self.queue.next_batch(), by_id)
+        for batch in self.queue.drain():
+            self._process_batch(batch, by_id)
+        return [
+            slot if isinstance(slot, ServeResult) else by_id[slot]
+            for slot in slots
+        ]
+
+    def _process_batch(
+        self, batch: list[PredictRequest], out: dict[int, ServeResult]
+    ) -> None:
+        if not batch:
+            return
+        record = self.registry.get(batch[0].model_key)
+        nodes = np.fromiter((r.node_id for r in batch), dtype=np.int64)
+        unique, inverse = np.unique(nodes, return_inverse=True)
+        hop_rows = record.hop_rows(unique)
+        if self.early_exit:
+            predictions, hops_used = confidence_gated_predict(
+                record.model, hop_rows, self.threshold
+            )
+        else:
+            record.model.eval()
+            with no_grad():
+                logits = record.model(Tensor(hop_rows[-1])).data
+            predictions = logits.argmax(axis=1).astype(np.int64)
+            hops_used = np.full(len(unique), record.k_hops, dtype=np.int64)
+        if self.store is not None:
+            for i, node in enumerate(unique):
+                self.store.put(
+                    record.namespace, int(node),
+                    int(predictions[i]), int(hops_used[i]),
+                )
+        now = self._clock()
+        for pos, request in enumerate(batch):
+            i = inverse[pos]
+            latency = now - request.enqueued_at
+            self.latency.record(latency)
+            self.served += 1
+            out[request.request_id] = ServeResult(
+                request.node_id, record.key, int(predictions[i]), "ok",
+                False, int(hops_used[i]), latency,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Streaming updates
+    # ------------------------------------------------------------------ #
+
+    def apply_update(
+        self, u: int, v: int, model: str | None = None
+    ) -> UpdateReport:
+        """Insert edge ``(u, v)`` and restore the model incrementally.
+
+        Only the K-hop dirty rows of the hop stack are recomputed (exact —
+        see :mod:`repro.serving.invalidation`) and only the dirty nodes'
+        cached predictions are evicted from the store. The propagation
+        *operator* is rebuilt for the new snapshot (one O(edges) pass; the
+        dense SpMM work, which dominates, stays local).
+        """
+        return self.apply_updates([(u, v)], model=model)
+
+    def apply_updates(
+        self,
+        edges: Iterable[tuple[int, int]],
+        model: str | None = None,
+    ) -> UpdateReport:
+        """Apply a batch of edge insertions with one shared patch pass."""
+        record = self._resolve(model)
+        edges = [(int(u), int(v)) for u, v in edges]
+        if not edges:
+            raise ServingError("apply_updates needs at least one edge")
+        dynamic = record.ensure_dynamic()
+        for u, v in edges:
+            dynamic.insert_edge(u, v)
+        seeds = [node for edge in edges for node in edge]
+        dirty = dirty_frontiers(dynamic, seeds, record.k_hops)
+        new_graph = dynamic.snapshot()
+        operator = self.registry.engine.operator(
+            new_graph, record.kind, record.alpha
+        )
+        rows = patch_stack(record.stack, operator, dirty)
+        record.graph = new_graph
+        record.rows_recomputed += rows
+        record.updates_applied += len(edges)
+        invalidated = 0
+        if self.store is not None and dirty:
+            invalidated = self.store.invalidate(record.namespace, dirty[-1])
+        return UpdateReport(
+            edges=tuple(edges),
+            dirty_per_depth=tuple(dirty),
+            rows_recomputed=rows,
+            rows_full=record.k_hops * record.graph.n_nodes,
+            store_invalidated=invalidated,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        """Engine-wide accounting: latency percentiles, queue, store, models."""
+        store_stats = None
+        if self.store is not None:
+            s = self.store.stats
+            store_stats = {
+                "hits": s.hits,
+                "misses": s.misses,
+                "hit_rate": s.hit_rate,
+                "size": len(self.store),
+                "invalidations": self.store.invalidations,
+                "expirations": self.store.expirations,
+            }
+        return {
+            "served": self.served,
+            "shed": self.shed,
+            "cache_hits": self.cache_hits,
+            "latency": self.latency.summary(),
+            "queue": {
+                "submitted": self.queue.submitted,
+                "shed": self.queue.shed,
+                "batches": self.queue.batches_formed,
+                "mean_batch_size": self.queue.mean_batch_size,
+            },
+            "store": store_stats,
+            "models": {
+                record.key: {
+                    "n_nodes": record.graph.n_nodes,
+                    "k_hops": record.k_hops,
+                    "updates_applied": record.updates_applied,
+                    "rows_recomputed": record.rows_recomputed,
+                }
+                for record in self.registry.records()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServingEngine(models={len(self.registry)}, served={self.served}, "
+            f"shed={self.shed}, p99={self.latency.p99:.2e}s)"
+        )

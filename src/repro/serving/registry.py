@@ -1,0 +1,190 @@
+"""Model registry: trained decoupled models with warm hop stacks.
+
+A served model is a ``(name, version)`` pair holding the trained head, the
+graph snapshot it serves, and — the part that makes single-node latency
+flat — the fully precomputed hop stack ``[X, PX, ..., P^K X]`` borrowed
+from :class:`repro.perf.PropagationEngine` at registration time. Serving a
+node is then a row gather + MLP forward; no sparse work on the request
+path. The stack is kept as private *writable* copies so incremental
+updates (:mod:`repro.serving.invalidation`) can patch dirty rows in place
+without corrupting the engine's shared read-only cache.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigError, ServingError
+from repro.graph.core import Graph
+from repro.graph.dynamic import DynamicGraph
+from repro.perf.propagation import PropagationEngine, get_default_engine
+
+
+class ServedModel:
+    """One registered ``(name, version)``: model + graph + warm hop stack."""
+
+    def __init__(
+        self,
+        name: str,
+        version: int,
+        model,
+        graph: Graph,
+        stack: list[np.ndarray],
+        kind: str,
+        alpha: float | None,
+    ) -> None:
+        self.name = name
+        self.version = version
+        self.model = model
+        self.graph = graph
+        self.stack = stack
+        self.kind = kind
+        self.alpha = alpha
+        # Content-keyed cache namespace: a model re-registered over a
+        # rebuilt-but-identical graph maps to the same namespace, so warm
+        # EmbeddingStore rows survive the rebuild (and can never be served
+        # across a *structurally* different registration).
+        self.namespace = f"{name}@v{version}:{graph.fingerprint}"
+        self.dynamic: DynamicGraph | None = None
+        self.rows_recomputed = 0
+        self.updates_applied = 0
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}@v{self.version}"
+
+    @property
+    def k_hops(self) -> int:
+        return len(self.stack) - 1
+
+    def hop_rows(self, nodes: np.ndarray) -> list[np.ndarray]:
+        """Depth-0..K embedding rows for ``nodes`` (gather, no propagation)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        return [layer[nodes] for layer in self.stack]
+
+    def ensure_dynamic(self) -> DynamicGraph:
+        """The mutable adjacency behind this model, created on first update."""
+        if self.dynamic is None:
+            self.dynamic = DynamicGraph.from_graph(self.graph)
+        return self.dynamic
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServedModel({self.key}, n={self.graph.n_nodes}, "
+            f"k={self.k_hops}, updates={self.updates_applied})"
+        )
+
+
+class ModelRegistry:
+    """Named, versioned store of servable models with warm precompute.
+
+    Registration is the only place propagation happens: the hop stack is
+    computed once through the shared :class:`PropagationEngine` (reusing
+    any operator/stack the offline pipeline already built for the same
+    graph content) and pinned on the record.
+    """
+
+    def __init__(self, engine: PropagationEngine | None = None) -> None:
+        self._engine = engine
+        self._models: dict[str, dict[int, ServedModel]] = {}
+
+    @property
+    def engine(self) -> PropagationEngine:
+        return self._engine if self._engine is not None else get_default_engine()
+
+    # ------------------------------------------------------------------ #
+
+    def register(
+        self,
+        name: str,
+        model,
+        graph: Graph,
+        kind: str = "gcn",
+        alpha: float | None = None,
+        version: int | None = None,
+    ) -> ServedModel:
+        """Register ``model`` over ``graph`` and warm its hop stack.
+
+        ``model`` must expose ``k_hops`` and be callable on feature rows
+        (the decoupled-model contract, e.g. :class:`repro.models.SGC`).
+        Omitting ``version`` auto-increments per name.
+        """
+        if graph.x is None:
+            raise ConfigError("served graphs need node features (graph.x)")
+        k_hops = getattr(model, "k_hops", None)
+        if not isinstance(k_hops, int) or k_hops < 0:
+            raise ConfigError(
+                "model must expose an integer k_hops >= 0 (decoupled contract)"
+            )
+        versions = self._models.setdefault(name, {})
+        if version is None:
+            version = max(versions) + 1 if versions else 1
+        elif version in versions:
+            raise ServingError(f"model {name!r} version {version} already registered")
+        warm = self.engine.propagate(graph, graph.x, k_hops, kind=kind, alpha=alpha)
+        # Private writable copies: incremental updates patch rows in place.
+        stack = [layer.copy() for layer in warm]
+        record = ServedModel(name, int(version), model, graph, stack, kind, alpha)
+        versions[record.version] = record
+        return record
+
+    def get(self, name: str, version: int | None = None) -> ServedModel:
+        """Resolve ``name`` / ``"name@vN"`` to a record (latest when unversioned)."""
+        if version is None and "@v" in name:
+            name, _, suffix = name.rpartition("@v")
+            try:
+                version = int(suffix)
+            except ValueError:
+                raise ServingError(f"malformed model key {name + '@v' + suffix!r}")
+        versions = self._models.get(name)
+        if not versions:
+            raise ServingError(
+                f"unknown model {name!r}; registered: {sorted(self._models) or 'none'}"
+            )
+        if version is None:
+            version = max(versions)
+        if version not in versions:
+            raise ServingError(
+                f"model {name!r} has no version {version}; "
+                f"available: {sorted(versions)}"
+            )
+        return versions[version]
+
+    def unregister(self, name: str, version: int | None = None) -> None:
+        """Drop one version (or every version) of ``name``."""
+        if name not in self._models:
+            raise ServingError(f"unknown model {name!r}")
+        if version is None:
+            del self._models[name]
+            return
+        versions = self._models[name]
+        if version not in versions:
+            raise ServingError(f"model {name!r} has no version {version}")
+        del versions[version]
+        if not versions:
+            del self._models[name]
+
+    # ------------------------------------------------------------------ #
+
+    def names(self) -> list[str]:
+        return sorted(self._models)
+
+    def versions(self, name: str) -> list[int]:
+        if name not in self._models:
+            raise ServingError(f"unknown model {name!r}")
+        return sorted(self._models[name])
+
+    def records(self) -> Iterable[ServedModel]:
+        for versions in self._models.values():
+            yield from versions.values()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._models.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ModelRegistry({', '.join(r.key for r in self.records()) or 'empty'})"

@@ -1,0 +1,94 @@
+"""Embedding/prediction store for the online path.
+
+A thin serving-semantics layer over :class:`repro.storage.FeatureStore`:
+entries are cached predictions keyed by a model's content namespace
+(name, version *and* graph fingerprint — see
+:class:`repro.serving.registry.ServedModel`) plus node id, bounded by LRU
+capacity and an optional TTL, and invalidated *push-style*: when a graph
+update dirties a K-hop neighbourhood, exactly those node ids are evicted
+while every other cached prediction stays warm.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.storage.feature_cache import CacheStats, FeatureStore
+from repro.utils.validation import check_int_range
+
+
+@dataclass(frozen=True)
+class CachedPrediction:
+    """A served prediction kept for reuse: class id + exit depth."""
+
+    prediction: int
+    hops_used: int
+
+
+class EmbeddingStore:
+    """TTL + LRU + dirty-set invalidated cache of per-node predictions."""
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        ttl_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        check_int_range("capacity", capacity, 1)
+        self._rows = FeatureStore(capacity, ttl_s=ttl_s, clock=clock)
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, namespace: str, node: int) -> CachedPrediction | None:
+        """The cached prediction, or ``None`` on miss/expiry."""
+        return self._rows.get(namespace, node)
+
+    def put(
+        self, namespace: str, node: int, prediction: int, hops_used: int
+    ) -> CachedPrediction:
+        entry = CachedPrediction(int(prediction), int(hops_used))
+        self._rows.put(namespace, node, entry)
+        return entry
+
+    def invalidate(
+        self, namespace: str, nodes: Iterable[int] | None = None
+    ) -> int:
+        """Evict ``nodes`` (or the whole namespace); returns entries dropped."""
+        return self._rows.invalidate(namespace, nodes)
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def capacity(self) -> int:
+        return self._rows.capacity
+
+    @property
+    def ttl_s(self) -> float | None:
+        return self._rows.ttl_s
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._rows.stats
+
+    @property
+    def expirations(self) -> int:
+        return self._rows.expirations
+
+    @property
+    def invalidations(self) -> int:
+        return self._rows.invalidations
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats
+        return (
+            f"EmbeddingStore(size={len(self)}/{self.capacity}, "
+            f"ttl={self.ttl_s}, hit_rate={s.hit_rate:.2f})"
+        )

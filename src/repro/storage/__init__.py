@@ -1,10 +1,12 @@
-"""Storage-tier simulations: feature caching for sample-based training."""
+"""Storage tier: feature caching for training and live row stores for serving."""
 
 from repro.storage.feature_cache import (
     BeladyCache,
     CacheStats,
+    FeatureStore,
     LruCache,
     StaticCache,
+    feature_key,
     sampling_access_stream,
     simulate_cache,
 )
@@ -14,6 +16,8 @@ __all__ = [
     "LruCache",
     "StaticCache",
     "BeladyCache",
+    "FeatureStore",
+    "feature_key",
     "sampling_access_stream",
     "simulate_cache",
 ]

@@ -14,12 +14,19 @@ graphs. This module reproduces that storage argument:
   degree/frequency ranking), :class:`BeladyCache` (offline optimal —
   evicts the row reused furthest in the future).
 * :func:`simulate_cache` — hit-rate accounting.
+* :class:`FeatureStore` — a *live* per-node row store (LRU + optional TTL)
+  keyed by graph **content fingerprint** (:mod:`repro.perf.fingerprint`)
+  rather than object identity, so a graph rebuilt with identical topology
+  shares warm rows while any structural change can never be served stale
+  data. The substrate of :class:`repro.serving.EmbeddingStore`.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Any, Callable, Iterable
 
 import numpy as np
 
@@ -156,3 +163,139 @@ def simulate_cache(cache, trace: np.ndarray) -> CacheStats:
         if cache.access(int(key)):
             hits += 1
     return CacheStats(hits=hits, misses=len(trace) - hits)
+
+
+def feature_key(graph: Graph | str) -> str:
+    """The content-fingerprint namespace a graph's rows are cached under.
+
+    Accepts a :class:`Graph` (preferring its memoized
+    :attr:`~repro.graph.core.Graph.fingerprint`) or a pre-computed digest
+    string. Keying by content instead of ``id(graph)`` means a graph
+    rebuilt with identical topology shares warm entries, while any
+    structural change yields a fresh namespace — no stale hits.
+    """
+    if isinstance(graph, str):
+        return graph
+    if isinstance(graph, Graph):
+        return graph.fingerprint
+    # Deferred import: repro.perf.propagation imports this module for
+    # CacheStats, so the reverse dependency must resolve at call time.
+    from repro.perf.fingerprint import graph_fingerprint
+
+    return graph_fingerprint(graph)
+
+
+class FeatureStore:
+    """Bounded live store of per-node rows: LRU eviction + optional TTL.
+
+    Entries are keyed ``(namespace, node_id)`` where the namespace is a
+    graph content fingerprint (:func:`feature_key`) or any caller-chosen
+    digest string — never object identity. Values are arbitrary (dense
+    rows, logits, small records). A ``ttl_s`` bounds staleness in wall
+    time; :meth:`invalidate` supports push-based dirty-set eviction, the
+    hook incremental graph updates use.
+
+    The ``clock`` is injectable (monotonic seconds) so TTL behaviour is
+    deterministic under test.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        ttl_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        check_int_range("capacity", capacity, 1)
+        if ttl_s is not None and not ttl_s > 0:
+            raise ConfigError(f"ttl_s must be > 0 or None, got {ttl_s!r}")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._store: OrderedDict[tuple[str, int], tuple[float, Any]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------ #
+
+    def put(self, namespace: Graph | str, node: int, value: Any) -> None:
+        """Insert/overwrite the row for ``node`` under ``namespace``."""
+        key = (feature_key(namespace), int(node))
+        if key in self._store:
+            self._store.move_to_end(key)
+        elif len(self._store) >= self.capacity:
+            self._store.popitem(last=False)
+            self._evictions += 1
+        self._store[key] = (self._clock(), value)
+
+    def get(self, namespace: Graph | str, node: int) -> Any | None:
+        """The cached row, or ``None`` on miss / TTL expiry."""
+        key = (feature_key(namespace), int(node))
+        entry = self._store.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        inserted_at, value = entry
+        if self.ttl_s is not None and self._clock() - inserted_at > self.ttl_s:
+            del self._store[key]
+            self._expirations += 1
+            self._misses += 1
+            return None
+        self._store.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def invalidate(
+        self, namespace: Graph | str, nodes: Iterable[int] | None = None
+    ) -> int:
+        """Drop entries for ``nodes`` (or the whole namespace); returns count."""
+        fp = feature_key(namespace)
+        if nodes is None:
+            victims = [k for k in self._store if k[0] == fp]
+        else:
+            victims = [
+                (fp, int(n)) for n in np.asarray(list(nodes), dtype=np.int64).ravel()
+                if (fp, int(n)) in self._store
+            ]
+        for key in victims:
+            del self._store[key]
+        self._invalidations += len(victims)
+        return len(victims)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss/eviction accounting (TTL expiries count as evictions)."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions + self._expirations,
+        )
+
+    @property
+    def expirations(self) -> int:
+        return self._expirations
+
+    @property
+    def invalidations(self) -> int:
+        return self._invalidations
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: tuple[Graph | str, int]) -> bool:
+        namespace, node = key
+        return (feature_key(namespace), int(node)) in self._store
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats
+        return (
+            f"FeatureStore(size={len(self)}/{self.capacity}, ttl={self.ttl_s}, "
+            f"hits={s.hits}, misses={s.misses})"
+        )

@@ -8,7 +8,7 @@ subgraph, PPRGo-style support batches) so that every model in
 
 from repro.training.compensated import train_clustergcn_compensated
 from repro.training.distributed import DistributedResult, simulate_distributed_training
-from repro.training.metrics import accuracy, confusion_matrix, macro_f1
+from repro.training.metrics import accuracy, confusion_matrix, latency_summary, macro_f1
 from repro.training.pipeline import (
     PipelinePlan,
     pipelined_makespan,
@@ -29,6 +29,7 @@ from repro.training.trainers import (
 __all__ = [
     "accuracy",
     "macro_f1",
+    "latency_summary",
     "confusion_matrix",
     "TrainResult",
     "EarlyStopping",

@@ -1,10 +1,13 @@
-"""Classification metrics shared by trainers and benchmarks."""
+"""Classification and latency metrics shared by trainers and benchmarks."""
 
 from __future__ import annotations
+
+from typing import Iterable
 
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.utils.timer import LatencyHistogram
 
 
 def _check(pred: np.ndarray, truth: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -52,3 +55,21 @@ def macro_f1(pred: np.ndarray, truth: np.ndarray) -> float:
             else 0.0
         )
     return float(np.mean(f1s)) if f1s else 0.0
+
+
+def latency_summary(
+    seconds: Iterable[float] | LatencyHistogram,
+) -> dict[str, float]:
+    """Percentile summary (`count/mean/min/max/p50/p95/p99`) of durations.
+
+    Accepts either raw samples (per-epoch times, per-request latencies) or a
+    pre-populated :class:`repro.utils.timer.LatencyHistogram` — the same
+    accounting the serving engine reports, so offline training epochs and
+    online requests read out identically.
+    """
+    if isinstance(seconds, LatencyHistogram):
+        return seconds.summary()
+    hist = LatencyHistogram()
+    for s in seconds:
+        hist.record(float(s))
+    return hist.summary()

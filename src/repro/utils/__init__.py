@@ -1,7 +1,7 @@
 """Shared utilities: RNG handling, timers, and argument validation."""
 
 from repro.utils.rng import as_rng
-from repro.utils.timer import Timer
+from repro.utils.timer import LatencyHistogram, Timer
 from repro.utils.validation import (
     check_fraction,
     check_positive,
@@ -11,6 +11,7 @@ from repro.utils.validation import (
 __all__ = [
     "as_rng",
     "Timer",
+    "LatencyHistogram",
     "check_fraction",
     "check_positive",
     "check_probability",

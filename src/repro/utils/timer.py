@@ -1,7 +1,13 @@
-"""Wall-clock timing helper used by trainers and the benchmark harness."""
+"""Wall-clock timing helpers used by trainers, serving, and benchmarks.
+
+:class:`Timer` accumulates elapsed time; :class:`LatencyHistogram` keeps a
+mergeable log-bucketed distribution of durations for percentile reporting
+(p50/p95/p99), the accounting primitive of the online-serving path.
+"""
 
 from __future__ import annotations
 
+import math
 import time
 
 
@@ -43,3 +49,145 @@ class Timer:
     def reset(self) -> None:
         self.elapsed = 0.0
         self._start = None
+
+
+class LatencyHistogram:
+    """Log-bucketed latency distribution with percentile queries and merging.
+
+    Durations are recorded into geometrically spaced buckets spanning
+    ``[min_latency, max_latency]`` seconds (values outside the range are
+    clamped into the edge buckets), so memory stays constant no matter how
+    many samples arrive and two histograms with the same layout can be
+    merged exactly — the shape that lets per-worker serving stats be
+    aggregated into fleet-wide p50/p95/p99.
+
+    Percentiles are resolved to the upper edge of the bucket containing the
+    requested rank, i.e. they are conservative (never under-report).
+    """
+
+    def __init__(
+        self,
+        min_latency: float = 1e-6,
+        max_latency: float = 60.0,
+        buckets_per_decade: int = 20,
+    ) -> None:
+        if not 0.0 < min_latency < max_latency:
+            raise ValueError(
+                f"need 0 < min_latency < max_latency, got "
+                f"({min_latency}, {max_latency})"
+            )
+        if buckets_per_decade < 1:
+            raise ValueError("buckets_per_decade must be >= 1")
+        self.min_latency = float(min_latency)
+        self.max_latency = float(max_latency)
+        self.buckets_per_decade = int(buckets_per_decade)
+        decades = math.log10(self.max_latency / self.min_latency)
+        self._n_buckets = max(1, math.ceil(decades * self.buckets_per_decade))
+        self._growth = (self.max_latency / self.min_latency) ** (1.0 / self._n_buckets)
+        self._counts = [0] * self._n_buckets
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    def _bucket(self, seconds: float) -> int:
+        if seconds <= self.min_latency:
+            return 0
+        if seconds >= self.max_latency:
+            return self._n_buckets - 1
+        idx = int(math.log(seconds / self.min_latency) / math.log(self._growth))
+        return min(max(idx, 0), self._n_buckets - 1)
+
+    def _bucket_upper(self, idx: int) -> float:
+        return self.min_latency * self._growth ** (idx + 1)
+
+    def record(self, seconds: float) -> None:
+        """Record one duration (negative values are rejected)."""
+        if seconds < 0:
+            raise ValueError(f"latency must be >= 0, got {seconds}")
+        self._counts[self._bucket(seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (``q`` in [0, 100]); 0.0 when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = math.ceil(q / 100.0 * self.count)
+        seen = 0
+        for idx, n in enumerate(self._counts):
+            seen += n
+            if seen >= rank:
+                if idx == self._n_buckets - 1:
+                    # Overflow bucket: its edge under-reports clamped
+                    # outliers, so answer with the exactly tracked max.
+                    return float(self.max)
+                # Clamp the bucket edge by the exactly tracked extremes.
+                return float(min(max(self._bucket_upper(idx), self.min), self.max))
+        return float(self.max)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s samples into this histogram (same layout only)."""
+        if (
+            other.min_latency != self.min_latency
+            or other.max_latency != self.max_latency
+            or other.buckets_per_decade != self.buckets_per_decade
+        ):
+            raise ValueError("cannot merge histograms with different bucket layouts")
+        for idx, n in enumerate(other._counts):
+            self._counts[idx] += n
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    def summary(self) -> dict[str, float]:
+        """``{count, mean, min, max, p50, p95, p99}`` for reports."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": 0.0 if self.count == 0 else float(self.min),
+            "max": float(self.max),
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+    def reset(self) -> None:
+        self._counts = [0] * self._n_buckets
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LatencyHistogram(count={self.count}, p50={self.p50:.2e}, "
+            f"p95={self.p95:.2e}, p99={self.p99:.2e})"
+        )

@@ -50,6 +50,21 @@ class TestDynamicGraph:
         with pytest.raises(GraphError):
             DynamicGraph.from_graph(g)
 
+    def test_snapshot_carries_features_and_labels(self, featured_graph):
+        # Regression: snapshot() used to be topology-only, silently
+        # dropping x/y on every dynamic-to-static handoff.
+        dyn = DynamicGraph.from_graph(featured_graph)
+        u = 0
+        v = next(
+            w for w in range(featured_graph.n_nodes)
+            if w != u and not featured_graph.has_edge(u, w)
+        )
+        dyn.insert_edge(u, v)
+        snap = dyn.snapshot()
+        assert np.array_equal(snap.x, featured_graph.x)
+        assert np.array_equal(snap.y, featured_graph.y)
+        assert snap.has_edge(u, v)
+
 
 class TestIncrementalPPR:
     def test_initial_matches_static_push(self, ba_graph):

@@ -1,0 +1,647 @@
+"""Tests for the online serving subsystem (repro.serving) and its substrate:
+latency histograms, the fingerprint-keyed FeatureStore, micro-batch
+coalescing, dirty-set invalidation, and the ServingEngine facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, LoadSheddingError, ServingError
+from repro.graph import Graph
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.traversal import k_hop_neighborhood
+from repro.models import SGC, NodeAdaptiveInference
+from repro.models.sgc import hop_features
+from repro.perf import PropagationEngine
+from repro.serving import (
+    BatchingQueue,
+    EmbeddingStore,
+    ModelRegistry,
+    ServingEngine,
+    dirty_frontiers,
+    patch_stack,
+)
+from repro.storage import FeatureStore
+from repro.tensor.autograd import Tensor, no_grad
+from repro.training.metrics import latency_summary
+from repro.utils.timer import LatencyHistogram
+
+
+class ManualClock:
+    """Deterministic injectable clock for TTL / max-wait tests."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def served_setup(csbm_dataset):
+    """An untrained SGC over the shared cSBM graph (gating still exercised)."""
+    graph, _ = csbm_dataset
+    model = SGC(graph.n_features, graph.n_classes, k_hops=2, seed=0)
+    return graph, model
+
+
+def fresh_edge(graph: Graph, rng) -> tuple[int, int]:
+    """A (u, v) pair not currently an edge of ``graph``."""
+    while True:
+        u, v = (int(z) for z in rng.integers(0, graph.n_nodes, size=2))
+        if u != v and not graph.has_edge(u, v):
+            return u, v
+
+
+# --------------------------------------------------------------------- #
+# LatencyHistogram
+# --------------------------------------------------------------------- #
+
+
+class TestLatencyHistogram:
+    def test_percentiles_are_ordered_and_bracketing(self):
+        hist = LatencyHistogram()
+        for value in [0.001] * 90 + [0.5] * 10:
+            hist.record(value)
+        assert hist.count == 100
+        assert hist.p50 <= hist.p95 <= hist.p99
+        assert hist.p50 == pytest.approx(0.001, rel=0.2)
+        assert hist.p99 == pytest.approx(0.5, rel=0.2)
+
+    def test_empty_histogram_reads_zero(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.p50 == 0.0
+        assert hist.mean == 0.0
+        assert len(hist) == 0
+
+    def test_merge_equals_combined_stream(self):
+        a, b, both = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        for v in (0.001, 0.01, 0.02):
+            a.record(v)
+            both.record(v)
+        for v in (0.1, 0.2):
+            b.record(v)
+            both.record(v)
+        a.merge(b)
+        assert a.count == both.count
+        assert a.total == pytest.approx(both.total)
+        for q in (50, 95, 99):
+            assert a.percentile(q) == pytest.approx(both.percentile(q))
+
+    def test_merge_rejects_layout_mismatch(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().merge(LatencyHistogram(buckets_per_decade=5))
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-1e-3)
+
+    def test_out_of_range_values_clamp_into_edge_buckets(self):
+        hist = LatencyHistogram(min_latency=1e-3, max_latency=1.0)
+        hist.record(1e-9)
+        hist.record(100.0)
+        assert hist.count == 2
+        assert hist.max == 100.0
+        assert hist.percentile(100) == 100.0  # clamped by the exact max
+
+    def test_summary_and_metrics_reuse(self):
+        hist = LatencyHistogram()
+        samples = [0.002, 0.004, 0.008, 0.016]
+        for s in samples:
+            hist.record(s)
+        summary = hist.summary()
+        assert set(summary) == {"count", "mean", "min", "max", "p50", "p95", "p99"}
+        # training.metrics.latency_summary accepts both forms.
+        assert latency_summary(hist) == summary
+        from_samples = latency_summary(samples)
+        assert from_samples["count"] == summary["count"]
+        assert from_samples["p50"] == pytest.approx(summary["p50"])
+
+
+# --------------------------------------------------------------------- #
+# FeatureStore (fingerprint keying satellite)
+# --------------------------------------------------------------------- #
+
+
+class TestFeatureStore:
+    def test_rebuilt_identical_graph_shares_entries(self, rng):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        g1 = Graph.from_edges(edges, 4)
+        g2 = Graph.from_edges(edges, 4)  # distinct object, identical content
+        assert g1 is not g2
+        store = FeatureStore(capacity=8)
+        store.put(g1, 2, "row")
+        assert store.get(g2, 2) == "row"
+
+    def test_different_topology_never_serves_stale_rows(self):
+        g1 = Graph.from_edges([(0, 1), (1, 2)], 4)
+        g2 = Graph.from_edges([(0, 1), (1, 3)], 4)
+        store = FeatureStore(capacity=8)
+        store.put(g1, 1, "old")
+        assert store.get(g2, 1) is None
+
+    def test_ttl_expiry(self):
+        clock = ManualClock()
+        store = FeatureStore(capacity=8, ttl_s=10.0, clock=clock)
+        store.put("ns", 0, "v")
+        clock.advance(9.0)
+        assert store.get("ns", 0) == "v"
+        clock.advance(2.0)
+        assert store.get("ns", 0) is None
+        assert store.expirations == 1
+
+    def test_lru_eviction_at_capacity(self):
+        store = FeatureStore(capacity=2)
+        store.put("ns", 0, "a")
+        store.put("ns", 1, "b")
+        assert store.get("ns", 0) == "a"  # refresh 0 → 1 is now LRU
+        store.put("ns", 2, "c")
+        assert store.get("ns", 1) is None
+        assert store.get("ns", 0) == "a"
+        assert store.stats.evictions == 1
+
+    def test_invalidate_selected_nodes_only(self):
+        store = FeatureStore(capacity=8)
+        for node in range(4):
+            store.put("ns", node, node)
+        dropped = store.invalidate("ns", [1, 3, 99])
+        assert dropped == 2
+        assert store.get("ns", 0) == 0
+        assert store.get("ns", 1) is None
+        assert store.invalidations == 2
+
+    def test_invalidate_whole_namespace(self):
+        store = FeatureStore(capacity=8)
+        store.put("a", 0, 1)
+        store.put("a", 1, 2)
+        store.put("b", 0, 3)
+        assert store.invalidate("a") == 2
+        assert store.get("b", 0) == 3
+        assert len(store) == 1
+
+    def test_hit_miss_accounting(self):
+        store = FeatureStore(capacity=4)
+        store.put("ns", 0, "x")
+        store.get("ns", 0)
+        store.get("ns", 1)
+        stats = store.stats
+        assert (stats.hits, stats.misses) == (1, 1)
+        assert stats.hit_rate == pytest.approx(0.5)
+
+
+# --------------------------------------------------------------------- #
+# BatchingQueue
+# --------------------------------------------------------------------- #
+
+
+class TestBatchingQueue:
+    def test_batch_emitted_at_max_batch(self):
+        clock = ManualClock()
+        queue = BatchingQueue(max_batch=4, max_wait_s=10.0, clock=clock)
+        for node in range(3):
+            queue.submit(node, "m")
+        assert not queue.ready()
+        queue.submit(3, "m")
+        assert queue.ready()
+        batch = queue.next_batch()
+        assert [r.node_id for r in batch] == [0, 1, 2, 3]
+        assert len(queue) == 0
+
+    def test_max_wait_makes_partial_batch_ready(self):
+        clock = ManualClock()
+        queue = BatchingQueue(max_batch=64, max_wait_s=0.005, clock=clock)
+        queue.submit(7, "m")
+        assert not queue.ready()
+        clock.advance(0.006)
+        assert queue.ready()
+        batch = queue.next_batch()
+        assert [r.node_id for r in batch] == [7]
+
+    def test_not_ready_before_wait_or_fill(self):
+        clock = ManualClock()
+        queue = BatchingQueue(max_batch=8, max_wait_s=1.0, clock=clock)
+        queue.submit(0, "m")
+        clock.advance(0.5)
+        assert not queue.ready()
+        assert queue.next_batch() == []
+
+    def test_fifo_order_within_batches(self):
+        clock = ManualClock()
+        queue = BatchingQueue(max_batch=3, max_wait_s=0.0, clock=clock)
+        for node in range(7):
+            queue.submit(node, "m")
+        seen = [r.node_id for batch in queue.drain() for r in batch]
+        assert seen == list(range(7))
+
+    def test_batches_are_per_model_with_seniority_kept(self):
+        clock = ManualClock()
+        queue = BatchingQueue(max_batch=8, max_wait_s=0.0, clock=clock)
+        queue.submit(0, "a")
+        queue.submit(1, "b")
+        queue.submit(2, "a")
+        first = queue.next_batch(force=True)
+        assert [r.model_key for r in first] == ["a", "a"]
+        assert [r.node_id for r in first] == [0, 2]
+        second = queue.next_batch(force=True)
+        assert [(r.model_key, r.node_id) for r in second] == [("b", 1)]
+
+    def test_load_shedding_when_full(self):
+        queue = BatchingQueue(max_batch=8, max_queue=2, clock=ManualClock())
+        queue.submit(0, "m")
+        queue.submit(1, "m")
+        with pytest.raises(LoadSheddingError):
+            queue.submit(2, "m")
+        assert queue.shed == 1
+        assert queue.submitted == 2
+
+    def test_drain_flushes_everything(self):
+        queue = BatchingQueue(max_batch=4, max_wait_s=99.0, clock=ManualClock())
+        for node in range(6):
+            queue.submit(node, "m")
+        batches = list(queue.drain())
+        assert [len(b) for b in batches] == [4, 2]
+        assert len(queue) == 0
+        assert queue.mean_batch_size == pytest.approx(3.0)
+
+
+# --------------------------------------------------------------------- #
+# Dynamic snapshot regression (satellite) — see also tests/test_dynamic.py
+# --------------------------------------------------------------------- #
+
+
+class TestDynamicSnapshotData:
+    def test_snapshot_carries_features_and_labels(self, featured_graph):
+        dyn = DynamicGraph.from_graph(featured_graph)
+        snap = dyn.snapshot()
+        assert snap.x is not None and snap.y is not None
+        assert np.array_equal(snap.x, featured_graph.x)
+        assert np.array_equal(snap.y, featured_graph.y)
+
+    def test_snapshot_keeps_data_across_insertions(self, featured_graph):
+        dyn = DynamicGraph.from_graph(featured_graph)
+        rng = np.random.default_rng(3)
+        u, v = fresh_edge(featured_graph, rng)
+        dyn.insert_edge(u, v)
+        snap = dyn.snapshot()
+        assert snap.has_edge(u, v)
+        assert np.array_equal(snap.x, featured_graph.x)
+
+    def test_mismatched_feature_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            DynamicGraph(4, x=np.zeros((3, 2)))
+        with pytest.raises(ConfigError):
+            DynamicGraph(4, y=np.zeros(5, dtype=np.int64))
+
+
+# --------------------------------------------------------------------- #
+# Dirty sets + incremental stack patching
+# --------------------------------------------------------------------- #
+
+
+class TestIncrementalInvalidation:
+    def test_dirty_frontiers_match_k_hop_neighborhoods(self, ba_graph):
+        dyn = DynamicGraph.from_graph(ba_graph)
+        rng = np.random.default_rng(0)
+        u, v = fresh_edge(ba_graph, rng)
+        dyn.insert_edge(u, v)
+        frontiers = dirty_frontiers(dyn, [u, v], 3)
+        snap = dyn.snapshot()
+        for depth, dirty in enumerate(frontiers, start=1):
+            expected = k_hop_neighborhood(snap, [u, v], depth)
+            assert np.array_equal(dirty, expected)
+
+    def test_patch_stack_is_exact_vs_full_recompute(self, served_setup):
+        graph, _ = served_setup
+        k = 3
+        engine = PropagationEngine()
+        stack = [a.copy() for a in engine.propagate(graph, graph.x, k)]
+        dyn = DynamicGraph.from_graph(graph)
+        rng = np.random.default_rng(1)
+        u, v = fresh_edge(graph, rng)
+        dyn.insert_edge(u, v)
+        new_graph = dyn.snapshot()
+        dirty = dirty_frontiers(dyn, [u, v], k)
+        operator = engine.operator(new_graph, "gcn")
+        rows = patch_stack(stack, operator, dirty)
+        assert rows == sum(len(d) for d in dirty)
+        fresh = PropagationEngine().propagate(new_graph, new_graph.x, k)
+        for depth in range(k + 1):
+            assert np.allclose(stack[depth], fresh[depth], atol=1e-12)
+
+    def test_patch_touches_strictly_fewer_rows_than_full(self, served_setup):
+        graph, _ = served_setup
+        dyn = DynamicGraph.from_graph(graph)
+        rng = np.random.default_rng(2)
+        u, v = fresh_edge(graph, rng)
+        dyn.insert_edge(u, v)
+        dirty = dirty_frontiers(dyn, [u, v], 2)
+        assert sum(len(d) for d in dirty) < 2 * graph.n_nodes
+
+    def test_patch_stack_validates_depths(self, served_setup):
+        graph, _ = served_setup
+        engine = PropagationEngine()
+        stack = [a.copy() for a in engine.propagate(graph, graph.x, 2)]
+        with pytest.raises(ConfigError):
+            patch_stack(stack, engine.operator(graph), [np.array([0])])
+
+
+# --------------------------------------------------------------------- #
+# EmbeddingStore
+# --------------------------------------------------------------------- #
+
+
+class TestEmbeddingStore:
+    def test_roundtrip(self):
+        store = EmbeddingStore(capacity=8)
+        store.put("ns", 3, prediction=2, hops_used=1)
+        entry = store.get("ns", 3)
+        assert (entry.prediction, entry.hops_used) == (2, 1)
+
+    def test_ttl_bounds_staleness(self):
+        clock = ManualClock()
+        store = EmbeddingStore(capacity=8, ttl_s=5.0, clock=clock)
+        store.put("ns", 0, 1, 0)
+        clock.advance(6.0)
+        assert store.get("ns", 0) is None
+        assert store.expirations == 1
+
+    def test_dirty_invalidation(self):
+        store = EmbeddingStore(capacity=16)
+        for node in range(6):
+            store.put("ns", node, 0, 0)
+        assert store.invalidate("ns", [0, 2, 4]) == 3
+        assert store.get("ns", 1) is not None
+        assert store.get("ns", 2) is None
+
+
+# --------------------------------------------------------------------- #
+# ModelRegistry
+# --------------------------------------------------------------------- #
+
+
+class TestModelRegistry:
+    def test_register_versions_and_latest(self, served_setup):
+        graph, model = served_setup
+        registry = ModelRegistry(engine=PropagationEngine())
+        first = registry.register("sgc", model, graph)
+        second = registry.register("sgc", model, graph)
+        assert (first.version, second.version) == (1, 2)
+        assert registry.get("sgc").version == 2
+        assert registry.get("sgc", version=1) is first
+        assert registry.get("sgc@v1") is first
+        assert registry.versions("sgc") == [1, 2]
+        assert len(registry) == 2
+
+    def test_unknown_model_and_version_raise(self, served_setup):
+        graph, model = served_setup
+        registry = ModelRegistry(engine=PropagationEngine())
+        with pytest.raises(ServingError):
+            registry.get("nope")
+        registry.register("sgc", model, graph)
+        with pytest.raises(ServingError):
+            registry.get("sgc", version=9)
+
+    def test_duplicate_version_rejected(self, served_setup):
+        graph, model = served_setup
+        registry = ModelRegistry(engine=PropagationEngine())
+        registry.register("sgc", model, graph, version=3)
+        with pytest.raises(ServingError):
+            registry.register("sgc", model, graph, version=3)
+
+    def test_featureless_graph_rejected(self, ba_graph):
+        registry = ModelRegistry(engine=PropagationEngine())
+        with pytest.raises(ConfigError):
+            registry.register("sgc", SGC(4, 2, k_hops=1), ba_graph)
+
+    def test_warm_stack_borrowed_from_propagation_engine(self, served_setup):
+        graph, model = served_setup
+        engine = PropagationEngine()
+        registry = ModelRegistry(engine=engine)
+        registry.register("a", model, graph)
+        assert engine.stats.misses == 1
+        registry.register("b", model, graph)  # same (graph, K, kind) → warm
+        assert engine.stats.hits == 1
+        # Registered stacks are private copies: patching one must not
+        # corrupt the engine's shared cache.
+        record = registry.get("b")
+        shared = engine.propagate(graph, graph.x, record.k_hops)
+        assert record.stack[1] is not shared[1]
+
+    def test_unregister(self, served_setup):
+        graph, model = served_setup
+        registry = ModelRegistry(engine=PropagationEngine())
+        registry.register("sgc", model, graph)
+        registry.register("sgc", model, graph)
+        registry.unregister("sgc", version=1)
+        assert registry.versions("sgc") == [2]
+        registry.unregister("sgc")
+        assert "sgc" not in registry
+
+
+# --------------------------------------------------------------------- #
+# ServingEngine
+# --------------------------------------------------------------------- #
+
+
+class TestServingEngine:
+    def test_full_depth_predictions_match_offline_model(self, served_setup):
+        graph, model = served_setup
+        engine = ServingEngine(store=None, early_exit=False)
+        engine.register("sgc", model, graph)
+        results = engine.predict_many(np.arange(graph.n_nodes))
+        served = np.array([r.prediction for r in results])
+        with no_grad():
+            logits = model(Tensor(hop_features(graph, model.k_hops)[-1])).data
+        assert np.array_equal(served, logits.argmax(axis=1))
+        assert all(r.hops_used == model.k_hops for r in results)
+
+    def test_early_exit_parity_with_node_adaptive_inference(self, served_setup):
+        graph, model = served_setup
+        threshold = 0.6
+        offline = NodeAdaptiveInference(model, threshold=threshold).predict(graph)
+        engine = ServingEngine(store=None, threshold=threshold)
+        engine.register("sgc", model, graph)
+        results = engine.predict_many(np.arange(graph.n_nodes))
+        assert np.array_equal(
+            np.array([r.prediction for r in results]), offline.predictions
+        )
+        assert np.array_equal(
+            np.array([r.hops_used for r in results]), offline.hops_used
+        )
+
+    def test_second_request_is_a_cache_hit(self, served_setup):
+        graph, model = served_setup
+        engine = ServingEngine()
+        engine.register("sgc", model, graph)
+        first = engine.predict(5)
+        second = engine.predict(5)
+        assert not first.cached and second.cached
+        assert first.prediction == second.prediction
+        assert engine.cache_hits == 1
+
+    def test_load_shedding_response(self, served_setup):
+        graph, model = served_setup
+        clock = ManualClock()
+        queue = BatchingQueue(max_batch=8, max_queue=2, clock=clock)
+        engine = ServingEngine(queue=queue, store=None, clock=clock)
+        engine.register("sgc", model, graph)
+        results = engine.predict_many([0, 1, 2, 3, 4])
+        status = [r.status for r in results]
+        # Queue holds 2: requests beyond that are shed, the rest drain fine.
+        assert status.count("shed") == 3
+        assert results[2].status == "shed"
+        assert results[2].prediction == -1
+        assert engine.shed == 3
+        assert engine.served == 2
+
+    def test_shed_requests_do_not_pollute_latency_histogram(self, served_setup):
+        graph, model = served_setup
+        clock = ManualClock()
+        queue = BatchingQueue(max_batch=8, max_queue=1, clock=clock)
+        engine = ServingEngine(queue=queue, store=None, clock=clock)
+        engine.register("sgc", model, graph)
+        results = engine.predict_many([0, 1, 2])
+        assert engine.latency.count == sum(r.ok for r in results)
+
+    def test_ttl_and_dirty_invalidation_compose(self, served_setup):
+        graph, model = served_setup
+        clock = ManualClock()
+        store = EmbeddingStore(capacity=1024, ttl_s=100.0, clock=clock)
+        engine = ServingEngine(store=store, clock=clock)
+        engine.register("sgc", model, graph)
+        engine.predict_many(np.arange(graph.n_nodes))
+        # Within TTL: everything cached.
+        assert engine.predict(0).cached
+        # A graph update evicts exactly the dirty K-hop set.
+        rng = np.random.default_rng(4)
+        u, v = fresh_edge(engine.registry.get("sgc").graph, rng)
+        report = engine.apply_update(u, v)
+        dirty = set(report.dirty_nodes.tolist())
+        assert report.store_invalidated > 0
+        clean = next(n for n in range(graph.n_nodes) if n not in dirty)
+        assert engine.predict(clean).cached
+        assert not engine.predict(u).cached
+        # Past the TTL even clean entries expire.
+        clock.advance(101.0)
+        assert not engine.predict(clean).cached
+
+    def test_apply_update_recomputes_only_dirty_rows(self, served_setup):
+        graph, model = served_setup
+        engine = ServingEngine()
+        engine.register("sgc", model, graph)
+        rng = np.random.default_rng(5)
+        u, v = fresh_edge(graph, rng)
+        report = engine.apply_update(u, v)
+        assert report.rows_recomputed == sum(
+            len(d) for d in report.dirty_per_depth
+        )
+        assert report.rows_recomputed < report.rows_full
+        assert report.rows_saved_fraction > 0.0
+        record = engine.registry.get("sgc")
+        assert record.updates_applied == 1
+        assert record.rows_recomputed == report.rows_recomputed
+        # Patched stack is exact.
+        fresh = PropagationEngine().propagate(
+            record.graph, record.graph.x, record.k_hops
+        )
+        for depth in range(record.k_hops + 1):
+            assert np.allclose(record.stack[depth], fresh[depth], atol=1e-12)
+
+    def test_batched_update_shares_one_patch_pass(self, served_setup):
+        graph, model = served_setup
+        engine = ServingEngine()
+        engine.register("sgc", model, graph)
+        rng = np.random.default_rng(6)
+        e1 = fresh_edge(graph, rng)
+        e2 = fresh_edge(graph, rng)
+        if set(e1) == set(e2):  # pragma: no cover - rng collision guard
+            e2 = fresh_edge(graph, np.random.default_rng(7))
+        report = engine.apply_updates([e1, e2])
+        assert report.edges == (e1, e2)
+        record = engine.registry.get("sgc")
+        assert record.updates_applied == 2
+        fresh = PropagationEngine().propagate(
+            record.graph, record.graph.x, record.k_hops
+        )
+        for depth in range(record.k_hops + 1):
+            assert np.allclose(record.stack[depth], fresh[depth], atol=1e-12)
+
+    def test_node_out_of_range_rejected(self, served_setup):
+        graph, model = served_setup
+        engine = ServingEngine()
+        engine.register("sgc", model, graph)
+        with pytest.raises(ServingError):
+            engine.predict(graph.n_nodes)
+
+    def test_model_name_required_with_multiple_models(self, served_setup):
+        graph, model = served_setup
+        engine = ServingEngine()
+        engine.register("a", model, graph)
+        engine.register("b", model, graph)
+        with pytest.raises(ServingError):
+            engine.predict(0)
+        assert engine.predict(0, model="a").ok
+
+    def test_stats_shape(self, served_setup):
+        graph, model = served_setup
+        engine = ServingEngine()
+        key = engine.register("sgc", model, graph)
+        engine.predict(0)  # flushes → node 0 now cached
+        engine.predict_many([1, 2, 0])
+        stats = engine.stats()
+        assert stats["served"] == 4
+        assert stats["cache_hits"] == 1
+        assert stats["latency"]["count"] == 4.0
+        assert stats["queue"]["submitted"] == 3
+        assert stats["store"]["hits"] == 1
+        assert key in stats["models"]
+
+    def test_end_to_end_thousand_requests_with_midstream_updates(
+        self, served_setup
+    ):
+        """Acceptance: 1000 requests through the queue, 10 edge insertions
+        mid-stream, only dirty K-hop rows recomputed, final answers exact."""
+        graph, model = served_setup
+        engine = ServingEngine(
+            queue=BatchingQueue(max_batch=64, max_wait_s=10.0),
+            store=EmbeddingStore(capacity=4096),
+            threshold=0.9,
+        )
+        engine.register("sgc", model, graph)
+        rng = np.random.default_rng(8)
+        expected_rows = 0
+        n_ok = 0
+        for _ in range(10):
+            nodes = rng.integers(0, graph.n_nodes, size=100)
+            results = engine.predict_many(nodes)
+            assert all(r.ok for r in results)
+            n_ok += len(results)
+            u, v = fresh_edge(engine.registry.get("sgc").graph, rng)
+            report = engine.apply_update(u, v)
+            assert report.rows_recomputed == sum(
+                len(d) for d in report.dirty_per_depth
+            )
+            assert report.rows_recomputed < report.rows_full
+            expected_rows += report.rows_recomputed
+        assert n_ok == 1000
+        record = engine.registry.get("sgc")
+        assert record.updates_applied == 10
+        assert record.rows_recomputed == expected_rows
+        # Served state (incrementally patched + cache survivors) must agree
+        # with a from-scratch engine on the final graph.
+        final = ServingEngine(store=None, threshold=0.9)
+        final.register("sgc", model, record.graph)
+        served = engine.predict_many(np.arange(graph.n_nodes))
+        scratch = final.predict_many(np.arange(graph.n_nodes))
+        assert np.array_equal(
+            np.array([r.prediction for r in served]),
+            np.array([r.prediction for r in scratch]),
+        )
+        stats = engine.stats()
+        assert stats["latency"]["p50"] <= stats["latency"]["p99"]
+        assert stats["queue"]["mean_batch_size"] > 1.0
