@@ -1,22 +1,74 @@
 """Shared helpers for the benchmark suite.
 
 Every benchmark regenerates one experiment from DESIGN.md's index: it
-prints a result table (visible with ``pytest -s``) and persists it under
-``benchmarks/results/`` so EXPERIMENTS.md can reference the measured rows.
+logs a result table (visible with ``pytest -s`` / when running the file
+as a script) and persists it under ``benchmarks/results/`` so
+EXPERIMENTS.md can reference the measured rows.
+
+:func:`emit_json` is the machine-readable companion: it writes a
+``benchmarks/results/<name>.json`` record and can embed a snapshot of the
+global :class:`repro.obs.MetricsRegistry`, so CI artifacts carry the
+cache/store/serving counters observed during the run alongside the
+benchmark's own numbers.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any
 
+import numpy as np
+
+from repro import obs
 from repro.bench import Table
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+# Benchmarks are applications (not library code): route their diagnostics
+# through the repro.* logging hierarchy and make them visible by default.
+obs.setup_logging()
+_LOG = obs.get_logger("repro.benchmarks")
+
 
 def emit(table: Table, name: str) -> None:
-    """Print a result table and persist it to benchmarks/results/."""
+    """Log a result table and persist it to benchmarks/results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
     text = table.render()
-    print("\n" + text)
+    _LOG.info("%s\n%s", name, text)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def emit_json(
+    name: str, payload: dict[str, Any], metrics: bool = False
+) -> Path:
+    """Persist a machine-readable record to ``benchmarks/results/<name>.json``.
+
+    With ``metrics=True`` the current global
+    :meth:`repro.obs.MetricsRegistry.snapshot` is embedded under a
+    ``"metrics"`` key — counters from live sources (operator cache,
+    propagation engine, serving stores) accumulate whether or not tracing
+    is enabled, so the artifact records what the benchmark actually
+    exercised.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = dict(payload)
+    if metrics:
+        record["metrics"] = obs.get_registry().snapshot()
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(
+        json.dumps(record, indent=2, default=_jsonable) + "\n",
+        encoding="utf-8",
+    )
+    _LOG.info("wrote %s", path)
+    return path
+
+
+def _jsonable(value: Any):
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")

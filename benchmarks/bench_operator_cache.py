@@ -13,11 +13,10 @@ to ``benchmarks/results/E28_operator_cache.json`` so CI can track the
 cache path for regressions.
 """
 
-import json
 import time
 
 import numpy as np
-from _common import RESULTS_DIR, emit
+from _common import emit, emit_json
 
 from repro.bench import Table, format_seconds
 from repro.datasets import contextual_sbm
@@ -100,11 +99,8 @@ def test_operator_cache_and_chunked_propagation(benchmark):
         })
 
     emit(table, "E28_operator_cache")
-    RESULTS_DIR.mkdir(exist_ok=True)
     payload = {"experiment": "E28_operator_cache", "records": records}
-    (RESULTS_DIR / "E28_operator_cache.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
+    emit_json("E28_operator_cache", payload, metrics=True)
 
     graph, _ = contextual_sbm(
         2000, n_classes=4, homophily=0.8, avg_degree=10, n_features=32,

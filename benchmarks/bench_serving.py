@@ -17,11 +17,10 @@ persisted with the rest of the record to
 ``benchmarks/results/E29_serving.json`` for CI regression tracking.
 """
 
-import json
 import time
 
 import numpy as np
-from _common import RESULTS_DIR, emit
+from _common import emit, emit_json
 
 from repro.bench import Table, format_seconds
 from repro.datasets import contextual_sbm
@@ -116,7 +115,6 @@ def test_serving_throughput_and_incremental_updates(benchmark):
                   f"{rows_recomputed} / {rows_full}")
     emit(table, "E29_serving")
 
-    RESULTS_DIR.mkdir(exist_ok=True)
     payload = {
         "experiment": "E29_serving",
         "n_nodes": N_NODES,
@@ -133,9 +131,7 @@ def test_serving_throughput_and_incremental_updates(benchmark):
         "update_rows_recomputed": rows_recomputed,
         "update_rows_full": rows_full,
     }
-    (RESULTS_DIR / "E29_serving.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
+    emit_json("E29_serving", payload, metrics=True)
 
     # pytest-benchmark hook: steady-state single batched request (cold row).
     bench_engine = _make_engine(batched=True, store=None)

@@ -16,6 +16,8 @@ Scalable Graph Neural Networks: The Perspective of Graph Data Management"*:
 * :mod:`repro.serving` — online inference: micro-batched request serving,
   content-keyed embedding store, incremental dirty-set invalidation.
 * :mod:`repro.training` — trainers, metrics, simulated distributed training.
+* :mod:`repro.obs` — unified observability: nested-span tracing, metrics
+  registry + stats-source snapshots, ``repro.*`` logging (off by default).
 * :mod:`repro.datasets` — synthetic node-classification workloads.
 * :mod:`repro.bench` — timing/memory accounting and table formatting.
 * :mod:`repro.taxonomy` — machine-readable Figure 1 of the paper.

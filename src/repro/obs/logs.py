@@ -1,0 +1,71 @@
+"""Stdlib logging under the ``repro.*`` hierarchy.
+
+Library code never prints to stdout: modules grab a child of the
+``repro`` logger via :func:`get_logger` (a ``NullHandler`` is installed
+at import so an unconfigured application stays silent, per library
+convention), and applications/benchmarks opt into output with
+:func:`setup_logging`, which attaches exactly one stream handler to the
+hierarchy root — calling it again reconfigures rather than duplicates.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+ROOT_LOGGER_NAME = "repro"
+
+_DEFAULT_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+# Library convention: silence "No handlers could be found" warnings while
+# leaving output policy entirely to the embedding application.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+_handler: logging.StreamHandler | None = None
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro.*`` hierarchy.
+
+    ``get_logger()`` returns the hierarchy root; ``get_logger("serving")``
+    and ``get_logger("repro.serving")`` both return ``repro.serving``.
+    """
+    if name is None or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if not name.startswith(ROOT_LOGGER_NAME + "."):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def _coerce_level(level: int | str) -> int:
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown logging level {level!r}")
+    return resolved
+
+
+def setup_logging(
+    level: int | str = logging.INFO,
+    stream: IO[str] | None = None,
+    fmt: str = _DEFAULT_FORMAT,
+) -> logging.Logger:
+    """Attach (or reconfigure) the single ``repro`` stream handler.
+
+    Idempotent: repeated calls adjust level/stream/format on the one
+    handler instead of stacking duplicates. Returns the root ``repro``
+    logger. ``stream`` defaults to ``sys.stderr``.
+    """
+    global _handler
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    resolved = _coerce_level(level)
+    if _handler is not None and _handler in root.handlers:
+        root.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    _handler.setFormatter(logging.Formatter(fmt))
+    _handler.setLevel(resolved)
+    root.addHandler(_handler)
+    root.setLevel(resolved)
+    return root

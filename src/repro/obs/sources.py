@@ -1,0 +1,54 @@
+"""The uniform stats protocol every cache/queue/histogram speaks.
+
+Before :mod:`repro.obs`, each component exposed reuse accounting its own
+way — ``OperatorCache.stats`` returned a :class:`CacheStats`,
+``LatencyHistogram`` had ``summary()``, ``BatchingQueue`` had loose
+attributes. :class:`StatsSource` is the shared contract: ``snapshot()``
+returns a flat ``{str: scalar}`` dict and ``reset()`` zeroes the counters
+*without* dropping cached state (``clear()`` remains the destructive
+variant where one exists). Anything satisfying it can be registered on a
+:class:`repro.obs.MetricsRegistry` and lands in the unified snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class StatsSource(Protocol):
+    """Structural protocol: flat stats out, counter reset in.
+
+    Satisfied (via duck typing — ``isinstance`` works thanks to
+    ``runtime_checkable``) by :class:`repro.perf.OperatorCache`,
+    :class:`repro.perf.PropagationEngine`,
+    :class:`repro.storage.FeatureStore`,
+    :class:`repro.serving.EmbeddingStore`,
+    :class:`repro.serving.BatchingQueue`,
+    :class:`repro.serving.ServingEngine`, and
+    :class:`repro.utils.timer.LatencyHistogram`.
+    """
+
+    def snapshot(self) -> dict:
+        """Current counters/derived rates as a flat scalar dict."""
+        ...
+
+    def reset(self) -> None:
+        """Zero the counters (cached payload stays resident)."""
+        ...
+
+
+def cache_stats_dict(stats) -> dict[str, float]:
+    """Flatten a :class:`repro.storage.feature_cache.CacheStats` record.
+
+    Shared by every cache's ``snapshot()`` so hit/miss accounting uses
+    identical key names across the operator cache, propagation engine,
+    feature stores, and embedding store.
+    """
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "accesses": stats.accesses,
+        "hit_rate": stats.hit_rate,
+    }

@@ -1,0 +1,327 @@
+"""Nested-span tracing: the time-attribution pillar of :mod:`repro.obs`.
+
+A :class:`Span` is one timed region of the pipeline — a serving request, a
+training epoch, one hop of SpMM — with monotonic start/end timestamps,
+parent/child links, and free-form attributes (``n_nodes``, ``nnz``,
+``hops``, cache hit/miss, ...). A :class:`Tracer` maintains the active
+span stack, collects finished root spans, and can export them as JSON
+(:meth:`Tracer.export_json`) or render them as an indented text tree
+(:meth:`Tracer.render`) — the flame-view of where graph-data-management
+time actually goes.
+
+Spans are context managers (``with tracer.span("stage"): ...``) and the
+:meth:`Tracer.trace` decorator wraps whole functions. The module is
+dependency-free and never consults the global on/off switch — gating
+lives in :mod:`repro.obs` so this layer stays directly testable.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import time
+from typing import Any, Callable, Iterator
+
+
+class Span:
+    """One timed, attributed region with parent/child links.
+
+    Spans are created by :meth:`Tracer.span`; entering one is optional
+    (timing starts at creation), exiting finishes it and pops it off the
+    tracer's active stack. Attributes are free-form JSON-suitable values
+    set at creation or via :meth:`set`.
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "start_s", "end_s",
+        "attributes", "children", "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        start_s: float,
+        attributes: dict[str, Any] | None = None,
+        tracer: "Tracer | None" = None,
+    ) -> None:
+        self.name = str(name)
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.end_s: float | None = None
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.children: list[Span] = []
+        self._tracer = tracer
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds; 0.0 while the span is still open."""
+        return 0.0 if self.end_s is None else self.end_s - self.start_s
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach/overwrite attributes; returns ``self`` for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        if self._tracer is not None:
+            self._tracer.finish(self)
+        return False
+
+    # ------------------------------------------------------------------ #
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-suitable nested representation of the subtree."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Span":
+        """Rebuild a finished span tree from :meth:`to_dict` output."""
+        span = cls(
+            payload["name"],
+            int(payload["span_id"]),
+            payload.get("parent_id"),
+            float(payload["start_s"]),
+            attributes=payload.get("attributes") or {},
+        )
+        span.end_s = payload.get("end_s")
+        span.children = [cls.from_dict(c) for c in payload.get("children", ())]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"{self.duration_s:.2e}s" if self.finished else "open"
+        return f"Span({self.name!r}, id={self.span_id}, {state})"
+
+
+class NullSpan:
+    """Shared no-op stand-in returned by :func:`repro.obs.span` when
+    observability is disabled: entering, exiting, and :meth:`set` all do
+    nothing, and it is falsy so callers can skip attribute computation
+    with ``if sp: sp.set(...)``."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NullSpan()"
+
+
+NULL_SPAN = NullSpan()
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+class Tracer:
+    """Span factory + collector with a bounded list of finished roots.
+
+    Parameters
+    ----------
+    max_roots:
+        Finished root spans kept; older roots are dropped FIFO (the
+        ``dropped`` counter records how many) so long-running processes
+        never grow unboundedly.
+    clock:
+        Injectable monotonic clock (seconds) for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        max_roots: int = 256,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if max_roots < 1:
+            raise ValueError(f"max_roots must be >= 1, got {max_roots}")
+        self.max_roots = int(max_roots)
+        self._clock = clock
+        self._stack: list[Span] = []
+        self._roots: list[Span] = []
+        self._next_id = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # Span lifecycle
+    # ------------------------------------------------------------------ #
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Open a span as a child of the currently active span."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name,
+            self._next_id,
+            None if parent is None else parent.span_id,
+            self._clock(),
+            attributes=attributes,
+            tracer=self,
+        )
+        self._next_id += 1
+        if parent is not None:
+            parent.children.append(span)
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span) -> None:
+        """Close ``span`` (and any forgotten deeper spans still open)."""
+        now = self._clock()
+        while self._stack:
+            top = self._stack.pop()
+            if top.end_s is None:
+                top.end_s = now
+            if top is span:
+                break
+        if span.parent_id is None:
+            self._roots.append(span)
+            if len(self._roots) > self.max_roots:
+                del self._roots[0]
+                self.dropped += 1
+
+    def trace(self, name: str | None = None, **attributes: Any):
+        """Decorator tracing every call of the wrapped function."""
+
+        def decorate(fn: Callable):
+            label = name if name is not None else fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                with self.span(label, **attributes):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def active(self) -> Span | None:
+        """The innermost currently open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def roots(self) -> list[Span]:
+        """Finished root spans, oldest first."""
+        return list(self._roots)
+
+    def spans(self) -> Iterator[Span]:
+        """Every finished span, depth-first across roots."""
+        for root in self._roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        """Every finished span whose name matches exactly."""
+        return [s for s in self.spans() if s.name == name]
+
+    def max_depth(self) -> int:
+        """Deepest nesting level across finished roots (root = 1)."""
+
+        def depth(span: Span) -> int:
+            return 1 + max((depth(c) for c in span.children), default=0)
+
+        return max((depth(r) for r in self._roots), default=0)
+
+    def reset(self) -> None:
+        """Drop finished roots, abandon open spans, zero the counters."""
+        self._stack.clear()
+        self._roots.clear()
+        self._next_id = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------ #
+    # Export / render
+    # ------------------------------------------------------------------ #
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [root.to_dict() for root in self._roots]
+
+    def export_json(self, indent: int | None = None) -> str:
+        """Finished roots as a JSON array of nested span dicts."""
+        return json.dumps(self.to_dicts(), indent=indent, default=float)
+
+    @staticmethod
+    def import_json(text: str) -> list[Span]:
+        """Rebuild span trees exported by :meth:`export_json`."""
+        return [Span.from_dict(d) for d in json.loads(text)]
+
+    def render(self, max_depth: int | None = None) -> str:
+        """Indented text tree of finished roots with durations and attrs.
+
+        The poor man's flame graph: one line per span, children indented
+        under their parent, attributes appended ``key=value``.
+        """
+        lines: list[str] = []
+
+        def emit(span: Span, prefix: str, is_last: bool, depth: int) -> None:
+            if max_depth is not None and depth > max_depth:
+                return
+            connector = "" if depth == 1 else ("`- " if is_last else "|- ")
+            attrs = " ".join(
+                f"{k}={v}" for k, v in sorted(span.attributes.items())
+            )
+            label = f"{prefix}{connector}{span.name}"
+            lines.append(
+                f"{label:<48} {_format_duration(span.duration_s):>8}"
+                + (f"  {attrs}" if attrs else "")
+            )
+            child_prefix = prefix if depth == 1 else (
+                prefix + ("   " if is_last else "|  ")
+            )
+            for i, child in enumerate(span.children):
+                emit(child, child_prefix, i == len(span.children) - 1, depth + 1)
+
+        for root in self._roots:
+            emit(root, "", True, 1)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._roots)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Tracer(roots={len(self._roots)}/{self.max_roots}, "
+            f"open={len(self._stack)}, dropped={self.dropped})"
+        )

@@ -27,8 +27,11 @@ import scipy.sparse as sp
 from repro.errors import ConfigError
 from repro.graph import ops as graph_ops
 from repro.graph.core import Graph
+from repro.obs import OBS, get_logger
 from repro.storage.feature_cache import CacheStats
 from repro.utils.validation import check_int_range
+
+_LOG = get_logger("repro.perf.operator_cache")
 
 
 def _freeze(matrix: sp.csr_matrix) -> sp.csr_matrix:
@@ -73,11 +76,20 @@ class OperatorCache:
             self._store.move_to_end(key)
             return cached
         self._misses += 1
-        matrix = _freeze(builder().tocsr())
+        if OBS.enabled:
+            with OBS.tracer.span(
+                "perf.operator_build", op=key[1], kind=str(key[2])
+            ) as span:
+                matrix = _freeze(builder().tocsr())
+                span.set(nnz=int(matrix.nnz), n_rows=int(matrix.shape[0]))
+        else:
+            matrix = _freeze(builder().tocsr())
         self._store[key] = matrix
         if len(self._store) > self.max_entries:
-            self._store.popitem(last=False)
+            evicted, _ = self._store.popitem(last=False)
             self._evictions += 1
+            _LOG.debug("evicted operator %s/%s (LRU bound %d)",
+                       evicted[1], evicted[2], self.max_entries)
         return matrix
 
     # ------------------------------------------------------------------ #
@@ -143,10 +155,28 @@ class OperatorCache:
             for m in self._store.values()
         )
 
+    def snapshot(self) -> dict[str, float]:
+        """Flat counter/rate dict (:class:`repro.obs.StatsSource`)."""
+        s = self.stats
+        return {
+            "hits": s.hits,
+            "misses": s.misses,
+            "evictions": s.evictions,
+            "accesses": s.accesses,
+            "hit_rate": s.hit_rate,
+            "entries": len(self._store),
+            "nbytes": self.nbytes,
+        }
+
+    def reset(self) -> None:
+        """Zero the counters; cached operators stay resident
+        (:meth:`clear` is the destructive variant)."""
+        self._hits = self._misses = self._evictions = 0
+
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         self._store.clear()
-        self._hits = self._misses = self._evictions = 0
+        self.reset()
 
     def __len__(self) -> int:
         return len(self._store)

@@ -27,6 +27,7 @@ import scipy.sparse as sp
 
 from repro.errors import ConfigError
 from repro.graph.core import Graph
+from repro.obs import OBS
 from repro.perf.fingerprint import array_fingerprint
 from repro.perf.operator_cache import OperatorCache, get_default_cache
 from repro.storage.feature_cache import CacheStats
@@ -163,6 +164,23 @@ class PropagationEngine:
             self._feature_hashes.popitem(last=False)
         return digest
 
+    def _traced_spmm(
+        self, operator: sp.csr_matrix, dense: np.ndarray, hop: int
+    ) -> np.ndarray:
+        """One hop of chunked SpMM under a ``perf.spmm`` kernel span.
+
+        Only reached when observability is enabled — the disabled path
+        calls :func:`chunked_spmm` directly behind a single
+        ``OBS.enabled`` check.
+        """
+        with OBS.tracer.span(
+            "perf.spmm", hop=hop, nnz=int(operator.nnz),
+            chunk_rows=self.chunk_rows,
+        ) as span:
+            out = chunked_spmm(operator, dense, self.chunk_rows)
+            span.set(out_bytes=int(out.nbytes))
+        return out
+
     # ------------------------------------------------------------------ #
     # Propagation
     # ------------------------------------------------------------------ #
@@ -193,10 +211,23 @@ class PropagationEngine:
                 f"({graph.n_nodes}), got {features.shape[0]}"
             )
         if not memoize:
-            operator = self.operator(graph, kind, alpha)
-            stack = [features]
-            for _ in range(k):
-                stack.append(chunked_spmm(operator, stack[-1], self.chunk_rows))
+            if OBS.enabled:
+                with OBS.tracer.span(
+                    "perf.propagate", n_nodes=graph.n_nodes, k=k, kind=kind,
+                    memoize=False,
+                ):
+                    operator = self.operator(graph, kind, alpha)
+                    stack = [features]
+                    for _ in range(k):
+                        stack.append(self._traced_spmm(operator, stack[-1],
+                                                       len(stack)))
+            else:
+                operator = self.operator(graph, kind, alpha)
+                stack = [features]
+                for _ in range(k):
+                    stack.append(
+                        chunked_spmm(operator, stack[-1], self.chunk_rows)
+                    )
             return stack
         key = (
             graph.fingerprint,
@@ -208,6 +239,12 @@ class PropagationEngine:
         if stack is not None and len(stack) > k:
             self._hits += 1
             self._stacks.move_to_end(key)
+            if OBS.enabled:
+                with OBS.tracer.span(
+                    "perf.propagate", n_nodes=graph.n_nodes, k=k, kind=kind,
+                    cache_hit=True,
+                ):
+                    pass
             return list(stack[: k + 1])
         self._misses += 1
         if stack is None:
@@ -215,11 +252,26 @@ class PropagationEngine:
             base.setflags(write=False)
             stack = [base]
         if len(stack) <= k:
-            operator = self.operator(graph, kind, alpha)
-            while len(stack) <= k:
-                nxt = chunked_spmm(operator, stack[-1], self.chunk_rows)
-                nxt.setflags(write=False)
-                stack.append(nxt)
+            if OBS.enabled:
+                with OBS.tracer.span(
+                    "perf.propagate", n_nodes=graph.n_nodes, k=k, kind=kind,
+                    cached_hops=len(stack) - 1,
+                ) as span:
+                    operator = self.operator(graph, kind, alpha)
+                    span.set(nnz=int(operator.nnz))
+                    while len(stack) <= k:
+                        nxt = self._traced_spmm(operator, stack[-1], len(stack))
+                        nxt.setflags(write=False)
+                        stack.append(nxt)
+                    span.set(
+                        stack_bytes=int(sum(arr.nbytes for arr in stack))
+                    )
+            else:
+                operator = self.operator(graph, kind, alpha)
+                while len(stack) <= k:
+                    nxt = chunked_spmm(operator, stack[-1], self.chunk_rows)
+                    nxt.setflags(write=False)
+                    stack.append(nxt)
         self._stacks[key] = stack
         self._stacks.move_to_end(key)
         if len(self._stacks) > self.max_stacks:
@@ -249,11 +301,29 @@ class PropagationEngine:
         """Total bytes held by memoized hop stacks."""
         return sum(arr.nbytes for stack in self._stacks.values() for arr in stack)
 
+    def snapshot(self) -> dict[str, float]:
+        """Flat counter/rate dict (:class:`repro.obs.StatsSource`)."""
+        s = self.stats
+        return {
+            "hits": s.hits,
+            "misses": s.misses,
+            "evictions": s.evictions,
+            "accesses": s.accesses,
+            "hit_rate": s.hit_rate,
+            "stacks": len(self._stacks),
+            "nbytes": self.nbytes,
+        }
+
+    def reset(self) -> None:
+        """Zero the counters; memoized stacks stay resident
+        (:meth:`clear` is the destructive variant)."""
+        self._hits = self._misses = self._evictions = 0
+
     def clear(self) -> None:
         """Drop every memoized stack and reset the counters."""
         self._stacks.clear()
         self._feature_hashes.clear()
-        self._hits = self._misses = self._evictions = 0
+        self.reset()
 
     def __len__(self) -> int:
         return len(self._stacks)

@@ -136,6 +136,24 @@ class BatchingQueue:
     def mean_batch_size(self) -> float:
         return self.batched_requests / self.batches_formed if self.batches_formed else 0.0
 
+    def snapshot(self) -> dict[str, float]:
+        """Flat counter dict (:class:`repro.obs.StatsSource`)."""
+        return {
+            "submitted": self.submitted,
+            "shed": self.shed,
+            "batches_formed": self.batches_formed,
+            "batched_requests": self.batched_requests,
+            "mean_batch_size": self.mean_batch_size,
+            "pending": len(self._queue),
+        }
+
+    def reset(self) -> None:
+        """Zero the counters; pending requests stay queued."""
+        self.submitted = 0
+        self.shed = 0
+        self.batches_formed = 0
+        self.batched_requests = 0
+
     def __len__(self) -> int:
         return len(self._queue)
 

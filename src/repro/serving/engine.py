@@ -30,9 +30,11 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import LoadSheddingError, ServingError
 from repro.graph.core import Graph
 from repro.models.nai import confidence_gated_predict
+from repro.obs import OBS
 from repro.serving.batching import BatchingQueue, PredictRequest
 from repro.serving.invalidation import UpdateReport, dirty_frontiers, patch_stack
 from repro.serving.registry import ModelRegistry, ServedModel
@@ -40,6 +42,8 @@ from repro.serving.store import EmbeddingStore
 from repro.tensor.autograd import Tensor, no_grad
 from repro.utils.timer import LatencyHistogram
 from repro.utils.validation import check_probability
+
+_LOG = obs.get_logger("repro.serving.engine")
 
 
 @dataclass(frozen=True)
@@ -100,6 +104,14 @@ class ServingEngine:
         self.served = 0
         self.shed = 0
         self.cache_hits = 0
+        # Weakly attach to the global metrics registry so one
+        # obs.get_registry().snapshot() carries serving internals; the
+        # most recently constructed engine owns the prefixes.
+        obs.register_source("serving.engine", self)
+        obs.register_source("serving.queue", self.queue)
+        obs.register_source("serving.latency", self.latency)
+        if self.store is not None:
+            obs.register_source("serving.store", self.store)
 
     # ------------------------------------------------------------------ #
     # Registration / resolution
@@ -117,6 +129,10 @@ class ServingEngine:
         """Register a trained decoupled model; returns its ``name@vN`` key."""
         record = self.registry.register(
             name, model, graph, kind=kind, alpha=alpha, version=version
+        )
+        _LOG.info(
+            "registered %s (n_nodes=%d, k_hops=%d, kind=%s)",
+            record.key, graph.n_nodes, record.k_hops, kind,
         )
         return record.key
 
@@ -149,6 +165,22 @@ class ServingEngine:
         whatever remains is force-flushed at the end so the call always
         returns a complete answer list aligned with ``node_ids``.
         """
+        if not OBS.enabled:
+            return self._predict_many(node_ids, model)
+        with OBS.tracer.span(
+            "serving.predict_many", n_requests=len(node_ids)
+        ) as span:
+            results = self._predict_many(node_ids, model)
+            span.set(
+                served=sum(1 for r in results if r.ok),
+                shed=sum(1 for r in results if not r.ok),
+                store_hits=sum(1 for r in results if r.cached),
+            )
+            return results
+
+    def _predict_many(
+        self, node_ids: Sequence[int] | np.ndarray, model: str | None
+    ) -> list[ServeResult]:
         record = self._resolve(model)
         n = record.graph.n_nodes
         slots: list[ServeResult | int] = []
@@ -168,6 +200,15 @@ class ServingEngine:
                 self.served += 1
                 latency = self._clock() - t0
                 self.latency.record(latency)
+                if OBS.enabled:
+                    with OBS.tracer.span(
+                        "serving.request", node_id=node_id, status="ok",
+                        store_hit=True, hops_used=cached.hops_used,
+                    ):
+                        pass
+                    OBS.registry.counter("serving.requests").inc(
+                        status="ok", source="store"
+                    )
                 slots.append(ServeResult(
                     node_id, record.key, cached.prediction, "ok", True,
                     cached.hops_used, latency,
@@ -177,6 +218,14 @@ class ServingEngine:
                 request = self.queue.submit(node_id, record.key)
             except LoadSheddingError:
                 self.shed += 1
+                _LOG.debug("request for node %d shed (queue full)", node_id)
+                if OBS.enabled:
+                    with OBS.tracer.span(
+                        "serving.request", node_id=node_id, status="shed",
+                        store_hit=False,
+                    ):
+                        pass
+                    OBS.registry.counter("serving.requests").inc(status="shed")
                 slots.append(ServeResult(
                     node_id, record.key, -1, "shed", False, 0,
                     self._clock() - t0,
@@ -197,20 +246,36 @@ class ServingEngine:
     ) -> None:
         if not batch:
             return
+        with obs.span(
+            "serving.batch", model=batch[0].model_key, batch_size=len(batch)
+        ):
+            self._run_batch(batch, out)
+
+    def _run_batch(
+        self, batch: list[PredictRequest], out: dict[int, ServeResult]
+    ) -> None:
+        t_start = self._clock()
         record = self.registry.get(batch[0].model_key)
         nodes = np.fromiter((r.node_id for r in batch), dtype=np.int64)
         unique, inverse = np.unique(nodes, return_inverse=True)
-        hop_rows = record.hop_rows(unique)
+        with obs.span("serving.gather", rows=len(unique), hops=record.k_hops):
+            hop_rows = record.hop_rows(unique)
         if self.early_exit:
-            predictions, hops_used = confidence_gated_predict(
-                record.model, hop_rows, self.threshold
-            )
+            with obs.span(
+                "serving.infer", mode="early_exit", threshold=self.threshold
+            ) as span:
+                predictions, hops_used = confidence_gated_predict(
+                    record.model, hop_rows, self.threshold
+                )
+                if span:
+                    span.set(mean_exit_hop=float(hops_used.mean()))
         else:
-            record.model.eval()
-            with no_grad():
-                logits = record.model(Tensor(hop_rows[-1])).data
-            predictions = logits.argmax(axis=1).astype(np.int64)
-            hops_used = np.full(len(unique), record.k_hops, dtype=np.int64)
+            with obs.span("serving.infer", mode="full_depth"):
+                record.model.eval()
+                with no_grad():
+                    logits = record.model(Tensor(hop_rows[-1])).data
+                predictions = logits.argmax(axis=1).astype(np.int64)
+                hops_used = np.full(len(unique), record.k_hops, dtype=np.int64)
         if self.store is not None:
             for i, node in enumerate(unique):
                 self.store.put(
@@ -218,6 +283,7 @@ class ServingEngine:
                     int(predictions[i]), int(hops_used[i]),
                 )
         now = self._clock()
+        recording = OBS.enabled
         for pos, request in enumerate(batch):
             i = inverse[pos]
             latency = now - request.enqueued_at
@@ -227,6 +293,20 @@ class ServingEngine:
                 request.node_id, record.key, int(predictions[i]), "ok",
                 False, int(hops_used[i]), latency,
             )
+            if recording:
+                with OBS.tracer.span(
+                    "serving.request", node_id=request.node_id, status="ok",
+                    store_hit=False, batch_size=len(batch),
+                    queue_wait_s=t_start - request.enqueued_at,
+                    hops_used=int(hops_used[i]),
+                ):
+                    pass
+                OBS.registry.counter("serving.requests").inc(
+                    status="ok", source="batch"
+                )
+                OBS.registry.histogram("serving.queue_wait_s").observe(
+                    max(t_start - request.enqueued_at, 0.0)
+                )
 
     # ------------------------------------------------------------------ #
     # Streaming updates
@@ -255,22 +335,35 @@ class ServingEngine:
         edges = [(int(u), int(v)) for u, v in edges]
         if not edges:
             raise ServingError("apply_updates needs at least one edge")
-        dynamic = record.ensure_dynamic()
-        for u, v in edges:
-            dynamic.insert_edge(u, v)
-        seeds = [node for edge in edges for node in edge]
-        dirty = dirty_frontiers(dynamic, seeds, record.k_hops)
-        new_graph = dynamic.snapshot()
-        operator = self.registry.engine.operator(
-            new_graph, record.kind, record.alpha
+        with obs.span(
+            "serving.update", model=record.key, edges=len(edges)
+        ) as span:
+            dynamic = record.ensure_dynamic()
+            for u, v in edges:
+                dynamic.insert_edge(u, v)
+            seeds = [node for edge in edges for node in edge]
+            dirty = dirty_frontiers(dynamic, seeds, record.k_hops)
+            new_graph = dynamic.snapshot()
+            operator = self.registry.engine.operator(
+                new_graph, record.kind, record.alpha
+            )
+            with obs.span("serving.patch_stack", depths=len(dirty)):
+                rows = patch_stack(record.stack, operator, dirty)
+            record.graph = new_graph
+            record.rows_recomputed += rows
+            record.updates_applied += len(edges)
+            invalidated = 0
+            if self.store is not None and dirty:
+                invalidated = self.store.invalidate(record.namespace, dirty[-1])
+            if span:
+                span.set(rows_recomputed=rows, store_invalidated=invalidated)
+        if OBS.enabled:
+            OBS.registry.counter("serving.updates_applied").inc(len(edges))
+            OBS.registry.counter("serving.rows_patched").inc(rows)
+        _LOG.debug(
+            "applied %d edge(s) to %s: %d rows patched, %d store entries "
+            "invalidated", len(edges), record.key, rows, invalidated,
         )
-        rows = patch_stack(record.stack, operator, dirty)
-        record.graph = new_graph
-        record.rows_recomputed += rows
-        record.updates_applied += len(edges)
-        invalidated = 0
-        if self.store is not None and dirty:
-            invalidated = self.store.invalidate(record.namespace, dirty[-1])
         return UpdateReport(
             edges=tuple(edges),
             dirty_per_depth=tuple(dirty),
@@ -282,6 +375,22 @@ class ServingEngine:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict[str, float]:
+        """Engine-level counters (:class:`repro.obs.StatsSource`); the
+        queue/store/latency components publish their own snapshots under
+        their own registry prefixes."""
+        return {
+            "served": self.served,
+            "shed": self.shed,
+            "cache_hits": self.cache_hits,
+            "models": len(self.registry),
+        }
+
+    def reset(self) -> None:
+        """Zero the engine counters and its latency histogram."""
+        self.served = self.shed = self.cache_hits = 0
+        self.latency.reset()
 
     def stats(self) -> dict:
         """Engine-wide accounting: latency percentiles, queue, store, models."""

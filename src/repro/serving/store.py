@@ -61,6 +61,14 @@ class EmbeddingStore:
     def clear(self) -> None:
         self._rows.clear()
 
+    def snapshot(self) -> dict[str, float]:
+        """Flat counter/rate dict (:class:`repro.obs.StatsSource`)."""
+        return self._rows.snapshot()
+
+    def reset(self) -> None:
+        """Zero the counters; cached predictions stay resident."""
+        self._rows.reset()
+
     # ------------------------------------------------------------------ #
 
     @property

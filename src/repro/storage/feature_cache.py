@@ -265,7 +265,29 @@ class FeatureStore:
         return len(victims)
 
     def clear(self) -> None:
+        """Drop every entry (counters keep accumulating; see :meth:`reset`)."""
         self._store.clear()
+
+    def reset(self) -> None:
+        """Zero the counters without evicting resident rows — the uniform
+        :class:`repro.obs.StatsSource` protocol."""
+        self._hits = self._misses = 0
+        self._evictions = self._expirations = self._invalidations = 0
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat counter/rate dict (:class:`repro.obs.StatsSource`)."""
+        s = self.stats
+        return {
+            "hits": s.hits,
+            "misses": s.misses,
+            "evictions": s.evictions,
+            "accesses": s.accesses,
+            "hit_rate": s.hit_rate,
+            "expirations": self._expirations,
+            "invalidations": self._invalidations,
+            "size": len(self._store),
+            "capacity": self.capacity,
+        }
 
     # ------------------------------------------------------------------ #
 

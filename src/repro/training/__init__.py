@@ -11,6 +11,7 @@ from repro.training.distributed import DistributedResult, simulate_distributed_t
 from repro.training.metrics import accuracy, confusion_matrix, latency_summary, macro_f1
 from repro.training.pipeline import (
     PipelinePlan,
+    TrainingPipeline,
     pipelined_makespan,
     plan_execution,
     precompute_stage_profile,
@@ -42,6 +43,7 @@ __all__ = [
     "simulate_distributed_training",
     "train_clustergcn_compensated",
     "PipelinePlan",
+    "TrainingPipeline",
     "serial_makespan",
     "pipelined_makespan",
     "plan_execution",

@@ -20,13 +20,19 @@ trainers in this library (benchmark E21 does the latter).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigError
 from repro.graph.core import Graph
+from repro.obs import OBS
+from repro.training.trainers import TrainResult, train_decoupled, train_full_batch
 from repro.utils.timer import Timer
 from repro.utils.validation import check_int_range
+
+_LOG = obs.get_logger("repro.training.pipeline")
 
 
 @dataclass(frozen=True)
@@ -93,6 +99,85 @@ def _check_stages(stage_times) -> np.ndarray:
     return arr
 
 
+class TrainingPipeline:
+    """One traced end-to-end training run: precompute → epochs → eval.
+
+    The offline counterpart of :class:`repro.serving.ServingEngine`: it
+    wraps any trainer from :mod:`repro.training.trainers` under a root
+    ``pipeline.run`` span, so with :func:`repro.obs.configure` enabled a
+    single :meth:`run` yields the full nested cost breakdown — the
+    ``train.stage.precompute`` stage with its ``perf.propagate`` /
+    ``perf.spmm`` kernels underneath, then one ``train.epoch`` span per
+    epoch — and publishes summary gauges to the global metrics registry.
+
+    Parameters
+    ----------
+    model:
+        Any model accepted by the chosen trainer.
+    trainer:
+        A ``trainer(model, graph, split, **kwargs)`` callable; defaults to
+        :func:`train_decoupled` when the model exposes ``precompute``
+        (the decoupled contract) and :func:`train_full_batch` otherwise.
+    **trainer_kwargs:
+        Defaults forwarded to every :meth:`run` (overridable per call).
+    """
+
+    def __init__(
+        self,
+        model,
+        trainer: Callable[..., TrainResult] | None = None,
+        **trainer_kwargs,
+    ) -> None:
+        if trainer is None:
+            trainer = (
+                train_decoupled if hasattr(model, "precompute")
+                else train_full_batch
+            )
+        self.model = model
+        self.trainer = trainer
+        self.trainer_kwargs = dict(trainer_kwargs)
+        self.result: TrainResult | None = None
+
+    def run(self, graph: Graph, split, **overrides) -> TrainResult:
+        """Train ``model`` on ``(graph, split)`` under a root span."""
+        kwargs = {**self.trainer_kwargs, **overrides}
+        trainer_name = getattr(self.trainer, "__name__", type(self.trainer).__name__)
+        with obs.span(
+            "pipeline.run",
+            model=type(self.model).__name__,
+            trainer=trainer_name,
+            n_nodes=graph.n_nodes,
+        ) as span:
+            result = self.trainer(self.model, graph, split, **kwargs)
+            if span:
+                span.set(
+                    test_accuracy=result.test_accuracy,
+                    best_epoch=result.best_epoch,
+                    precompute_s=result.precompute_time,
+                    train_s=result.train_time,
+                )
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.gauge("training.test_accuracy").set(result.test_accuracy)
+            registry.gauge("training.precompute_s").set(result.precompute_time)
+            registry.gauge("training.train_s").set(result.train_time)
+        _LOG.info(
+            "%s/%s: test_acc=%.4f (precompute %.3fs, train %.3fs, "
+            "best epoch %d)",
+            type(self.model).__name__, trainer_name, result.test_accuracy,
+            result.precompute_time, result.train_time, result.best_epoch,
+        )
+        self.result = result
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        trainer_name = getattr(self.trainer, "__name__", type(self.trainer).__name__)
+        return (
+            f"TrainingPipeline(model={type(self.model).__name__}, "
+            f"trainer={trainer_name})"
+        )
+
+
 def precompute_stage_profile(
     graph: Graph,
     k_hops: int = 2,
@@ -108,6 +193,12 @@ def precompute_stage_profile(
     :func:`pipelined_makespan` as stage costs — with operator reuse the
     steady-state graph-side cost of a repeat run is the warm figure, which
     is why precompute-sharing systems pipeline so well.
+
+    With :mod:`repro.obs` enabled the same attribution now falls out of
+    any real run for free — the ``train.stage.precompute`` span and its
+    ``perf.propagate`` children time the actual training workload instead
+    of this synthetic double-run. Kept as a lightweight cost-model probe
+    for :func:`plan_execution`.
     """
     from repro.perf import DEFAULT_CHUNK_ROWS, OperatorCache, PropagationEngine
 

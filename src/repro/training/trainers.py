@@ -14,9 +14,11 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.datasets.synthetic import Split
 from repro.errors import ConfigError
 from repro.graph.core import Graph
+from repro.obs import OBS
 from repro.perf import get_default_cache
 from repro.tensor import functional as F
 from repro.tensor.autograd import no_grad
@@ -26,6 +28,8 @@ from repro.training.metrics import accuracy
 from repro.utils.rng import as_rng
 from repro.utils.timer import Timer
 from repro.utils.validation import check_int_range
+
+_LOG = obs.get_logger("repro.training.trainers")
 
 
 @dataclass
@@ -82,7 +86,13 @@ class EarlyStopping:
             self._bad_epochs = 0
         else:
             self._bad_epochs += 1
-        return self._bad_epochs >= self.patience
+        if self._bad_epochs >= self.patience:
+            _LOG.debug(
+                "early stop at epoch %d (best %.4f @ epoch %d)",
+                epoch, self.best_metric, self.best_epoch,
+            )
+            return True
+        return False
 
     def restore(self) -> None:
         if self._best_state is not None:
@@ -107,13 +117,32 @@ def _iterate_batches(ids: np.ndarray, batch_size: int, rng) -> list[np.ndarray]:
 
 def _timed_precompute(fn):
     """Run the one-time graph-side step, timing it and counting the shared
-    operator-cache traffic it generated."""
+    operator-cache traffic it generated. Emits a ``train.stage.precompute``
+    span (the propagation engine nests its per-hop kernels underneath)."""
     before = get_default_cache().stats
     timer = Timer()
-    with timer:
-        out = fn()
-    after = get_default_cache().stats
+    with obs.span("train.stage.precompute") as span:
+        with timer:
+            out = fn()
+        after = get_default_cache().stats
+        if span:
+            span.set(
+                seconds=timer.elapsed,
+                operator_hits=after.hits - before.hits,
+                operator_misses=after.misses - before.misses,
+            )
     return out, timer.elapsed, after.hits - before.hits, after.misses - before.misses
+
+
+def _record_epoch(span, loss: float, val_acc: float) -> None:
+    """Annotate one ``train.epoch`` span and publish per-epoch metrics."""
+    if not OBS.enabled:
+        return
+    span.set(loss=float(loss), val_acc=float(val_acc))
+    registry = OBS.registry
+    registry.counter("training.epochs").inc()
+    registry.gauge("training.epoch_loss").set(float(loss))
+    registry.gauge("training.val_accuracy").set(float(val_acc))
 
 
 # --------------------------------------------------------------------- #
@@ -145,17 +174,19 @@ def train_full_batch(
     train_timer = Timer()
     y = graph.y
     for epoch in range(epochs):
-        with train_timer:
-            model.train()
-            opt.zero_grad()
-            logits = model(prep, graph.x)
-            loss = F.cross_entropy(logits.gather_rows(split.train), y[split.train])
-            loss.backward()
-            opt.step()
-        model.eval()
-        with no_grad():
-            val_logits = model(prep, graph.x).data
-        val_acc = accuracy(_predict(val_logits[split.val]), y[split.val])
+        with obs.span("train.epoch", epoch=epoch) as ep:
+            with train_timer:
+                model.train()
+                opt.zero_grad()
+                logits = model(prep, graph.x)
+                loss = F.cross_entropy(logits.gather_rows(split.train), y[split.train])
+                loss.backward()
+                opt.step()
+            model.eval()
+            with no_grad():
+                val_logits = model(prep, graph.x).data
+            val_acc = accuracy(_predict(val_logits[split.val]), y[split.val])
+            _record_epoch(ep, loss.item(), val_acc)
         result.train_losses.append(loss.item())
         result.val_accuracies.append(val_acc)
         if stopper.update(val_acc, epoch):
@@ -202,19 +233,21 @@ def train_decoupled(
     val_rows = _slice_embeddings(emb, split.val)
     test_rows = _slice_embeddings(emb, split.test)
     for epoch in range(epochs):
-        with train_timer:
-            model.train()
-            epoch_loss = 0.0
-            for batch in _iterate_batches(split.train, batch_size, rng):
-                opt.zero_grad()
-                logits = model(_slice_embeddings(emb, batch))
-                loss = F.cross_entropy(logits, y[batch])
-                loss.backward()
-                opt.step()
-                epoch_loss += loss.item() * len(batch)
-        model.eval()
-        with no_grad():
-            val_acc = accuracy(_predict(model(val_rows).data), y[split.val])
+        with obs.span("train.epoch", epoch=epoch) as ep:
+            with train_timer:
+                model.train()
+                epoch_loss = 0.0
+                for batch in _iterate_batches(split.train, batch_size, rng):
+                    opt.zero_grad()
+                    logits = model(_slice_embeddings(emb, batch))
+                    loss = F.cross_entropy(logits, y[batch])
+                    loss.backward()
+                    opt.step()
+                    epoch_loss += loss.item() * len(batch)
+            model.eval()
+            with no_grad():
+                val_acc = accuracy(_predict(model(val_rows).data), y[split.val])
+            _record_epoch(ep, epoch_loss / len(split.train), val_acc)
         result.train_losses.append(epoch_loss / len(split.train))
         result.val_accuracies.append(val_acc)
         if stopper.update(val_acc, epoch):
@@ -259,22 +292,24 @@ def train_sampled(
     train_timer = Timer()
     y = graph.y
     for epoch in range(epochs):
-        with train_timer:
-            model.train()
-            epoch_loss = 0.0
-            for batch in _iterate_batches(split.train, batch_size, rng):
-                blocks = sampler.sample(batch)
-                x_src = graph.x[blocks[0].src_ids]
-                opt.zero_grad()
-                logits = model.forward_blocks(blocks, x_src)
-                loss = F.cross_entropy(logits, y[blocks[-1].dst_ids])
-                loss.backward()
-                opt.step()
-                epoch_loss += loss.item() * len(batch)
-        model.eval()
-        with no_grad():
-            full_logits = model.forward_full(full_op, graph.x).data
-        val_acc = accuracy(_predict(full_logits[split.val]), y[split.val])
+        with obs.span("train.epoch", epoch=epoch) as ep:
+            with train_timer:
+                model.train()
+                epoch_loss = 0.0
+                for batch in _iterate_batches(split.train, batch_size, rng):
+                    blocks = sampler.sample(batch)
+                    x_src = graph.x[blocks[0].src_ids]
+                    opt.zero_grad()
+                    logits = model.forward_blocks(blocks, x_src)
+                    loss = F.cross_entropy(logits, y[blocks[-1].dst_ids])
+                    loss.backward()
+                    opt.step()
+                    epoch_loss += loss.item() * len(batch)
+            model.eval()
+            with no_grad():
+                full_logits = model.forward_full(full_op, graph.x).data
+            val_acc = accuracy(_predict(full_logits[split.val]), y[split.val])
+            _record_epoch(ep, epoch_loss / len(split.train), val_acc)
         result.train_losses.append(epoch_loss / len(split.train))
         result.val_accuracies.append(val_acc)
         if stopper.update(val_acc, epoch):
@@ -327,29 +362,31 @@ def train_subgraph(
     train_mask = np.zeros(graph.n_nodes, dtype=bool)
     train_mask[split.train] = True
     for epoch in range(epochs):
-        with train_timer:
-            model.train()
-            epoch_loss, n_seen = 0.0, 0
-            for _ in range(batches_per_epoch):
-                nodes = np.asarray(batch_fn(rng), dtype=np.int64)
-                local_train = np.flatnonzero(train_mask[nodes])
-                if len(local_train) == 0:
-                    continue
-                sub = graph.subgraph(nodes)
-                sub_prep = model.prepare(sub)
-                opt.zero_grad()
-                logits = model(sub_prep, sub.x)
-                loss = F.cross_entropy(
-                    logits.gather_rows(local_train), y[nodes[local_train]]
-                )
-                loss.backward()
-                opt.step()
-                epoch_loss += loss.item() * len(local_train)
-                n_seen += len(local_train)
-        model.eval()
-        with no_grad():
-            full_logits = model(full_prep, graph.x).data
-        val_acc = accuracy(_predict(full_logits[split.val]), y[split.val])
+        with obs.span("train.epoch", epoch=epoch) as ep:
+            with train_timer:
+                model.train()
+                epoch_loss, n_seen = 0.0, 0
+                for _ in range(batches_per_epoch):
+                    nodes = np.asarray(batch_fn(rng), dtype=np.int64)
+                    local_train = np.flatnonzero(train_mask[nodes])
+                    if len(local_train) == 0:
+                        continue
+                    sub = graph.subgraph(nodes)
+                    sub_prep = model.prepare(sub)
+                    opt.zero_grad()
+                    logits = model(sub_prep, sub.x)
+                    loss = F.cross_entropy(
+                        logits.gather_rows(local_train), y[nodes[local_train]]
+                    )
+                    loss.backward()
+                    opt.step()
+                    epoch_loss += loss.item() * len(local_train)
+                    n_seen += len(local_train)
+            model.eval()
+            with no_grad():
+                full_logits = model(full_prep, graph.x).data
+            val_acc = accuracy(_predict(full_logits[split.val]), y[split.val])
+            _record_epoch(ep, epoch_loss / max(n_seen, 1), val_acc)
         result.train_losses.append(epoch_loss / max(n_seen, 1))
         result.val_accuracies.append(val_acc)
         if stopper.update(val_acc, epoch):
@@ -393,19 +430,21 @@ def train_pprgo(
     train_timer = Timer()
     y = graph.y
     for epoch in range(epochs):
-        with train_timer:
-            model.train()
-            epoch_loss = 0.0
-            for batch in _iterate_batches(split.train, batch_size, rng):
-                opt.zero_grad()
-                logits = model(batch)
-                loss = F.cross_entropy(logits, y[batch])
-                loss.backward()
-                opt.step()
-                epoch_loss += loss.item() * len(batch)
-        model.eval()
-        with no_grad():
-            val_acc = accuracy(_predict(model(split.val).data), y[split.val])
+        with obs.span("train.epoch", epoch=epoch) as ep:
+            with train_timer:
+                model.train()
+                epoch_loss = 0.0
+                for batch in _iterate_batches(split.train, batch_size, rng):
+                    opt.zero_grad()
+                    logits = model(batch)
+                    loss = F.cross_entropy(logits, y[batch])
+                    loss.backward()
+                    opt.step()
+                    epoch_loss += loss.item() * len(batch)
+            model.eval()
+            with no_grad():
+                val_acc = accuracy(_predict(model(split.val).data), y[split.val])
+            _record_epoch(ep, epoch_loss / len(split.train), val_acc)
         result.train_losses.append(epoch_loss / len(split.train))
         result.val_accuracies.append(val_acc)
         if stopper.update(val_acc, epoch):

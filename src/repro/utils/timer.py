@@ -176,6 +176,12 @@ class LatencyHistogram:
             "p99": self.p99,
         }
 
+    def snapshot(self) -> dict[str, float]:
+        """Alias of :meth:`summary` — the uniform
+        :class:`repro.obs.StatsSource` protocol (``snapshot``/``reset``)
+        shared with every cache in the library."""
+        return self.summary()
+
     def reset(self) -> None:
         self._counts = [0] * self._n_buckets
         self.count = 0

@@ -1,0 +1,559 @@
+"""repro.obs: tracing, metrics registry, stats protocol, logging, gating."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.errors import ConfigError
+from repro.obs import (
+    NULL_SPAN,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    StatsSource,
+    Tracer,
+    cache_stats_dict,
+    get_logger,
+    setup_logging,
+)
+from repro.perf import OperatorCache, PropagationEngine
+from repro.serving import BatchingQueue, EmbeddingStore, ServingEngine
+from repro.storage import FeatureStore
+from repro.utils.timer import LatencyHistogram
+
+
+class ManualClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture(autouse=True)
+def _isolate_obs():
+    """Restore the process-global observability state after each test."""
+    previous = (obs.OBS.enabled, obs.OBS.tracer, obs.OBS.registry)
+    yield
+    obs.configure(
+        enabled=previous[0], tracer=previous[1], registry=previous[2]
+    )
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+# --------------------------------------------------------------------- #
+# Tracing
+# --------------------------------------------------------------------- #
+
+
+class TestTracing:
+    def test_span_nesting_links_parent_and_child(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.active is inner
+            assert tracer.active is outer
+        assert inner.parent_id == outer.span_id
+        assert outer.children == [inner]
+        assert tracer.roots() == [outer]
+
+    def test_sibling_spans_keep_order(self, tracer):
+        with tracer.span("root"):
+            for name in ("a", "b", "c"):
+                with tracer.span(name):
+                    pass
+        (root,) = tracer.roots()
+        assert [c.name for c in root.children] == ["a", "b", "c"]
+
+    def test_durations_come_from_injected_clock(self, tracer, clock):
+        with tracer.span("outer"):
+            clock.advance(1.0)
+            with tracer.span("inner"):
+                clock.advance(0.25)
+        (outer,) = tracer.roots()
+        (inner,) = outer.children
+        assert outer.duration_s == pytest.approx(1.25)
+        assert inner.duration_s == pytest.approx(0.25)
+        assert inner.start_s >= outer.start_s
+
+    def test_set_merges_attributes_and_chains(self, tracer):
+        with tracer.span("s", n_nodes=10) as span:
+            assert span.set(nnz=40).set(nnz=41, hops=2) is span
+        assert span.attributes == {"n_nodes": 10, "nnz": 41, "hops": 2}
+
+    def test_exception_sets_error_attribute_and_propagates(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        (root,) = tracer.roots()
+        assert root.attributes["error"] == "ValueError"
+        assert root.finished
+
+    def test_finish_closes_forgotten_descendants(self, tracer, clock):
+        outer = tracer.span("outer")
+        tracer.span("forgotten")  # never exited
+        clock.advance(0.5)
+        tracer.finish(outer)
+        assert outer.finished
+        assert outer.children[0].finished
+        assert tracer.active is None
+
+    def test_max_roots_drops_oldest_fifo(self, clock):
+        tracer = Tracer(max_roots=2, clock=clock)
+        for i in range(5):
+            with tracer.span(f"r{i}"):
+                pass
+        assert [r.name for r in tracer.roots()] == ["r3", "r4"]
+        assert tracer.dropped == 3
+
+    def test_decorator_traces_calls(self, tracer):
+        @tracer.trace()
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert tracer.find("TestTracing.test_decorator_traces_calls.<locals>.work")
+
+    def test_find_and_walk_depth_first(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("kernel"):
+                pass
+            with tracer.span("kernel"):
+                pass
+        assert len(tracer.find("kernel")) == 2
+        assert [s.name for s in tracer.spans()] == ["root", "kernel", "kernel"]
+
+    def test_max_depth(self, tracer):
+        assert tracer.max_depth() == 0
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        assert tracer.max_depth() == 3
+
+    def test_json_round_trip_preserves_tree(self, tracer, clock):
+        with tracer.span("root", n_nodes=100):
+            clock.advance(0.5)
+            with tracer.span("child", nnz=7):
+                clock.advance(0.1)
+        text = tracer.export_json(indent=2)
+        roots = Tracer.import_json(text)
+        assert len(roots) == 1
+        (root,) = roots
+        assert root.name == "root"
+        assert root.attributes == {"n_nodes": 100}
+        assert root.duration_s == pytest.approx(0.6)
+        assert root.children[0].name == "child"
+        assert root.children[0].attributes == {"nnz": 7}
+        # and it is valid JSON all the way down
+        assert json.loads(text)[0]["children"][0]["name"] == "child"
+
+    def test_render_shows_tree_and_attributes(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("last", hops=3):
+                pass
+        text = tracer.render()
+        assert "root" in text
+        assert "|- first" in text
+        assert "`- last" in text
+        assert "hops=3" in text
+        # max_depth truncates
+        assert "first" not in tracer.render(max_depth=1)
+
+    def test_reset_clears_everything(self, tracer):
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.roots() == []
+        assert tracer.active is None
+        assert tracer.dropped == 0
+
+    def test_null_span_is_falsy_noop(self):
+        assert not NULL_SPAN
+        with NULL_SPAN as span:
+            assert span.set(anything=1) is span
+        # exceptions still propagate through it
+        with pytest.raises(RuntimeError):
+            with NULL_SPAN:
+                raise RuntimeError
+
+
+# --------------------------------------------------------------------- #
+# Metrics
+# --------------------------------------------------------------------- #
+
+
+class TestMetrics:
+    def test_counter_labels_are_independent_series(self):
+        c = Counter("requests")
+        c.inc()
+        c.inc(2, status="ok")
+        c.inc(status="shed")
+        assert c.value() == 1.0
+        assert c.value(status="ok") == 2.0
+        assert c.total == 4.0
+        assert c.snapshot() == {
+            "requests": 1.0,
+            "requests{status=ok}": 2.0,
+            "requests{status=shed}": 1.0,
+        }
+
+    def test_counter_rejects_negative_increments(self):
+        with pytest.raises(ConfigError):
+            Counter("c").inc(-1)
+
+    def test_gauge_set_and_add(self):
+        g = Gauge("loss")
+        g.set(2.0)
+        g.add(-0.5)
+        g.set(7.0, model="sgc")
+        assert g.value() == 1.5
+        assert g.snapshot() == {"loss": 1.5, "loss{model=sgc}": 7.0}
+
+    def test_histogram_percentiles_and_count(self):
+        h = Histogram("lat")
+        for v in (0.001, 0.002, 0.004, 0.008):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.percentile(0.5) <= h.percentile(0.99)
+        snap = h.snapshot()
+        assert snap["lat.count"] == 4
+        assert set(k.rsplit(".", 1)[1] for k in snap) == {
+            "count", "mean", "p50", "p95", "p99", "max",
+        }
+
+    def test_histogram_merge_matches_single_latency_histogram(self):
+        h1, h2 = Histogram("l"), Histogram("l")
+        reference = LatencyHistogram(h1.min_value, h1.max_value,
+                                     h1.buckets_per_decade)
+        rng = np.random.default_rng(0)
+        for i, v in enumerate(rng.uniform(1e-4, 1e-1, size=200)):
+            (h1 if i % 2 else h2).observe(v)
+            reference.record(v)
+        h1.merge(h2)
+        assert h1.count() == 200
+        for q in (0.5, 0.95, 0.99):
+            assert h1.percentile(q) == pytest.approx(reference.percentile(q))
+
+    def test_registry_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+        assert "a" in reg
+
+    def test_registry_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigError):
+            reg.gauge("x")
+
+    def test_registry_snapshot_flattens_instruments_and_sources(self):
+        reg = MetricsRegistry()
+        reg.counter("served").inc(3)
+        hist = LatencyHistogram()
+        hist.record(0.01)
+        reg.register_source("latency", hist)
+        snap = reg.snapshot()
+        assert snap["served"] == 3.0
+        assert snap["latency.count"] == 1
+        assert "latency.p95" in snap
+
+    def test_registry_holds_sources_weakly(self):
+        reg = MetricsRegistry()
+        store = FeatureStore(4)
+        reg.register_source("store", store)
+        assert "store" in reg.sources()
+        del store
+        assert "store" not in reg.sources()
+        assert not any(k.startswith("store.") for k in reg.snapshot())
+
+    def test_registry_provider_callable_resolved_at_snapshot(self):
+        reg = MetricsRegistry()
+        current = {"v": FeatureStore(4)}
+        reg.register_source("fs", lambda: current["v"])
+        current["v"].put("ns", 1, "x")
+        current["v"].get("ns", 1)
+        assert reg.snapshot()["fs.hits"] == 1
+        current["v"] = FeatureStore(4)  # swap: next snapshot sees the new one
+        assert reg.snapshot()["fs.hits"] == 0
+
+    def test_registry_rejects_sources_without_snapshot(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().register_source("bad", object())
+
+    def test_registry_reset_spares_sources_by_default(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        hist = LatencyHistogram()
+        hist.record(0.5)
+        reg.register_source("h", hist)
+        reg.reset()
+        assert reg.snapshot()["h.count"] == 1
+        assert "c" not in reg.snapshot()
+        reg.reset(include_sources=True)
+        assert reg.snapshot()["h.count"] == 0
+
+
+# --------------------------------------------------------------------- #
+# StatsSource protocol
+# --------------------------------------------------------------------- #
+
+
+class TestStatsProtocol:
+    def test_library_components_satisfy_stats_source(self):
+        for source in (
+            OperatorCache(),
+            PropagationEngine(cache=OperatorCache()),
+            FeatureStore(4),
+            EmbeddingStore(capacity=4),
+            BatchingQueue(),
+            LatencyHistogram(),
+        ):
+            assert isinstance(source, StatsSource), type(source).__name__
+
+    def test_cache_stats_dict_keys_are_uniform(self, triangle):
+        cache = OperatorCache()
+        cache.propagation(triangle, scheme="gcn")
+        expected = {"hits", "misses", "evictions", "accesses", "hit_rate"}
+        assert expected <= set(cache_stats_dict(cache.stats))
+        assert expected <= set(cache.snapshot())
+        assert expected <= set(FeatureStore(4).snapshot())
+
+    def test_operator_cache_reset_keeps_entries_warm(self, triangle):
+        cache = OperatorCache()
+        cache.propagation(triangle, scheme="gcn")
+        cache.reset()
+        assert cache.snapshot()["accesses"] == 0
+        cache.propagation(triangle, scheme="gcn")
+        assert cache.snapshot()["hits"] == 1  # still cached after reset
+        cache.clear()
+        cache.propagation(triangle, scheme="gcn")
+        assert cache.snapshot()["misses"] == 1  # clear() is destructive
+
+    def test_feature_store_reset_keeps_rows(self):
+        store = FeatureStore(4)
+        store.put("ns", 1, "payload")
+        store.get("ns", 1)
+        store.reset()
+        snap = store.snapshot()
+        assert snap["accesses"] == 0 and snap["size"] == 1
+        assert store.get("ns", 1) == "payload"
+
+
+# --------------------------------------------------------------------- #
+# Global gating API
+# --------------------------------------------------------------------- #
+
+
+class TestGlobalApi:
+    def test_configure_returns_previous_enabled(self):
+        obs.configure(enabled=False)
+        assert obs.configure(enabled=True) is False
+        assert obs.configure(enabled=False) is True
+        assert not obs.enabled()
+
+    def test_configure_rejects_wrong_types(self):
+        with pytest.raises(TypeError):
+            obs.configure(tracer="not a tracer")
+        with pytest.raises(TypeError):
+            obs.configure(registry="not a registry")
+
+    def test_span_returns_null_span_when_disabled(self):
+        obs.configure(enabled=False, tracer=Tracer())
+        assert obs.span("anything") is NULL_SPAN
+        assert len(obs.get_tracer()) == 0
+
+    def test_span_records_when_enabled(self):
+        obs.configure(enabled=True, tracer=Tracer())
+        with obs.span("stage", rows=5) as span:
+            assert isinstance(span, Span)
+        assert obs.get_tracer().find("stage")
+
+    def test_trace_decorator_bare_and_named(self):
+        obs.configure(enabled=True, tracer=Tracer())
+
+        @obs.trace
+        def bare():
+            return 1
+
+        @obs.trace("custom.name", kind="gcn")
+        def named():
+            return 2
+
+        assert bare() == 1 and named() == 2
+        tracer = obs.get_tracer()
+        assert tracer.find("custom.name")[0].attributes == {"kind": "gcn"}
+        assert any("bare" in s.name for s in tracer.spans())
+
+    def test_trace_decorator_noop_when_disabled(self):
+        obs.configure(enabled=False, tracer=Tracer())
+
+        @obs.trace
+        def fn():
+            return 42
+
+        assert fn() == 42
+        assert len(obs.get_tracer()) == 0
+
+    def test_default_sources_appear_in_global_snapshot(self):
+        obs.configure(enabled=True, registry=MetricsRegistry())
+        snap = obs.get_registry().snapshot()
+        assert "perf.operator_cache.hit_rate" in snap
+        assert "perf.propagation.hit_rate" in snap
+
+    def test_obs_reset_clears_tracer_and_instruments(self):
+        obs.configure(enabled=True, tracer=Tracer(),
+                      registry=MetricsRegistry())
+        with obs.span("x"):
+            pass
+        obs.get_registry().counter("c").inc()
+        obs.reset()
+        assert len(obs.get_tracer()) == 0
+        assert "c" not in obs.get_registry().snapshot()
+
+
+# --------------------------------------------------------------------- #
+# Logging
+# --------------------------------------------------------------------- #
+
+
+class TestLogging:
+    def test_get_logger_prefixes_into_hierarchy(self):
+        assert get_logger().name == "repro"
+        assert get_logger("serving").name == "repro.serving"
+        assert get_logger("repro.serving").name == "repro.serving"
+
+    def test_setup_logging_is_idempotent(self):
+        root = setup_logging(level="DEBUG")
+        n_before = len(root.handlers)
+        setup_logging(level=logging.WARNING)
+        assert len(root.handlers) == n_before
+        assert root.level == logging.WARNING
+
+    def test_setup_logging_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            setup_logging(level="NOT_A_LEVEL")
+
+    def test_library_logs_flow_through_hierarchy(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro"):
+            get_logger("obs.test").info("hello %d", 7)
+        assert any(
+            r.name == "repro.obs.test" and "hello 7" in r.message
+            for r in caplog.records
+        )
+
+
+# --------------------------------------------------------------------- #
+# End-to-end instrumentation
+# --------------------------------------------------------------------- #
+
+
+class TestEndToEnd:
+    def test_training_pipeline_produces_nested_trace(self, csbm_dataset):
+        from repro.models import SGC
+        from repro.training import TrainingPipeline
+
+        graph, split = csbm_dataset
+        obs.configure(enabled=True, tracer=Tracer(),
+                      registry=MetricsRegistry())
+        model = SGC(graph.x.shape[1], int(graph.y.max()) + 1, k_hops=2,
+                    seed=0)
+        result = TrainingPipeline(model, epochs=3, seed=1).run(graph, split)
+        tracer = obs.get_tracer()
+
+        (root,) = tracer.find("pipeline.run")
+        assert root.attributes["model"] == "SGC"
+        assert tracer.max_depth() >= 3
+        assert tracer.find("train.stage.precompute")
+        assert len(tracer.find("train.epoch")) == 3
+        epoch = tracer.find("train.epoch")[0]
+        assert {"epoch", "loss", "val_acc"} <= set(epoch.attributes)
+
+        snap = obs.get_registry().snapshot()
+        assert snap
+        assert "perf.operator_cache.hit_rate" in snap
+        assert snap["training.epochs"] == 3.0
+        assert snap["training.test_accuracy"] == result.test_accuracy
+
+    def test_serving_request_produces_nested_trace(self, csbm_dataset):
+        from repro.models import SGC
+        from repro.training import train_decoupled
+
+        graph, split = csbm_dataset
+        obs.configure(enabled=False)
+        model = SGC(graph.x.shape[1], int(graph.y.max()) + 1, k_hops=2,
+                    seed=0)
+        train_decoupled(model, graph, split, epochs=2, seed=1)
+
+        obs.configure(enabled=True, tracer=Tracer(),
+                      registry=MetricsRegistry())
+        engine = ServingEngine(
+            queue=BatchingQueue(max_batch=8, max_wait_s=10.0),
+            store=EmbeddingStore(capacity=64),
+        )
+        engine.register("sgc", model, graph)
+        engine.predict_many([1, 2, 3], model="sgc")
+        engine.predict_many([1, 2, 3], model="sgc")  # store hits
+
+        tracer = obs.get_tracer()
+        assert tracer.max_depth() >= 3  # predict_many -> batch -> request
+        requests = tracer.find("serving.request")
+        assert len(requests) == 6
+        batched = [r for r in requests if not r.attributes["store_hit"]]
+        cached = [r for r in requests if r.attributes["store_hit"]]
+        assert len(batched) == 3 and len(cached) == 3
+        assert {"queue_wait_s", "batch_size", "hops_used"} <= set(
+            batched[0].attributes
+        )
+        assert tracer.find("serving.gather") and tracer.find("serving.infer")
+
+        snap = obs.get_registry().snapshot()
+        assert snap["serving.store.hit_rate"] == 0.5
+        assert snap["serving.requests{source=batch,status=ok}"] == 3.0
+        assert snap["serving.requests{source=store,status=ok}"] == 3.0
+        assert snap["serving.engine.served"] == 6
+
+    def test_propagation_kernels_traced_per_hop(self, csbm_dataset):
+        graph, _ = csbm_dataset
+        obs.configure(enabled=True, tracer=Tracer())
+        engine = PropagationEngine(cache=OperatorCache())
+        engine.propagate(graph, graph.x, 3)
+        tracer = obs.get_tracer()
+        (prop,) = tracer.find("perf.propagate")
+        hops = tracer.find("perf.spmm")
+        assert [h.attributes["hop"] for h in hops] == [1, 2, 3]
+        assert prop.attributes["stack_bytes"] > 0
+        assert all(h.parent_id == prop.span_id for h in hops)
+
+    def test_disabled_mode_records_nothing_anywhere(self, csbm_dataset):
+        graph, split = csbm_dataset
+        obs.configure(enabled=False, tracer=Tracer())
+        engine = PropagationEngine(cache=OperatorCache())
+        engine.propagate(graph, graph.x, 2)
+        from repro.models import SGC
+        from repro.training import TrainingPipeline
+
+        model = SGC(graph.x.shape[1], int(graph.y.max()) + 1, k_hops=2,
+                    seed=0)
+        TrainingPipeline(model, epochs=2, seed=1).run(graph, split)
+        assert len(obs.get_tracer()) == 0
