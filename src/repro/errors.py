@@ -39,3 +39,12 @@ class ServingError(ReproError):
 
 class LoadSheddingError(ServingError):
     """A request was rejected by admission control (the queue is full)."""
+
+
+class ServingTimeoutError(ServingError):
+    """A request's per-call deadline elapsed before a response arrived.
+
+    Raised by :meth:`repro.serving.runtime.ServingRuntime.predict` (and by
+    resolving an async future past its timeout); the request may still
+    complete in the background — the timeout bounds the caller's wait,
+    not the work."""

@@ -20,6 +20,7 @@ operator cache/propagation engine stay current even when swapped.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Any, Callable
 
@@ -39,7 +40,12 @@ def _flat_name(name: str, key: tuple[tuple[str, str], ...]) -> str:
 
 
 class _Instrument:
-    """Shared naming/label plumbing for the three instrument kinds."""
+    """Shared naming/label plumbing for the three instrument kinds.
+
+    Every instrument carries its own lock: label-series updates are
+    read-modify-write on a plain dict, so concurrent ``inc``/``observe``
+    calls from serving workers would otherwise lose counts.
+    """
 
     kind = "instrument"
 
@@ -48,6 +54,7 @@ class _Instrument:
             raise ConfigError(f"instrument name must be a non-empty str, got {name!r}")
         self.name = name
         self.description = description
+        self._lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.name!r})"
@@ -66,7 +73,8 @@ class Counter(_Instrument):
         if amount < 0:
             raise ConfigError(f"counters only go up; got inc({amount})")
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0.0)
@@ -74,13 +82,16 @@ class Counter(_Instrument):
     @property
     def total(self) -> float:
         """Sum across every label series."""
-        return sum(self._values.values())
+        with self._lock:
+            return sum(self._values.values())
 
     def snapshot(self) -> dict[str, float]:
-        return {_flat_name(self.name, k): v for k, v in self._values.items()}
+        with self._lock:
+            return {_flat_name(self.name, k): v for k, v in self._values.items()}
 
     def reset(self) -> None:
-        self._values.clear()
+        with self._lock:
+            self._values.clear()
 
 
 class Gauge(_Instrument):
@@ -93,20 +104,24 @@ class Gauge(_Instrument):
         self._values: dict[tuple, float] = {}
 
     def set(self, value: float, **labels: Any) -> None:
-        self._values[_label_key(labels)] = float(value)
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
 
     def add(self, amount: float, **labels: Any) -> None:
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + float(amount)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + float(amount)
 
     def value(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0.0)
 
     def snapshot(self) -> dict[str, float]:
-        return {_flat_name(self.name, k): v for k, v in self._values.items()}
+        with self._lock:
+            return {_flat_name(self.name, k): v for k, v in self._values.items()}
 
     def reset(self) -> None:
-        self._values.clear()
+        with self._lock:
+            self._values.clear()
 
 
 class Histogram(_Instrument):
@@ -135,37 +150,62 @@ class Histogram(_Instrument):
         self._series: dict[tuple, LatencyHistogram] = {}
 
     def _hist(self, key: tuple) -> LatencyHistogram:
-        hist = self._series.get(key)
-        if hist is None:
-            hist = LatencyHistogram(
-                self.min_value, self.max_value, self.buckets_per_decade
-            )
-            self._series[key] = hist
-        return hist
+        """Get-or-create the series for ``key`` — write paths only.
+
+        Reads (:meth:`percentile`, :meth:`count`, :meth:`series`) must
+        never allocate: a typo'd label set would otherwise leave a
+        permanent empty series polluting every later :meth:`snapshot`.
+        """
+        with self._lock:
+            hist = self._series.get(key)
+            if hist is None:
+                hist = LatencyHistogram(
+                    self.min_value, self.max_value, self.buckets_per_decade,
+                    threadsafe=True,
+                )
+                self._series[key] = hist
+            return hist
 
     def observe(self, value: float, **labels: Any) -> None:
         self._hist(_label_key(labels)).record(float(value))
 
     def percentile(self, q: float, **labels: Any) -> float:
-        return self._hist(_label_key(labels)).percentile(q)
+        """The series percentile; 0.0 for a label set never observed
+        (no empty series is allocated — mirror of :meth:`count`)."""
+        hist = self._series.get(_label_key(labels))
+        return 0.0 if hist is None else hist.percentile(q)
 
     def count(self, **labels: Any) -> int:
         hist = self._series.get(_label_key(labels))
         return 0 if hist is None else hist.count
 
     def series(self, **labels: Any) -> LatencyHistogram:
-        """The backing histogram for one label set (created on demand)."""
-        return self._hist(_label_key(labels))
+        """The backing histogram for one observed label set.
+
+        Raises :class:`KeyError` for a label set with no observations
+        rather than allocating an empty series on a read.
+        """
+        key = _label_key(labels)
+        hist = self._series.get(key)
+        if hist is None:
+            raise KeyError(
+                f"histogram {self.name!r} has no series {_flat_name(self.name, key)!r}"
+            )
+        return hist
 
     def merge(self, other: "Histogram") -> "Histogram":
         """Fold every series of ``other`` into this instrument (exact)."""
-        for key, hist in other._series.items():
+        with other._lock:
+            pairs = list(other._series.items())
+        for key, hist in pairs:
             self._hist(key).merge(hist)
         return self
 
     def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            pairs = list(self._series.items())
         out: dict[str, float] = {}
-        for key, hist in self._series.items():
+        for key, hist in pairs:
             base = _flat_name(self.name, key)
             summary = hist.summary()
             for stat in ("count", "mean", "p50", "p95", "p99", "max"):
@@ -173,7 +213,8 @@ class Histogram(_Instrument):
         return out
 
     def reset(self) -> None:
-        self._series.clear()
+        with self._lock:
+            self._series.clear()
 
 
 class MetricsRegistry:
@@ -187,6 +228,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._instruments: dict[str, _Instrument] = {}
         # prefix -> weakref to a source, or a zero-arg provider callable.
         self._sources: dict[str, Any] = {}
@@ -196,17 +238,18 @@ class MetricsRegistry:
     # ------------------------------------------------------------------ #
 
     def _get_or_create(self, cls, name: str, description: str, **kwargs):
-        existing = self._instruments.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ConfigError(
-                    f"metric {name!r} already registered as {existing.kind}, "
-                    f"not {cls.kind}"
-                )
-            return existing
-        instrument = cls(name, description, **kwargs)
-        self._instruments[name] = instrument
-        return instrument
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ConfigError(
+                        f"metric {name!r} already registered as {existing.kind}, "
+                        f"not {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, description, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
 
     def counter(self, name: str, description: str = "") -> Counter:
         return self._get_or_create(Counter, name, description)
@@ -229,7 +272,8 @@ class MetricsRegistry:
         )
 
     def instruments(self) -> list[_Instrument]:
-        return list(self._instruments.values())
+        with self._lock:
+            return list(self._instruments.values())
 
     # ------------------------------------------------------------------ #
     # Stats sources
@@ -245,7 +289,8 @@ class MetricsRegistry:
         if not prefix or not isinstance(prefix, str):
             raise ConfigError(f"source prefix must be a non-empty str, got {prefix!r}")
         if callable(source) and not hasattr(source, "snapshot"):
-            self._sources[prefix] = source
+            with self._lock:
+                self._sources[prefix] = source
             return
         if not hasattr(source, "snapshot"):
             raise ConfigError(
@@ -253,12 +298,15 @@ class MetricsRegistry:
                 f"(see repro.obs.StatsSource)"
             )
         try:
-            self._sources[prefix] = weakref.ref(source)
+            entry = weakref.ref(source)
         except TypeError:  # not weakref-able: hold strongly
-            self._sources[prefix] = source
+            entry = source
+        with self._lock:
+            self._sources[prefix] = entry
 
     def unregister_source(self, prefix: str) -> None:
-        self._sources.pop(prefix, None)
+        with self._lock:
+            self._sources.pop(prefix, None)
 
     def _resolve_source(self, entry):
         if isinstance(entry, weakref.ref):
@@ -269,8 +317,10 @@ class MetricsRegistry:
 
     def sources(self) -> dict[str, Any]:
         """Currently resolvable sources by prefix (dead refs skipped)."""
+        with self._lock:
+            entries = list(self._sources.items())
         out = {}
-        for prefix, entry in self._sources.items():
+        for prefix, entry in entries:
             source = self._resolve_source(entry)
             if source is not None:
                 out[prefix] = source
@@ -288,7 +338,7 @@ class MetricsRegistry:
         ``json.dumps``.
         """
         out: dict[str, float] = {}
-        for instrument in self._instruments.values():
+        for instrument in self.instruments():
             out.update(instrument.snapshot())
         for prefix, source in self.sources().items():
             for key, value in source.snapshot().items():
@@ -297,7 +347,7 @@ class MetricsRegistry:
 
     def reset(self, include_sources: bool = False) -> None:
         """Zero every instrument; optionally reset the live sources too."""
-        for instrument in self._instruments.values():
+        for instrument in self.instruments():
             instrument.reset()
         if include_sources:
             for source in self.sources().values():

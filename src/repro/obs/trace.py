@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import functools
 import json
+import threading
 import time
 from typing import Any, Callable, Iterator
 
@@ -159,6 +160,12 @@ def _format_duration(seconds: float) -> str:
 class Tracer:
     """Span factory + collector with a bounded list of finished roots.
 
+    The active span stack is *per-thread* (``threading.local``): each
+    serving worker nests its own spans without seeing another worker's
+    parents, so concurrent requests produce independent root trees. The
+    finished-roots list and the id counter are shared across threads and
+    guarded by a lock.
+
     Parameters
     ----------
     max_roots:
@@ -178,46 +185,59 @@ class Tracer:
             raise ValueError(f"max_roots must be >= 1, got {max_roots}")
         self.max_roots = int(max_roots)
         self._clock = clock
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._roots: list[Span] = []
         self._next_id = 0
         self.dropped = 0
+
+    def _thread_stack(self) -> list[Span]:
+        """This thread's active span stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------ #
     # Span lifecycle
     # ------------------------------------------------------------------ #
 
     def span(self, name: str, **attributes: Any) -> Span:
-        """Open a span as a child of the currently active span."""
-        parent = self._stack[-1] if self._stack else None
+        """Open a span as a child of this thread's active span."""
+        stack = self._thread_stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
         span = Span(
             name,
-            self._next_id,
+            span_id,
             None if parent is None else parent.span_id,
             self._clock(),
             attributes=attributes,
             tracer=self,
         )
-        self._next_id += 1
         if parent is not None:
             parent.children.append(span)
-        self._stack.append(span)
+        stack.append(span)
         return span
 
     def finish(self, span: Span) -> None:
         """Close ``span`` (and any forgotten deeper spans still open)."""
         now = self._clock()
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._thread_stack()
+        while stack:
+            top = stack.pop()
             if top.end_s is None:
                 top.end_s = now
             if top is span:
                 break
         if span.parent_id is None:
-            self._roots.append(span)
-            if len(self._roots) > self.max_roots:
-                del self._roots[0]
-                self.dropped += 1
+            with self._lock:
+                self._roots.append(span)
+                if len(self._roots) > self.max_roots:
+                    del self._roots[0]
+                    self.dropped += 1
 
     def trace(self, name: str | None = None, **attributes: Any):
         """Decorator tracing every call of the wrapped function."""
@@ -240,16 +260,18 @@ class Tracer:
 
     @property
     def active(self) -> Span | None:
-        """The innermost currently open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The innermost span open *on the calling thread*, if any."""
+        stack = self._thread_stack()
+        return stack[-1] if stack else None
 
     def roots(self) -> list[Span]:
         """Finished root spans, oldest first."""
-        return list(self._roots)
+        with self._lock:
+            return list(self._roots)
 
     def spans(self) -> Iterator[Span]:
         """Every finished span, depth-first across roots."""
-        for root in self._roots:
+        for root in self.roots():
             yield from root.walk()
 
     def find(self, name: str) -> list[Span]:
@@ -262,21 +284,25 @@ class Tracer:
         def depth(span: Span) -> int:
             return 1 + max((depth(c) for c in span.children), default=0)
 
-        return max((depth(r) for r in self._roots), default=0)
+        return max((depth(r) for r in self.roots()), default=0)
 
     def reset(self) -> None:
-        """Drop finished roots, abandon open spans, zero the counters."""
-        self._stack.clear()
-        self._roots.clear()
-        self._next_id = 0
-        self.dropped = 0
+        """Drop finished roots, abandon the calling thread's open spans,
+        zero the counters. Spans open on *other* threads stay open —
+        their stacks are thread-local and unreachable from here; they
+        will finish into the (now empty) roots list as usual."""
+        self._thread_stack().clear()
+        with self._lock:
+            self._roots.clear()
+            self._next_id = 0
+            self.dropped = 0
 
     # ------------------------------------------------------------------ #
     # Export / render
     # ------------------------------------------------------------------ #
 
     def to_dicts(self) -> list[dict[str, Any]]:
-        return [root.to_dict() for root in self._roots]
+        return [root.to_dict() for root in self.roots()]
 
     def export_json(self, indent: int | None = None) -> str:
         """Finished roots as a JSON array of nested span dicts."""
@@ -313,7 +339,7 @@ class Tracer:
             for i, child in enumerate(span.children):
                 emit(child, child_prefix, i == len(span.children) - 1, depth + 1)
 
-        for root in self._roots:
+        for root in self.roots():
             emit(root, "", True, 1)
         return "\n".join(lines)
 
@@ -323,5 +349,5 @@ class Tracer:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Tracer(roots={len(self._roots)}/{self.max_roots}, "
-            f"open={len(self._stack)}, dropped={self.dropped})"
+            f"open={len(self._thread_stack())}, dropped={self.dropped})"
         )

@@ -29,6 +29,7 @@ from repro.graph import ops as graph_ops
 from repro.graph.core import Graph
 from repro.obs import OBS, get_logger
 from repro.storage.feature_cache import CacheStats
+from repro.utils.concurrency import NULL_LOCK, make_lock
 from repro.utils.validation import check_int_range
 
 _LOG = get_logger("repro.perf.operator_cache")
@@ -55,12 +56,17 @@ class OperatorCache:
     max_entries:
         Maximum number of cached operators; least-recently-used entries
         are evicted beyond this bound.
+    threadsafe:
+        Guard lookups/evictions with a reentrant lock (default) so
+        concurrent serving workers share one cache without torn LRU
+        state. Pass ``False`` for a lock-free single-threaded cache.
     """
 
-    def __init__(self, max_entries: int = 64) -> None:
+    def __init__(self, max_entries: int = 64, threadsafe: bool = True) -> None:
         check_int_range("max_entries", max_entries, 1)
         self.max_entries = max_entries
         self._store: OrderedDict[tuple, sp.csr_matrix] = OrderedDict()
+        self._lock = make_lock(threadsafe)
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -70,6 +76,18 @@ class OperatorCache:
     # ------------------------------------------------------------------ #
 
     def _lookup(self, key: tuple, builder: Callable[[], sp.spmatrix]) -> sp.csr_matrix:
+        if self._lock is None:
+            return self._lookup_impl(key, builder)
+        with self._lock:
+            # The build runs under the (reentrant) lock: concurrent
+            # requests for the same operator would otherwise build it
+            # twice, and builds are registration-time events, not
+            # per-request hot-path work.
+            return self._lookup_impl(key, builder)
+
+    def _lookup_impl(
+        self, key: tuple, builder: Callable[[], sp.spmatrix]
+    ) -> sp.csr_matrix:
         cached = self._store.get(key)
         if cached is not None:
             self._hits += 1
@@ -145,38 +163,48 @@ class OperatorCache:
     @property
     def stats(self) -> CacheStats:
         """Hit/miss/eviction accounting since construction (or clear)."""
-        return CacheStats(self._hits, self._misses, self._evictions)
+        with self._lock or NULL_LOCK:
+            return CacheStats(self._hits, self._misses, self._evictions)
 
     @property
     def nbytes(self) -> int:
         """Total bytes held by cached operator buffers."""
-        return sum(
-            m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
-            for m in self._store.values()
-        )
+        with self._lock or NULL_LOCK:
+            return sum(
+                m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+                for m in self._store.values()
+            )
 
     def snapshot(self) -> dict[str, float]:
         """Flat counter/rate dict (:class:`repro.obs.StatsSource`)."""
-        s = self.stats
+        with self._lock or NULL_LOCK:
+            s = CacheStats(self._hits, self._misses, self._evictions)
+            entries = len(self._store)
+            nbytes = sum(
+                m.data.nbytes + m.indices.nbytes + m.indptr.nbytes
+                for m in self._store.values()
+            )
         return {
             "hits": s.hits,
             "misses": s.misses,
             "evictions": s.evictions,
             "accesses": s.accesses,
             "hit_rate": s.hit_rate,
-            "entries": len(self._store),
-            "nbytes": self.nbytes,
+            "entries": entries,
+            "nbytes": nbytes,
         }
 
     def reset(self) -> None:
         """Zero the counters; cached operators stay resident
         (:meth:`clear` is the destructive variant)."""
-        self._hits = self._misses = self._evictions = 0
+        with self._lock or NULL_LOCK:
+            self._hits = self._misses = self._evictions = 0
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
-        self._store.clear()
-        self.reset()
+        with self._lock or NULL_LOCK:
+            self._store.clear()
+            self._hits = self._misses = self._evictions = 0
 
     def __len__(self) -> int:
         return len(self._store)

@@ -31,6 +31,7 @@ from repro.obs import OBS
 from repro.perf.fingerprint import array_fingerprint
 from repro.perf.operator_cache import OperatorCache, get_default_cache
 from repro.storage.feature_cache import CacheStats
+from repro.utils.concurrency import NULL_LOCK, make_lock
 from repro.utils.validation import check_int_range
 
 DEFAULT_CHUNK_ROWS = 16384
@@ -92,6 +93,12 @@ class PropagationEngine:
     max_stacks:
         LRU bound on memoized hop stacks (each stack holds ``K+1`` dense
         ``(n, d)`` arrays, so this is the dominant memory knob).
+    threadsafe:
+        Serialize memoized propagation under a reentrant lock (default).
+        Stack construction is a registration-time event, not per-request
+        work, so serializing concurrent builders is the correct trade —
+        two threads racing the same key would otherwise both pay the
+        full K-hop SpMM and tear the LRU bookkeeping.
     """
 
     def __init__(
@@ -99,12 +106,14 @@ class PropagationEngine:
         cache: OperatorCache | None = None,
         chunk_rows: int = DEFAULT_CHUNK_ROWS,
         max_stacks: int = 8,
+        threadsafe: bool = True,
     ) -> None:
         check_int_range("chunk_rows", chunk_rows, 1)
         check_int_range("max_stacks", max_stacks, 1)
         self._cache = cache
         self.chunk_rows = chunk_rows
         self.max_stacks = max_stacks
+        self._lock = make_lock(threadsafe)
         self._stacks: OrderedDict[tuple, list[np.ndarray]] = OrderedDict()
         self._feature_hashes: OrderedDict[int, tuple[np.ndarray, str]] = OrderedDict()
         self._hits = 0
@@ -229,6 +238,20 @@ class PropagationEngine:
                         chunked_spmm(operator, stack[-1], self.chunk_rows)
                     )
             return stack
+        # Memoized path: the whole lookup-or-build runs under the lock
+        # (see the ``threadsafe`` parameter note) so concurrent callers
+        # never duplicate a build or tear the LRU order.
+        with self._lock or NULL_LOCK:
+            return self._propagate_memoized(graph, features, k, kind, alpha)
+
+    def _propagate_memoized(
+        self,
+        graph: Graph,
+        features: np.ndarray,
+        k: int,
+        kind: str,
+        alpha: float | None,
+    ) -> list[np.ndarray]:
         key = (
             graph.fingerprint,
             self._feature_fingerprint(features),
@@ -294,36 +317,47 @@ class PropagationEngine:
     @property
     def stats(self) -> CacheStats:
         """Stack-cache hit/miss/eviction accounting."""
-        return CacheStats(self._hits, self._misses, self._evictions)
+        with self._lock or NULL_LOCK:
+            return CacheStats(self._hits, self._misses, self._evictions)
 
     @property
     def nbytes(self) -> int:
         """Total bytes held by memoized hop stacks."""
-        return sum(arr.nbytes for stack in self._stacks.values() for arr in stack)
+        with self._lock or NULL_LOCK:
+            return sum(
+                arr.nbytes for stack in self._stacks.values() for arr in stack
+            )
 
     def snapshot(self) -> dict[str, float]:
         """Flat counter/rate dict (:class:`repro.obs.StatsSource`)."""
-        s = self.stats
+        with self._lock or NULL_LOCK:
+            s = CacheStats(self._hits, self._misses, self._evictions)
+            stacks = len(self._stacks)
+            nbytes = sum(
+                arr.nbytes for stack in self._stacks.values() for arr in stack
+            )
         return {
             "hits": s.hits,
             "misses": s.misses,
             "evictions": s.evictions,
             "accesses": s.accesses,
             "hit_rate": s.hit_rate,
-            "stacks": len(self._stacks),
-            "nbytes": self.nbytes,
+            "stacks": stacks,
+            "nbytes": nbytes,
         }
 
     def reset(self) -> None:
         """Zero the counters; memoized stacks stay resident
         (:meth:`clear` is the destructive variant)."""
-        self._hits = self._misses = self._evictions = 0
+        with self._lock or NULL_LOCK:
+            self._hits = self._misses = self._evictions = 0
 
     def clear(self) -> None:
         """Drop every memoized stack and reset the counters."""
-        self._stacks.clear()
-        self._feature_hashes.clear()
-        self.reset()
+        with self._lock or NULL_LOCK:
+            self._stacks.clear()
+            self._feature_hashes.clear()
+            self._hits = self._misses = self._evictions = 0
 
     def __len__(self) -> int:
         return len(self._stacks)

@@ -9,7 +9,10 @@ load-shedding admission control), reuse answered predictions
 early on confident nodes (NAI), and absorb streaming edge insertions by
 recomputing only the dirty K-hop rows (:mod:`repro.serving.invalidation`).
 :class:`ServingEngine` wires the pieces into one facade with per-request
-p50/p95/p99 latency accounting.
+p50/p95/p99 latency accounting, and :class:`ServingRuntime` runs that
+facade concurrently — a batcher thread draining the queue into a worker
+pool, with futures-based submission, per-request timeouts, and bounded
+retry.
 """
 
 from repro.serving.batching import BatchingQueue, PredictRequest
@@ -20,10 +23,12 @@ from repro.serving.invalidation import (
     patch_stack,
 )
 from repro.serving.registry import ModelRegistry, ServedModel
+from repro.serving.runtime import ServingRuntime
 from repro.serving.store import CachedPrediction, EmbeddingStore
 
 __all__ = [
     "ServingEngine",
+    "ServingRuntime",
     "ServeResult",
     "ModelRegistry",
     "ServedModel",

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.errors import LoadSheddingError
+from repro.utils.concurrency import NULL_LOCK, make_lock
 from repro.utils.validation import check_int_range, check_positive
 
 
@@ -47,6 +48,12 @@ class BatchingQueue:
         :class:`LoadSheddingError` when the queue is full.
     clock:
         Injectable monotonic clock (seconds) for deterministic tests.
+    threadsafe:
+        Guard submit/pop with a reentrant lock so producer threads and a
+        batcher thread share the queue safely. Defaults to ``False`` —
+        the single-threaded :class:`~repro.serving.engine.ServingEngine`
+        path stays lock-free; :class:`~repro.serving.runtime.ServingRuntime`
+        constructs its engine with ``threadsafe=True``.
     """
 
     def __init__(
@@ -55,6 +62,7 @@ class BatchingQueue:
         max_wait_s: float = 0.002,
         max_queue: int = 4096,
         clock: Callable[[], float] = time.monotonic,
+        threadsafe: bool = False,
     ) -> None:
         check_int_range("max_batch", max_batch, 1)
         check_int_range("max_queue", max_queue, 1)
@@ -63,6 +71,7 @@ class BatchingQueue:
         self.max_wait_s = max_wait_s
         self.max_queue = max_queue
         self._clock = clock
+        self._lock = make_lock(threadsafe)
         self._queue: deque[PredictRequest] = deque()
         self._next_id = 0
         self.submitted = 0
@@ -74,6 +83,12 @@ class BatchingQueue:
 
     def submit(self, node_id: int, model_key: str) -> PredictRequest:
         """Enqueue a request; sheds (raises) when the queue is full."""
+        if self._lock is None:
+            return self._submit(node_id, model_key)
+        with self._lock:
+            return self._submit(node_id, model_key)
+
+    def _submit(self, node_id: int, model_key: str) -> PredictRequest:
         if len(self._queue) >= self.max_queue:
             self.shed += 1
             raise LoadSheddingError(
@@ -92,13 +107,34 @@ class BatchingQueue:
         return request
 
     def ready(self, now: float | None = None) -> bool:
-        """Whether a batch should be emitted under the max-batch/max-wait policy."""
-        if not self._queue:
+        """Whether a batch should be emitted under the max-batch/max-wait policy.
+
+        Lock-free even when the queue is thread-safe: it peeks a single
+        deque slot (atomic under the GIL) and a stale answer only means
+        the caller polls again — :meth:`next_batch` re-checks under the
+        lock before popping anything.
+        """
+        try:
+            oldest = self._queue[0]
+        except IndexError:
             return False
         if len(self._queue) >= self.max_batch:
             return True
         now = self._clock() if now is None else now
-        return now - self._queue[0].enqueued_at >= self.max_wait_s
+        return now - oldest.enqueued_at >= self.max_wait_s
+
+    def oldest_age(self, now: float | None = None) -> float | None:
+        """Seconds the oldest pending request has waited; ``None`` if empty.
+
+        The batcher thread uses this to compute how long it may sleep
+        before the max-wait deadline of the current head request.
+        """
+        try:
+            oldest = self._queue[0]
+        except IndexError:
+            return None
+        now = self._clock() if now is None else now
+        return now - oldest.enqueued_at
 
     def next_batch(
         self, now: float | None = None, force: bool = False
@@ -109,6 +145,14 @@ class BatchingQueue:
         oldest request's model key, scanning FIFO and skipping requests
         for other models (they keep their queue position and seniority).
         """
+        if self._lock is None:
+            return self._next_batch(now, force)
+        with self._lock:
+            return self._next_batch(now, force)
+
+    def _next_batch(
+        self, now: float | None, force: bool
+    ) -> list[PredictRequest]:
         if not self._queue or (not force and not self.ready(now)):
             return []
         target = self._queue[0].model_key
@@ -138,21 +182,23 @@ class BatchingQueue:
 
     def snapshot(self) -> dict[str, float]:
         """Flat counter dict (:class:`repro.obs.StatsSource`)."""
-        return {
-            "submitted": self.submitted,
-            "shed": self.shed,
-            "batches_formed": self.batches_formed,
-            "batched_requests": self.batched_requests,
-            "mean_batch_size": self.mean_batch_size,
-            "pending": len(self._queue),
-        }
+        with self._lock or NULL_LOCK:
+            return {
+                "submitted": self.submitted,
+                "shed": self.shed,
+                "batches_formed": self.batches_formed,
+                "batched_requests": self.batched_requests,
+                "mean_batch_size": self.mean_batch_size,
+                "pending": len(self._queue),
+            }
 
     def reset(self) -> None:
         """Zero the counters; pending requests stay queued."""
-        self.submitted = 0
-        self.shed = 0
-        self.batches_formed = 0
-        self.batched_requests = 0
+        with self._lock or NULL_LOCK:
+            self.submitted = 0
+            self.shed = 0
+            self.batches_formed = 0
+            self.batched_requests = 0
 
     def __len__(self) -> int:
         return len(self._queue)

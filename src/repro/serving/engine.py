@@ -40,6 +40,7 @@ from repro.serving.invalidation import UpdateReport, dirty_frontiers, patch_stac
 from repro.serving.registry import ModelRegistry, ServedModel
 from repro.serving.store import EmbeddingStore
 from repro.tensor.autograd import Tensor, no_grad
+from repro.utils.concurrency import make_lock
 from repro.utils.timer import LatencyHistogram
 from repro.utils.validation import check_probability
 
@@ -78,6 +79,13 @@ class ServingEngine:
         single head forward (the gate is skipped entirely).
     clock:
         Shared monotonic clock for queue wait + latency accounting.
+    threadsafe:
+        Construct the default queue/store/latency components thread-safe
+        and guard the engine's own counters, so multiple threads (a
+        :class:`~repro.serving.runtime.ServingRuntime` batcher + worker
+        pool) can drive one engine. Defaults to ``False``: the
+        single-threaded path stays lock-free. Injected components are
+        the caller's responsibility either way.
     """
 
     _DEFAULT_STORE = object()  # sentinel: "build a fresh EmbeddingStore"
@@ -90,17 +98,26 @@ class ServingEngine:
         threshold: float = 0.9,
         early_exit: bool = True,
         clock: Callable[[], float] = time.monotonic,
+        threadsafe: bool = False,
     ) -> None:
         check_probability("threshold", threshold)
+        self.threadsafe = bool(threadsafe)
         self.registry = registry if registry is not None else ModelRegistry()
-        self.queue = queue if queue is not None else BatchingQueue(clock=clock)
+        self.queue = (
+            queue if queue is not None
+            else BatchingQueue(clock=clock, threadsafe=threadsafe)
+        )
         if store is ServingEngine._DEFAULT_STORE:
-            store = EmbeddingStore(clock=clock)
+            store = EmbeddingStore(clock=clock, threadsafe=threadsafe)
         self.store = store
         self.threshold = threshold
         self.early_exit = early_exit
         self._clock = clock
-        self.latency = LatencyHistogram()
+        self.latency = LatencyHistogram(threadsafe=threadsafe)
+        self._lock = make_lock(threadsafe)
+        # Set by ServingRuntime.attach: once a runtime's batcher thread
+        # owns the queue, the inline predict path must not also drain it.
+        self._runtime = None
         self.served = 0
         self.shed = 0
         self.cache_hits = 0
@@ -178,11 +195,90 @@ class ServingEngine:
             )
             return results
 
+    def _count(self, served: int = 0, shed: int = 0, cache_hits: int = 0) -> None:
+        if self._lock is None:
+            self.served += served
+            self.shed += shed
+            self.cache_hits += cache_hits
+        else:
+            with self._lock:
+                self.served += served
+                self.shed += shed
+                self.cache_hits += cache_hits
+
+    def try_store(
+        self, record: ServedModel, node_id: int, t0: float
+    ) -> ServeResult | None:
+        """Answer ``node_id`` from the embedding store, or ``None`` on miss.
+
+        The store fast path shared by the inline :meth:`predict_many` loop
+        and :class:`~repro.serving.runtime.ServingRuntime` submission (a
+        hit never enters the batching queue in either mode).
+        """
+        if self.store is None:
+            return None
+        cached = self.store.get(record.namespace, node_id)
+        if cached is None:
+            return None
+        # Counters inlined (vs _count): this path runs once per store
+        # hit and the helper frame is measurable (E31's 5% bound).
+        if self._lock is None:
+            self.served += 1
+            self.cache_hits += 1
+        else:
+            with self._lock:
+                self.served += 1
+                self.cache_hits += 1
+        latency = self._clock() - t0
+        self.latency.record(latency)
+        if OBS.enabled:
+            self._obs_store_hit(node_id, cached)
+        return ServeResult(
+            node_id, record.key, cached.prediction, "ok", True,
+            cached.hops_used, latency,
+        )
+
+    @staticmethod
+    def _obs_store_hit(node_id: int, cached) -> None:
+        """Trace + count one store hit (only called when OBS is enabled)."""
+        with OBS.tracer.span(
+            "serving.request", node_id=node_id, status="ok",
+            store_hit=True, hops_used=cached.hops_used,
+        ):
+            pass
+        OBS.registry.counter("serving.requests").inc(
+            status="ok", source="store"
+        )
+
+    def record_shed(
+        self, record: ServedModel, node_id: int, t0: float
+    ) -> ServeResult:
+        """Account one admission-control rejection and build its result."""
+        self._count(shed=1)
+        _LOG.debug("request for node %d shed (queue full)", node_id)
+        if OBS.enabled:
+            with OBS.tracer.span(
+                "serving.request", node_id=node_id, status="shed",
+                store_hit=False,
+            ):
+                pass
+            OBS.registry.counter("serving.requests").inc(status="shed")
+        return ServeResult(
+            node_id, record.key, -1, "shed", False, 0, self._clock() - t0
+        )
+
     def _predict_many(
         self, node_ids: Sequence[int] | np.ndarray, model: str | None
     ) -> list[ServeResult]:
+        if self._runtime is not None:
+            raise ServingError(
+                "engine is attached to a ServingRuntime whose batcher "
+                "thread owns the queue; submit through the runtime "
+                "(predict/predict_async) instead of the inline engine path"
+            )
         record = self._resolve(model)
         n = record.graph.n_nodes
+        store = self.store
         slots: list[ServeResult | int] = []
         by_id: dict[int, ServeResult] = {}
         for node_id in node_ids:
@@ -190,25 +286,25 @@ class ServingEngine:
             if not 0 <= node_id < n:
                 raise ServingError(f"node {node_id} outside [0, {n})")
             t0 = self._clock()
+            # Store fast path, kept in lockstep with try_store but
+            # inlined: the helper frame alone is measurable against
+            # E31's 5% single-threaded overhead bound.
             cached = (
-                self.store.get(record.namespace, node_id)
-                if self.store is not None
-                else None
+                store.get(record.namespace, node_id)
+                if store is not None else None
             )
             if cached is not None:
-                self.cache_hits += 1
-                self.served += 1
+                if self._lock is None:
+                    self.served += 1
+                    self.cache_hits += 1
+                else:
+                    with self._lock:
+                        self.served += 1
+                        self.cache_hits += 1
                 latency = self._clock() - t0
                 self.latency.record(latency)
                 if OBS.enabled:
-                    with OBS.tracer.span(
-                        "serving.request", node_id=node_id, status="ok",
-                        store_hit=True, hops_used=cached.hops_used,
-                    ):
-                        pass
-                    OBS.registry.counter("serving.requests").inc(
-                        status="ok", source="store"
-                    )
+                    self._obs_store_hit(node_id, cached)
                 slots.append(ServeResult(
                     node_id, record.key, cached.prediction, "ok", True,
                     cached.hops_used, latency,
@@ -217,19 +313,7 @@ class ServingEngine:
             try:
                 request = self.queue.submit(node_id, record.key)
             except LoadSheddingError:
-                self.shed += 1
-                _LOG.debug("request for node %d shed (queue full)", node_id)
-                if OBS.enabled:
-                    with OBS.tracer.span(
-                        "serving.request", node_id=node_id, status="shed",
-                        store_hit=False,
-                    ):
-                        pass
-                    OBS.registry.counter("serving.requests").inc(status="shed")
-                slots.append(ServeResult(
-                    node_id, record.key, -1, "shed", False, 0,
-                    self._clock() - t0,
-                ))
+                slots.append(self.record_shed(record, node_id, t0))
                 continue
             slots.append(request.request_id)
             while self.queue.ready():
@@ -240,6 +324,17 @@ class ServingEngine:
             slot if isinstance(slot, ServeResult) else by_id[slot]
             for slot in slots
         ]
+
+    def run_batch(self, batch: list[PredictRequest]) -> dict[int, ServeResult]:
+        """Execute one already-formed micro-batch; results by request id.
+
+        The worker-pool entry point of
+        :class:`~repro.serving.runtime.ServingRuntime` — gathers rows,
+        runs the gated/full forward, writes the store, and accounts
+        latency, exactly like the inline path."""
+        out: dict[int, ServeResult] = {}
+        self._process_batch(batch, out)
+        return out
 
     def _process_batch(
         self, batch: list[PredictRequest], out: dict[int, ServeResult]
@@ -259,7 +354,10 @@ class ServingEngine:
         nodes = np.fromiter((r.node_id for r in batch), dtype=np.int64)
         unique, inverse = np.unique(nodes, return_inverse=True)
         with obs.span("serving.gather", rows=len(unique), hops=record.k_hops):
-            hop_rows = record.hop_rows(unique)
+            # Fancy indexing copies the rows, so only the gather itself
+            # needs to be consistent with concurrent stack patches.
+            with record.lock.reader:
+                hop_rows = record.hop_rows(unique)
         if self.early_exit:
             with obs.span(
                 "serving.infer", mode="early_exit", threshold=self.threshold
@@ -277,18 +375,20 @@ class ServingEngine:
                 predictions = logits.argmax(axis=1).astype(np.int64)
                 hops_used = np.full(len(unique), record.k_hops, dtype=np.int64)
         if self.store is not None:
-            for i, node in enumerate(unique):
-                self.store.put(
-                    record.namespace, int(node),
-                    int(predictions[i]), int(hops_used[i]),
-                )
+            self.store.put_many(
+                record.namespace,
+                (
+                    (int(node), int(predictions[i]), int(hops_used[i]))
+                    for i, node in enumerate(unique)
+                ),
+            )
         now = self._clock()
         recording = OBS.enabled
+        latencies: list[float] = []
         for pos, request in enumerate(batch):
             i = inverse[pos]
             latency = now - request.enqueued_at
-            self.latency.record(latency)
-            self.served += 1
+            latencies.append(latency)
             out[request.request_id] = ServeResult(
                 request.node_id, record.key, int(predictions[i]), "ok",
                 False, int(hops_used[i]), latency,
@@ -307,6 +407,9 @@ class ServingEngine:
                 OBS.registry.histogram("serving.queue_wait_s").observe(
                     max(t_start - request.enqueued_at, 0.0)
                 )
+        # One lock round-trip for the whole batch, not one per request.
+        self.latency.record_many(latencies)
+        self._count(served=len(batch))
 
     # ------------------------------------------------------------------ #
     # Streaming updates
@@ -338,20 +441,24 @@ class ServingEngine:
         with obs.span(
             "serving.update", model=record.key, edges=len(edges)
         ) as span:
-            dynamic = record.ensure_dynamic()
-            for u, v in edges:
-                dynamic.insert_edge(u, v)
-            seeds = [node for edge in edges for node in edge]
-            dirty = dirty_frontiers(dynamic, seeds, record.k_hops)
-            new_graph = dynamic.snapshot()
-            operator = self.registry.engine.operator(
-                new_graph, record.kind, record.alpha
-            )
-            with obs.span("serving.patch_stack", depths=len(dirty)):
-                rows = patch_stack(record.stack, operator, dirty)
-            record.graph = new_graph
-            record.rows_recomputed += rows
-            record.updates_applied += len(edges)
+            # Exclusive over the whole mutate sequence: the dynamic
+            # adjacency, the in-place stack patch, and the graph swap
+            # must appear atomic to concurrently gathering workers.
+            with record.lock.writer:
+                dynamic = record.ensure_dynamic()
+                for u, v in edges:
+                    dynamic.insert_edge(u, v)
+                seeds = [node for edge in edges for node in edge]
+                dirty = dirty_frontiers(dynamic, seeds, record.k_hops)
+                new_graph = dynamic.snapshot()
+                operator = self.registry.engine.operator(
+                    new_graph, record.kind, record.alpha
+                )
+                with obs.span("serving.patch_stack", depths=len(dirty)):
+                    rows = patch_stack(record.stack, operator, dirty)
+                record.graph = new_graph
+                record.rows_recomputed += rows
+                record.updates_applied += len(edges)
             invalidated = 0
             if self.store is not None and dirty:
                 invalidated = self.store.invalidate(record.namespace, dirty[-1])
@@ -380,16 +487,25 @@ class ServingEngine:
         """Engine-level counters (:class:`repro.obs.StatsSource`); the
         queue/store/latency components publish their own snapshots under
         their own registry prefixes."""
+        if self._lock is None:
+            served, shed, hits = self.served, self.shed, self.cache_hits
+        else:
+            with self._lock:
+                served, shed, hits = self.served, self.shed, self.cache_hits
         return {
-            "served": self.served,
-            "shed": self.shed,
-            "cache_hits": self.cache_hits,
+            "served": served,
+            "shed": shed,
+            "cache_hits": hits,
             "models": len(self.registry),
         }
 
     def reset(self) -> None:
         """Zero the engine counters and its latency histogram."""
-        self.served = self.shed = self.cache_hits = 0
+        if self._lock is None:
+            self.served = self.shed = self.cache_hits = 0
+        else:
+            with self._lock:
+                self.served = self.shed = self.cache_hits = 0
         self.latency.reset()
 
     def stats(self) -> dict:

@@ -12,6 +12,7 @@ without corrupting the engine's shared read-only cache.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable
 
 import numpy as np
@@ -20,6 +21,7 @@ from repro.errors import ConfigError, ServingError
 from repro.graph.core import Graph
 from repro.graph.dynamic import DynamicGraph
 from repro.perf.propagation import PropagationEngine, get_default_engine
+from repro.utils.concurrency import RWLock
 
 
 class ServedModel:
@@ -50,6 +52,10 @@ class ServedModel:
         self.dynamic: DynamicGraph | None = None
         self.rows_recomputed = 0
         self.updates_applied = 0
+        # Readers–writer lock over the mutable hop stack: micro-batch
+        # workers gather rows concurrently (with lock.reader) while
+        # incremental updates patch rows exclusively (with lock.writer).
+        self.lock = RWLock()
 
     @property
     def key(self) -> str:
@@ -84,10 +90,16 @@ class ModelRegistry:
     computed once through the shared :class:`PropagationEngine` (reusing
     any operator/stack the offline pipeline already built for the same
     graph content) and pinned on the record.
+
+    All registry operations are guarded by one reentrant lock: model
+    registration/lookup is rare control-plane traffic, so a single lock
+    (rather than a per-record one) keeps version auto-increment and the
+    name→versions map consistent under concurrent registrations.
     """
 
     def __init__(self, engine: PropagationEngine | None = None) -> None:
         self._engine = engine
+        self._lock = threading.RLock()
         self._models: dict[str, dict[int, ServedModel]] = {}
 
     @property
@@ -118,17 +130,22 @@ class ModelRegistry:
             raise ConfigError(
                 "model must expose an integer k_hops >= 0 (decoupled contract)"
             )
-        versions = self._models.setdefault(name, {})
-        if version is None:
-            version = max(versions) + 1 if versions else 1
-        elif version in versions:
-            raise ServingError(f"model {name!r} version {version} already registered")
-        warm = self.engine.propagate(graph, graph.x, k_hops, kind=kind, alpha=alpha)
-        # Private writable copies: incremental updates patch rows in place.
-        stack = [layer.copy() for layer in warm]
-        record = ServedModel(name, int(version), model, graph, stack, kind, alpha)
-        versions[record.version] = record
-        return record
+        with self._lock:
+            versions = self._models.setdefault(name, {})
+            if version is None:
+                version = max(versions) + 1 if versions else 1
+            elif version in versions:
+                raise ServingError(
+                    f"model {name!r} version {version} already registered"
+                )
+            warm = self.engine.propagate(
+                graph, graph.x, k_hops, kind=kind, alpha=alpha
+            )
+            # Private writable copies: incremental updates patch rows in place.
+            stack = [layer.copy() for layer in warm]
+            record = ServedModel(name, int(version), model, graph, stack, kind, alpha)
+            versions[record.version] = record
+            return record
 
     def get(self, name: str, version: int | None = None) -> ServedModel:
         """Resolve ``name`` / ``"name@vN"`` to a record (latest when unversioned)."""
@@ -138,53 +155,64 @@ class ModelRegistry:
                 version = int(suffix)
             except ValueError:
                 raise ServingError(f"malformed model key {name + '@v' + suffix!r}")
-        versions = self._models.get(name)
-        if not versions:
-            raise ServingError(
-                f"unknown model {name!r}; registered: {sorted(self._models) or 'none'}"
-            )
-        if version is None:
-            version = max(versions)
-        if version not in versions:
-            raise ServingError(
-                f"model {name!r} has no version {version}; "
-                f"available: {sorted(versions)}"
-            )
-        return versions[version]
+        with self._lock:
+            versions = self._models.get(name)
+            if not versions:
+                raise ServingError(
+                    f"unknown model {name!r}; "
+                    f"registered: {sorted(self._models) or 'none'}"
+                )
+            if version is None:
+                version = max(versions)
+            if version not in versions:
+                raise ServingError(
+                    f"model {name!r} has no version {version}; "
+                    f"available: {sorted(versions)}"
+                )
+            return versions[version]
 
     def unregister(self, name: str, version: int | None = None) -> None:
         """Drop one version (or every version) of ``name``."""
-        if name not in self._models:
-            raise ServingError(f"unknown model {name!r}")
-        if version is None:
-            del self._models[name]
-            return
-        versions = self._models[name]
-        if version not in versions:
-            raise ServingError(f"model {name!r} has no version {version}")
-        del versions[version]
-        if not versions:
-            del self._models[name]
+        with self._lock:
+            if name not in self._models:
+                raise ServingError(f"unknown model {name!r}")
+            if version is None:
+                del self._models[name]
+                return
+            versions = self._models[name]
+            if version not in versions:
+                raise ServingError(f"model {name!r} has no version {version}")
+            del versions[version]
+            if not versions:
+                del self._models[name]
 
     # ------------------------------------------------------------------ #
 
     def names(self) -> list[str]:
-        return sorted(self._models)
+        with self._lock:
+            return sorted(self._models)
 
     def versions(self, name: str) -> list[int]:
-        if name not in self._models:
-            raise ServingError(f"unknown model {name!r}")
-        return sorted(self._models[name])
+        with self._lock:
+            if name not in self._models:
+                raise ServingError(f"unknown model {name!r}")
+            return sorted(self._models[name])
 
     def records(self) -> Iterable[ServedModel]:
-        for versions in self._models.values():
-            yield from versions.values()
+        with self._lock:
+            snapshot = [
+                record
+                for versions in self._models.values()
+                for record in versions.values()
+            ]
+        yield from snapshot
 
     def __contains__(self, name: str) -> bool:
         return name in self._models
 
     def __len__(self) -> int:
-        return sum(len(v) for v in self._models.values())
+        with self._lock:
+            return sum(len(v) for v in self._models.values())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ModelRegistry({', '.join(r.key for r in self.records()) or 'empty'})"

@@ -1,0 +1,399 @@
+"""Concurrent serving runtime: batcher thread + worker pool + futures.
+
+:class:`ServingRuntime` turns the single-threaded
+:class:`~repro.serving.engine.ServingEngine` into a concurrent service.
+Producer threads submit requests through :meth:`ServingRuntime.predict`
+or :meth:`ServingRuntime.predict_async`; a dedicated *batcher* thread
+drains the engine's :class:`~repro.serving.batching.BatchingQueue` under
+the existing max-batch/max-wait policy and dispatches each micro-batch
+to a bounded worker pool, which executes it through
+:meth:`~repro.serving.engine.ServingEngine.run_batch` and resolves the
+per-request :class:`concurrent.futures.Future` objects.
+
+The division of labour:
+
+* **admission** happens synchronously on the caller's thread — a store
+  hit is answered immediately without entering the queue, and a full
+  queue raises :class:`~repro.errors.LoadSheddingError` at submit time;
+* **batching** is owned by exactly one thread, so the queue's FIFO
+  seniority and the max-wait deadline are enforced in one place (the
+  batcher sleeps precisely until the oldest request's deadline, not on
+  a polling interval);
+* **execution** overlaps across the pool: per-batch model forwards and
+  store writes from different micro-batches proceed concurrently, which
+  is where throughput scaling comes from when per-batch service time is
+  dominated by lock-releasing work (BLAS kernels, I/O waits);
+* **failure** is bounded: a batch that raises is retried up to
+  ``max_retries`` times, then every future in it receives the exception.
+
+The wrapped engine must be constructed ``threadsafe=True`` (the runtime
+builds one that way by default); its inline ``predict``/``predict_many``
+path is disabled while attached, because two drainers on one queue would
+steal each other's batches.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.errors import (
+    ConfigError,
+    LoadSheddingError,
+    ServingError,
+    ServingTimeoutError,
+)
+from repro.serving.batching import PredictRequest
+from repro.serving.engine import ServeResult, ServingEngine
+from repro.serving.registry import ServedModel
+from repro.utils.validation import check_int_range
+
+_LOG = obs.get_logger("repro.serving.runtime")
+
+
+class ServingRuntime:
+    """Thread-safe façade over a :class:`ServingEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve through; when omitted a fresh
+        ``ServingEngine(threadsafe=True, **engine_kwargs)`` is built.
+        An injected engine must have been constructed thread-safe.
+    n_workers:
+        Worker threads executing micro-batches concurrently.
+    max_retries:
+        How many times a failed batch is re-executed before its
+        requests fail. ``0`` disables retry.
+    default_timeout_s:
+        Deadline applied by :meth:`predict`/:meth:`predict_many` when
+        the call doesn't pass its own; ``None`` waits indefinitely.
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine | None = None,
+        n_workers: int = 2,
+        max_retries: int = 1,
+        default_timeout_s: float | None = None,
+        **engine_kwargs,
+    ) -> None:
+        check_int_range("n_workers", n_workers, 1)
+        check_int_range("max_retries", max_retries, 0)
+        if engine is None:
+            engine = ServingEngine(threadsafe=True, **engine_kwargs)
+        elif engine_kwargs:
+            raise ConfigError(
+                "engine_kwargs are only used when the runtime builds its "
+                f"own engine; got both an engine and {sorted(engine_kwargs)}"
+            )
+        if not engine.threadsafe:
+            raise ConfigError(
+                "ServingRuntime needs an engine constructed threadsafe=True"
+            )
+        if engine._runtime is not None:
+            raise ServingError("engine is already attached to a ServingRuntime")
+        self.engine = engine
+        self.n_workers = int(n_workers)
+        self.max_retries = int(max_retries)
+        self.default_timeout_s = default_timeout_s
+        self._cond = threading.Condition()
+        self._futures: dict[int, Future] = {}
+        self._closing = False
+        self._closed = False
+        self.batches_executed = 0
+        self.retries = 0
+        self._stats_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.n_workers, thread_name_prefix="repro-serve"
+        )
+        self._batcher = threading.Thread(
+            target=self._batcher_loop, name="repro-batcher", daemon=True
+        )
+        engine._runtime = self
+        obs.register_source("serving.runtime", self)
+        self._batcher.start()
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+
+    def _submit(
+        self, record: ServedModel, node_id: int
+    ) -> tuple[str, ServeResult | Future]:
+        """Admit one request: ``("hit", result)`` | ``("shed", result)``
+        | ``("queued", future)``. Runs on the caller's thread."""
+        n = record.graph.n_nodes
+        if not 0 <= node_id < n:
+            raise ServingError(f"node {node_id} outside [0, {n})")
+        # Unlocked pre-check so store hits are refused too (monotonic
+        # False->True flag; the queued path re-checks under the lock).
+        if self._closing:
+            raise ServingError("runtime is closed; no new requests accepted")
+        t0 = self.engine._clock()
+        hit = self.engine.try_store(record, node_id, t0)
+        if hit is not None:
+            return ("hit", hit)
+        with self._cond:
+            if self._closing:
+                raise ServingError("runtime is closed; no new requests accepted")
+            try:
+                request = self.engine.queue.submit(node_id, record.key)
+            except LoadSheddingError:
+                shed = self.engine.record_shed(record, node_id, t0)
+                return ("shed", shed)
+            future: Future = Future()
+            self._futures[request.request_id] = future
+            self._cond.notify_all()
+        return ("queued", future)
+
+    def predict_async(
+        self, node_id: int, model: str | None = None
+    ) -> Future:
+        """Submit one request; returns a future resolving to a
+        :class:`~repro.serving.engine.ServeResult`.
+
+        A store hit resolves immediately; a full queue raises
+        :class:`~repro.errors.LoadSheddingError` here, synchronously —
+        admission control answers at submit time, not on the future.
+        """
+        record = self.engine._resolve(model)
+        kind, payload = self._submit(record, int(node_id))
+        if kind == "queued":
+            return payload
+        future: Future = Future()
+        if kind == "hit":
+            future.set_result(payload)
+            return future
+        # Shed: account for it, then surface the typed error.
+        raise LoadSheddingError(
+            f"queue full ({self.engine.queue.max_queue} pending); request "
+            f"for node {payload.node_id} shed"
+        )
+
+    def predict(
+        self,
+        node_id: int,
+        model: str | None = None,
+        timeout_s: float | None = None,
+    ) -> ServeResult:
+        """Blocking single-request API with a per-call deadline.
+
+        Raises :class:`~repro.errors.ServingTimeoutError` when the
+        deadline elapses (the batch may still complete in the
+        background) and :class:`~repro.errors.LoadSheddingError` when
+        admission control rejects the request.
+        """
+        future = self.predict_async(node_id, model=model)
+        timeout = timeout_s if timeout_s is not None else self.default_timeout_s
+        try:
+            return future.result(timeout)
+        except FutureTimeoutError:
+            raise ServingTimeoutError(
+                f"request for node {node_id} exceeded its {timeout}s deadline"
+            ) from None
+
+    def predict_many(
+        self,
+        node_ids: Sequence[int] | np.ndarray,
+        model: str | None = None,
+        timeout_s: float | None = None,
+    ) -> list[ServeResult]:
+        """Submit a stream of requests and wait for every answer.
+
+        Mirrors the engine's inline semantics: shed requests come back
+        as ``status="shed"`` results (not exceptions) so the returned
+        list always aligns with ``node_ids``. The timeout bounds the
+        total wait across the whole call.
+        """
+        record = self.engine._resolve(model)
+        slots: list[ServeResult | Future] = [
+            payload for payload in (
+                self._submit(record, int(node_id))[1] for node_id in node_ids
+            )
+        ]
+        timeout = timeout_s if timeout_s is not None else self.default_timeout_s
+        deadline = (
+            None if timeout is None else self.engine._clock() + timeout
+        )
+        results: list[ServeResult] = []
+        for node_id, slot in zip(node_ids, slots):
+            if isinstance(slot, ServeResult):
+                results.append(slot)
+                continue
+            remaining = (
+                None if deadline is None
+                else max(deadline - self.engine._clock(), 0.0)
+            )
+            try:
+                results.append(slot.result(remaining))
+            except FutureTimeoutError:
+                raise ServingTimeoutError(
+                    f"request for node {int(node_id)} exceeded the "
+                    f"{timeout}s batch deadline"
+                ) from None
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Batcher thread
+    # ------------------------------------------------------------------ #
+
+    def _batcher_loop(self) -> None:
+        queue = self.engine.queue
+        while True:
+            with self._cond:
+                while not self._closing and not queue.ready():
+                    age = queue.oldest_age()
+                    if age is None:
+                        self._cond.wait()
+                    else:
+                        # Sleep exactly until the head request's max-wait
+                        # deadline; an earlier submit re-notifies us.
+                        self._cond.wait(max(queue.max_wait_s - age, 0.0))
+                if self._closing and len(queue) == 0:
+                    return
+            batch = queue.next_batch(force=self._closing)
+            if batch:
+                self._pool.submit(self._execute_batch, batch)
+
+    def _execute_batch(self, batch: list[PredictRequest]) -> None:
+        attempts = 0
+        while True:
+            try:
+                results = self.engine.run_batch(batch)
+                break
+            except Exception as exc:  # noqa: BLE001 - bounded retry, then fail
+                attempts += 1
+                if attempts > self.max_retries:
+                    _LOG.warning(
+                        "batch of %d failed after %d attempt(s): %s",
+                        len(batch), attempts, exc,
+                    )
+                    self._resolve_futures(batch, None, exc)
+                    return
+                with self._stats_lock:
+                    self.retries += 1
+                _LOG.debug(
+                    "retrying batch of %d (attempt %d/%d) after %s",
+                    len(batch), attempts + 1, self.max_retries + 1, exc,
+                )
+        with self._stats_lock:
+            self.batches_executed += 1
+        self._resolve_futures(batch, results, None)
+
+    def _resolve_futures(
+        self,
+        batch: list[PredictRequest],
+        results: dict[int, ServeResult] | None,
+        error: Exception | None,
+    ) -> None:
+        with self._cond:
+            futures = [
+                (request, self._futures.pop(request.request_id, None))
+                for request in batch
+            ]
+        # Resolve outside the condition: a future's callbacks (or a
+        # waiter waking immediately) must never run under our lock.
+        for request, future in futures:
+            if future is None:
+                continue
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(results[request.request_id])
+
+    # ------------------------------------------------------------------ #
+    # Updates / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def apply_update(self, u: int, v: int, model: str | None = None):
+        """Thread-safe passthrough to :meth:`ServingEngine.apply_update`."""
+        return self.engine.apply_update(u, v, model=model)
+
+    def apply_updates(self, edges, model: str | None = None):
+        """Thread-safe passthrough to :meth:`ServingEngine.apply_updates`."""
+        return self.engine.apply_updates(edges, model=model)
+
+    def register(self, *args, **kwargs) -> str:
+        """Passthrough to :meth:`ServingEngine.register`."""
+        return self.engine.register(*args, **kwargs)
+
+    def close(self, timeout_s: float | None = None) -> None:
+        """Drain and shut down: stop admissions, flush the queue, join
+        the batcher, wait for in-flight batches, fail leftover futures.
+
+        Idempotent; after it returns the engine is detached and usable
+        inline again.
+        """
+        with self._cond:
+            if self._closed:
+                return
+            self._closing = True
+            self._cond.notify_all()
+        self._batcher.join(timeout_s)
+        self._pool.shutdown(wait=True)
+        with self._cond:
+            leftovers = list(self._futures.values())
+            self._futures.clear()
+            self._closed = True
+        for future in leftovers:  # defensive: drain should have emptied these
+            future.set_exception(
+                ServingError("runtime closed before the request was answered")
+            )
+        self.engine._runtime = None
+        _LOG.info(
+            "runtime closed: %d batches executed, %d retries",
+            self.batches_executed, self.retries,
+        )
+
+    def __enter__(self) -> "ServingRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat counter dict (:class:`repro.obs.StatsSource`)."""
+        with self._stats_lock:
+            executed, retries = self.batches_executed, self.retries
+        with self._cond:
+            pending = len(self._futures)
+        return {
+            "n_workers": self.n_workers,
+            "batches_executed": executed,
+            "retries": retries,
+            "pending_futures": pending,
+            "closed": float(self._closed),
+        }
+
+    def reset(self) -> None:
+        """Zero the runtime counters (in-flight state is untouched)."""
+        with self._stats_lock:
+            self.batches_executed = 0
+            self.retries = 0
+
+    def stats(self) -> dict:
+        """Runtime + engine accounting in one report."""
+        report = self.engine.stats()
+        report["runtime"] = self.snapshot()
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServingRuntime(workers={self.n_workers}, "
+            f"batches={self.batches_executed}, retries={self.retries}, "
+            f"closed={self._closed})"
+        )

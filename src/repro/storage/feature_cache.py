@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.graph.core import Graph
+from repro.utils.concurrency import NULL_LOCK, make_lock
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_int_range
 
@@ -196,7 +197,11 @@ class FeatureStore:
     hook incremental graph updates use.
 
     The ``clock`` is injectable (monotonic seconds) so TTL behaviour is
-    deterministic under test.
+    deterministic under test. ``threadsafe=True`` (the default) guards
+    every mutation with a lock so concurrent serving workers can share
+    one store; pass ``False`` to strip the locking from single-threaded
+    pipelines (hot paths then branch on a ``None`` lock — no
+    context-manager cost).
     """
 
     def __init__(
@@ -204,6 +209,7 @@ class FeatureStore:
         capacity: int,
         ttl_s: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        threadsafe: bool = True,
     ) -> None:
         check_int_range("capacity", capacity, 1)
         if ttl_s is not None and not ttl_s > 0:
@@ -211,6 +217,7 @@ class FeatureStore:
         self.capacity = capacity
         self.ttl_s = ttl_s
         self._clock = clock
+        self._lock = make_lock(threadsafe)
         self._store: OrderedDict[tuple[str, int], tuple[float, Any]] = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -220,19 +227,69 @@ class FeatureStore:
 
     # ------------------------------------------------------------------ #
 
+    def _expired(self, inserted_at: float, now: float) -> bool:
+        return self.ttl_s is not None and now - inserted_at > self.ttl_s
+
+    def _sweep_expired(self) -> int:
+        """Drop every TTL-expired entry, accounting them as expirations.
+
+        Caller must hold the lock (if any).
+        """
+        if self.ttl_s is None:
+            return 0
+        now = self._clock()
+        victims = [
+            key for key, (inserted_at, _) in self._store.items()
+            if self._expired(inserted_at, now)
+        ]
+        for key in victims:
+            del self._store[key]
+        self._expirations += len(victims)
+        return len(victims)
+
     def put(self, namespace: Graph | str, node: int, value: Any) -> None:
-        """Insert/overwrite the row for ``node`` under ``namespace``."""
+        """Insert/overwrite the row for ``node`` under ``namespace``.
+
+        When the store is full, TTL-expired residents are swept first
+        (accounted as expirations); a live LRU row is evicted only if the
+        store is still full afterwards.
+        """
         key = (feature_key(namespace), int(node))
+        if self._lock is None:
+            self._put(key, value)
+        else:
+            with self._lock:
+                self._put(key, value)
+
+    def _put(self, key: tuple[str, int], value: Any) -> None:
         if key in self._store:
             self._store.move_to_end(key)
         elif len(self._store) >= self.capacity:
-            self._store.popitem(last=False)
-            self._evictions += 1
+            self._sweep_expired()
+            if len(self._store) >= self.capacity:
+                self._store.popitem(last=False)
+                self._evictions += 1
         self._store[key] = (self._clock(), value)
+
+    def put_many(
+        self, namespace: Graph | str, rows: Iterable[tuple[int, Any]]
+    ) -> None:
+        """Insert a batch of ``(node, value)`` rows under one lock/namespace
+        resolution — the shape the micro-batch serving path writes in."""
+        fp = feature_key(namespace)
+        with self._lock or NULL_LOCK:
+            for node, value in rows:
+                self._put((fp, int(node)), value)
 
     def get(self, namespace: Graph | str, node: int) -> Any | None:
         """The cached row, or ``None`` on miss / TTL expiry."""
         key = (feature_key(namespace), int(node))
+        if self._lock is not None:
+            with self._lock:
+                return self._get(key)
+        # Lock-free fast path: _get inlined (keep in sync) — the serving
+        # hot loop probes this per request and an extra call frame is
+        # measurable there (E31's 5% bound).
         entry = self._store.get(key)
         if entry is None:
             self._misses += 1
@@ -247,58 +304,94 @@ class FeatureStore:
         self._hits += 1
         return value
 
+    def _get(self, key: tuple[str, int]) -> Any | None:
+        entry = self._store.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        inserted_at, value = entry
+        if self._expired(inserted_at, self._clock()):
+            del self._store[key]
+            self._expirations += 1
+            self._misses += 1
+            return None
+        self._store.move_to_end(key)
+        self._hits += 1
+        return value
+
     def invalidate(
         self, namespace: Graph | str, nodes: Iterable[int] | None = None
     ) -> int:
         """Drop entries for ``nodes`` (or the whole namespace); returns count."""
         fp = feature_key(namespace)
-        if nodes is None:
-            victims = [k for k in self._store if k[0] == fp]
-        else:
-            victims = [
-                (fp, int(n)) for n in np.asarray(list(nodes), dtype=np.int64).ravel()
-                if (fp, int(n)) in self._store
-            ]
-        for key in victims:
-            del self._store[key]
-        self._invalidations += len(victims)
+        with self._lock or NULL_LOCK:
+            if nodes is None:
+                victims = [k for k in self._store if k[0] == fp]
+            else:
+                victims = [
+                    (fp, int(n))
+                    for n in np.asarray(list(nodes), dtype=np.int64).ravel()
+                    if (fp, int(n)) in self._store
+                ]
+            for key in victims:
+                del self._store[key]
+            self._invalidations += len(victims)
         return len(victims)
 
     def clear(self) -> None:
         """Drop every entry (counters keep accumulating; see :meth:`reset`)."""
-        self._store.clear()
+        with self._lock or NULL_LOCK:
+            self._store.clear()
 
     def reset(self) -> None:
         """Zero the counters without evicting resident rows — the uniform
         :class:`repro.obs.StatsSource` protocol."""
-        self._hits = self._misses = 0
-        self._evictions = self._expirations = self._invalidations = 0
+        with self._lock or NULL_LOCK:
+            self._hits = self._misses = 0
+            self._evictions = self._expirations = self._invalidations = 0
 
     def snapshot(self) -> dict[str, float]:
-        """Flat counter/rate dict (:class:`repro.obs.StatsSource`)."""
-        s = self.stats
-        return {
-            "hits": s.hits,
-            "misses": s.misses,
-            "evictions": s.evictions,
-            "accesses": s.accesses,
-            "hit_rate": s.hit_rate,
-            "expirations": self._expirations,
-            "invalidations": self._invalidations,
-            "size": len(self._store),
-            "capacity": self.capacity,
-        }
+        """Flat counter/rate dict (:class:`repro.obs.StatsSource`).
+
+        ``size`` counts only live (non-expired) rows; expired residents
+        that have not yet been swept are reported separately.
+        """
+        with self._lock or NULL_LOCK:
+            s = self.stats
+            now = self._clock()
+            expired = sum(
+                1 for inserted_at, _ in self._store.values()
+                if self._expired(inserted_at, now)
+            )
+            return {
+                "hits": s.hits,
+                "misses": s.misses,
+                "evictions": s.evictions,
+                "accesses": s.accesses,
+                "hit_rate": s.hit_rate,
+                "expirations": self._expirations,
+                "invalidations": self._invalidations,
+                "size": len(self._store) - expired,
+                "expired_resident": expired,
+                "capacity": self.capacity,
+            }
 
     # ------------------------------------------------------------------ #
 
     @property
     def stats(self) -> CacheStats:
-        """Hit/miss/eviction accounting (TTL expiries count as evictions)."""
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions + self._expirations,
-        )
+        """Hit/miss/eviction accounting.
+
+        ``evictions`` counts only capacity-pressure LRU drops; TTL
+        expiries are tracked separately (:attr:`expirations`) — a row
+        aging out is not a sign of the store being undersized.
+        """
+        with self._lock or NULL_LOCK:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )
 
     @property
     def expirations(self) -> int:

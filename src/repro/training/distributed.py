@@ -122,10 +122,21 @@ def simulate_distributed_training(
             )
             loss.backward()
             w["opt"].step()
-        # Synchronous parameter averaging.
+        # Synchronous parameter averaging, weighted by local train-node
+        # count: a worker that owns no (or few) training nodes carries
+        # no (or little) gradient signal, and equal-weight averaging
+        # would dilute the update under unbalanced partitions.
         states = [w["model"].state_dict() for w in workers]
+        weights = np.array(
+            [len(w["train_ids"]) for w in workers], dtype=np.float64
+        )
+        total = weights.sum()
+        if total == 0:
+            raise ConfigError("no partition contains any training node")
+        weights /= total
         averaged = {
-            key: np.mean([s[key] for s in states], axis=0) for key in states[0]
+            key: sum(wt * s[key] for wt, s in zip(weights, states))
+            for key in states[0]
         }
         for w in workers:
             w["model"].load_state_dict(averaged)

@@ -1,5 +1,7 @@
-"""Shared utilities: RNG handling, timers, and argument validation."""
+"""Shared utilities: RNG handling, timers, concurrency primitives, and
+argument validation."""
 
+from repro.utils.concurrency import NULL_LOCK, NullLock, RWLock, make_lock
 from repro.utils.rng import as_rng
 from repro.utils.timer import LatencyHistogram, Timer
 from repro.utils.validation import (
@@ -12,6 +14,10 @@ __all__ = [
     "as_rng",
     "Timer",
     "LatencyHistogram",
+    "NullLock",
+    "NULL_LOCK",
+    "RWLock",
+    "make_lock",
     "check_fraction",
     "check_positive",
     "check_probability",

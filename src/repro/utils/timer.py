@@ -9,6 +9,9 @@ from __future__ import annotations
 
 import math
 import time
+from typing import Iterable
+
+from repro.utils.concurrency import NULL_LOCK, make_lock
 
 
 class Timer:
@@ -63,6 +66,16 @@ class LatencyHistogram:
 
     Percentiles are resolved to the upper edge of the bucket containing the
     requested rank, i.e. they are conservative (never under-report).
+
+    Degenerate durations are well-defined: an exactly-zero duration (a
+    coarse monotonic clock ticking twice inside its resolution) clamps
+    into the lowest bucket, and non-finite values are rejected with a
+    clear :class:`ValueError` instead of surfacing a math domain error
+    from the bucket computation.
+
+    Pass ``threadsafe=True`` when multiple threads record into the same
+    histogram (the concurrent serving runtime does); the default stays
+    lock-free so single-threaded callers pay nothing.
     """
 
     def __init__(
@@ -70,6 +83,7 @@ class LatencyHistogram:
         min_latency: float = 1e-6,
         max_latency: float = 60.0,
         buckets_per_decade: int = 20,
+        threadsafe: bool = False,
     ) -> None:
         if not 0.0 < min_latency < max_latency:
             raise ValueError(
@@ -85,6 +99,7 @@ class LatencyHistogram:
         self._n_buckets = max(1, math.ceil(decades * self.buckets_per_decade))
         self._growth = (self.max_latency / self.min_latency) ** (1.0 / self._n_buckets)
         self._counts = [0] * self._n_buckets
+        self._lock = make_lock(threadsafe)
         self.count = 0
         self.total = 0.0
         self.min = math.inf
@@ -93,6 +108,8 @@ class LatencyHistogram:
     # ------------------------------------------------------------------ #
 
     def _bucket(self, seconds: float) -> int:
+        # <= (not <) so an exactly-zero duration clamps into the lowest
+        # bucket instead of reaching math.log(0) below.
         if seconds <= self.min_latency:
             return 0
         if seconds >= self.max_latency:
@@ -104,33 +121,73 @@ class LatencyHistogram:
         return self.min_latency * self._growth ** (idx + 1)
 
     def record(self, seconds: float) -> None:
-        """Record one duration (negative values are rejected)."""
-        if seconds < 0:
-            raise ValueError(f"latency must be >= 0, got {seconds}")
-        self._counts[self._bucket(seconds)] += 1
+        """Record one duration (negative or non-finite values are rejected)."""
+        seconds = float(seconds)
+        if not math.isfinite(seconds) or seconds < 0:
+            raise ValueError(f"latency must be finite and >= 0, got {seconds}")
+        idx = self._bucket(seconds)
+        if self._lock is None:
+            # Inlined _record: this is the serving hot path, where an
+            # extra call frame is measurable (E31's 5% bound).
+            self._counts[idx] += 1
+            self.count += 1
+            self.total += seconds
+            if seconds < self.min:
+                self.min = seconds
+            if seconds > self.max:
+                self.max = seconds
+        else:
+            with self._lock:
+                self._record(idx, seconds)
+
+    def _record(self, idx: int, seconds: float) -> None:
+        self._counts[idx] += 1
         self.count += 1
         self.total += seconds
-        self.min = min(self.min, seconds)
-        self.max = max(self.max, seconds)
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def record_many(self, durations: Iterable[float]) -> None:
+        """Record a batch of durations under one lock acquisition.
+
+        The micro-batch serving path records one latency per request; a
+        batch of 64 would otherwise pay 64 lock round-trips.
+        """
+        pairs = []
+        for seconds in durations:
+            seconds = float(seconds)
+            if not math.isfinite(seconds) or seconds < 0:
+                raise ValueError(
+                    f"latency must be finite and >= 0, got {seconds}"
+                )
+            pairs.append((self._bucket(seconds), seconds))
+        with self._lock or NULL_LOCK:
+            for idx, seconds in pairs:
+                self._record(idx, seconds)
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (``q`` in [0, 100]); 0.0 when empty."""
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        if self.count == 0:
-            return 0.0
-        rank = math.ceil(q / 100.0 * self.count)
-        seen = 0
-        for idx, n in enumerate(self._counts):
-            seen += n
-            if seen >= rank:
-                if idx == self._n_buckets - 1:
-                    # Overflow bucket: its edge under-reports clamped
-                    # outliers, so answer with the exactly tracked max.
-                    return float(self.max)
-                # Clamp the bucket edge by the exactly tracked extremes.
-                return float(min(max(self._bucket_upper(idx), self.min), self.max))
-        return float(self.max)
+        with self._lock or NULL_LOCK:
+            if self.count == 0:
+                return 0.0
+            rank = math.ceil(q / 100.0 * self.count)
+            seen = 0
+            for idx, n in enumerate(self._counts):
+                seen += n
+                if seen >= rank:
+                    if idx == self._n_buckets - 1:
+                        # Overflow bucket: its edge under-reports clamped
+                        # outliers, so answer with the exactly tracked max.
+                        return float(self.max)
+                    # Clamp the bucket edge by the exactly tracked extremes.
+                    return float(
+                        min(max(self._bucket_upper(idx), self.min), self.max)
+                    )
+            return float(self.max)
 
     @property
     def p50(self) -> float:
@@ -156,12 +213,17 @@ class LatencyHistogram:
             or other.buckets_per_decade != self.buckets_per_decade
         ):
             raise ValueError("cannot merge histograms with different bucket layouts")
-        for idx, n in enumerate(other._counts):
-            self._counts[idx] += n
-        self.count += other.count
-        self.total += other.total
-        self.min = min(self.min, other.min)
-        self.max = max(self.max, other.max)
+        with other._lock or NULL_LOCK:
+            counts = list(other._counts)
+            count, total = other.count, other.total
+            low, high = other.min, other.max
+        with self._lock or NULL_LOCK:
+            for idx, n in enumerate(counts):
+                self._counts[idx] += n
+            self.count += count
+            self.total += total
+            self.min = min(self.min, low)
+            self.max = max(self.max, high)
         return self
 
     def summary(self) -> dict[str, float]:
@@ -183,11 +245,12 @@ class LatencyHistogram:
         return self.summary()
 
     def reset(self) -> None:
-        self._counts = [0] * self._n_buckets
-        self.count = 0
-        self.total = 0.0
-        self.min = math.inf
-        self.max = 0.0
+        with self._lock or NULL_LOCK:
+            self._counts = [0] * self._n_buckets
+            self.count = 0
+            self.total = 0.0
+            self.min = math.inf
+            self.max = 0.0
 
     def __len__(self) -> int:
         return self.count

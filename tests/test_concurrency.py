@@ -1,0 +1,442 @@
+"""Concurrency hammer tests: the ServingRuntime under thread pressure and
+the thread-safety contract of every shared-mutable component it touches
+(BatchingQueue, FeatureStore, OperatorCache, LatencyHistogram, obs
+metrics/tracer, RWLock).
+
+The hammer pattern: N producer threads firing M requests each against one
+runtime while an updater thread streams edge insertions, then a full
+accounting audit — every request answered exactly once, every counter
+consistent with every other counter, clean drain on close.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import contextual_sbm
+from repro.errors import (
+    ConfigError,
+    LoadSheddingError,
+    ServingError,
+    ServingTimeoutError,
+)
+from repro.models import SGC
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.perf import OperatorCache
+from repro.serving import BatchingQueue, ServingEngine, ServingRuntime
+from repro.storage import FeatureStore
+from repro.tensor.autograd import Tensor
+from repro.utils import LatencyHistogram, RWLock
+
+
+@pytest.fixture
+def fast_switching():
+    """Shrink the bytecode switch interval so races actually interleave."""
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    yield
+    sys.setswitchinterval(old)
+
+
+def _serving_graph(n_nodes=200, seed=7):
+    graph, _ = contextual_sbm(
+        n_nodes, n_classes=3, homophily=0.8, avg_degree=8,
+        n_features=12, feature_signal=1.0, seed=seed,
+    )
+    return graph
+
+
+def _fresh_edges(graph, count, seed):
+    """Node pairs absent from ``graph``, safe to stream as insertions."""
+    rng = np.random.default_rng(seed)
+    seen, edges = set(), []
+    while len(edges) < count:
+        u, v = (int(x) for x in rng.integers(0, graph.n_nodes, size=2))
+        key = (min(u, v), max(u, v))
+        if u == v or key in seen or graph.has_edge(u, v):
+            continue
+        seen.add(key)
+        edges.append((u, v))
+    return edges
+
+
+class StubModel:
+    """Controllable decoupled head for runtime semantics tests.
+
+    Deterministic output (a slice of the gathered hop row); ``delay``
+    sleeps inside the forward (releases the GIL, standing in for BLAS or
+    remote-fetch latency); ``fail_times`` raises on the first N forwards
+    to exercise the bounded-retry path.
+    """
+
+    def __init__(self, n_classes=3, delay=0.0, fail_times=0):
+        self.k_hops = 1
+        self.n_classes = n_classes
+        self.delay = delay
+        self.fail_times = fail_times
+        self._fail_lock = threading.Lock()
+
+    def eval(self):
+        pass
+
+    def __call__(self, x):
+        with self._fail_lock:
+            if self.fail_times > 0:
+                self.fail_times -= 1
+                raise RuntimeError("transient failure (injected)")
+        if self.delay:
+            time.sleep(self.delay)
+        return Tensor(np.asarray(x.data)[:, : self.n_classes])
+
+
+class TestServingRuntimeHammer:
+    N_THREADS = 8
+    N_REQUESTS = 250
+    N_UPDATES = 40
+
+    def test_hammer_with_midstream_updates(self):
+        graph = _serving_graph()
+        n = graph.n_nodes
+        model = SGC(graph.n_features, graph.n_classes, k_hops=2, seed=3)
+        rt = ServingRuntime(n_workers=4, max_retries=1)
+        rt.register("sgc", model, graph)
+        edges = _fresh_edges(graph, self.N_UPDATES, seed=99)
+
+        total = self.N_THREADS * self.N_REQUESTS
+        results, typed_errors = [], []
+        collect = threading.Lock()
+        start = threading.Barrier(self.N_THREADS + 1)
+
+        def producer(tid):
+            rng = np.random.default_rng(1000 + tid)
+            ok, bad = [], []
+            start.wait()
+            for _ in range(self.N_REQUESTS):
+                node = int(rng.integers(0, n))
+                try:
+                    res = rt.predict(node, timeout_s=60.0)
+                    ok.append((node, res))
+                except (LoadSheddingError, ServingTimeoutError) as exc:
+                    bad.append((node, exc))
+            with collect:
+                results.extend(ok)
+                typed_errors.extend(bad)
+
+        def updater():
+            start.wait()
+            for u, v in edges:
+                rt.apply_update(u, v)
+                time.sleep(0.002)
+
+        threads = [
+            threading.Thread(target=producer, args=(t,))
+            for t in range(self.N_THREADS)
+        ]
+        threads.append(threading.Thread(target=updater))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        rt.close()
+
+        # Every request answered exactly once (a lost response would hang
+        # the producer; a duplicate would inflate the counts below).
+        assert len(results) + len(typed_errors) == total
+        # Generous queue + deadline: nothing should actually shed/expire.
+        assert typed_errors == []
+        for node, res in results:
+            assert res.ok and res.node_id == node and res.prediction >= 0
+
+        # Counter audit: no torn increments anywhere in the pipeline.
+        engine = rt.engine
+        snap = engine.snapshot()
+        assert snap["served"] == total
+        assert snap["shed"] == 0
+        stats = engine.store.stats
+        assert stats.hits + stats.misses == total  # one store probe each
+        assert snap["cache_hits"] == stats.hits
+        assert engine.latency.count == total
+        queue = engine.queue
+        assert queue.submitted == total - stats.hits
+        assert queue.batched_requests == queue.submitted  # none lost/dup
+        assert queue.shed == 0 and len(queue) == 0
+
+        # The update stream really ran mid-flight and was fully applied.
+        record = engine.registry.get("sgc")
+        assert record.updates_applied == self.N_UPDATES
+
+        # Clean shutdown: drained, detached, inline path restored.
+        rt_snap = rt.snapshot()
+        assert rt.closed and rt_snap["pending_futures"] == 0
+        assert rt_snap["batches_executed"] == queue.batches_formed
+        assert engine.predict(0).ok  # inline works again after close
+
+    def test_predict_many_aligned_under_contention(self):
+        graph = _serving_graph(n_nodes=120, seed=11)
+        model = SGC(graph.n_features, graph.n_classes, k_hops=2, seed=5)
+        failures = []
+        with ServingRuntime(n_workers=3) as rt:
+            rt.register("sgc", model, graph)
+
+            def worker(tid):
+                rng = np.random.default_rng(tid)
+                nodes = rng.integers(0, graph.n_nodes, size=100)
+                out = rt.predict_many(nodes, timeout_s=60.0)
+                for want, res in zip(nodes, out):
+                    if res.node_id != int(want) or not res.ok:
+                        failures.append((tid, int(want), res))
+
+            threads = [
+                threading.Thread(target=worker, args=(t,)) for t in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert failures == []
+
+
+class TestRuntimeSemantics:
+    def test_full_queue_sheds_synchronously_with_typed_error(self):
+        graph = _serving_graph(n_nodes=40, seed=2)
+        queue = BatchingQueue(
+            max_batch=8, max_wait_s=30.0, max_queue=2, threadsafe=True
+        )
+        engine = ServingEngine(queue=queue, early_exit=False, threadsafe=True)
+        rt = ServingRuntime(engine=engine, n_workers=1)
+        rt.register("stub", StubModel(), graph)
+        f1 = rt.predict_async(0)
+        f2 = rt.predict_async(1)
+        with pytest.raises(LoadSheddingError):
+            rt.predict_async(2)
+        assert engine.snapshot()["shed"] == 1 and queue.shed == 1
+        rt.close()  # force-flushes the two queued requests
+        assert f1.result(5.0).ok and f2.result(5.0).ok
+
+    def test_deadline_raises_typed_timeout_but_work_completes(self):
+        graph = _serving_graph(n_nodes=40, seed=2)
+        rt = ServingRuntime(
+            n_workers=1, early_exit=False, default_timeout_s=0.05
+        )
+        rt.register("slow", StubModel(delay=0.4), graph)
+        with pytest.raises(ServingTimeoutError):
+            rt.predict(3)  # default_timeout_s applies
+        rt.close()  # waits out the in-flight batch
+        # The timeout bounded the caller's wait, not the work: the batch
+        # still completed and landed in the accounting + store.
+        assert rt.engine.snapshot()["served"] == 1
+        assert rt.engine.store.get(
+            rt.engine.registry.get("slow").namespace, 3
+        ) is not None
+
+    def test_failed_batch_retries_then_succeeds(self):
+        graph = _serving_graph(n_nodes=40, seed=2)
+        rt = ServingRuntime(n_workers=1, max_retries=2, early_exit=False)
+        rt.register("flaky", StubModel(fail_times=1), graph)
+        res = rt.predict(5, timeout_s=10.0)
+        assert res.ok
+        assert rt.snapshot()["retries"] == 1
+        rt.close()
+
+    def test_retries_are_bounded_and_surface_the_error(self):
+        graph = _serving_graph(n_nodes=40, seed=2)
+        rt = ServingRuntime(n_workers=1, max_retries=1, early_exit=False)
+        rt.register("dead", StubModel(fail_times=10), graph)
+        with pytest.raises(RuntimeError, match="injected"):
+            rt.predict(3, timeout_s=10.0)
+        assert rt.snapshot()["retries"] == 1  # one retry, then fail
+        assert rt.engine.snapshot()["served"] == 0
+        rt.close()
+
+    def test_close_is_idempotent_and_rejects_new_requests(self):
+        graph = _serving_graph(n_nodes=40, seed=2)
+        rt = ServingRuntime(n_workers=1, early_exit=False)
+        rt.register("stub", StubModel(), graph)
+        rt.close()
+        rt.close()
+        assert rt.closed
+        with pytest.raises(ServingError):
+            rt.predict_async(0)
+
+    def test_close_rejects_even_store_hits(self):
+        # Regression: the closed check must precede the store probe, or a
+        # warm node is still served through a closed runtime.
+        graph = _serving_graph(n_nodes=40, seed=2)
+        rt = ServingRuntime(n_workers=1, early_exit=False)
+        rt.register("stub", StubModel(), graph)
+        assert rt.predict(7, timeout_s=10.0).ok  # warms the store
+        rt.close()
+        assert rt.engine.predict(7).cached  # inline path may serve it...
+        with pytest.raises(ServingError, match="closed"):
+            rt.predict_async(7)  # ...but the runtime may not
+
+    def test_context_manager_closes(self):
+        graph = _serving_graph(n_nodes=40, seed=2)
+        with ServingRuntime(n_workers=1, early_exit=False) as rt:
+            rt.register("stub", StubModel(), graph)
+            assert rt.predict(1, timeout_s=10.0).ok
+        assert rt.closed
+
+    def test_inline_engine_path_blocked_while_attached(self):
+        graph = _serving_graph(n_nodes=40, seed=2)
+        rt = ServingRuntime(n_workers=1, early_exit=False)
+        rt.register("stub", StubModel(), graph)
+        with pytest.raises(ServingError, match="attached"):
+            rt.engine.predict(0)
+        rt.close()
+        assert rt.engine.predict(0).ok
+
+    def test_attachment_validation(self):
+        with pytest.raises(ConfigError, match="threadsafe"):
+            ServingRuntime(engine=ServingEngine(threadsafe=False))
+        rt = ServingRuntime(n_workers=1)
+        with pytest.raises(ServingError, match="already attached"):
+            ServingRuntime(engine=rt.engine)
+        with pytest.raises(ConfigError, match="engine_kwargs"):
+            ServingRuntime(engine=ServingEngine(threadsafe=True), threshold=0.5)
+        rt.close()
+
+
+def _run_threads(n, target):
+    threads = [threading.Thread(target=target, args=(t,)) for t in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestPrimitiveThreadSafety:
+    def test_counter_increments_are_exact(self, fast_switching):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+
+        def bump(_tid):
+            for _ in range(5000):
+                counter.inc()
+                counter.inc(status="ok")
+
+        _run_threads(8, bump)
+        assert counter.total == 80000.0
+        assert counter.value(status="ok") == 40000.0
+
+    def test_latency_histogram_concurrent_records(self, fast_switching):
+        hist = LatencyHistogram(threadsafe=True)
+        value = 2.0 ** -10  # dyadic: sums exactly in any order
+
+        def record(_tid):
+            for _ in range(1000):
+                hist.record(value)
+            hist.record_many([value] * 1000)
+
+        _run_threads(8, record)
+        assert hist.count == 16000
+        assert hist.total == 16000 * value
+
+    def test_feature_store_mixed_ops_keep_consistent_accounting(
+        self, fast_switching
+    ):
+        store = FeatureStore(capacity=128, threadsafe=True)
+        gets_per_thread = 1000
+
+        def churn(tid):
+            rng = np.random.default_rng(tid)
+            for i in range(gets_per_thread):
+                key = int(rng.integers(0, 400))
+                if i % 3 == 0:
+                    store.put("ns", key, key)
+                store.get("ns", key)
+                if i % 97 == 0:
+                    store.invalidate("ns", [key])
+
+        _run_threads(6, churn)
+        stats = store.stats
+        assert stats.hits + stats.misses == 6 * gets_per_thread
+        assert len(store) <= 128
+        assert store.snapshot()["size"] == len(store)
+
+    def test_operator_cache_builds_once_under_race(self, fast_switching):
+        graph = _serving_graph(n_nodes=80, seed=4)
+        cache = OperatorCache(threadsafe=True)
+        mats = [None] * 8
+
+        def lookup(tid):
+            for _ in range(50):
+                mats[tid] = cache.normalized_adjacency(graph)
+
+        _run_threads(8, lookup)
+        stats = cache.stats
+        assert stats.misses == 1  # built exactly once, never duplicated
+        assert stats.hits == 8 * 50 - 1
+        assert len(cache) == 1
+        for m in mats[1:]:
+            assert (m != mats[0]).nnz == 0
+
+    def test_tracer_keeps_span_stacks_per_thread(self, fast_switching):
+        tracer = Tracer(max_roots=10_000)
+        active_leaks = []
+
+        def trace(_tid):
+            for _ in range(100):
+                with tracer.span("outer"):
+                    with tracer.span("inner"):
+                        pass
+            if tracer.active is not None:  # stack must drain per-thread
+                active_leaks.append(tracer.active)
+
+        _run_threads(8, trace)
+        assert active_leaks == []
+        roots = tracer.roots()
+        assert len(roots) == 800
+        assert all(len(r.children) == 1 for r in roots)
+        ids = [s.span_id for s in tracer.spans()]
+        assert len(ids) == 1600 and len(set(ids)) == 1600
+
+    def test_batching_queue_concurrent_submissions(self, fast_switching):
+        queue = BatchingQueue(
+            max_batch=32, max_wait_s=0.0, max_queue=100_000, threadsafe=True
+        )
+
+        def submit(tid):
+            for i in range(1000):
+                queue.submit(i, f"model-{tid % 3}")
+
+        _run_threads(8, submit)
+        assert queue.submitted == 8000 and queue.shed == 0
+        ids = [r.request_id for batch in queue.drain() for r in batch]
+        assert len(ids) == 8000 and len(set(ids)) == 8000
+        assert queue.batched_requests == 8000 and len(queue) == 0
+
+    def test_rwlock_readers_never_observe_torn_writes(self, fast_switching):
+        lock = RWLock()
+        shared = [0, 0]
+        torn = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                with lock.reader:
+                    a, b = shared[0], shared[1]
+                if a != b:
+                    torn.append((a, b))
+
+        def writer(_tid):
+            for _ in range(500):
+                with lock.writer:
+                    shared[0] += 1
+                    shared[1] += 1
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for t in readers:
+            t.start()
+        _run_threads(2, writer)
+        stop.set()
+        for t in readers:
+            t.join()
+        assert torn == []
+        assert shared == [1000, 1000]

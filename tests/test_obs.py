@@ -255,6 +255,25 @@ class TestMetrics:
         for q in (0.5, 0.95, 0.99):
             assert h1.percentile(q) == pytest.approx(reference.percentile(q))
 
+    def test_histogram_reads_never_allocate_series(self):
+        # Regression: percentile()/series() used to create an empty
+        # series for unknown/typo'd labels, polluting every later
+        # snapshot. Reads must mirror count(): no allocation.
+        h = Histogram("lat")
+        h.observe(0.01, model="sgc")
+        assert h.percentile(0.95, model="sgcc") == 0.0  # typo'd label
+        assert h.count(model="sgcc") == 0
+        with pytest.raises(KeyError):
+            h.series(model="sgcc")
+        snap = h.snapshot()
+        assert all("sgcc" not in key for key in snap)
+        assert len(snap) == 6  # exactly the one observed series
+
+    def test_histogram_series_returns_observed_backing_histogram(self):
+        h = Histogram("lat")
+        h.observe(0.01, model="sgc")
+        assert h.series(model="sgc").count == 1
+
     def test_registry_get_or_create_returns_same_instrument(self):
         reg = MetricsRegistry()
         assert reg.counter("a") is reg.counter("a")

@@ -101,6 +101,35 @@ class TestLatencyHistogram:
         with pytest.raises(ValueError):
             LatencyHistogram().record(-1e-3)
 
+    def test_exactly_zero_duration_clamps_into_lowest_bucket(self):
+        # Regression: a coarse monotonic clock ticking twice inside its
+        # resolution yields a 0.0 duration, which used to reach
+        # math.log(0) in the bucket computation.
+        hist = LatencyHistogram()
+        hist.record(0.0)
+        assert hist.count == 1
+        assert hist.min == 0.0
+        assert hist.percentile(50) <= hist.min_latency * hist._growth
+
+    def test_non_finite_latency_rejected_with_clear_message(self):
+        # Regression: NaN used to surface as a bare float-conversion
+        # error from the bucket math instead of a validation error.
+        hist = LatencyHistogram()
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(ValueError, match="finite"):
+                hist.record(bad)
+        assert hist.count == 0
+
+    def test_record_many_matches_individual_records(self):
+        one_by_one, batched = LatencyHistogram(), LatencyHistogram()
+        samples = [0.0005, 0.002, 0.004, 0.03, 0.3]
+        for s in samples:
+            one_by_one.record(s)
+        batched.record_many(samples)
+        assert batched.count == one_by_one.count
+        assert batched.total == pytest.approx(one_by_one.total)
+        assert batched.summary() == one_by_one.summary()
+
     def test_out_of_range_values_clamp_into_edge_buckets(self):
         hist = LatencyHistogram(min_latency=1e-3, max_latency=1.0)
         hist.record(1e-9)
@@ -193,6 +222,53 @@ class TestFeatureStore:
         assert (stats.hits, stats.misses) == (1, 1)
         assert stats.hit_rate == pytest.approx(0.5)
 
+    def test_expired_rows_swept_before_live_lru_eviction(self):
+        # Regression: a full store used to LRU-evict a *live* row while
+        # TTL-expired rows sat resident; expired residents must go first
+        # and be accounted as expirations, not evictions.
+        clock = ManualClock()
+        store = FeatureStore(capacity=2, ttl_s=10.0, clock=clock)
+        store.put("ns", 0, "a")
+        store.put("ns", 1, "b")
+        clock.advance(11.0)  # both residents are now TTL-expired
+        store.put("ns", 2, "c")
+        assert store.expirations == 2
+        assert store.stats.evictions == 0
+        assert len(store) == 1
+        assert store.get("ns", 2) == "c"
+
+    def test_live_row_survives_insert_when_expired_resident_exists(self):
+        clock = ManualClock()
+        store = FeatureStore(capacity=2, ttl_s=10.0, clock=clock)
+        store.put("ns", 0, "stale")
+        clock.advance(8.0)
+        store.put("ns", 1, "live")
+        clock.advance(3.0)  # node 0 expired (11s), node 1 still live (3s)
+        store.put("ns", 2, "new")
+        assert store.get("ns", 1) == "live"
+        assert store.get("ns", 0) is None
+        assert store.stats.evictions == 0
+
+    def test_snapshot_size_excludes_expired_residents(self):
+        clock = ManualClock()
+        store = FeatureStore(capacity=8, ttl_s=10.0, clock=clock)
+        store.put("ns", 0, "a")
+        clock.advance(11.0)
+        store.put("ns", 1, "b")
+        snap = store.snapshot()
+        assert snap["size"] == 1
+        assert snap["expired_resident"] == 1
+
+    def test_put_many_matches_individual_puts(self):
+        one, many = FeatureStore(capacity=8), FeatureStore(capacity=8)
+        rows = [(0, "a"), (1, "b"), (2, "c")]
+        for node, value in rows:
+            one.put("ns", node, value)
+        many.put_many("ns", rows)
+        assert len(many) == len(one) == 3
+        for node, value in rows:
+            assert many.get("ns", node) == value
+
 
 # --------------------------------------------------------------------- #
 # BatchingQueue
@@ -267,6 +343,55 @@ class TestBatchingQueue:
         assert [len(b) for b in batches] == [4, 2]
         assert len(queue) == 0
         assert queue.mean_batch_size == pytest.approx(3.0)
+
+    def test_skipped_requests_keep_seniority_across_repeated_batches(self):
+        # Mixed-model traffic: requests skipped while another model's
+        # batch forms must stay in FIFO order across *multiple*
+        # next_batch() calls, not just one.
+        clock = ManualClock()
+        queue = BatchingQueue(max_batch=2, max_wait_s=0.0, clock=clock)
+        arrivals = [
+            (0, "a"), (1, "b"), (2, "c"), (3, "a"),
+            (4, "b"), (5, "c"), (6, "a"), (7, "b"),
+        ]
+        for node, key in arrivals:
+            queue.submit(node, key)
+        emitted = []
+        while len(queue):
+            emitted.append(
+                [(r.node_id, r.model_key) for r in queue.next_batch(force=True)]
+            )
+        # Batch order follows head-of-queue seniority: a, b, c, then the
+        # overflow "a" request (max_batch=2 capped the first a-batch).
+        assert emitted == [
+            [(0, "a"), (3, "a")],
+            [(1, "b"), (4, "b")],
+            [(2, "c"), (5, "c")],
+            [(6, "a")],
+            [(7, "b")],
+        ]
+
+    def test_drain_terminates_with_heterogeneous_model_keys(self):
+        queue = BatchingQueue(max_batch=4, max_wait_s=99.0, clock=ManualClock())
+        for node in range(12):
+            queue.submit(node, f"model-{node % 5}")
+        batches = list(queue.drain())
+        assert len(queue) == 0
+        served = [r.node_id for batch in batches for r in batch]
+        assert sorted(served) == list(range(12))
+        for batch in batches:
+            assert len({r.model_key for r in batch}) == 1
+
+    def test_oldest_age_tracks_head_request(self):
+        clock = ManualClock()
+        queue = BatchingQueue(max_batch=8, max_wait_s=1.0, clock=clock)
+        assert queue.oldest_age() is None
+        queue.submit(0, "m")
+        clock.advance(0.25)
+        queue.submit(1, "m")
+        assert queue.oldest_age() == pytest.approx(0.25)
+        queue.next_batch(force=True)
+        assert queue.oldest_age() is None
 
 
 # --------------------------------------------------------------------- #

@@ -180,3 +180,69 @@ class TestDistributed:
         graph, split = csbm_dataset
         with pytest.raises(ConfigError):
             simulate_distributed_training(graph, split, np.zeros(graph.n_nodes, dtype=int), 1)
+
+    def test_workers_without_train_nodes_do_not_dilute_average(self, csbm_dataset):
+        # Regression: parameter averaging used equal weights, so a
+        # pathological partition placing every train node on one worker
+        # let the other worker's never-trained weights dilute each
+        # round's update. Weighted by train-node count, the zero-train
+        # worker contributes nothing and the run must match a
+        # single-worker reference exactly.
+        from repro.models.gcn import GCN
+        from repro.tensor import functional as F
+        from repro.tensor.autograd import no_grad
+        from repro.tensor.optim import Adam
+        from repro.utils.rng import as_rng, split_rng
+
+        graph, split = csbm_dataset
+        # Partition 1 holds only test nodes: zero local train nodes.
+        assignment = np.zeros(graph.n_nodes, dtype=np.int64)
+        assignment[split.test] = 1
+        epochs, hidden, lr, wd = 12, 32, 0.01, 5e-4
+        res = simulate_distributed_training(
+            graph, split, assignment, 2,
+            epochs=epochs, hidden=hidden, lr=lr, weight_decay=wd, seed=0,
+        )
+
+        # Reference: worker 0 alone, mirroring the sim's exact RNG
+        # derivation (worker 0's stream of split_rng(as_rng(0), 2)).
+        worker_rngs = split_rng(as_rng(0), 2)
+        nodes0 = np.flatnonzero(assignment == 0)
+        sub = graph.subgraph(nodes0)
+        train_mask = np.zeros(graph.n_nodes, dtype=bool)
+        train_mask[split.train] = True
+        local_train = np.flatnonzero(train_mask[nodes0])
+        model = GCN(
+            graph.n_features, hidden, graph.n_classes, n_layers=2,
+            dropout=0.3, seed=worker_rngs[0],
+        )
+        opt = Adam(model.parameters(), lr=lr, weight_decay=wd)
+        prep = GCN.prepare(sub)
+        for _ in range(epochs):
+            model.train()
+            opt.zero_grad()
+            logits = model(prep, sub.x)
+            loss = F.cross_entropy(
+                logits.gather_rows(local_train), sub.y[local_train]
+            )
+            loss.backward()
+            opt.step()
+        model.eval()
+        with no_grad():
+            logits = model(GCN.prepare(graph), graph.x).data
+        ref_acc = accuracy(
+            logits[split.test].argmax(axis=1), graph.y[split.test]
+        )
+        assert res.test_accuracy == ref_acc
+
+    def test_no_train_nodes_anywhere_rejected(self, csbm_dataset):
+        graph, _ = csbm_dataset
+        empty = Split(
+            train=np.array([], dtype=np.int64),
+            val=np.arange(5),
+            test=np.arange(5, 10),
+        )
+        assignment = np.zeros(graph.n_nodes, dtype=np.int64)
+        assignment[: graph.n_nodes // 2] = 1
+        with pytest.raises(ConfigError):
+            simulate_distributed_training(graph, empty, assignment, 2, epochs=1)
