@@ -18,20 +18,27 @@ Scalable Graph Neural Networks: The Perspective of Graph Data Management"*:
 * :mod:`repro.training` — trainers, metrics, simulated distributed training.
 * :mod:`repro.obs` — unified observability: nested-span tracing, metrics
   registry + stats-source snapshots, ``repro.*`` logging (off by default).
+* :mod:`repro.resilience` — fault injection, checksummed checkpoints,
+  circuit breakers, retry/backoff: failure as a testable input.
 * :mod:`repro.datasets` — synthetic node-classification workloads.
 * :mod:`repro.bench` — timing/memory accounting and table formatting.
 * :mod:`repro.taxonomy` — machine-readable Figure 1 of the paper.
 """
 
 from repro.errors import (
+    CheckpointError,
+    CircuitOpenError,
     ConfigError,
     ConvergenceError,
+    DivergenceError,
+    FaultError,
     GraphError,
     LoadSheddingError,
     NotFittedError,
     ReproError,
     ServingError,
     ShapeError,
+    TransientError,
 )
 from repro.graph import Graph
 
@@ -47,5 +54,10 @@ __all__ = [
     "ConfigError",
     "ServingError",
     "LoadSheddingError",
+    "TransientError",
+    "FaultError",
+    "CheckpointError",
+    "DivergenceError",
+    "CircuitOpenError",
     "__version__",
 ]

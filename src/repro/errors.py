@@ -32,6 +32,33 @@ class ConfigError(ReproError):
     """A hyper-parameter or option is outside its valid range."""
 
 
+class TransientError(ReproError):
+    """A failure expected to clear on retry (a network blip, a racing
+    update, an injected chaos fault).
+
+    The marker consumed by :func:`repro.resilience.classify_error`: a
+    raised exception is retried only when it derives from this class or
+    carries a truthy ``transient`` attribute; everything else is treated
+    as permanent and fails fast."""
+
+    transient = True
+
+
+class FaultError(ReproError):
+    """A deliberately injected *permanent* fault
+    (:class:`repro.resilience.FaultInjector`); never retried."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, found, or verified — including
+    a stored-checksum mismatch on load (corrupt or truncated file)."""
+
+
+class DivergenceError(ReproError):
+    """Training produced a non-finite (NaN/inf) loss; the message names
+    the epoch so the run can be resumed from an earlier checkpoint."""
+
+
 class ServingError(ReproError):
     """An online-serving request could not be satisfied (unknown model,
     graph/model mismatch, or an update applied to a non-dynamic model)."""
@@ -39,6 +66,15 @@ class ServingError(ReproError):
 
 class LoadSheddingError(ServingError):
     """A request was rejected by admission control (the queue is full)."""
+
+
+class CircuitOpenError(ServingError):
+    """A request was rejected because the model's circuit breaker is open
+    (recent batch failure rate crossed the threshold) and no stale
+    fallback row was available. Clears once the cooldown elapses and a
+    half-open probe succeeds, so it is marked ``transient``."""
+
+    transient = True
 
 
 class ServingTimeoutError(ServingError):

@@ -41,28 +41,60 @@ def load_edge_list(
     path = Path(path)
     edges: list[tuple[int, int]] = []
     weights: list[float] = []
-    with path.open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                parts = line[1:].split()
-                if len(parts) >= 4 and parts[0] == "nodes":
-                    n_nodes = int(parts[1])
-                    directed = bool(int(parts[3]))
-                continue
-            parts = line.split()
-            if len(parts) < 2:
-                raise GraphError(f"malformed edge line: {line!r}")
-            edges.append((int(parts[0]), int(parts[1])))
-            weights.append(float(parts[2]) if len(parts) > 2 else 1.0)
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    parts = line[1:].split()
+                    if len(parts) >= 4 and parts[0] == "nodes":
+                        try:
+                            n_nodes = int(parts[1])
+                            directed = bool(int(parts[3]))
+                        except ValueError as exc:
+                            raise GraphError(
+                                f"{path}:{lineno}: malformed header "
+                                f"{line!r}: {exc}"
+                            ) from exc
+                    continue
+                parts = line.split()
+                if len(parts) < 2:
+                    raise GraphError(
+                        f"{path}:{lineno}: malformed edge line: {line!r}"
+                    )
+                try:
+                    edges.append((int(parts[0]), int(parts[1])))
+                    weights.append(
+                        float(parts[2]) if len(parts) > 2 else 1.0
+                    )
+                except ValueError as exc:
+                    raise GraphError(
+                        f"{path}:{lineno}: malformed edge line "
+                        f"{line!r}: {exc}"
+                    ) from exc
+    except OSError as exc:
+        raise GraphError(f"cannot read edge list {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise GraphError(
+            f"edge list {path} is not valid UTF-8 text: {exc}"
+        ) from exc
     if not edges:
         raise GraphError(f"no edges found in {path}")
     arr = np.asarray(edges, dtype=np.int64)
     warr = np.asarray(weights, dtype=np.float64)
+    if arr.min() < 0:
+        raise GraphError(
+            f"edge list {path} names negative node id {int(arr.min())}"
+        )
     if n_nodes is None:
         n_nodes = int(arr.max()) + 1
+    elif arr.max() >= n_nodes:
+        raise GraphError(
+            f"edge list {path} names node {int(arr.max())} but declares "
+            f"only {n_nodes} nodes"
+        )
     seen: dict[tuple[int, int], int] = {}
     keep: list[int] = []
     for i, (s, d) in enumerate(map(tuple, arr)):
@@ -97,13 +129,47 @@ def save_npz(graph: Graph, path: str | Path) -> None:
 
 
 def load_npz(path: str | Path) -> Graph:
-    """Inverse of :func:`save_npz`."""
-    with np.load(Path(path)) as data:
-        return Graph(
-            data["indptr"],
-            data["indices"],
-            data["weights"],
-            x=data["x"] if "x" in data else None,
-            y=data["y"] if "y" in data else None,
-            directed=bool(data["directed"][0]),
+    """Inverse of :func:`save_npz`.
+
+    Corrupt or foreign inputs — a truncated/overwritten zip, an ``.npz``
+    missing the CSR arrays, or an edge index pointing past the node
+    count — raise :class:`~repro.errors.GraphError` naming the path
+    instead of leaking a decoder traceback.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            entries = {name: data[name] for name in data.files}
+    except FileNotFoundError:
+        raise GraphError(f"graph file {path} does not exist") from None
+    except Exception as exc:  # zipfile.BadZipFile, OSError, ValueError
+        raise GraphError(
+            f"graph file {path} is corrupt or not an npz archive: {exc}"
+        ) from exc
+    missing = [k for k in ("indptr", "indices", "weights") if k not in entries]
+    if missing:
+        raise GraphError(
+            f"graph file {path} is missing required arrays {missing}"
         )
+    indptr, indices = entries["indptr"], entries["indices"]
+    n_nodes = len(indptr) - 1
+    if len(indices) and (indices.max() >= n_nodes or indices.min() < 0):
+        raise GraphError(
+            f"graph file {path} is corrupt: edge indices must lie in "
+            f"[0, {n_nodes}), found range "
+            f"[{int(indices.min())}, {int(indices.max())}]"
+        )
+    try:
+        return Graph(
+            indptr,
+            indices,
+            entries["weights"],
+            x=entries.get("x"),
+            y=entries.get("y"),
+            directed=bool(entries["directed"][0]) if "directed" in entries
+            else False,
+        )
+    except (GraphError, ValueError, IndexError, KeyError) as exc:
+        raise GraphError(
+            f"graph file {path} holds inconsistent arrays: {exc}"
+        ) from exc

@@ -30,6 +30,7 @@ from repro.graph.core import Graph
 from repro.obs import OBS
 from repro.perf.fingerprint import array_fingerprint
 from repro.perf.operator_cache import OperatorCache, get_default_cache
+from repro.resilience.faults import FAULTS
 from repro.storage.feature_cache import CacheStats
 from repro.utils.concurrency import NULL_LOCK, make_lock
 from repro.utils.validation import check_int_range
@@ -52,16 +53,28 @@ def chunked_spmm(
     plain product when the operator fits in a single chunk.
     """
     check_int_range("chunk_rows", chunk_rows, 1)
+    # Fault site "propagation.hop": decided before the SpMM so transient
+    # crashes and injected stragglers cost no compute; corrupt/drop act
+    # on the hop output below. One attribute check when chaos is off.
+    action = FAULTS.injector.fire("propagation.hop") if FAULTS.active else None
     dense = np.asarray(dense)
     n_rows = operator.shape[0]
     if n_rows <= chunk_rows:
-        return operator @ dense
-    operator = operator.tocsr()
-    out_shape = (n_rows,) if dense.ndim == 1 else (n_rows, dense.shape[1])
-    out = np.empty(out_shape, dtype=np.result_type(operator.dtype, dense.dtype))
-    for start in range(0, n_rows, chunk_rows):
-        stop = min(start + chunk_rows, n_rows)
-        out[start:stop] = operator[start:stop] @ dense
+        out = operator @ dense
+    else:
+        operator = operator.tocsr()
+        out_shape = (n_rows,) if dense.ndim == 1 else (n_rows, dense.shape[1])
+        out = np.empty(
+            out_shape, dtype=np.result_type(operator.dtype, dense.dtype)
+        )
+        for start in range(0, n_rows, chunk_rows):
+            stop = min(start + chunk_rows, n_rows)
+            out[start:stop] = operator[start:stop] @ dense
+    if action == "corrupt":
+        out = FAULTS.injector.corrupt(out)
+    elif action == "drop":
+        # A dropped hop result models a lost partial aggregation.
+        out = np.zeros_like(out)
     return out
 
 
@@ -76,8 +89,14 @@ def rows_spmm(
     after an edge insertion only the dirty K-hop rows of a hop stack are
     re-derived this way.
     """
+    action = FAULTS.injector.fire("propagation.hop") if FAULTS.active else None
     rows = np.asarray(rows, dtype=np.int64)
-    return operator.tocsr()[rows] @ np.asarray(dense)
+    out = operator.tocsr()[rows] @ np.asarray(dense)
+    if action == "corrupt":
+        out = FAULTS.injector.corrupt(out)
+    elif action == "drop":
+        out = np.zeros_like(out)
+    return out
 
 
 class PropagationEngine:

@@ -1,0 +1,118 @@
+"""Typed error classification and exponential backoff with jitter.
+
+The one rule every retry loop in the library follows: *retry only what
+can plausibly succeed on retry*. :func:`classify_error` splits a raised
+exception into ``"transient"`` (derives from
+:class:`repro.errors.TransientError` or carries a truthy ``transient``
+attribute) versus ``"permanent"`` (everything else — an unknown model, a
+shape mismatch, a bug). :class:`RetryPolicy` then spaces transient
+retries with capped exponential backoff plus seeded jitter, so a burst
+of failures does not re-synchronise into a retry stampede while the
+schedule stays reproducible under test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import TransientError
+from repro.utils.validation import check_int_range, check_positive, check_probability
+
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+
+def classify_error(exc: BaseException) -> str:
+    """``"transient"`` or ``"permanent"`` for a raised exception.
+
+    Transient means *retry may help*: the exception derives from
+    :class:`TransientError` or exposes a truthy ``transient`` attribute
+    (the duck-typed escape hatch for exceptions the library does not
+    own). Everything else is permanent and must fail fast — retrying a
+    deterministic failure only multiplies its cost.
+    """
+    if isinstance(exc, TransientError):
+        return TRANSIENT
+    if getattr(exc, "transient", False):
+        return TRANSIENT
+    return PERMANENT
+
+
+class RetryPolicy:
+    """Bounded retry with capped exponential backoff and seeded jitter.
+
+    Delay before retry ``k`` (1-based) is ``base_delay_s * 2**(k-1)``
+    capped at ``max_delay_s``, then scaled by a uniform factor in
+    ``[1 - jitter, 1 + jitter]`` drawn from a seeded stream.
+
+    Parameters
+    ----------
+    max_retries:
+        Retry budget per operation; ``0`` disables retry entirely.
+    base_delay_s, max_delay_s:
+        Backoff range (``base_delay_s`` may be 0 for spin-retry tests).
+    jitter:
+        Relative jitter fraction in ``[0, 1]``.
+    seed:
+        Seeds the jitter stream (``None`` = fresh entropy).
+    sleep:
+        Injectable so tests can observe delays without waiting them.
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 3,
+        base_delay_s: float = 0.01,
+        max_delay_s: float = 1.0,
+        jitter: float = 0.5,
+        seed: int | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        check_int_range("max_retries", max_retries, 0)
+        check_positive("base_delay_s", base_delay_s, strict=False)
+        check_positive("max_delay_s", max_delay_s, strict=False)
+        check_probability("jitter", jitter)
+        self.max_retries = max_retries
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self.jitter = jitter
+        self._sleep = sleep
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+
+    def should_retry(self, exc: BaseException, retries_done: int) -> bool:
+        """Whether to retry after ``exc`` given ``retries_done`` so far."""
+        return (
+            retries_done < self.max_retries
+            and classify_error(exc) == TRANSIENT
+        )
+
+    def delay_s(self, retry: int) -> float:
+        """The jittered backoff before retry number ``retry`` (1-based)."""
+        check_int_range("retry", retry, 1)
+        base = min(self.base_delay_s * 2 ** (retry - 1), self.max_delay_s)
+        if base == 0.0:
+            return 0.0
+        if self.jitter == 0.0:
+            return base
+        with self._lock:
+            factor = 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return base * factor
+
+    def backoff(self, retry: int) -> float:
+        """Sleep the retry's delay; returns the seconds slept."""
+        delay = self.delay_s(retry)
+        if delay > 0.0:
+            self._sleep(delay)
+        return delay
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RetryPolicy(max_retries={self.max_retries}, "
+            f"base={self.base_delay_s}s, cap={self.max_delay_s}s, "
+            f"jitter={self.jitter})"
+        )

@@ -31,10 +31,11 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro import obs
-from repro.errors import LoadSheddingError, ServingError
+from repro.errors import LoadSheddingError, ServingError, TransientError
 from repro.graph.core import Graph
 from repro.models.nai import confidence_gated_predict
 from repro.obs import OBS
+from repro.resilience.faults import FAULTS
 from repro.serving.batching import BatchingQueue, PredictRequest
 from repro.serving.invalidation import UpdateReport, dirty_frontiers, patch_stack
 from repro.serving.registry import ModelRegistry, ServedModel
@@ -49,7 +50,12 @@ _LOG = obs.get_logger("repro.serving.engine")
 
 @dataclass(frozen=True)
 class ServeResult:
-    """The answer to one single-node request."""
+    """The answer to one single-node request.
+
+    ``degraded=True`` marks a stale-fallback answer: the model's circuit
+    breaker was open and the runtime served a TTL-expired store row
+    instead of failing the request.
+    """
 
     node_id: int
     model_key: str
@@ -58,6 +64,7 @@ class ServeResult:
     cached: bool
     hops_used: int
     latency_s: float
+    degraded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -332,6 +339,22 @@ class ServingEngine:
         :class:`~repro.serving.runtime.ServingRuntime` — gathers rows,
         runs the gated/full forward, writes the store, and accounts
         latency, exactly like the inline path."""
+        if FAULTS.active:
+            # Fault site "serving.batch": transient/permanent/delay are
+            # handled by fire(); drop and corrupt both surface as a
+            # retryable loss — the batch executed but its result never
+            # arrived intact, which is how the runtime's retry loop and
+            # circuit breaker observe infrastructure failures.
+            action = FAULTS.injector.fire("serving.batch")
+            if action == "drop":
+                raise TransientError(
+                    "serving batch result dropped by fault injection"
+                )
+            if action == "corrupt":
+                raise TransientError(
+                    "serving batch result corrupted in transit "
+                    "(fault injection)"
+                )
         out: dict[int, ServeResult] = {}
         self._process_batch(batch, out)
         return out

@@ -23,8 +23,15 @@ The division of labour:
   store writes from different micro-batches proceed concurrently, which
   is where throughput scaling comes from when per-batch service time is
   dominated by lock-releasing work (BLAS kernels, I/O waits);
-* **failure** is bounded: a batch that raises is retried up to
-  ``max_retries`` times, then every future in it receives the exception.
+* **failure** is bounded *and classified*: a batch that raises a
+  transient error (:func:`repro.resilience.classify_error`) is retried
+  under the runtime's :class:`~repro.resilience.RetryPolicy` (capped
+  exponential backoff with jitter); a permanent error fails every future
+  in the batch immediately with zero retries. Outcomes feed a per-model
+  :class:`~repro.resilience.CircuitBreaker` — when a model's breaker
+  opens, new requests for it are answered from TTL-expired store rows
+  (``degraded=True``) when possible and rejected with
+  :class:`~repro.errors.CircuitOpenError` otherwise.
 
 The wrapped engine must be constructed ``threadsafe=True`` (the runtime
 builds one that way by default); its inline ``predict``/``predict_many``
@@ -43,11 +50,14 @@ import numpy as np
 
 from repro import obs
 from repro.errors import (
+    CircuitOpenError,
     ConfigError,
     LoadSheddingError,
     ServingError,
     ServingTimeoutError,
 )
+from repro.resilience.breaker import CLOSED, STATE_CODES, CircuitBreaker
+from repro.resilience.retry import PERMANENT, RetryPolicy, classify_error
 from repro.serving.batching import PredictRequest
 from repro.serving.engine import ServeResult, ServingEngine
 from repro.serving.registry import ServedModel
@@ -69,10 +79,27 @@ class ServingRuntime:
         Worker threads executing micro-batches concurrently.
     max_retries:
         How many times a failed batch is re-executed before its
-        requests fail. ``0`` disables retry.
+        requests fail. ``0`` disables retry. Only *transient* failures
+        are retried at all — permanent errors fail fast regardless.
     default_timeout_s:
         Deadline applied by :meth:`predict`/:meth:`predict_many` when
         the call doesn't pass its own; ``None`` waits indefinitely.
+    retry_policy:
+        Backoff schedule for transient retries. When omitted a seeded
+        :class:`~repro.resilience.RetryPolicy` is built from
+        ``max_retries`` with short delays suited to micro-batch serving;
+        when given, its ``max_retries`` takes precedence.
+    breaker_factory:
+        Zero/keyword-arg callable building one per-model
+        :class:`~repro.resilience.CircuitBreaker` lazily on first use.
+        Pass ``None`` to disable circuit breaking entirely.
+    breaker_kwargs:
+        Keyword arguments for ``breaker_factory``.
+    stale_fallback:
+        While a model's breaker is open, answer from TTL-expired store
+        rows (``degraded=True``) instead of rejecting, when a stale row
+        exists. ``False`` always rejects with
+        :class:`~repro.errors.CircuitOpenError`.
     """
 
     def __init__(
@@ -81,6 +108,10 @@ class ServingRuntime:
         n_workers: int = 2,
         max_retries: int = 1,
         default_timeout_s: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_factory=CircuitBreaker,
+        breaker_kwargs: dict | None = None,
+        stale_fallback: bool = True,
         **engine_kwargs,
     ) -> None:
         check_int_range("n_workers", n_workers, 1)
@@ -100,14 +131,33 @@ class ServingRuntime:
             raise ServingError("engine is already attached to a ServingRuntime")
         self.engine = engine
         self.n_workers = int(n_workers)
-        self.max_retries = int(max_retries)
+        if retry_policy is None:
+            retry_policy = RetryPolicy(
+                max_retries=max_retries,
+                base_delay_s=0.002,
+                max_delay_s=0.1,
+                jitter=0.5,
+                seed=0,
+            )
+        self.retry_policy = retry_policy
+        self.max_retries = int(retry_policy.max_retries)
         self.default_timeout_s = default_timeout_s
+        self.stale_fallback = bool(stale_fallback)
+        self._breaker_factory = breaker_factory
+        self._breaker_kwargs = dict(breaker_kwargs or {})
+        self._breakers: dict[str, CircuitBreaker] = {}
+        # One-attribute-check guard for the submit hot path: False until
+        # any breaker leaves the closed state, so healthy serving never
+        # pays a breaker lock per request (mirrors FAULTS.active).
+        self._tripped = False
         self._cond = threading.Condition()
         self._futures: dict[int, Future] = {}
         self._closing = False
         self._closed = False
         self.batches_executed = 0
         self.retries = 0
+        self.degraded = 0
+        self.failed_fast = 0
         self._stats_lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
             max_workers=self.n_workers, thread_name_prefix="repro-serve"
@@ -120,6 +170,54 @@ class ServingRuntime:
         self._batcher.start()
 
     # ------------------------------------------------------------------ #
+    # Circuit breakers / degradation
+    # ------------------------------------------------------------------ #
+
+    def breaker(self, model_key: str) -> CircuitBreaker | None:
+        """The model's breaker (created lazily), or ``None`` if disabled."""
+        if self._breaker_factory is None:
+            return None
+        with self._stats_lock:
+            breaker = self._breakers.get(model_key)
+            if breaker is None:
+                breaker = self._breaker_factory(**self._breaker_kwargs)
+                self._breakers[model_key] = breaker
+            return breaker
+
+    def _publish_breaker(self, model_key: str, breaker: CircuitBreaker) -> None:
+        if obs.OBS.enabled:
+            obs.OBS.registry.gauge("breaker.state").set(
+                STATE_CODES[breaker.state], model=model_key
+            )
+
+    def _stale_result(
+        self, record: ServedModel, node_id: int, t0: float
+    ) -> ServeResult | None:
+        """A degraded answer from a resident (possibly expired) store row,
+        or ``None`` when no row exists / fallback is disabled."""
+        if not self.stale_fallback or self.engine.store is None:
+            return None
+        cached = self.engine.store.get_stale(record.namespace, node_id)
+        if cached is None:
+            return None
+        with self._stats_lock:
+            self.degraded += 1
+        latency = self.engine._clock() - t0
+        self.engine.latency.record(latency)
+        if obs.OBS.enabled:
+            obs.OBS.registry.counter("serving.degraded_responses").inc(
+                model=record.key
+            )
+        _LOG.debug(
+            "degraded answer for node %d (%s breaker open)",
+            node_id, record.key,
+        )
+        return ServeResult(
+            node_id, record.key, cached.prediction, "ok", True,
+            cached.hops_used, latency, degraded=True,
+        )
+
+    # ------------------------------------------------------------------ #
     # Submission
     # ------------------------------------------------------------------ #
 
@@ -127,7 +225,9 @@ class ServingRuntime:
         self, record: ServedModel, node_id: int
     ) -> tuple[str, ServeResult | Future]:
         """Admit one request: ``("hit", result)`` | ``("shed", result)``
-        | ``("queued", future)``. Runs on the caller's thread."""
+        | ``("degraded", result)`` | ``("queued", future)``. Runs on the
+        caller's thread; raises :class:`~repro.errors.CircuitOpenError`
+        when the model's breaker is open and no stale row is resident."""
         n = record.graph.n_nodes
         if not 0 <= node_id < n:
             raise ServingError(f"node {node_id} outside [0, {n})")
@@ -136,6 +236,23 @@ class ServingRuntime:
         if self._closing:
             raise ServingError("runtime is closed; no new requests accepted")
         t0 = self.engine._clock()
+        # Breaker gate FIRST, and only once some breaker has tripped (the
+        # `_tripped` flag keeps healthy serving at one attribute check).
+        # Ordering matters: a regular store ``get`` *evicts* TTL-expired
+        # rows, which would destroy the very copy the stale fallback is
+        # about to serve — so while the breaker is open we read through
+        # ``get_stale`` (which serves live and expired rows alike and
+        # leaves residency untouched) instead of the normal hit path.
+        if self._tripped:
+            breaker = self.breaker(record.key)
+            if breaker is not None and not breaker.allow():
+                result = self._stale_result(record, node_id, t0)
+                if result is not None:
+                    return ("degraded", result)
+                raise CircuitOpenError(
+                    f"circuit for model {record.key!r} is open and no stale "
+                    f"prediction for node {node_id} is resident"
+                )
         hit = self.engine.try_store(record, node_id, t0)
         if hit is not None:
             return ("hit", hit)
@@ -160,14 +277,17 @@ class ServingRuntime:
 
         A store hit resolves immediately; a full queue raises
         :class:`~repro.errors.LoadSheddingError` here, synchronously —
-        admission control answers at submit time, not on the future.
+        admission control answers at submit time, not on the future. An
+        open circuit breaker resolves immediately with a stale
+        ``degraded=True`` answer when one is resident, and raises
+        :class:`~repro.errors.CircuitOpenError` otherwise.
         """
         record = self.engine._resolve(model)
         kind, payload = self._submit(record, int(node_id))
         if kind == "queued":
             return payload
         future: Future = Future()
-        if kind == "hit":
+        if kind in ("hit", "degraded"):
             future.set_result(payload)
             return future
         # Shed: account for it, then surface the typed error.
@@ -262,26 +382,60 @@ class ServingRuntime:
                 self._pool.submit(self._execute_batch, batch)
 
     def _execute_batch(self, batch: list[PredictRequest]) -> None:
-        attempts = 0
+        model_key = batch[0].model_key
+        breaker = self.breaker(model_key)
+        retries_done = 0
         while True:
             try:
                 results = self.engine.run_batch(batch)
                 break
-            except Exception as exc:  # noqa: BLE001 - bounded retry, then fail
-                attempts += 1
-                if attempts > self.max_retries:
-                    _LOG.warning(
-                        "batch of %d failed after %d attempt(s): %s",
-                        len(batch), attempts, exc,
-                    )
+            except Exception as exc:  # noqa: BLE001 - classified below
+                if breaker is not None:
+                    breaker.record_failure()
+                    if breaker.state != CLOSED:
+                        self._tripped = True
+                    self._publish_breaker(model_key, breaker)
+                if not self.retry_policy.should_retry(exc, retries_done):
+                    if classify_error(exc) == PERMANENT:
+                        # Fail fast: a deterministic failure (bad model,
+                        # shape bug) never earns a retry.
+                        with self._stats_lock:
+                            self.failed_fast += 1
+                        _LOG.warning(
+                            "batch of %d failed permanently "
+                            "(%s, no retry): %s",
+                            len(batch), type(exc).__name__, exc,
+                        )
+                    else:
+                        _LOG.warning(
+                            "batch of %d failed after %d retry(ies): %s",
+                            len(batch), retries_done, exc,
+                        )
                     self._resolve_futures(batch, None, exc)
                     return
+                retries_done += 1
                 with self._stats_lock:
                     self.retries += 1
                 _LOG.debug(
-                    "retrying batch of %d (attempt %d/%d) after %s",
-                    len(batch), attempts + 1, self.max_retries + 1, exc,
+                    "retrying batch of %d (retry %d/%d) after %s",
+                    len(batch), retries_done, self.max_retries, exc,
                 )
+                self.retry_policy.backoff(retries_done)
+                if breaker is not None and not breaker.allow():
+                    # The breaker opened while we were backing off —
+                    # stop hammering and surface the last failure.
+                    self._resolve_futures(batch, None, exc)
+                    return
+        if breaker is not None:
+            breaker.record_success()
+            self._publish_breaker(model_key, breaker)
+            if self._tripped:
+                # Drop the submit-path guard once every breaker is closed
+                # again (cold path: only runs while degraded).
+                with self._stats_lock:
+                    self._tripped = any(
+                        b.state != CLOSED for b in self._breakers.values()
+                    )
         with self._stats_lock:
             self.batches_executed += 1
         self._resolve_futures(batch, results, None)
@@ -369,12 +523,19 @@ class ServingRuntime:
         """Flat counter dict (:class:`repro.obs.StatsSource`)."""
         with self._stats_lock:
             executed, retries = self.batches_executed, self.retries
+            degraded, failed_fast = self.degraded, self.failed_fast
+            breakers = list(self._breakers.values())
+        open_breakers = sum(1 for b in breakers if b.state != "closed")
         with self._cond:
             pending = len(self._futures)
         return {
             "n_workers": self.n_workers,
             "batches_executed": executed,
             "retries": retries,
+            "degraded_responses": degraded,
+            "failed_fast": failed_fast,
+            "breakers": len(breakers),
+            "breakers_open": open_breakers,
             "pending_futures": pending,
             "closed": float(self._closed),
         }
@@ -384,6 +545,8 @@ class ServingRuntime:
         with self._stats_lock:
             self.batches_executed = 0
             self.retries = 0
+            self.degraded = 0
+            self.failed_fast = 0
 
     def stats(self) -> dict:
         """Runtime + engine accounting in one report."""

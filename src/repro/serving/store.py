@@ -56,6 +56,15 @@ class EmbeddingStore:
         """
         return self._rows.get(namespace, node)
 
+    def get_stale(self, namespace: str, node: int) -> CachedPrediction | None:
+        """The resident prediction even when TTL-expired, else ``None``.
+
+        The degraded-read used when a model's circuit breaker is open:
+        an old answer beats no answer. Counted separately
+        (:attr:`stale_hits`) so hit-rate accounting stays honest.
+        """
+        return self._rows.get_stale(namespace, node)
+
     def put(
         self, namespace: str, node: int, prediction: int, hops_used: int
     ) -> CachedPrediction:
@@ -114,6 +123,10 @@ class EmbeddingStore:
     @property
     def invalidations(self) -> int:
         return self._rows.invalidations
+
+    @property
+    def stale_hits(self) -> int:
+        return self._rows.stale_hits
 
     def __len__(self) -> int:
         return len(self._rows)

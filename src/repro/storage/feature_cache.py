@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.graph.core import Graph
+from repro.resilience.faults import FAULTS
 from repro.utils.concurrency import NULL_LOCK, make_lock
 from repro.utils.rng import as_rng
 from repro.utils.validation import check_int_range
@@ -224,6 +225,7 @@ class FeatureStore:
         self._evictions = 0
         self._expirations = 0
         self._invalidations = 0
+        self._stale_hits = 0
 
     # ------------------------------------------------------------------ #
 
@@ -282,7 +284,16 @@ class FeatureStore:
                 self._put((fp, int(node)), value)
 
     def get(self, namespace: Graph | str, node: int) -> Any | None:
-        """The cached row, or ``None`` on miss / TTL expiry."""
+        """The cached row, or ``None`` on miss / TTL expiry.
+
+        Fault-injection site ``"storage.get"``: under an installed
+        :class:`repro.resilience.FaultInjector` a read may raise a typed
+        error, be delayed, come back corrupted (float arrays only), or
+        be dropped (accounted as a miss). The production path pays one
+        ``FAULTS.active`` attribute check.
+        """
+        if FAULTS.active:
+            return self._get_faulty(namespace, node)
         key = (feature_key(namespace), int(node))
         if self._lock is not None:
             with self._lock:
@@ -303,6 +314,42 @@ class FeatureStore:
         self._store.move_to_end(key)
         self._hits += 1
         return value
+
+    def _get_faulty(self, namespace: Graph | str, node: int) -> Any | None:
+        """:meth:`get` with the fault schedule applied (chaos regime only).
+
+        ``fire`` may raise (transient/permanent) or sleep (delay) before
+        the lookup; ``"drop"`` loses the read (a miss), ``"corrupt"``
+        poisons a hit through :meth:`FaultInjector.corrupt`.
+        """
+        action = FAULTS.injector.fire("storage.get")
+        key = (feature_key(namespace), int(node))
+        if action == "drop":
+            with self._lock or NULL_LOCK:
+                self._misses += 1
+            return None
+        with self._lock or NULL_LOCK:
+            value = self._get(key)
+        if action == "corrupt" and value is not None:
+            value = FAULTS.injector.corrupt(value)
+        return value
+
+    def get_stale(self, namespace: Graph | str, node: int) -> Any | None:
+        """The resident row even if TTL-expired, or ``None`` when absent.
+
+        The graceful-degradation read: when a circuit breaker is open
+        the serving runtime would rather answer with a stale prediction
+        than fail. Bypasses the fault-injection site, does not touch
+        LRU order, and counts separately (:attr:`stale_hits`) so the
+        hit-rate accounting stays honest.
+        """
+        key = (feature_key(namespace), int(node))
+        with self._lock or NULL_LOCK:
+            entry = self._store.get(key)
+            if entry is None:
+                return None
+            self._stale_hits += 1
+            return entry[1]
 
     def _get(self, key: tuple[str, int]) -> Any | None:
         entry = self._store.get(key)
@@ -349,6 +396,7 @@ class FeatureStore:
         with self._lock or NULL_LOCK:
             self._hits = self._misses = 0
             self._evictions = self._expirations = self._invalidations = 0
+            self._stale_hits = 0
 
     def snapshot(self) -> dict[str, float]:
         """Flat counter/rate dict (:class:`repro.obs.StatsSource`).
@@ -371,6 +419,7 @@ class FeatureStore:
                 "hit_rate": s.hit_rate,
                 "expirations": self._expirations,
                 "invalidations": self._invalidations,
+                "stale_hits": self._stale_hits,
                 "size": len(self._store) - expired,
                 "expired_resident": expired,
                 "capacity": self.capacity,
@@ -400,6 +449,10 @@ class FeatureStore:
     @property
     def invalidations(self) -> int:
         return self._invalidations
+
+    @property
+    def stale_hits(self) -> int:
+        return self._stale_hits
 
     def __len__(self) -> int:
         return len(self._store)

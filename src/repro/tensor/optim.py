@@ -30,6 +30,43 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------ #
+    # Checkpointing: per-parameter state is keyed by object identity at
+    # runtime, which does not survive a process restart — state dicts
+    # translate to/from positional keys over ``self.params`` order.
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Serializable optimizer state, keyed by parameter position."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto the current params."""
+        if state:
+            raise ConfigError(
+                f"{type(self).__name__} carries no state but got keys "
+                f"{sorted(state)}"
+            )
+
+    def _slot_dict(self, slots: dict[int, np.ndarray]) -> dict:
+        return {
+            str(i): slots[id(p)].copy()
+            for i, p in enumerate(self.params)
+            if id(p) in slots
+        }
+
+    def _load_slot_dict(self, state: dict) -> dict[int, np.ndarray]:
+        slots: dict[int, np.ndarray] = {}
+        for key, value in state.items():
+            index = int(key)
+            if not 0 <= index < len(self.params):
+                raise ConfigError(
+                    f"optimizer state names parameter {index} but only "
+                    f"{len(self.params)} parameters are registered"
+                )
+            slots[id(self.params[index])] = np.asarray(value).copy()
+        return slots
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -61,6 +98,12 @@ class SGD(Optimizer):
                 self._velocity[id(p)] = vel
                 grad = vel
             p.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        return {"velocity": self._slot_dict(self._velocity)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._velocity = self._load_slot_dict(state.get("velocity", {}))
 
 
 class Adam(Optimizer):
@@ -106,6 +149,18 @@ class Adam(Optimizer):
             m_hat = m / (1 - b1**self._t)
             v_hat = v / (1 - b2**self._t)
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        return {
+            "t": self._t,
+            "m": self._slot_dict(self._m),
+            "v": self._slot_dict(self._v),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._t = int(state.get("t", 0))
+        self._m = self._load_slot_dict(state.get("m", {}))
+        self._v = self._load_slot_dict(state.get("v", {}))
 
 
 class AdamW(Adam):

@@ -25,9 +25,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.datasets.synthetic import Split
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FaultError, TransientError
 from repro.graph.core import Graph
 from repro.models.gcn import GCN
+from repro.resilience.faults import FAULTS
 from repro.tensor import functional as F
 from repro.tensor.autograd import no_grad
 from repro.tensor.optim import Adam
@@ -51,12 +52,29 @@ class DistributedResult:
         Floats moved per parameter-averaging round (all workers).
     cross_partition_arcs:
         Directed arcs crossing partitions (the raw cut measure).
+    worker_failures:
+        Worker round-steps lost to injected crashes / dropped results.
+    straggler_events:
+        Worker round-steps that were delayed by an injected straggle.
+    degraded_rounds:
+        Rounds where at least one contributing worker failed (averaging
+        proceeded over the survivors, or was skipped entirely).
+    checkpoint_restores:
+        Times the whole cluster was rolled back to the last checkpoint
+        (``recovery="restart"`` only).
+    recovery:
+        The recovery policy the run used (``"reweight"`` / ``"restart"``).
     """
 
     test_accuracy: float
     halo_floats_per_epoch: int
     param_sync_floats_per_round: int
     cross_partition_arcs: int
+    worker_failures: int = 0
+    straggler_events: int = 0
+    degraded_rounds: int = 0
+    checkpoint_restores: int = 0
+    recovery: str = "reweight"
 
 
 def simulate_distributed_training(
@@ -69,11 +87,37 @@ def simulate_distributed_training(
     lr: float = 0.01,
     weight_decay: float = 5e-4,
     seed=None,
+    checkpointer=None,
+    checkpoint_every: int = 0,
+    recovery: str = "reweight",
 ) -> DistributedResult:
-    """Run synchronous partition-parallel GCN training (simulated)."""
+    """Run synchronous partition-parallel GCN training (simulated).
+
+    Fault tolerance: each worker's round-step passes through the
+    ``"training.worker_step"`` fault site. A crash (raise/drop/corrupt)
+    removes that worker's contribution for the round; a ``delay`` fault
+    models a straggler (the barrier waits, the event is counted). Two
+    recovery policies:
+
+    * ``"reweight"`` — the surviving workers' parameters are averaged
+      with weights renormalised over the survivors; failed workers
+      rejoin from the averaged state next round.
+    * ``"restart"`` — any failure rolls the whole cluster back to the
+      last checkpoint (requires ``checkpointer``; falls back to
+      reweighting while no checkpoint exists yet).
+
+    With ``checkpointer`` and ``checkpoint_every > 0`` the averaged
+    model is persisted every N rounds.
+    """
     if graph.x is None or graph.y is None:
         raise ConfigError("graph needs features and labels")
     check_int_range("n_parts", n_parts, 2)
+    if recovery not in ("reweight", "restart"):
+        raise ConfigError(
+            f"recovery must be 'reweight' or 'restart', got {recovery!r}"
+        )
+    if recovery == "restart" and checkpointer is None:
+        raise ConfigError("recovery='restart' needs a checkpointer")
     assignment = np.asarray(assignment, dtype=np.int64)
     rng = as_rng(seed)
     worker_rngs = split_rng(rng, n_parts)
@@ -109,10 +153,32 @@ def simulate_distributed_training(
     for w in workers[1:]:
         w["model"].load_state_dict(shared)
 
-    for _ in range(epochs):
-        for w in workers:
+    if not any(len(w["train_ids"]) for w in workers):
+        raise ConfigError("no partition contains any training node")
+
+    worker_failures = 0
+    straggler_events = 0
+    degraded_rounds = 0
+    checkpoint_restores = 0
+    averaged = shared
+    for round_no in range(epochs):
+        failed: set[int] = set()
+        for p, w in enumerate(workers):
             if len(w["train_ids"]) == 0:
                 continue
+            # Fault site "training.worker_step": a raise models a worker
+            # crash, drop/corrupt a lost or discarded update, delay a
+            # straggler the synchronous barrier has already waited out.
+            action = None
+            if FAULTS.active:
+                try:
+                    action = FAULTS.injector.fire("training.worker_step")
+                except (TransientError, FaultError):
+                    worker_failures += 1
+                    failed.add(p)
+                    continue
+            if action == "delay":
+                straggler_events += 1
             model = w["model"]
             model.train()
             w["opt"].zero_grad()
@@ -122,17 +188,43 @@ def simulate_distributed_training(
             )
             loss.backward()
             w["opt"].step()
+            if action in ("drop", "corrupt"):
+                # The step ran but its result never reached (or failed
+                # integrity checks at) the parameter server.
+                worker_failures += 1
+                failed.add(p)
+        if failed:
+            degraded_rounds += 1
+            if recovery == "restart" and checkpointer.latest() is not None:
+                # Synchronous rollback: the round is discarded and every
+                # worker restarts from the last checkpointed average.
+                _, state = checkpointer.load()
+                averaged = state["model"]
+                for w in workers:
+                    w["model"].load_state_dict(averaged)
+                checkpoint_restores += 1
+                continue
         # Synchronous parameter averaging, weighted by local train-node
         # count: a worker that owns no (or few) training nodes carries
         # no (or little) gradient signal, and equal-weight averaging
-        # would dilute the update under unbalanced partitions.
+        # would dilute the update under unbalanced partitions. Failed
+        # workers are excluded and the weights renormalised over the
+        # survivors; with no survivors the round is skipped entirely.
         states = [w["model"].state_dict() for w in workers]
         weights = np.array(
-            [len(w["train_ids"]) for w in workers], dtype=np.float64
+            [
+                0.0 if p in failed else len(w["train_ids"])
+                for p, w in enumerate(workers)
+            ],
+            dtype=np.float64,
         )
         total = weights.sum()
         if total == 0:
-            raise ConfigError("no partition contains any training node")
+            # Every contributing worker failed this round: keep the
+            # previous synchronised parameters and move on.
+            for w in workers:
+                w["model"].load_state_dict(averaged)
+            continue
         weights /= total
         averaged = {
             key: sum(wt * s[key] for wt, s in zip(weights, states))
@@ -140,6 +232,12 @@ def simulate_distributed_training(
         }
         for w in workers:
             w["model"].load_state_dict(averaged)
+        if (
+            checkpointer is not None
+            and checkpoint_every > 0
+            and (round_no + 1) % checkpoint_every == 0
+        ):
+            checkpointer.save(round_no, {"model": averaged})
 
     final = workers[0]["model"]
     final.eval()
@@ -151,4 +249,9 @@ def simulate_distributed_training(
         halo_floats_per_epoch=cross_arcs * feature_dim,
         param_sync_floats_per_round=2 * n_params * n_parts,
         cross_partition_arcs=cross_arcs,
+        worker_failures=worker_failures,
+        straggler_events=straggler_events,
+        degraded_rounds=degraded_rounds,
+        checkpoint_restores=checkpoint_restores,
+        recovery=recovery,
     )

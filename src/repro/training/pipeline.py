@@ -118,6 +118,11 @@ class TrainingPipeline:
         A ``trainer(model, graph, split, **kwargs)`` callable; defaults to
         :func:`train_decoupled` when the model exposes ``precompute``
         (the decoupled contract) and :func:`train_full_batch` otherwise.
+    checkpointer:
+        A :class:`repro.resilience.Checkpointer`; with
+        ``checkpoint_every > 0`` it is forwarded to every :meth:`run` so
+        the epoch loop persists its state every N epochs and
+        ``run(..., resume=True)`` restarts bit-identically.
     **trainer_kwargs:
         Defaults forwarded to every :meth:`run` (overridable per call).
     """
@@ -126,6 +131,8 @@ class TrainingPipeline:
         self,
         model,
         trainer: Callable[..., TrainResult] | None = None,
+        checkpointer=None,
+        checkpoint_every: int = 0,
         **trainer_kwargs,
     ) -> None:
         if trainer is None:
@@ -135,12 +142,17 @@ class TrainingPipeline:
             )
         self.model = model
         self.trainer = trainer
+        self.checkpointer = checkpointer
+        self.checkpoint_every = int(checkpoint_every)
         self.trainer_kwargs = dict(trainer_kwargs)
         self.result: TrainResult | None = None
 
     def run(self, graph: Graph, split, **overrides) -> TrainResult:
         """Train ``model`` on ``(graph, split)`` under a root span."""
         kwargs = {**self.trainer_kwargs, **overrides}
+        if self.checkpointer is not None and self.checkpoint_every > 0:
+            kwargs.setdefault("checkpointer", self.checkpointer)
+            kwargs.setdefault("checkpoint_every", self.checkpoint_every)
         trainer_name = getattr(self.trainer, "__name__", type(self.trainer).__name__)
         with obs.span(
             "pipeline.run",

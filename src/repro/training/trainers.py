@@ -16,10 +16,11 @@ import numpy as np
 
 from repro import obs
 from repro.datasets.synthetic import Split
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DivergenceError
 from repro.graph.core import Graph
 from repro.obs import OBS
 from repro.perf import get_default_cache
+from repro.resilience.checkpoint import Checkpointer
 from repro.tensor import functional as F
 from repro.tensor.autograd import no_grad
 from repro.tensor.nn import Module
@@ -98,6 +99,24 @@ class EarlyStopping:
         if self._best_state is not None:
             self.model.load_state_dict(self._best_state)
 
+    def state_dict(self) -> dict:
+        """Serializable stopper state (for :class:`Checkpointer`)."""
+        return {
+            "best_metric": float(self.best_metric),
+            "best_epoch": int(self.best_epoch),
+            "bad_epochs": int(self._bad_epochs),
+            "has_best": self._best_state is not None,
+            "best_state": dict(self._best_state or {}),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.best_metric = float(state["best_metric"])
+        self.best_epoch = int(state["best_epoch"])
+        self._bad_epochs = int(state["bad_epochs"])
+        self._best_state = (
+            dict(state["best_state"]) if state.get("has_best") else None
+        )
+
 
 def _predict(logits: np.ndarray) -> np.ndarray:
     return logits.argmax(axis=1)
@@ -134,6 +153,78 @@ def _timed_precompute(fn):
     return out, timer.elapsed, after.hits - before.hits, after.misses - before.misses
 
 
+def _check_finite(loss_value: float, epoch: int) -> float:
+    """Fail loudly on a diverged loss instead of training on garbage."""
+    if not np.isfinite(loss_value):
+        raise DivergenceError(
+            f"training diverged at epoch {epoch}: loss is {loss_value!r} "
+            "(lower the learning rate or clip gradients)"
+        )
+    return float(loss_value)
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint plumbing shared by the checkpoint-aware loops. The saved
+# state covers everything the epoch loop reads — model parameters,
+# optimizer slots, early-stopping bookkeeping, per-epoch histories, and
+# (for mini-batch loops) the batch-permutation RNG — so an interrupted
+# run resumed from the last checkpoint replays bit-identically.
+# --------------------------------------------------------------------- #
+
+
+def _loop_state(model, opt, stopper, result, rng=None) -> dict:
+    state = {
+        "model": model.state_dict(),
+        "optimizer": opt.state_dict(),
+        "stopper": stopper.state_dict(),
+        "train_losses": np.asarray(result.train_losses, dtype=np.float64),
+        "val_accuracies": np.asarray(result.val_accuracies, dtype=np.float64),
+    }
+    if rng is not None:
+        state["rng_state"] = rng.bit_generator.state
+    return state
+
+
+def _restore_loop_state(state, model, opt, stopper, result, rng=None) -> None:
+    model.load_state_dict(state["model"])
+    opt.load_state_dict(state["optimizer"])
+    stopper.load_state_dict(state["stopper"])
+    result.train_losses = [
+        float(v) for v in np.atleast_1d(state["train_losses"])
+    ]
+    result.val_accuracies = [
+        float(v) for v in np.atleast_1d(state["val_accuracies"])
+    ]
+    if rng is not None and "rng_state" in state:
+        rng.bit_generator.state = state["rng_state"]
+
+
+def _maybe_resume(
+    checkpointer: Checkpointer | None, resume: bool,
+    model, opt, stopper, result, rng=None,
+) -> int:
+    """Restore the latest checkpoint when asked; returns the next epoch
+    to run (0 when starting fresh or no checkpoint exists yet)."""
+    if checkpointer is None or not resume or checkpointer.latest() is None:
+        return 0
+    step, state = checkpointer.load()
+    _restore_loop_state(state, model, opt, stopper, result, rng=rng)
+    _LOG.info("resumed training from checkpoint at epoch %d", step)
+    return step + 1
+
+
+def _maybe_checkpoint(
+    checkpointer: Checkpointer | None, checkpoint_every: int, epoch: int,
+    model, opt, stopper, result, rng=None,
+) -> None:
+    if checkpointer is None or checkpoint_every <= 0:
+        return
+    if (epoch + 1) % checkpoint_every == 0:
+        checkpointer.save(
+            epoch, _loop_state(model, opt, stopper, result, rng=rng)
+        )
+
+
 def _record_epoch(span, loss: float, val_acc: float) -> None:
     """Annotate one ``train.epoch`` span and publish per-epoch metrics."""
     if not OBS.enabled:
@@ -158,11 +249,16 @@ def train_full_batch(
     lr: float = 0.01,
     weight_decay: float = 5e-4,
     patience: int = 30,
+    checkpointer: Checkpointer | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> TrainResult:
     """Train a model with ``prepare(graph)`` + ``forward(prep, x)``.
 
     Every epoch runs the graph-coupled forward over all nodes — the cost
-    profile the scalable families avoid.
+    profile the scalable families avoid. With a ``checkpointer`` and
+    ``checkpoint_every > 0`` the loop state is persisted every N epochs;
+    ``resume=True`` restarts from the newest checkpoint bit-identically.
     """
     if graph.x is None or graph.y is None:
         raise ConfigError("graph needs features and labels")
@@ -171,9 +267,10 @@ def train_full_batch(
     stopper = EarlyStopping(model, patience=patience)
     result = TrainResult(0.0, 0.0, -1, pre_time, 0.0,
                          operator_cache_hits=hits, operator_cache_misses=misses)
+    start_epoch = _maybe_resume(checkpointer, resume, model, opt, stopper, result)
     train_timer = Timer()
     y = graph.y
-    for epoch in range(epochs):
+    for epoch in range(start_epoch, epochs):
         with obs.span("train.epoch", epoch=epoch) as ep:
             with train_timer:
                 model.train()
@@ -187,9 +284,14 @@ def train_full_batch(
                 val_logits = model(prep, graph.x).data
             val_acc = accuracy(_predict(val_logits[split.val]), y[split.val])
             _record_epoch(ep, loss.item(), val_acc)
-        result.train_losses.append(loss.item())
+        result.train_losses.append(_check_finite(loss.item(), epoch))
         result.val_accuracies.append(val_acc)
-        if stopper.update(val_acc, epoch):
+        # Update the stopper before checkpointing so the saved state is
+        # consistent through this epoch — resuming replays identically.
+        stop = stopper.update(val_acc, epoch)
+        _maybe_checkpoint(checkpointer, checkpoint_every, epoch,
+                          model, opt, stopper, result)
+        if stop:
             break
     stopper.restore()
     model.eval()
@@ -217,8 +319,16 @@ def train_decoupled(
     weight_decay: float = 5e-4,
     patience: int = 30,
     seed=None,
+    checkpointer: Checkpointer | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> TrainResult:
-    """Precompute-once, then mini-batch MLP training over embedding rows."""
+    """Precompute-once, then mini-batch MLP training over embedding rows.
+
+    With a ``checkpointer`` and ``checkpoint_every > 0`` the loop state —
+    including the batch-permutation RNG — is persisted every N epochs;
+    ``resume=True`` restarts from the newest checkpoint bit-identically.
+    """
     if graph.y is None:
         raise ConfigError("graph needs labels")
     check_int_range("batch_size", batch_size, 1)
@@ -228,11 +338,13 @@ def train_decoupled(
     stopper = EarlyStopping(model, patience=patience)
     result = TrainResult(0.0, 0.0, -1, pre_time, 0.0,
                          operator_cache_hits=hits, operator_cache_misses=misses)
+    start_epoch = _maybe_resume(checkpointer, resume, model, opt, stopper,
+                                result, rng=rng)
     train_timer = Timer()
     y = graph.y
     val_rows = _slice_embeddings(emb, split.val)
     test_rows = _slice_embeddings(emb, split.test)
-    for epoch in range(epochs):
+    for epoch in range(start_epoch, epochs):
         with obs.span("train.epoch", epoch=epoch) as ep:
             with train_timer:
                 model.train()
@@ -248,9 +360,14 @@ def train_decoupled(
             with no_grad():
                 val_acc = accuracy(_predict(model(val_rows).data), y[split.val])
             _record_epoch(ep, epoch_loss / len(split.train), val_acc)
-        result.train_losses.append(epoch_loss / len(split.train))
+        result.train_losses.append(
+            _check_finite(epoch_loss / len(split.train), epoch)
+        )
         result.val_accuracies.append(val_acc)
-        if stopper.update(val_acc, epoch):
+        stop = stopper.update(val_acc, epoch)
+        _maybe_checkpoint(checkpointer, checkpoint_every, epoch,
+                          model, opt, stopper, result, rng=rng)
+        if stop:
             break
     stopper.restore()
     model.eval()
@@ -310,7 +427,9 @@ def train_sampled(
                 full_logits = model.forward_full(full_op, graph.x).data
             val_acc = accuracy(_predict(full_logits[split.val]), y[split.val])
             _record_epoch(ep, epoch_loss / len(split.train), val_acc)
-        result.train_losses.append(epoch_loss / len(split.train))
+        result.train_losses.append(
+            _check_finite(epoch_loss / len(split.train), epoch)
+        )
         result.val_accuracies.append(val_acc)
         if stopper.update(val_acc, epoch):
             break
@@ -387,7 +506,9 @@ def train_subgraph(
                 full_logits = model(full_prep, graph.x).data
             val_acc = accuracy(_predict(full_logits[split.val]), y[split.val])
             _record_epoch(ep, epoch_loss / max(n_seen, 1), val_acc)
-        result.train_losses.append(epoch_loss / max(n_seen, 1))
+        result.train_losses.append(
+            _check_finite(epoch_loss / max(n_seen, 1), epoch)
+        )
         result.val_accuracies.append(val_acc)
         if stopper.update(val_acc, epoch):
             break
@@ -445,7 +566,9 @@ def train_pprgo(
             with no_grad():
                 val_acc = accuracy(_predict(model(split.val).data), y[split.val])
             _record_epoch(ep, epoch_loss / len(split.train), val_acc)
-        result.train_losses.append(epoch_loss / len(split.train))
+        result.train_losses.append(
+            _check_finite(epoch_loss / len(split.train), epoch)
+        )
         result.val_accuracies.append(val_acc)
         if stopper.update(val_acc, epoch):
             break

@@ -24,6 +24,7 @@ from repro.errors import (
     LoadSheddingError,
     ServingError,
     ServingTimeoutError,
+    TransientError,
 )
 from repro.models import SGC
 from repro.obs.metrics import MetricsRegistry
@@ -89,7 +90,7 @@ class StubModel:
         with self._fail_lock:
             if self.fail_times > 0:
                 self.fail_times -= 1
-                raise RuntimeError("transient failure (injected)")
+                raise TransientError("transient failure (injected)")
         if self.delay:
             time.sleep(self.delay)
         return Tensor(np.asarray(x.data)[:, : self.n_classes])
@@ -248,7 +249,7 @@ class TestRuntimeSemantics:
         graph = _serving_graph(n_nodes=40, seed=2)
         rt = ServingRuntime(n_workers=1, max_retries=1, early_exit=False)
         rt.register("dead", StubModel(fail_times=10), graph)
-        with pytest.raises(RuntimeError, match="injected"):
+        with pytest.raises(TransientError, match="injected"):
             rt.predict(3, timeout_s=10.0)
         assert rt.snapshot()["retries"] == 1  # one retry, then fail
         assert rt.engine.snapshot()["served"] == 0
