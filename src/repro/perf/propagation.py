@@ -55,8 +55,11 @@ def chunked_spmm(
     check_int_range("chunk_rows", chunk_rows, 1)
     # Fault site "propagation.hop": decided before the SpMM so transient
     # crashes and injected stragglers cost no compute; corrupt/drop act
-    # on the hop output below. One attribute check when chaos is off.
-    action = FAULTS.injector.fire("propagation.hop") if FAULTS.active else None
+    # on the hop output below. One attribute check when chaos is off;
+    # the injector is loaded into a local exactly once because a
+    # concurrent clear_injector() may null FAULTS.injector mid-call.
+    inj = FAULTS.injector if FAULTS.active else None
+    action = inj.fire("propagation.hop") if inj is not None else None
     dense = np.asarray(dense)
     n_rows = operator.shape[0]
     if n_rows <= chunk_rows:
@@ -71,7 +74,7 @@ def chunked_spmm(
             stop = min(start + chunk_rows, n_rows)
             out[start:stop] = operator[start:stop] @ dense
     if action == "corrupt":
-        out = FAULTS.injector.corrupt(out)
+        out = inj.corrupt(out)
     elif action == "drop":
         # A dropped hop result models a lost partial aggregation.
         out = np.zeros_like(out)
@@ -89,11 +92,12 @@ def rows_spmm(
     after an edge insertion only the dirty K-hop rows of a hop stack are
     re-derived this way.
     """
-    action = FAULTS.injector.fire("propagation.hop") if FAULTS.active else None
+    inj = FAULTS.injector if FAULTS.active else None
+    action = inj.fire("propagation.hop") if inj is not None else None
     rows = np.asarray(rows, dtype=np.int64)
     out = operator.tocsr()[rows] @ np.asarray(dense)
     if action == "corrupt":
-        out = FAULTS.injector.corrupt(out)
+        out = inj.corrupt(out)
     elif action == "drop":
         out = np.zeros_like(out)
     return out

@@ -127,6 +127,20 @@ class CircuitBreaker:
             self.rejected += 1
             return False
 
+    def release_probe(self) -> None:
+        """Return an admitted-but-unused call slot.
+
+        For a permitted call that resolved *without* exercising the
+        backend (store hit, load shed, aborted submit): the outcome says
+        nothing about backend health, so no success/failure is recorded
+        — but any half-open probe slot the call consumed must be handed
+        back, or a breaker with ``half_open_probes=1`` would wait
+        forever for a probe verdict that can never arrive.
+        """
+        with self._lock or NULL_LOCK:
+            if self._state == HALF_OPEN and self._probes_inflight > 0:
+                self._probes_inflight -= 1
+
     def record_success(self) -> None:
         """A permitted call completed; closes a half-open breaker."""
         with self._lock or NULL_LOCK:

@@ -302,6 +302,13 @@ class _FaultState:
     Instrumented sites cache the module-level ``FAULTS`` reference and
     branch on ``FAULTS.active`` — one attribute load when chaos is off,
     which is the only cost production paths ever pay.
+
+    Teardown contract: :func:`clear_injector` may run concurrently with
+    instrumented calls (it drops ``active`` before ``injector``), so a
+    site must load ``FAULTS.injector`` into a local **exactly once**
+    and null-check it — ``inj = FAULTS.injector if FAULTS.active else
+    None`` — never dereference ``FAULTS.injector`` twice. A site that
+    observes ``None`` mid-teardown simply skips injection.
     """
 
     __slots__ = ("active", "injector")

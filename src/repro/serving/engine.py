@@ -339,13 +339,16 @@ class ServingEngine:
         :class:`~repro.serving.runtime.ServingRuntime` — gathers rows,
         runs the gated/full forward, writes the store, and accounts
         latency, exactly like the inline path."""
-        if FAULTS.active:
+        # Single local load: clear_injector() may null FAULTS.injector
+        # between the active check and the fire, concurrently.
+        inj = FAULTS.injector if FAULTS.active else None
+        if inj is not None:
             # Fault site "serving.batch": transient/permanent/delay are
             # handled by fire(); drop and corrupt both surface as a
             # retryable loss — the batch executed but its result never
             # arrived intact, which is how the runtime's retry loop and
             # circuit breaker observe infrastructure failures.
-            action = FAULTS.injector.fire("serving.batch")
+            action = inj.fire("serving.batch")
             if action == "drop":
                 raise TransientError(
                     "serving batch result dropped by fault injection"

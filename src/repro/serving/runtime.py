@@ -243,31 +243,47 @@ class ServingRuntime:
         # about to serve — so while the breaker is open we read through
         # ``get_stale`` (which serves live and expired rows alike and
         # leaves residency untouched) instead of the normal hit path.
+        gated: CircuitBreaker | None = None
         if self._tripped:
             breaker = self.breaker(record.key)
-            if breaker is not None and not breaker.allow():
-                result = self._stale_result(record, node_id, t0)
-                if result is not None:
-                    return ("degraded", result)
-                raise CircuitOpenError(
-                    f"circuit for model {record.key!r} is open and no stale "
-                    f"prediction for node {node_id} is resident"
-                )
-        hit = self.engine.try_store(record, node_id, t0)
-        if hit is not None:
-            return ("hit", hit)
-        with self._cond:
-            if self._closing:
-                raise ServingError("runtime is closed; no new requests accepted")
-            try:
-                request = self.engine.queue.submit(node_id, record.key)
-            except LoadSheddingError:
-                shed = self.engine.record_shed(record, node_id, t0)
-                return ("shed", shed)
-            future: Future = Future()
-            self._futures[request.request_id] = future
-            self._cond.notify_all()
-        return ("queued", future)
+            if breaker is not None:
+                if not breaker.allow():
+                    result = self._stale_result(record, node_id, t0)
+                    if result is not None:
+                        return ("degraded", result)
+                    raise CircuitOpenError(
+                        f"circuit for model {record.key!r} is open and no "
+                        f"stale prediction for node {node_id} is resident"
+                    )
+                # Admitted — possibly holding a half-open probe slot. Any
+                # resolution below that never reaches _execute_batch
+                # (store hit, shed, aborted submit) says nothing about
+                # backend health and must hand the slot back, or a
+                # 1-probe breaker would stay wedged half-open forever.
+                gated = breaker
+        try:
+            hit = self.engine.try_store(record, node_id, t0)
+            if hit is not None:
+                return ("hit", hit)
+            with self._cond:
+                if self._closing:
+                    raise ServingError(
+                        "runtime is closed; no new requests accepted"
+                    )
+                try:
+                    request = self.engine.queue.submit(node_id, record.key)
+                except LoadSheddingError:
+                    shed = self.engine.record_shed(record, node_id, t0)
+                    return ("shed", shed)
+                future: Future = Future()
+                self._futures[request.request_id] = future
+                self._cond.notify_all()
+            # Queued: _execute_batch records the probe's actual verdict.
+            gated = None
+            return ("queued", future)
+        finally:
+            if gated is not None:
+                gated.release_probe()
 
     def predict_async(
         self, node_id: int, model: str | None = None
@@ -393,7 +409,14 @@ class ServingRuntime:
                 if breaker is not None:
                     breaker.record_failure()
                     if breaker.state != CLOSED:
-                        self._tripped = True
+                        # Cold path (a batch just failed): raise the flag
+                        # under the stats lock, matching how it is
+                        # cleared below. _submit reads it lock-free by
+                        # design — worst case one request slips past the
+                        # gate at the trip instant, which the breaker's
+                        # own allow() still arbitrates.
+                        with self._stats_lock:
+                            self._tripped = True
                     self._publish_breaker(model_key, breaker)
                 if not self.retry_policy.should_retry(exc, retries_done):
                     if classify_error(exc) == PERMANENT:

@@ -293,7 +293,12 @@ class FeatureStore:
         ``FAULTS.active`` attribute check.
         """
         if FAULTS.active:
-            return self._get_faulty(namespace, node)
+            # Load once: a concurrent clear_injector() may null
+            # FAULTS.injector after the active check; fall through to
+            # the plain read when it already has.
+            inj = FAULTS.injector
+            if inj is not None:
+                return self._get_faulty(inj, namespace, node)
         key = (feature_key(namespace), int(node))
         if self._lock is not None:
             with self._lock:
@@ -315,14 +320,16 @@ class FeatureStore:
         self._hits += 1
         return value
 
-    def _get_faulty(self, namespace: Graph | str, node: int) -> Any | None:
+    def _get_faulty(self, inj, namespace: Graph | str, node: int) -> Any | None:
         """:meth:`get` with the fault schedule applied (chaos regime only).
 
-        ``fire`` may raise (transient/permanent) or sleep (delay) before
-        the lookup; ``"drop"`` loses the read (a miss), ``"corrupt"``
-        poisons a hit through :meth:`FaultInjector.corrupt`.
+        ``inj`` is the caller's locally-loaded injector (never the
+        global, which a concurrent teardown may null). ``fire`` may
+        raise (transient/permanent) or sleep (delay) before the lookup;
+        ``"drop"`` loses the read (a miss), ``"corrupt"`` poisons a hit
+        through :meth:`FaultInjector.corrupt`.
         """
-        action = FAULTS.injector.fire("storage.get")
+        action = inj.fire("storage.get")
         key = (feature_key(namespace), int(node))
         if action == "drop":
             with self._lock or NULL_LOCK:
@@ -331,7 +338,7 @@ class FeatureStore:
         with self._lock or NULL_LOCK:
             value = self._get(key)
         if action == "corrupt" and value is not None:
-            value = FAULTS.injector.corrupt(value)
+            value = inj.corrupt(value)
         return value
 
     def get_stale(self, namespace: Graph | str, node: int) -> Any | None:

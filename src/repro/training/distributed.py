@@ -77,6 +77,39 @@ class DistributedResult:
     recovery: str = "reweight"
 
 
+def _cluster_state(averaged: dict, workers: list[dict]) -> dict:
+    """Full cluster snapshot for checkpoint-restart: the averaged model
+    plus each worker's optimizer slots and dropout RNG stream. Rolling
+    back parameters alone would keep Adam moments (and RNG draws)
+    accumulated during the discarded rounds, so the recovered trajectory
+    would diverge from one that never left the checkpoint."""
+    state: dict = {"model": dict(averaged)}
+    for p, w in enumerate(workers):
+        worker_state: dict = {"optimizer": w["opt"].state_dict()}
+        dropout = w["model"].dropout
+        if dropout is not None:
+            worker_state["rng_state"] = dropout._rng.bit_generator.state
+        state[f"worker_{p}"] = worker_state
+    return state
+
+
+def _restore_cluster(state: dict, workers: list[dict]) -> dict:
+    """Roll every worker back to a :func:`_cluster_state` snapshot;
+    returns the checkpointed averaged parameters. Model-only checkpoints
+    (older format) restore parameters and leave the rest untouched."""
+    averaged = state["model"]
+    for p, w in enumerate(workers):
+        w["model"].load_state_dict(averaged)
+        worker_state = state.get(f"worker_{p}")
+        if worker_state is None:
+            continue
+        w["opt"].load_state_dict(worker_state.get("optimizer", {}))
+        dropout = w["model"].dropout
+        if dropout is not None and "rng_state" in worker_state:
+            dropout._rng.bit_generator.state = worker_state["rng_state"]
+    return averaged
+
+
 def simulate_distributed_training(
     graph: Graph,
     split: Split,
@@ -106,8 +139,10 @@ def simulate_distributed_training(
       last checkpoint (requires ``checkpointer``; falls back to
       reweighting while no checkpoint exists yet).
 
-    With ``checkpointer`` and ``checkpoint_every > 0`` the averaged
-    model is persisted every N rounds.
+    With ``checkpointer`` and ``checkpoint_every > 0`` the full cluster
+    state — averaged model, per-worker optimizer slots, and per-worker
+    RNG streams — is persisted every N rounds, so a rollback resumes
+    the exact trajectory the checkpoint froze.
     """
     if graph.x is None or graph.y is None:
         raise ConfigError("graph needs features and labels")
@@ -170,9 +205,12 @@ def simulate_distributed_training(
             # crash, drop/corrupt a lost or discarded update, delay a
             # straggler the synchronous barrier has already waited out.
             action = None
-            if FAULTS.active:
+            # Load the injector once: a concurrent clear_injector()
+            # nulls FAULTS.injector after dropping FAULTS.active.
+            inj = FAULTS.injector if FAULTS.active else None
+            if inj is not None:
                 try:
-                    action = FAULTS.injector.fire("training.worker_step")
+                    action = inj.fire("training.worker_step")
                 except (TransientError, FaultError):
                     worker_failures += 1
                     failed.add(p)
@@ -197,11 +235,10 @@ def simulate_distributed_training(
             degraded_rounds += 1
             if recovery == "restart" and checkpointer.latest() is not None:
                 # Synchronous rollback: the round is discarded and every
-                # worker restarts from the last checkpointed average.
+                # worker restarts from the last checkpointed cluster
+                # state (parameters, optimizer slots, RNG streams).
                 _, state = checkpointer.load()
-                averaged = state["model"]
-                for w in workers:
-                    w["model"].load_state_dict(averaged)
+                averaged = _restore_cluster(state, workers)
                 checkpoint_restores += 1
                 continue
         # Synchronous parameter averaging, weighted by local train-node
@@ -237,7 +274,7 @@ def simulate_distributed_training(
             and checkpoint_every > 0
             and (round_no + 1) % checkpoint_every == 0
         ):
-            checkpointer.save(round_no, {"model": averaged})
+            checkpointer.save(round_no, _cluster_state(averaged, workers))
 
     final = workers[0]["model"]
     final.eval()

@@ -9,6 +9,7 @@ split that makes the decoupling speedup of §3.1.2 visible.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -172,13 +173,23 @@ def _check_finite(loss_value: float, epoch: int) -> float:
 # --------------------------------------------------------------------- #
 
 
-def _loop_state(model, opt, stopper, result, rng=None) -> dict:
+#: Resume sentinel: the checkpointed run had already early-stopped, so
+#: ``range(start_epoch, epochs)`` must be empty for any epoch budget.
+_ALREADY_STOPPED = sys.maxsize
+
+
+def _loop_state(model, opt, stopper, result, rng=None, stopped=False) -> dict:
     state = {
         "model": model.state_dict(),
         "optimizer": opt.state_dict(),
         "stopper": stopper.state_dict(),
         "train_losses": np.asarray(result.train_losses, dtype=np.float64),
         "val_accuracies": np.asarray(result.val_accuracies, dtype=np.float64),
+        # The stop *decision*, not just the counters behind it: when the
+        # checkpoint interval lands exactly on the early-stopping epoch,
+        # a resumed run must finish immediately rather than train one
+        # extra epoch waiting for stopper.update to fire again.
+        "stopped": bool(stopped),
     }
     if rng is not None:
         state["rng_state"] = rng.bit_generator.state
@@ -204,24 +215,33 @@ def _maybe_resume(
     model, opt, stopper, result, rng=None,
 ) -> int:
     """Restore the latest checkpoint when asked; returns the next epoch
-    to run (0 when starting fresh or no checkpoint exists yet)."""
+    to run (0 when starting fresh or no checkpoint exists yet, or
+    :data:`_ALREADY_STOPPED` when the checkpointed run had early-stopped
+    — the epoch loop is then skipped entirely and the restored best
+    state carries straight to evaluation)."""
     if checkpointer is None or not resume or checkpointer.latest() is None:
         return 0
     step, state = checkpointer.load()
     _restore_loop_state(state, model, opt, stopper, result, rng=rng)
+    if state.get("stopped"):
+        _LOG.info(
+            "resumed checkpoint at epoch %d had already early-stopped", step
+        )
+        return _ALREADY_STOPPED
     _LOG.info("resumed training from checkpoint at epoch %d", step)
     return step + 1
 
 
 def _maybe_checkpoint(
     checkpointer: Checkpointer | None, checkpoint_every: int, epoch: int,
-    model, opt, stopper, result, rng=None,
+    model, opt, stopper, result, rng=None, stopped=False,
 ) -> None:
     if checkpointer is None or checkpoint_every <= 0:
         return
     if (epoch + 1) % checkpoint_every == 0:
         checkpointer.save(
-            epoch, _loop_state(model, opt, stopper, result, rng=rng)
+            epoch,
+            _loop_state(model, opt, stopper, result, rng=rng, stopped=stopped),
         )
 
 
@@ -290,7 +310,7 @@ def train_full_batch(
         # consistent through this epoch — resuming replays identically.
         stop = stopper.update(val_acc, epoch)
         _maybe_checkpoint(checkpointer, checkpoint_every, epoch,
-                          model, opt, stopper, result)
+                          model, opt, stopper, result, stopped=stop)
         if stop:
             break
     stopper.restore()
@@ -366,7 +386,7 @@ def train_decoupled(
         result.val_accuracies.append(val_acc)
         stop = stopper.update(val_acc, epoch)
         _maybe_checkpoint(checkpointer, checkpoint_every, epoch,
-                          model, opt, stopper, result, rng=rng)
+                          model, opt, stopper, result, rng=rng, stopped=stop)
         if stop:
             break
     stopper.restore()

@@ -340,6 +340,31 @@ class TestResumeDeterminism:
         )
         self._assert_same_result(full, resumed)
 
+    def test_resume_when_checkpoint_lands_on_stop_epoch(self, tmp_path):
+        # Regression: the checkpoint saved on the early-stopping epoch
+        # records the stop decision, so resuming trains zero extra
+        # epochs instead of needing stopper.update to fire once more.
+        graph, split = _train_world(n_nodes=90, seed=3)
+
+        def fresh():
+            return GCN(
+                graph.n_features, 16, graph.n_classes, dropout=0.0, seed=4
+            )
+
+        ck = Checkpointer(tmp_path / "stop")
+        kwargs = dict(epochs=60, lr=0.05, patience=2)
+        stopped = train_full_batch(
+            fresh(), graph, split, **kwargs,
+            checkpointer=ck, checkpoint_every=1,
+        )
+        assert len(stopped.train_losses) < 60  # early stop actually fired
+        resumed = train_full_batch(
+            fresh(), graph, split, **kwargs,
+            checkpointer=ck, checkpoint_every=1, resume=True,
+        )
+        assert len(resumed.train_losses) == len(stopped.train_losses)
+        self._assert_same_result(stopped, resumed)
+
     def test_pipeline_threads_checkpointer_through(self, tmp_path):
         graph, split = _train_world(n_nodes=80, seed=9)
         ck = Checkpointer(tmp_path / "pipe")
@@ -425,6 +450,22 @@ class TestCircuitBreaker:
         b.record_failure()
         assert b.state == OPEN
         assert not b.allow()
+
+    def test_release_probe_returns_half_open_slot(self):
+        clk = [0.0]
+        b = self._breaker(clk)
+        b.record_failure()
+        b.record_failure()
+        clk[0] = 6.0
+        assert b.allow()        # consumes the only half-open probe
+        assert not b.allow()
+        b.release_probe()       # admitted call never reached the backend
+        assert b.allow()        # the slot is available again
+        b.record_success()
+        assert b.state == CLOSED
+        # No-op outside half-open: the probe budget never underflows.
+        b.release_probe()
+        assert b.allow()
 
     def test_min_calls_guards_cold_start(self):
         clk = [0.0]
@@ -564,6 +605,41 @@ class TestServingDegradation:
         finally:
             rt.close()
 
+    def test_store_hit_probe_does_not_wedge_half_open_breaker(self):
+        # Regression: a half-open probe slot consumed at admission by a
+        # request that then resolves as a store hit must be handed back,
+        # or a 1-probe breaker rejects live traffic forever even after
+        # the backend recovers.
+        graph = _serving_graph(n_nodes=60)
+        clk = [0.0]
+        model = StubModel()
+        rt = ServingRuntime(
+            n_workers=1,
+            max_retries=0,
+            breaker_kwargs=dict(
+                failure_threshold=0.5, window=4, min_calls=2,
+                cooldown_s=60.0, clock=lambda: clk[0],
+            ),
+            store=EmbeddingStore(threadsafe=True),
+        )
+        key = rt.register("m", model, graph)
+        try:
+            fresh = rt.predict(5, timeout_s=10.0)
+            assert fresh.ok
+            model.fail_times = -1
+            with pytest.raises(TransientError):
+                rt.predict(1, timeout_s=10.0)
+            assert rt.breaker(key).state == OPEN
+            clk[0] = 120.0  # past cooldown: half-open, one probe slot
+            hit = rt.predict(5, timeout_s=10.0)  # resolves in the store
+            assert hit.ok and hit.cached and not hit.degraded
+            model.fail_times = 0  # backend recovered
+            probe = rt.predict(2, timeout_s=10.0)  # must get the probe
+            assert probe.ok and not probe.degraded
+            assert rt.breaker(key).state == CLOSED
+        finally:
+            rt.close()
+
     def test_stale_fallback_can_be_disabled(self):
         graph = _serving_graph(n_nodes=60)
         model = StubModel()
@@ -679,6 +755,44 @@ class TestDistributedFaults:
         assert res.checkpoint_restores == 1
         assert res.worker_failures == 1
         assert ck.latest() is not None
+
+    def test_restart_rollback_matches_unfaulted_run_bit_exactly(self, tmp_path):
+        # A rollback must restore the *full* cluster state — optimizer
+        # moments and per-worker RNG streams, not just parameters — so a
+        # run that loses one round to a crash replays exactly like an
+        # uninterrupted run that is one round shorter.
+        graph, split, assignment = self._world()
+        ref_ck = Checkpointer(tmp_path / "ref")
+        simulate_distributed_training(
+            graph, split, assignment, 2, epochs=3, hidden=8, seed=1,
+            checkpointer=ref_ck, checkpoint_every=1,
+        )
+        ck = Checkpointer(tmp_path / "rec")
+        # Round 0 runs clean (calls 0-1) and checkpoints; round 1's first
+        # worker step (call 2) crashes, rolling the cluster back.
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    "training.worker_step", "transient",
+                    after=2, max_fires=1,
+                )
+            ]
+        )
+        with inject(plan, seed=0):
+            res = simulate_distributed_training(
+                graph, split, assignment, 2, epochs=4, hidden=8, seed=1,
+                checkpointer=ck, checkpoint_every=1, recovery="restart",
+            )
+        assert res.checkpoint_restores == 1
+        # Recovered round 3 is the reference's round 2, state for state.
+        _, ref_state = ref_ck.load(ref_ck.path_for(2))
+        _, rec_state = ck.load(ck.path_for(3))
+        for key, ref_arr in ref_state["model"].items():
+            assert np.array_equal(ref_arr, rec_state["model"][key])
+        for p in range(2):
+            ref_w, rec_w = ref_state[f"worker_{p}"], rec_state[f"worker_{p}"]
+            assert ref_w["optimizer"]["t"] == rec_w["optimizer"]["t"]
+            assert ref_w["rng_state"] == rec_w["rng_state"]
 
     def test_restart_requires_checkpointer(self):
         graph, split, assignment = self._world()
