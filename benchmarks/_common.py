@@ -40,7 +40,11 @@ def emit(table: Table, name: str) -> None:
 
 
 def emit_json(
-    name: str, payload: dict[str, Any], metrics: bool = False
+    name: str,
+    payload: dict[str, Any],
+    metrics: bool = False,
+    dtype=None,
+    arena_stats: bool = False,
 ) -> Path:
     """Persist a machine-readable record to ``benchmarks/results/<name>.json``.
 
@@ -50,9 +54,22 @@ def emit_json(
     propagation engine, serving stores) accumulate whether or not tracing
     is enabled, so the artifact records what the benchmark actually
     exercised.
+
+    ``dtype`` records the element type the benchmark ran at (a
+    ``"dtype"`` key, e.g. ``"float32"``) and ``arena_stats=True`` embeds
+    the default :class:`repro.perf.BufferArena` snapshot under an
+    ``"arena"`` key — together these let an artifact capture the
+    float32-vs-float64 memory-traffic delta and the buffer-reuse rate of
+    a kernel run.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     record = dict(payload)
+    if dtype is not None:
+        record["dtype"] = np.dtype(dtype).name
+    if arena_stats:
+        from repro.perf import get_default_arena
+
+        record["arena"] = get_default_arena().snapshot()
     if metrics:
         record["metrics"] = obs.get_registry().snapshot()
     path = RESULTS_DIR / f"{name}.json"

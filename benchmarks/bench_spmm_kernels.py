@@ -1,0 +1,380 @@
+"""E33 (repro.perf.kernels): the hand-rolled SpMM kernel layer pays off.
+
+Claims measured here:
+
+1. **Blocked beats slicing.** On a >= 100k-node graph the zero-copy
+   blocked kernel (``chunked_spmm(kernel="blocked")``, column-tiled to
+   the L2 budget) sustains >= ``BLOCKED_BOUND``x (1.5x) the throughput
+   of the legacy per-chunk ``operator[start:stop] @ dense`` slice path
+   at serving width (d=8) — and the two results are bitwise identical.
+2. **Fused normalize+propagate.** The ``gcn`` engine's fused kernel
+   (``D^-1/2 A D^-1/2 @ X`` with the scaling applied on the fly) makes a
+   cold K-hop precompute at serving width at least as fast as
+   materializing the normalized operator first — while never allocating
+   the nnz-sized operator — and agrees with it to ~1e-12.
+3. **float32 end to end.** A ``dtype=float32`` K-hop precompute runs
+   >= ``F32_BOUND``x (1.7x) faster than float64 at training width
+   (d=64) — the kernel is memory-bound, so halving the element size
+   roughly doubles throughput — while the final hop agrees with the
+   float64 stack to < ``ACCURACY_BOUND`` (1e-3) and a model trained on
+   the float32 stack matches the float64 test accuracy to the same
+   bound.
+4. **Multi-RHS amortization.** ``rows_spmm_multi`` answers a batch of
+   right-hand sides over one decoded row band no slower than repeated
+   ``rows_spmm`` calls that re-decode per RHS.
+5. **No regression upstream.** The E28 artifact (when present) still
+   clears its own warm-speedup floor — the kernel layer must not have
+   slowed the operator-cache path it sits behind.
+
+Run directly (``python benchmarks/bench_spmm_kernels.py [--smoke]``) or
+through pytest; ``--smoke`` shrinks the graph and relaxes the timing
+bounds (>= 1.0x, i.e. "not slower") for noisy CI runners while keeping
+every exactness assertion.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+import scipy.sparse as sp
+from _common import RESULTS_DIR, emit, emit_json
+
+from repro.bench import Table, format_seconds
+from repro.datasets import contextual_sbm
+from repro.graph.core import Graph
+from repro.models import SGC
+from repro.perf import (
+    OperatorCache,
+    PropagationEngine,
+    chunked_spmm,
+    get_default_arena,
+    rows_spmm,
+    rows_spmm_multi,
+)
+from repro.training import train_decoupled
+
+BLOCKED_BOUND = 1.5
+F32_BOUND = 1.7
+ACCURACY_BOUND = 1e-3
+E28_WARM_FLOOR = 10.0
+K_HOPS = 3
+SERVE_WIDTH = 8
+TRAIN_WIDTH = 64
+
+
+def _time(fn, repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall-clock seconds."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _random_graph(n: int, avg_degree: int, width: int, seed: int = 0) -> Graph:
+    """A symmetric random graph with ``width`` random features.
+
+    Edges are sampled directly as random (i, j) pairs (``sp.random`` at
+    this scale stalls in its without-replacement index sampling): E33
+    measures kernels, so all that matters is realistic size/sparsity.
+    """
+    rng = np.random.default_rng(seed)
+    m = (n * avg_degree) // 2
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src != dst
+    weights = rng.uniform(0.5, 1.5, size=keep.sum())
+    adj = sp.coo_matrix(
+        (weights, (src[keep], dst[keep])), shape=(n, n)
+    ).tocsr()
+    adj = (adj + adj.T).tocsr()
+    adj.sort_indices()
+    return Graph(
+        adj.indptr, adj.indices, adj.data,
+        x=rng.normal(size=(n, width)), validate=False,
+    )
+
+
+def _blocked_vs_slice(graph: Graph, cache: OperatorCache, repeat: int) -> dict:
+    operator = cache.normalized_adjacency(graph, kind="sym", self_loops=True)
+    x = np.ascontiguousarray(graph.x[:, :SERVE_WIDTH])
+    slice_s = _time(lambda: chunked_spmm(operator, x, kernel="slice"), repeat)
+    blocked_s = _time(
+        lambda: chunked_spmm(operator, x, kernel="blocked"), repeat
+    )
+    exact = bool(
+        (
+            chunked_spmm(operator, x, kernel="blocked")
+            == chunked_spmm(operator, x, kernel="slice")
+        ).all()
+    )
+    return {
+        "slice_spmm_s": slice_s,
+        "blocked_spmm_s": blocked_s,
+        "blocked_speedup": slice_s / max(blocked_s, 1e-9),
+        "blocked_bitwise_equal": exact,
+    }
+
+
+def _fused_vs_materialized(graph: Graph, repeat: int) -> dict:
+    # Cold caches on both sides: the fused path's win is (partly) never
+    # building the normalized operator, so the build must be on the clock.
+    # Measured at serving width — the on-the-fly scaling adds two dense
+    # passes per hop, so its advantage is largest when the dense operand
+    # is narrow relative to the nnz-sized operator build it avoids (at
+    # training width it sits at parity and the win is the nnz * 16B of
+    # operator storage never allocated).
+    x = np.ascontiguousarray(graph.x[:, :SERVE_WIDTH])
+
+    def run(fused: bool):
+        engine = PropagationEngine(
+            cache=OperatorCache(threadsafe=False), fused=fused,
+            threadsafe=False,
+        )
+        return engine.propagate(graph, x, K_HOPS, memoize=False)
+
+    fused_s = _time(lambda: run(True), repeat)
+    materialized_s = _time(lambda: run(False), repeat)
+    max_diff = max(
+        float(np.max(np.abs(a - b))) if a.size else 0.0
+        for a, b in zip(run(True), run(False))
+    )
+    return {
+        "fused_khop_s": fused_s,
+        "materialized_khop_s": materialized_s,
+        "fused_speedup": materialized_s / max(fused_s, 1e-9),
+        "fused_max_abs_diff": max_diff,
+    }
+
+
+def _f32_vs_f64(graph: Graph, cache: OperatorCache, repeat: int) -> dict:
+    engine = PropagationEngine(cache=cache, threadsafe=False)
+    engine.propagate(graph, graph.x, K_HOPS, memoize=False)  # warm operator
+    f64_s = _time(
+        lambda: engine.propagate(graph, graph.x, K_HOPS, memoize=False),
+        repeat,
+    )
+    f32_s = _time(
+        lambda: engine.propagate(
+            graph, graph.x, K_HOPS, memoize=False, dtype=np.float32
+        ),
+        repeat,
+    )
+    s64 = engine.propagate(graph, graph.x, K_HOPS, memoize=False)
+    s32 = engine.propagate(
+        graph, graph.x, K_HOPS, memoize=False, dtype=np.float32
+    )
+    max_diff = max(
+        float(np.max(np.abs(a - b))) for a, b in zip(s64, s32)
+    )
+    return {
+        "f64_khop_s": f64_s,
+        "f32_khop_s": f32_s,
+        "f32_speedup": f64_s / max(f32_s, 1e-9),
+        "f32_max_abs_diff": max_diff,
+    }
+
+
+def _multi_rhs(graph: Graph, cache: OperatorCache, repeat: int) -> dict:
+    operator = cache.normalized_adjacency(graph, kind="sym", self_loops=True)
+    n = graph.n_nodes
+    rng = np.random.default_rng(7)
+    rows = np.sort(rng.choice(n, size=max(n // 20, 64), replace=False))
+    denses = [rng.normal(size=(n, 16)) for _ in range(4)]
+    per_rhs_s = _time(
+        lambda: [rows_spmm(operator, rows, d) for d in denses], repeat
+    )
+    multi_s = _time(lambda: rows_spmm_multi(operator, rows, denses), repeat)
+    exact = all(
+        bool((m == rows_spmm(operator, rows, d)).all())
+        for m, d in zip(rows_spmm_multi(operator, rows, denses), denses)
+    )
+    return {
+        "rows_per_rhs_s": per_rhs_s,
+        "rows_multi_s": multi_s,
+        "multi_rhs_speedup": per_rhs_s / max(multi_s, 1e-9),
+        "multi_rhs_exact": exact,
+    }
+
+
+def _training_parity(smoke: bool) -> dict:
+    """Test accuracy of a model trained on a float32 vs a float64 stack."""
+    n = 600 if smoke else 2000
+    graph, split = contextual_sbm(
+        n, n_classes=4, homophily=0.8, avg_degree=10, n_features=32,
+        feature_signal=1.0, seed=1,
+    )
+    accs = {}
+    for label, dtype in (("f64", None), ("f32", np.float32)):
+        model = SGC(graph.n_features, graph.n_classes, k_hops=2, seed=0)
+        result = train_decoupled(
+            model, graph, split, epochs=30, lr=0.1, seed=0, dtype=dtype
+        )
+        accs[label] = float(result.test_accuracy)
+    return {
+        "f64_test_accuracy": accs["f64"],
+        "f32_test_accuracy": accs["f32"],
+        "train_accuracy_delta": abs(accs["f64"] - accs["f32"]),
+    }
+
+
+def _e28_floor() -> dict:
+    """Cross-check the E28 artifact's recorded warm speedups, if present."""
+    path = RESULTS_DIR / "E28_operator_cache.json"
+    if not path.exists():
+        return {"e28_min_warm_speedup": None}
+    record = json.loads(path.read_text(encoding="utf-8"))
+    speedups = [r["warm_speedup"] for r in record.get("records", [])]
+    return {"e28_min_warm_speedup": min(speedups) if speedups else None}
+
+
+def run(smoke: bool = False) -> dict:
+    if smoke:
+        n, repeat = 30_000, 2
+        blocked_bound, f32_bound, fused_bound = 1.0, 1.0, 0.85
+    else:
+        n, repeat = 120_000, 3
+        blocked_bound, f32_bound, fused_bound = BLOCKED_BOUND, F32_BOUND, 1.0
+
+    graph = _random_graph(n, avg_degree=10, width=TRAIN_WIDTH, seed=3)
+    cache = OperatorCache(threadsafe=False)
+    get_default_arena().reset()
+
+    results = {
+        **_blocked_vs_slice(graph, cache, repeat),
+        **_fused_vs_materialized(graph, repeat),
+        **_f32_vs_f64(graph, cache, repeat),
+        **_multi_rhs(graph, cache, repeat),
+        **_training_parity(smoke),
+        **_e28_floor(),
+    }
+
+    table = Table(
+        "E33: SpMM kernel layer (blocked / fused / float32 / multi-RHS)",
+        ["metric", "value"],
+    )
+    table.add_row("graph", f"n={n}, nnz~{graph.n_edges}, K={K_HOPS}")
+    table.add_row(f"slice SpMM (d={SERVE_WIDTH})",
+                  format_seconds(results["slice_spmm_s"]))
+    table.add_row(f"blocked SpMM (d={SERVE_WIDTH})",
+                  format_seconds(results["blocked_spmm_s"]))
+    table.add_row("blocked speedup / bound",
+                  f"{results['blocked_speedup']:.2f}x / "
+                  f">= {blocked_bound:.1f}x")
+    table.add_row(f"fused K-hop (cold, d={SERVE_WIDTH})",
+                  format_seconds(results["fused_khop_s"]))
+    table.add_row(f"materialized K-hop (cold, d={SERVE_WIDTH})",
+                  format_seconds(results["materialized_khop_s"]))
+    table.add_row("fused speedup / max |diff|",
+                  f"{results['fused_speedup']:.2f}x / "
+                  f"{results['fused_max_abs_diff']:.1e}")
+    table.add_row(f"float64 K-hop (d={TRAIN_WIDTH})",
+                  format_seconds(results["f64_khop_s"]))
+    table.add_row(f"float32 K-hop (d={TRAIN_WIDTH})",
+                  format_seconds(results["f32_khop_s"]))
+    table.add_row("float32 speedup / bound",
+                  f"{results['f32_speedup']:.2f}x / >= {f32_bound:.1f}x")
+    table.add_row("float32 stack max |diff|",
+                  f"{results['f32_max_abs_diff']:.1e}")
+    table.add_row("multi-RHS speedup",
+                  f"{results['multi_rhs_speedup']:.2f}x")
+    table.add_row("test acc f64 / f32",
+                  f"{results['f64_test_accuracy']:.3f} / "
+                  f"{results['f32_test_accuracy']:.3f}")
+    e28 = results["e28_min_warm_speedup"]
+    table.add_row("E28 min warm speedup",
+                  "absent" if e28 is None else f"{e28:.0f}x")
+    emit(table, "E33_spmm_kernels")
+
+    payload = {
+        "experiment": "E33_spmm_kernels",
+        "smoke": smoke,
+        "n_nodes": n,
+        "k_hops": K_HOPS,
+        "blocked_bound": blocked_bound,
+        "f32_bound": f32_bound,
+        "fused_bound": fused_bound,
+        "accuracy_bound": ACCURACY_BOUND,
+        **results,
+    }
+    emit_json(
+        "E33_spmm_kernels", payload, metrics=True, dtype=np.float32,
+        arena_stats=True,
+    )
+
+    assert results["blocked_bitwise_equal"], (
+        "blocked kernel must be bitwise identical to the slice path"
+    )
+    assert results["blocked_speedup"] >= blocked_bound, (
+        f"blocked kernel must be >= {blocked_bound:.1f}x the slice path, "
+        f"measured {results['blocked_speedup']:.2f}x"
+    )
+    assert results["fused_speedup"] >= fused_bound, (
+        f"fused normalize+propagate must be >= {fused_bound:.2f}x "
+        f"materialize-then-propagate at serving width, measured "
+        f"{results['fused_speedup']:.2f}x"
+    )
+    assert results["fused_max_abs_diff"] < 1e-9, (
+        "fused kernel must agree with the materialized operator"
+    )
+    assert results["f32_speedup"] >= f32_bound, (
+        f"float32 precompute must be >= {f32_bound:.1f}x float64, "
+        f"measured {results['f32_speedup']:.2f}x"
+    )
+    assert results["f32_max_abs_diff"] < ACCURACY_BOUND, (
+        f"float32 hop stack must agree with float64 to "
+        f"{ACCURACY_BOUND:g}, measured {results['f32_max_abs_diff']:.2e}"
+    )
+    assert results["multi_rhs_exact"], (
+        "rows_spmm_multi must match per-RHS rows_spmm exactly"
+    )
+    assert results["train_accuracy_delta"] < max(
+        ACCURACY_BOUND, 2.5 / (600 if smoke else 2000)
+    ), (
+        # One flipped test prediction is the quantization floor of the
+        # accuracy metric; allow it on the smaller smoke split.
+        f"float32 training must match float64 test accuracy, delta "
+        f"{results['train_accuracy_delta']:.4f}"
+    )
+    if results["e28_min_warm_speedup"] is not None:
+        assert results["e28_min_warm_speedup"] >= E28_WARM_FLOOR, (
+            f"E28 warm-lookup floor regressed: "
+            f"{results['e28_min_warm_speedup']:.1f}x < {E28_WARM_FLOOR}x"
+        )
+    return payload
+
+
+def test_spmm_kernels(benchmark):
+    run(smoke=True)
+
+    # pytest-benchmark hook: one blocked SpMM at serving width on a warm
+    # operator (the hop the speedup bound protects).
+    graph = _random_graph(20_000, avg_degree=10, width=SERVE_WIDTH, seed=5)
+    cache = OperatorCache(threadsafe=False)
+    operator = cache.normalized_adjacency(graph, kind="sym", self_loops=True)
+    benchmark(chunked_spmm, operator, graph.x, kernel="blocked")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small graph + relaxed timing bounds for CI (same exactness "
+             "assertions)",
+    )
+    args = parser.parse_args(argv)
+    payload = run(smoke=args.smoke)
+    print(
+        f"E33 ok: blocked {payload['blocked_speedup']:.2f}x, "
+        f"fused {payload['fused_speedup']:.2f}x, "
+        f"float32 {payload['f32_speedup']:.2f}x, "
+        f"multi-RHS {payload['multi_rhs_speedup']:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,9 +54,11 @@ class GAMLP(Module):
             Tensor(np.eye(k_hops + 1)[:, k : k + 1]) for k in range(k_hops + 1)
         ]
 
-    def precompute(self, graph: Graph) -> list[np.ndarray]:
+    def precompute(self, graph: Graph, dtype=None) -> list[np.ndarray]:
         """Hop stack served by the shared engine (reused across models)."""
-        return get_default_engine().hop_features(graph, self.k_hops, kind="gcn")
+        return get_default_engine().hop_features(
+            graph, self.k_hops, kind="gcn", dtype=dtype
+        )
 
     def forward(self, hop_rows: list[np.ndarray]) -> Tensor:
         if len(hop_rows) != self.k_hops + 1:

@@ -25,7 +25,7 @@ from repro.tensor.nn import MLP, Module
 from repro.utils.validation import check_int_range
 
 
-def ld2_embeddings(graph: Graph, k_hops: int = 2) -> np.ndarray:
+def ld2_embeddings(graph: Graph, k_hops: int = 2, dtype=None) -> np.ndarray:
     """The concatenated [identity | low-pass hops | high-pass hops] matrix.
 
     Both filter stacks are served by the shared propagation engine, so the
@@ -36,9 +36,9 @@ def ld2_embeddings(graph: Graph, k_hops: int = 2) -> np.ndarray:
     if graph.x is None:
         raise ConfigError("LD2 requires node features on the graph")
     engine = get_default_engine()
-    low = engine.propagate(graph, graph.x, k_hops, kind="gcn")
-    high = engine.propagate(graph, graph.x, k_hops, kind="lap")
-    views = [graph.x]
+    low = engine.propagate(graph, graph.x, k_hops, kind="gcn", dtype=dtype)
+    high = engine.propagate(graph, graph.x, k_hops, kind="lap", dtype=dtype)
+    views = [low[0]]
     for k in range(1, k_hops + 1):
         views.append(low[k])
         views.append(high[k])
@@ -65,8 +65,8 @@ class LD2(Module):
             dropout=dropout, seed=seed,
         )
 
-    def precompute(self, graph: Graph) -> np.ndarray:
-        return ld2_embeddings(graph, self.k_hops)
+    def precompute(self, graph: Graph, dtype=None) -> np.ndarray:
+        return ld2_embeddings(graph, self.k_hops, dtype=dtype)
 
     def forward(self, rows: np.ndarray | Tensor) -> Tensor:
         if not isinstance(rows, Tensor):

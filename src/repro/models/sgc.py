@@ -19,19 +19,23 @@ from repro.tensor.nn import MLP, Module
 from repro.utils.validation import check_int_range
 
 
-def hop_features(graph: Graph, k: int, scheme: str = "gcn") -> list[np.ndarray]:
+def hop_features(
+    graph: Graph, k: int, scheme: str = "gcn", dtype=None
+) -> list[np.ndarray]:
     """Precompute ``[X, ÂX, ..., Â^K X]`` via the shared propagation engine.
 
     The single graph-touching step of the decoupled pipeline; everything
     downstream is dense row-wise work. Routed through
     :class:`repro.perf.PropagationEngine`, so the operator and the hop
     stack are built once and shared by every model that asks for the same
-    ``(graph, scheme)`` combination. The returned arrays are read-only.
+    ``(graph, scheme, dtype)`` combination. ``dtype`` selects the stack
+    precision (``float32``/``float64``; ``None`` uses the engine's
+    configured default). The returned arrays are read-only.
     """
     check_int_range("k", k, 0)
     if graph.x is None:
         raise ValueError("graph needs features for hop_features")
-    return get_default_engine().hop_features(graph, k, kind=scheme)
+    return get_default_engine().hop_features(graph, k, kind=scheme, dtype=dtype)
 
 
 class SGC(Module):
@@ -60,8 +64,8 @@ class SGC(Module):
             self.head = MLP(in_features, in_features, n_classes, n_layers=1,
                             dropout=dropout, seed=seed)
 
-    def precompute(self, graph: Graph) -> np.ndarray:
-        return hop_features(graph, self.k_hops)[-1]
+    def precompute(self, graph: Graph, dtype=None) -> np.ndarray:
+        return hop_features(graph, self.k_hops, dtype=dtype)[-1]
 
     def forward(self, rows: np.ndarray | Tensor) -> Tensor:
         if not isinstance(rows, Tensor):
@@ -89,8 +93,8 @@ class SIGNModel(Module):
             dropout=dropout, seed=seed,
         )
 
-    def precompute(self, graph: Graph) -> np.ndarray:
-        return np.concatenate(hop_features(graph, self.k_hops), axis=1)
+    def precompute(self, graph: Graph, dtype=None) -> np.ndarray:
+        return np.concatenate(hop_features(graph, self.k_hops, dtype=dtype), axis=1)
 
     def forward(self, rows: np.ndarray | Tensor) -> Tensor:
         if not isinstance(rows, Tensor):

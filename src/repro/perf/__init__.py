@@ -10,13 +10,38 @@ that reuse concrete:
   arrays, the cache keys.
 * :mod:`repro.perf.operator_cache` — :class:`OperatorCache`, LRU-bounded
   memoization of adjacency / normalized adjacency / Laplacian /
-  propagation operators with hit/miss accounting.
+  propagation operators (and their value-dtype variants) with hit/miss
+  accounting.
+* :mod:`repro.perf.kernels` — hand-rolled CSR SpMM kernels: zero-copy
+  row walk, L2-tiled column blocking (:class:`SpmmPlan`), the fused
+  normalize+propagate :class:`FusedOperator`, and reusable
+  :class:`RowBand` decodes for multi-RHS row products.
+* :mod:`repro.perf.arena` — :class:`BufferArena`, a shape/dtype-keyed
+  pool of dense scratch buffers rented by the kernels and the serving
+  batch workers.
 * :mod:`repro.perf.propagation` — :class:`PropagationEngine`, row-chunked
   (bounded-memory) K-hop SpMM with memoized hop stacks, the shared
-  ``propagate(graph, X, K, kind)`` entry point of every decoupled model.
+  ``propagate(graph, X, K, kind)`` entry point of every decoupled model;
+  its ``chunked_spmm``/``rows_spmm`` dispatchers own the fault sites and
+  route to the kernels.
 """
 
+from repro.perf.arena import (
+    BufferArena,
+    get_default_arena,
+    set_default_arena,
+)
 from repro.perf.fingerprint import array_fingerprint, graph_fingerprint
+from repro.perf.kernels import (
+    DEFAULT_L2_BUDGET,
+    HAVE_SPARSETOOLS,
+    FusedOperator,
+    RowBand,
+    SpmmPlan,
+    blocked_spmm,
+    get_fused_operator,
+    kernel_supported,
+)
 from repro.perf.operator_cache import (
     OperatorCache,
     cached_adjacency,
@@ -30,9 +55,11 @@ from repro.perf.propagation import (
     DEFAULT_CHUNK_ROWS,
     PropagationEngine,
     chunked_spmm,
+    fused_spmm,
     get_default_engine,
     propagate,
     rows_spmm,
+    rows_spmm_multi,
     set_default_engine,
 )
 
@@ -46,9 +73,22 @@ __all__ = [
     "cached_normalized_adjacency",
     "cached_laplacian",
     "cached_propagation_matrix",
+    "BufferArena",
+    "get_default_arena",
+    "set_default_arena",
+    "SpmmPlan",
+    "FusedOperator",
+    "RowBand",
+    "blocked_spmm",
+    "get_fused_operator",
+    "kernel_supported",
+    "HAVE_SPARSETOOLS",
+    "DEFAULT_L2_BUDGET",
     "PropagationEngine",
     "chunked_spmm",
+    "fused_spmm",
     "rows_spmm",
+    "rows_spmm_multi",
     "propagate",
     "get_default_engine",
     "set_default_engine",

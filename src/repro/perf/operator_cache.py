@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable
 
+import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import ConfigError
@@ -36,10 +37,36 @@ _LOG = get_logger("repro.perf.operator_cache")
 
 
 def _freeze(matrix: sp.csr_matrix) -> sp.csr_matrix:
-    """Mark a CSR matrix's buffers read-only (shared-cache safety)."""
+    """Mark a CSR matrix's buffers read-only (shared-cache safety).
+
+    All three CSR arrays are frozen — ``data`` *and* the
+    ``indices``/``indptr`` structure — so a caller mutating a cached
+    operator's values or topology raises instead of silently corrupting
+    every sharer. The frozen-data flag doubles as the kernel layer's
+    "long-lived operator" signal (see
+    :func:`repro.perf.kernels.blocked_spmm`'s plan heuristic).
+    """
     for arr in (matrix.data, matrix.indices, matrix.indptr):
         arr.setflags(write=False)
     return matrix
+
+
+def _cast_shared(matrix: sp.csr_matrix, dtype: np.dtype) -> sp.csr_matrix:
+    """A value-dtype variant of a frozen CSR sharing its index structure.
+
+    Only ``data`` is re-allocated (cast); ``indices``/``indptr`` are the
+    *same* frozen arrays as the canonical operator, so a float32 variant
+    costs nnz × 4 bytes, not a full matrix copy.
+    """
+    cast = sp.csr_matrix(matrix.shape, dtype=dtype)
+    # Assigned directly (not via the constructor, which copies the index
+    # arrays on recent scipy) so the variant really does alias the frozen
+    # canonical structure.
+    cast.data = matrix.data.astype(dtype)
+    cast.indices = matrix.indices
+    cast.indptr = matrix.indptr
+    cast.has_sorted_indices = matrix.has_sorted_indices
+    return cast
 
 
 class OperatorCache:
@@ -48,8 +75,11 @@ class OperatorCache:
     Entries are keyed by ``(graph.fingerprint, op, kind, self_loops,
     alpha)``; because the fingerprint hashes the CSR arrays themselves, a
     rebuilt-but-identical graph hits the cache while any structural or
-    weight change misses. Results are shared and frozen — copy before
-    mutating.
+    weight change misses. Value-dtype variants (``dtype=`` on the
+    accessors, e.g. a float32 operator for the reduced-precision
+    propagation mode) are cached under the canonical key extended with a
+    dtype token and share the canonical entry's frozen index structure.
+    Results are shared and frozen — copy before mutating.
 
     Parameters
     ----------
@@ -110,38 +140,68 @@ class OperatorCache:
                        evicted[1], evicted[2], self.max_entries)
         return matrix
 
+    def _typed(
+        self, key: tuple, builder: Callable[[], sp.spmatrix], dtype
+    ) -> sp.csr_matrix:
+        """The canonical operator, or its cached value-dtype variant.
+
+        ``dtype=None`` (and a dtype matching the canonical data) return
+        the canonical entry — zero extra cost on the default path. Other
+        dtypes are cached under the canonical key extended with the
+        dtype token, built by casting ``data`` while sharing the frozen
+        ``indices``/``indptr`` (and frozen themselves by the lookup).
+        """
+        base = self._lookup(key, builder)
+        if dtype is None:
+            return base
+        dt = np.dtype(dtype)
+        if base.data.dtype == dt:
+            return base
+        return self._lookup(key + (dt.str,), lambda: _cast_shared(base, dt))
+
     # ------------------------------------------------------------------ #
     # Operator accessors (mirror repro.graph.ops)
     # ------------------------------------------------------------------ #
 
-    def adjacency(self, graph: Graph, self_loops: bool = False) -> sp.csr_matrix:
+    def adjacency(
+        self, graph: Graph, self_loops: bool = False, dtype=None
+    ) -> sp.csr_matrix:
         """Cached :func:`repro.graph.ops.adjacency_matrix`."""
         key = (graph.fingerprint, "adjacency", None, bool(self_loops), None)
-        return self._lookup(
-            key, lambda: graph_ops.adjacency_matrix(graph, self_loops=self_loops)
+        return self._typed(
+            key,
+            lambda: graph_ops.adjacency_matrix(graph, self_loops=self_loops),
+            dtype,
         )
 
     def normalized_adjacency(
-        self, graph: Graph, kind: str = "sym", self_loops: bool = True
+        self, graph: Graph, kind: str = "sym", self_loops: bool = True, dtype=None
     ) -> sp.csr_matrix:
         """Cached :func:`repro.graph.ops.normalized_adjacency`."""
         key = (graph.fingerprint, "norm_adj", kind, bool(self_loops), None)
-        return self._lookup(
+        return self._typed(
             key,
             lambda: graph_ops.normalized_adjacency(
                 graph, kind=kind, self_loops=self_loops
             ),
+            dtype,
         )
 
-    def laplacian(self, graph: Graph, kind: str = "sym") -> sp.csr_matrix:
+    def laplacian(
+        self, graph: Graph, kind: str = "sym", dtype=None
+    ) -> sp.csr_matrix:
         """Cached :func:`repro.graph.ops.laplacian_matrix`."""
         key = (graph.fingerprint, "laplacian", kind, None, None)
-        return self._lookup(
-            key, lambda: graph_ops.laplacian_matrix(graph, kind=kind)
+        return self._typed(
+            key, lambda: graph_ops.laplacian_matrix(graph, kind=kind), dtype
         )
 
     def propagation(
-        self, graph: Graph, scheme: str = "gcn", alpha: float | None = None
+        self,
+        graph: Graph,
+        scheme: str = "gcn",
+        alpha: float | None = None,
+        dtype=None,
     ) -> sp.csr_matrix:
         """Cached :func:`repro.graph.ops.propagation_matrix`."""
         key = (
@@ -151,9 +211,10 @@ class OperatorCache:
             None,
             None if alpha is None else float(alpha),
         )
-        return self._lookup(
+        return self._typed(
             key,
             lambda: graph_ops.propagation_matrix(graph, scheme=scheme, alpha=alpha),
+            dtype,
         )
 
     # ------------------------------------------------------------------ #

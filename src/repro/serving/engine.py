@@ -35,6 +35,7 @@ from repro.errors import LoadSheddingError, ServingError, TransientError
 from repro.graph.core import Graph
 from repro.models.nai import confidence_gated_predict
 from repro.obs import OBS
+from repro.perf.arena import get_default_arena
 from repro.resilience.faults import FAULTS
 from repro.serving.batching import BatchingQueue, PredictRequest
 from repro.serving.invalidation import UpdateReport, dirty_frontiers, patch_stack
@@ -379,27 +380,26 @@ class ServingEngine:
         record = self.registry.get(batch[0].model_key)
         nodes = np.fromiter((r.node_id for r in batch), dtype=np.int64)
         unique, inverse = np.unique(nodes, return_inverse=True)
-        with obs.span("serving.gather", rows=len(unique), hops=record.k_hops):
-            # Fancy indexing copies the rows, so only the gather itself
-            # needs to be consistent with concurrent stack patches.
-            with record.lock.reader:
-                hop_rows = record.hop_rows(unique)
-        if self.early_exit:
-            with obs.span(
-                "serving.infer", mode="early_exit", threshold=self.threshold
-            ) as span:
-                predictions, hops_used = confidence_gated_predict(
-                    record.model, hop_rows, self.threshold
-                )
-                if span:
-                    span.set(mean_exit_hop=float(hops_used.mean()))
-        else:
-            with obs.span("serving.infer", mode="full_depth"):
-                record.model.eval()
-                with no_grad():
-                    logits = record.model(Tensor(hop_rows[-1])).data
-                predictions = logits.argmax(axis=1).astype(np.int64)
-                hops_used = np.full(len(unique), record.k_hops, dtype=np.int64)
+        # The per-batch gather buffer is rented from the process arena:
+        # steady-state workers recycle the same pages batch after batch
+        # instead of allocating a fresh (K+1, m, d) block per micro-batch.
+        # Safe to release after inference — the gate/forward take copies
+        # of the rows they keep (predictions/hops_used are fresh arrays).
+        arena = get_default_arena()
+        gather_buf = arena.rent(
+            (record.k_hops + 1, len(unique), record.stacked.shape[2]),
+            record.dtype,
+        )
+        try:
+            with obs.span("serving.gather", rows=len(unique), hops=record.k_hops):
+                # The gather copies the rows into the rented buffer, so only
+                # the gather itself needs to be consistent with concurrent
+                # stack patches.
+                with record.lock.reader:
+                    hop_rows = record.hop_rows(unique, out=gather_buf)
+            predictions, hops_used = self._infer(record, hop_rows, unique)
+        finally:
+            arena.release(gather_buf)
         if self.store is not None:
             self.store.put_many(
                 record.namespace,
@@ -436,6 +436,29 @@ class ServingEngine:
         # One lock round-trip for the whole batch, not one per request.
         self.latency.record_many(latencies)
         self._count(served=len(batch))
+
+    def _infer(
+        self, record: ServedModel, hop_rows: list[np.ndarray], unique: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gate or full-depth forward over gathered rows; returns fresh
+        ``(predictions, hops_used)`` arrays (no views of ``hop_rows``)."""
+        if self.early_exit:
+            with obs.span(
+                "serving.infer", mode="early_exit", threshold=self.threshold
+            ) as span:
+                predictions, hops_used = confidence_gated_predict(
+                    record.model, hop_rows, self.threshold
+                )
+                if span:
+                    span.set(mean_exit_hop=float(hops_used.mean()))
+        else:
+            with obs.span("serving.infer", mode="full_depth"):
+                record.model.eval()
+                with no_grad():
+                    logits = record.model(Tensor(hop_rows[-1])).data
+                predictions = logits.argmax(axis=1).astype(np.int64)
+                hops_used = np.full(len(unique), record.k_hops, dtype=np.int64)
+        return predictions, hops_used
 
     # ------------------------------------------------------------------ #
     # Streaming updates
@@ -477,8 +500,10 @@ class ServingEngine:
                 seeds = [node for edge in edges for node in edge]
                 dirty = dirty_frontiers(dynamic, seeds, record.k_hops)
                 new_graph = dynamic.snapshot()
+                # dtype-matched operator: a float32 stack is patched with
+                # float32 products (kernel-eligible, no silent upcast).
                 operator = self.registry.engine.operator(
-                    new_graph, record.kind, record.alpha
+                    new_graph, record.kind, record.alpha, dtype=record.dtype
                 )
                 with obs.span("serving.patch_stack", depths=len(dirty)):
                     rows = patch_stack(record.stack, operator, dirty)

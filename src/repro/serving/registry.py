@@ -25,7 +25,15 @@ from repro.utils.concurrency import RWLock
 
 
 class ServedModel:
-    """One registered ``(name, version)``: model + graph + warm hop stack."""
+    """One registered ``(name, version)``: model + graph + warm hop stack.
+
+    The hop stack is held as one C-contiguous ``(K+1, n, d)`` array
+    (:attr:`stacked`); :attr:`stack` is the per-depth list view of it, so
+    in-place row patches through either alias are visible to both. The
+    single array makes :meth:`hop_rows` one batched ``np.take`` gather
+    across every depth instead of K+1 separate fancy-index copies — the
+    multi-RHS amortization of the serving read path.
+    """
 
     def __init__(
         self,
@@ -41,7 +49,10 @@ class ServedModel:
         self.version = version
         self.model = model
         self.graph = graph
-        self.stack = stack
+        # np.stack copies, so the record owns private writable storage
+        # regardless of the (typically frozen, engine-shared) input layers.
+        self.stacked = np.stack(stack)
+        self.stack = list(self.stacked)
         self.kind = kind
         self.alpha = alpha
         # Content-keyed cache namespace: a model re-registered over a
@@ -65,10 +76,23 @@ class ServedModel:
     def k_hops(self) -> int:
         return len(self.stack) - 1
 
-    def hop_rows(self, nodes: np.ndarray) -> list[np.ndarray]:
-        """Depth-0..K embedding rows for ``nodes`` (gather, no propagation)."""
+    @property
+    def dtype(self) -> np.dtype:
+        """Element type of the served hop stack (float32 or float64)."""
+        return self.stacked.dtype
+
+    def hop_rows(
+        self, nodes: np.ndarray, out: np.ndarray | None = None
+    ) -> list[np.ndarray]:
+        """Depth-0..K embedding rows for ``nodes`` (gather, no propagation).
+
+        One batched gather over the stacked ``(K+1, n, d)`` array; ``out``
+        (shape ``(K+1, len(nodes), d)``, e.g. rented from a
+        :class:`~repro.perf.arena.BufferArena`) receives the rows when
+        given, and the returned per-depth arrays are views of it.
+        """
         nodes = np.asarray(nodes, dtype=np.int64)
-        return [layer[nodes] for layer in self.stack]
+        return list(np.take(self.stacked, nodes, axis=1, out=out))
 
     def ensure_dynamic(self) -> DynamicGraph:
         """The mutable adjacency behind this model, created on first update."""
@@ -141,9 +165,10 @@ class ModelRegistry:
             warm = self.engine.propagate(
                 graph, graph.x, k_hops, kind=kind, alpha=alpha
             )
-            # Private writable copies: incremental updates patch rows in place.
-            stack = [layer.copy() for layer in warm]
-            record = ServedModel(name, int(version), model, graph, stack, kind, alpha)
+            # ServedModel stacks the layers into private writable storage,
+            # so incremental updates can patch rows in place without
+            # touching the engine's shared read-only cache.
+            record = ServedModel(name, int(version), model, graph, warm, kind, alpha)
             versions[record.version] = record
             return record
 

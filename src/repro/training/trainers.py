@@ -342,18 +342,26 @@ def train_decoupled(
     checkpointer: Checkpointer | None = None,
     checkpoint_every: int = 0,
     resume: bool = False,
+    dtype=None,
 ) -> TrainResult:
     """Precompute-once, then mini-batch MLP training over embedding rows.
 
     With a ``checkpointer`` and ``checkpoint_every > 0`` the loop state —
     including the batch-permutation RNG — is persisted every N epochs;
     ``resume=True`` restarts from the newest checkpoint bit-identically.
+    ``dtype`` (``float32``/``float64``) selects the precision of the
+    precomputed embeddings — passed through to ``model.precompute``, so a
+    float32 run halves the memory traffic of the propagation step.
     """
     if graph.y is None:
         raise ConfigError("graph needs labels")
     check_int_range("batch_size", batch_size, 1)
     rng = as_rng(seed)
-    emb, pre_time, hits, misses = _timed_precompute(lambda: model.precompute(graph))
+    emb, pre_time, hits, misses = _timed_precompute(
+        lambda: model.precompute(graph)
+        if dtype is None
+        else model.precompute(graph, dtype=dtype)
+    )
     opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
     stopper = EarlyStopping(model, patience=patience)
     result = TrainResult(0.0, 0.0, -1, pre_time, 0.0,
