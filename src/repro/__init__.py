@@ -30,6 +30,7 @@ from repro.errors import (
     CircuitOpenError,
     ConfigError,
     ConvergenceError,
+    DistributedError,
     DivergenceError,
     FaultError,
     GraphError,
@@ -58,6 +59,7 @@ __all__ = [
     "FaultError",
     "CheckpointError",
     "DivergenceError",
+    "DistributedError",
     "CircuitOpenError",
     "__version__",
 ]

@@ -1,0 +1,59 @@
+"""Process-parallel distributed training over shared-memory shards.
+
+The real counterpart of :func:`repro.training.simulate_distributed_training`:
+``spawn``-ed worker processes, one per partition part, attach the
+coordinator-published feature matrix and per-shard CSR arrays zero-copy
+from ``multiprocessing.shared_memory``, exchange halo feature rows per
+cross-partition arc every round, and synchronise parameters through the
+coordinator with train-node-weighted averaging — the simulation's
+semantics, executed for real. Pick a backend with :func:`get_backend`::
+
+    from repro.distributed import get_backend
+
+    result = get_backend("process").run(graph, split, assignment, 4,
+                                        epochs=10)
+    assert result.halo_floats_received == \
+        result.halo_floats_per_epoch * result.epochs
+
+See ``DESIGN.md`` ("Process-parallel distributed training") for the
+process topology, shared-segment lifecycle, and halo-exchange protocol.
+"""
+
+from repro.distributed.backend import (
+    BackendResult,
+    DistributedBackend,
+    ProcessBackend,
+    SimulatedBackend,
+    get_backend,
+)
+from repro.distributed.shards import (
+    Shard,
+    ShardPlan,
+    build_shard,
+    build_shard_plan,
+)
+from repro.distributed.shm import (
+    AttachedSegments,
+    SharedArrayHandle,
+    ShmArena,
+    attach_array,
+)
+from repro.distributed.worker import WorkerSpec, worker_main
+
+__all__ = [
+    "AttachedSegments",
+    "BackendResult",
+    "DistributedBackend",
+    "ProcessBackend",
+    "Shard",
+    "ShardPlan",
+    "SharedArrayHandle",
+    "ShmArena",
+    "SimulatedBackend",
+    "WorkerSpec",
+    "attach_array",
+    "build_shard",
+    "build_shard_plan",
+    "get_backend",
+    "worker_main",
+]

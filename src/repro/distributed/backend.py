@@ -1,0 +1,566 @@
+"""Distributed training backends: one interface, simulated and real.
+
+:class:`DistributedBackend` is the common face of partition-parallel
+training. Two implementations:
+
+* :class:`SimulatedBackend` — wraps
+  :func:`repro.training.simulate_distributed_training`, the in-process
+  reference: analytic communication accounting, no processes. This is
+  the semantics oracle the real backend is tested against.
+* :class:`ProcessBackend` — real ``spawn``-ed worker processes over
+  shared-memory graph shards (:mod:`repro.distributed.shm`,
+  :mod:`repro.distributed.shards`): the coordinator publishes the
+  feature matrix and per-shard CSR arrays once, workers attach
+  zero-copy, exchange halo feature rows per cross-partition arc through
+  pairwise shared buffers, and synchronise parameters each round with
+  averaging weighted by local train-node count — the same semantics the
+  simulation defines.
+
+Control plane (all shared memory, no queues — see
+:mod:`repro.distributed.worker` for why queues cannot survive a killed
+writer): each worker owns a flat ``state`` vector plus a three-cell
+meta block ``(round, n_train, failed)``; the coordinator owns one flat
+``params`` vector plus a round cell. A writer always fills the payload
+first and advances its round cell last, so a reader that sees round
+``r`` is guaranteed a complete round-``r`` payload. Worker death is
+detected by ``Process.is_alive`` polling whenever the gather stalls;
+a dead rank's byte in the shared ``alive`` array is zeroed (the only
+coordinator-written worker-visible flag), the round's average is
+renormalised over the survivors, and peers fall back to stale ghost
+rows instead of waiting on the dead rank's halo buffer.
+
+Cleanup is unconditional: the arena unlink and worker terminate/kill
+sweep run in a ``finally`` that covers normal completion, worker
+crashes, chaos kills, and coordinator timeouts — no exit path strands
+``/dev/shm`` segments or child processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ConfigError, DistributedError
+from repro.utils.validation import check_int_range
+
+_LOG = obs.get_logger("repro.distributed.backend")
+
+#: Coordinator-side spin interval while gathering worker states.
+_GATHER_POLL_S = 0.005
+#: How often (seconds) the stalled gather re-checks worker liveness.
+_LIVENESS_EVERY_S = 0.1
+
+
+@dataclass(frozen=True)
+class BackendResult:
+    """Outcome of one distributed run, whichever backend produced it.
+
+    The analytic fields (``halo_floats_per_epoch``,
+    ``param_sync_floats_per_round``, ``cross_partition_arcs``) mean the
+    same thing for both backends; the measured fields
+    (``halo_floats_shipped`` / ``halo_floats_received``, attach
+    accounting, wall time) are only non-zero for the process backend —
+    in a healthy run ``halo_floats_received`` equals
+    ``halo_floats_per_epoch × epochs`` exactly, by the per-arc exchange
+    construction.
+    """
+
+    backend: str
+    test_accuracy: float
+    epochs: int
+    n_parts: int
+    cross_partition_arcs: int
+    halo_floats_per_epoch: int
+    param_sync_floats_per_round: int
+    halo_floats_shipped: int = 0
+    halo_floats_received: int = 0
+    sync_rounds: int = 0
+    worker_failures: int = 0
+    straggler_events: int = 0
+    degraded_rounds: int = 0
+    checkpoint_saves: int = 0
+    checkpoint_restores: int = 0
+    workers_lost: int = 0
+    wall_time_s: float = 0.0
+    attach_stats: dict = field(default_factory=dict)
+    recovery: str = "reweight"
+
+
+class DistributedBackend:
+    """Common interface over simulated and process-parallel training."""
+
+    name = "abstract"
+
+    def run(
+        self,
+        graph,
+        split,
+        assignment: np.ndarray,
+        n_parts: int,
+        **kwargs,
+    ) -> BackendResult:
+        raise NotImplementedError
+
+
+class SimulatedBackend(DistributedBackend):
+    """The in-process reference backend (analytic communication)."""
+
+    name = "simulated"
+
+    def run(
+        self,
+        graph,
+        split,
+        assignment: np.ndarray,
+        n_parts: int,
+        **kwargs,
+    ) -> BackendResult:
+        from repro.training.distributed import simulate_distributed_training
+
+        start = time.monotonic()
+        sim = simulate_distributed_training(
+            graph, split, assignment, n_parts, **kwargs
+        )
+        return BackendResult(
+            backend=self.name,
+            test_accuracy=sim.test_accuracy,
+            epochs=int(kwargs.get("epochs", 50)),
+            n_parts=int(n_parts),
+            cross_partition_arcs=sim.cross_partition_arcs,
+            halo_floats_per_epoch=sim.halo_floats_per_epoch,
+            param_sync_floats_per_round=sim.param_sync_floats_per_round,
+            worker_failures=sim.worker_failures,
+            straggler_events=sim.straggler_events,
+            degraded_rounds=sim.degraded_rounds,
+            checkpoint_restores=sim.checkpoint_restores,
+            wall_time_s=time.monotonic() - start,
+            recovery=sim.recovery,
+        )
+
+
+class ProcessBackend(DistributedBackend):
+    """Real process-parallel training over shared-memory shards.
+
+    Instances are reusable across runs and double as an
+    :class:`repro.obs` stats source (``distributed.backend.*``
+    counters: halo floats shipped/received, sync rounds, segment
+    attaches, workers lost).
+    """
+
+    name = "process"
+
+    def __init__(self) -> None:
+        self._counters = {
+            "runs": 0,
+            "halo_floats_shipped": 0,
+            "halo_floats_received": 0,
+            "sync_rounds": 0,
+            "attaches": 0,
+            "workers_lost": 0,
+        }
+        obs.register_source("distributed.backend", self)
+
+    # ------------------------------------------------------------------ #
+    # StatsSource protocol
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self._counters)
+
+    def reset(self) -> None:
+        for key in self._counters:
+            self._counters[key] = 0
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        graph,
+        split,
+        assignment: np.ndarray,
+        n_parts: int,
+        epochs: int = 20,
+        hidden: int = 32,
+        lr: float = 0.01,
+        weight_decay: float = 5e-4,
+        dropout: float = 0.3,
+        seed: int = 0,
+        fault_plan=None,
+        fault_seed: int = 0,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 0,
+        timeout_s: float = 300.0,
+        round_hook=None,
+    ) -> BackendResult:
+        """Train for ``epochs`` synchronous rounds over ``n_parts`` workers.
+
+        ``fault_plan`` (a picklable :class:`repro.resilience.FaultPlan`)
+        is shipped to every worker and rebuilt locally with seed
+        ``fault_seed + rank``. ``round_hook(round_no, processes)``, when
+        given, runs in the coordinator at the top of every round — the
+        chaos tests use it to kill workers mid-run. ``timeout_s`` bounds
+        the whole run; exceeding it tears everything down and raises
+        :class:`repro.errors.DistributedError`.
+        """
+        from repro.distributed.shards import build_shard_plan
+        from repro.distributed.worker import (
+            DONE_FIELDS,
+            WorkerSpec,
+            flatten_state,
+            unflatten_state,
+            worker_main,
+        )
+        from repro.models.gcn import GCN
+        from repro.tensor.autograd import no_grad
+        from repro.training.metrics import accuracy
+
+        if graph.x is None or graph.y is None:
+            raise ConfigError("graph needs features and labels")
+        check_int_range("n_parts", n_parts, 1)
+        check_int_range("epochs", epochs, 1)
+        assignment = np.asarray(assignment, dtype=np.int64)
+
+        with obs.span("distributed.plan", n_parts=n_parts):
+            plan = build_shard_plan(graph, assignment, n_parts)
+        feature_dim = graph.x.shape[1]
+        n_classes = graph.n_classes
+        train_mask = np.zeros(graph.n_nodes, dtype=bool)
+        train_mask[split.train] = True
+
+        model = GCN(
+            feature_dim, hidden, n_classes,
+            n_layers=2, dropout=dropout, seed=seed,
+        )
+        n_params = model.n_parameters()
+        template = model.state_dict()
+        init_flat = flatten_state(template)
+
+        from repro.distributed.shm import ShmArena
+
+        start = time.monotonic()
+        deadline = start + float(timeout_s)
+        ctx = mp.get_context("spawn")
+        arena = ShmArena()
+        processes: list = []
+        alive_view = None
+        try:
+            # ---- publish the data + control plane once -----------------
+            with obs.span("distributed.publish"):
+                handles = {
+                    "x": arena.publish("x", np.ascontiguousarray(graph.x)),
+                    "y": arena.publish("y", graph.y.astype(np.int64)),
+                    "train_mask": arena.publish("train-mask", train_mask),
+                    "alive": arena.publish(
+                        "alive", np.ones(n_parts, dtype=np.uint8)
+                    ),
+                    "params": arena.publish("params", init_flat),
+                    "params_round": arena.publish(
+                        "params-round", np.full(1, -1, dtype=np.int64)
+                    ),
+                }
+                shard_handles = []
+                for p, shard in enumerate(plan.shards):
+                    sh = {
+                        "indptr": arena.publish(f"s{p}-indptr", shard.indptr),
+                        "indices": arena.publish(f"s{p}-indices", shard.indices),
+                        "weights": arena.publish(f"s{p}-weights", shard.weights),
+                        "owned": arena.publish(f"s{p}-owned", shard.owned),
+                        "ghosts": arena.publish(f"s{p}-ghosts", shard.ghosts),
+                        "send": {
+                            q: arena.publish(f"s{p}-send-{q}", idx)
+                            for q, idx in shard.send.items()
+                        },
+                        "recv": {
+                            q: arena.publish(f"s{p}-recv-{q}", idx)
+                            for q, idx in shard.recv.items()
+                        },
+                        "state": arena.publish(
+                            f"state-{p}", np.zeros_like(init_flat)
+                        ),
+                        "state_meta": arena.publish(
+                            f"state-meta-{p}",
+                            np.array([-1, 0, 0], dtype=np.int64),
+                        ),
+                        "done": arena.publish(
+                            f"done-{p}",
+                            np.zeros(1 + len(DONE_FIELDS), dtype=np.int64),
+                        ),
+                    }
+                    shard_handles.append(sh)
+                # Pairwise halo buffers: payload (arcs × dim) + round cell,
+                # writer-owned on the source side.
+                halo_handles: dict[tuple[int, int], tuple] = {}
+                for p, shard in enumerate(plan.shards):
+                    for q, idx in shard.send.items():
+                        halo_handles[(p, q)] = (
+                            arena.publish(
+                                f"halo-{p}-{q}",
+                                np.zeros((len(idx), feature_dim)),
+                            ),
+                            arena.publish(
+                                f"halo-{p}-{q}-round",
+                                np.full(1, -1, dtype=np.int64),
+                            ),
+                        )
+            alive_view = arena.view("alive", writable=True)
+            params_view = arena.view("params", writable=True)
+            params_round = arena.view("params-round", writable=True)
+            metas = [arena.view(f"state-meta-{p}") for p in range(n_parts)]
+            states = [arena.view(f"state-{p}") for p in range(n_parts)]
+            dones = [arena.view(f"done-{p}") for p in range(n_parts)]
+
+            # ---- launch ------------------------------------------------
+            import repro
+
+            package_root = str(Path(repro.__file__).resolve().parent.parent)
+            for p, shard in enumerate(plan.shards):
+                sh = shard_handles[p]
+                spec = WorkerSpec(
+                    rank=p,
+                    n_parts=n_parts,
+                    epochs=epochs,
+                    hidden=hidden,
+                    lr=lr,
+                    weight_decay=weight_decay,
+                    dropout=dropout,
+                    seed=seed + 1 + p,
+                    n_classes=n_classes,
+                    directed=shard.directed,
+                    x=handles["x"],
+                    y=handles["y"],
+                    train_mask=handles["train_mask"],
+                    alive=handles["alive"],
+                    indptr=sh["indptr"],
+                    indices=sh["indices"],
+                    weights=sh["weights"],
+                    owned=sh["owned"],
+                    ghosts=sh["ghosts"],
+                    send=sh["send"],
+                    recv=sh["recv"],
+                    halo_out={q: halo_handles[(p, q)] for q in shard.send},
+                    halo_in={q: halo_handles[(q, p)] for q in shard.recv},
+                    params=handles["params"],
+                    params_round=handles["params_round"],
+                    state=sh["state"],
+                    state_meta=sh["state_meta"],
+                    done=sh["done"],
+                    fault_plan=fault_plan,
+                    fault_seed=fault_seed,
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_every=checkpoint_every,
+                    sync_timeout_s=float(timeout_s),
+                    package_root=package_root,
+                )
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(spec,),
+                    daemon=True,
+                    name=f"repro-dist-w{p}",
+                )
+                proc.start()
+                processes.append(proc)
+
+            # ---- synchronous rounds ------------------------------------
+            expected = set(range(n_parts))
+            totals = {
+                "worker_failures": 0,
+                "straggler_events": 0,
+                "degraded_rounds": 0,
+                "sync_rounds": 0,
+                "workers_lost": 0,
+                "checkpoint_saves": 0,
+                "halo_floats_shipped": 0,
+                "halo_floats_received": 0,
+            }
+            attach_stats = {"attaches": 0, "mapped_bytes": 0, "copied_bytes": 0}
+            averaged_flat = init_flat.copy()
+
+            def _mark_dead(rank: int, why: str) -> None:
+                if rank in expected:
+                    expected.discard(rank)
+                    alive_view[rank] = 0
+                    totals["workers_lost"] += 1
+                    _LOG.warning("worker %d lost (%s)", rank, why)
+
+            def _reap() -> None:
+                for rank in list(expected):
+                    if not processes[rank].is_alive():
+                        _mark_dead(rank, "process died")
+
+            for round_no in range(epochs):
+                if round_hook is not None:
+                    round_hook(round_no, processes)
+                contributions: dict[int, tuple[np.ndarray | None, int]] = {}
+                next_liveness = time.monotonic()
+                while expected - set(contributions):
+                    if time.monotonic() > deadline:
+                        raise DistributedError(
+                            f"distributed run exceeded {timeout_s}s "
+                            f"at round {round_no}"
+                        )
+                    progressed = False
+                    for rank in expected - set(contributions):
+                        meta = metas[rank]
+                        if meta[0] == round_no:
+                            failed = bool(meta[2])
+                            if failed:
+                                totals["worker_failures"] += 1
+                                contributions[rank] = (None, 0)
+                            else:
+                                # Copy now: the worker may overwrite its
+                                # vector as soon as the next round opens.
+                                contributions[rank] = (
+                                    states[rank].copy(), int(meta[1])
+                                )
+                            progressed = True
+                    if progressed:
+                        continue
+                    if time.monotonic() >= next_liveness:
+                        _reap()
+                        next_liveness = time.monotonic() + _LIVENESS_EVERY_S
+                    time.sleep(_GATHER_POLL_S)
+                if not expected:
+                    raise DistributedError(
+                        f"all workers lost by round {round_no}"
+                    )
+                # Weighted averaging over surviving, non-failed
+                # contributions — weights are local train-node counts,
+                # renormalised over contributors (simulation semantics).
+                live = [
+                    (vec, n_train)
+                    for rank, (vec, n_train) in contributions.items()
+                    if rank in expected and vec is not None and n_train > 0
+                ]
+                if len(contributions) < n_parts or any(
+                    vec is None for vec, _ in contributions.values()
+                ):
+                    totals["degraded_rounds"] += 1
+                total_weight = sum(n_train for _, n_train in live)
+                if total_weight > 0:
+                    averaged_flat = sum(
+                        (n_train / total_weight) * vec for vec, n_train in live
+                    )
+                params_view[:] = averaged_flat
+                params_round[0] = round_no  # publish last
+                totals["sync_rounds"] += 1
+
+            # ---- final reports -----------------------------------------
+            reported: set[int] = set()
+            while expected - reported:
+                if time.monotonic() > deadline:
+                    raise DistributedError(
+                        "timed out waiting for worker reports "
+                        f"({sorted(expected - reported)} missing)"
+                    )
+                for rank in list(expected - reported):
+                    # Check the done flag BEFORE liveness: a worker that
+                    # finished, published its block, and exited is
+                    # reported, not lost.
+                    if dones[rank][0] == 1:
+                        counters = dict(zip(DONE_FIELDS, dones[rank][1:]))
+                        totals["straggler_events"] += counters["stragglers"]
+                        totals["checkpoint_saves"] += counters["checkpoint_saves"]
+                        totals["halo_floats_shipped"] += counters[
+                            "halo_floats_shipped"
+                        ]
+                        totals["halo_floats_received"] += counters[
+                            "halo_floats_received"
+                        ]
+                        for key in attach_stats:
+                            attach_stats[key] += counters[key]
+                        reported.add(rank)
+                    elif not processes[rank].is_alive():
+                        _mark_dead(rank, "died before reporting")
+                time.sleep(_GATHER_POLL_S)
+            for proc in processes:
+                proc.join(timeout=5.0)
+
+            # ---- final model: evaluate on the full graph ---------------
+            model.load_state_dict(unflatten_state(averaged_flat, template))
+            model.eval()
+            with obs.span("distributed.eval"), no_grad():
+                logits = model(GCN.prepare(graph), graph.x).data
+            test_acc = accuracy(
+                logits[split.test].argmax(axis=1), graph.y[split.test]
+            )
+
+            self._counters["runs"] += 1
+            for key in (
+                "halo_floats_shipped", "halo_floats_received",
+                "sync_rounds", "workers_lost",
+            ):
+                self._counters[key] += totals[key]
+            self._counters["attaches"] += attach_stats["attaches"]
+            if obs.OBS.enabled:
+                reg = obs.OBS.registry
+                reg.counter("distributed.halo_floats_shipped").inc(
+                    totals["halo_floats_shipped"]
+                )
+                reg.counter("distributed.sync_rounds").inc(
+                    totals["sync_rounds"]
+                )
+                reg.counter("distributed.attaches").inc(
+                    attach_stats["attaches"]
+                )
+
+            return BackendResult(
+                backend=self.name,
+                test_accuracy=test_acc,
+                epochs=int(epochs),
+                n_parts=int(n_parts),
+                cross_partition_arcs=plan.cross_arcs_total,
+                halo_floats_per_epoch=plan.halo_floats_per_epoch(feature_dim),
+                param_sync_floats_per_round=2 * n_params * n_parts,
+                halo_floats_shipped=totals["halo_floats_shipped"],
+                halo_floats_received=totals["halo_floats_received"],
+                sync_rounds=totals["sync_rounds"],
+                worker_failures=totals["worker_failures"],
+                straggler_events=totals["straggler_events"],
+                degraded_rounds=totals["degraded_rounds"],
+                checkpoint_saves=totals["checkpoint_saves"],
+                workers_lost=totals["workers_lost"],
+                wall_time_s=time.monotonic() - start,
+                attach_stats=dict(
+                    attach_stats, published_bytes=arena.published_bytes
+                ),
+            )
+        finally:
+            # Unconditional teardown: every exit path (completion, chaos
+            # kill, timeout, KeyboardInterrupt) unlinks the arena and
+            # reaps the children.
+            if alive_view is not None:
+                alive_view[:] = 0
+                del alive_view  # release the buffer before unlink
+            for proc in processes:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in processes:
+                if proc.is_alive():
+                    proc.join(timeout=2.0)
+                if proc.is_alive():  # pragma: no cover - stuck child
+                    proc.kill()
+                    proc.join(timeout=1.0)
+            arena.unlink()
+
+
+_BACKENDS = {
+    "simulated": SimulatedBackend,
+    "process": ProcessBackend,
+}
+
+
+def get_backend(name: str) -> DistributedBackend:
+    """Instantiate a backend by name (``"simulated"`` or ``"process"``)."""
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown distributed backend {name!r}; "
+            f"choose from {sorted(_BACKENDS)}"
+        ) from None
+    return cls()

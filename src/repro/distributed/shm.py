@@ -1,0 +1,243 @@
+"""Zero-copy array publication over ``multiprocessing.shared_memory``.
+
+The process-parallel runtime's data plane: the coordinator *publishes*
+each large array (the feature matrix, per-shard CSR index arrays, halo
+maps) into one named shared-memory segment, and every worker *attaches*
+the same physical pages by name. Attaching maps the segment — it never
+copies it — so ``k`` workers over an ``n × d`` feature matrix cost one
+matrix of RAM, not ``k + 1`` (the pickling a naive ``Process(args=...)``
+launch would pay).
+
+Ownership contract (create/attach/unlink):
+
+* the **coordinator** creates segments through :meth:`ShmArena.publish`
+  and is the only process allowed to :meth:`ShmArena.unlink` them — it
+  does so in a ``finally`` block covering every exit path, including
+  worker kills and coordinator timeouts;
+* a **worker** attaches by :class:`SharedArrayHandle` (a picklable
+  name/shape/dtype descriptor) through :func:`attach_array` /
+  :class:`AttachedSegments` and only ever ``close()``-s its mapping —
+  unlinking from a worker would yank pages out from under its peers;
+* attach-side accounting is explicit: :class:`AttachedSegments` counts
+  ``attaches`` and ``mapped_bytes`` and asserts the attached view does
+  **not** own its data (``copied_bytes`` stays 0 by construction), which
+  is the property the distributed smoke test audits.
+
+Python < 3.13 quirk: attaching a segment registers it with the
+``resource_tracker`` even though the attacher does not own it (the
+opt-out ``track=False`` parameter only exists from 3.13). Here that is
+benign *by topology*: ``spawn``-ed workers inherit the coordinator's
+tracker process, whose cache is a set — the attach-side re-register of
+an already-registered name is a no-op. Do **not** "fix" it by
+unregistering on attach: with the shared tracker that would strip the
+creator's own registration, so the coordinator's unlink double-removes
+(tracker ``KeyError`` spam) and the crash-safety net of tracker-side
+cleanup is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ConfigError, DistributedError
+
+_LOG = obs.get_logger("repro.distributed.shm")
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable descriptor of one published array.
+
+    Everything a worker needs to map the array: the segment ``name``,
+    the ``shape``, and the dtype string (``np.dtype(dtype_str)``
+    round-trips it). Handles travel inside the worker spec; the pages
+    themselves never do.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype_str: str
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(self.dtype_str)
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * self.dtype.itemsize
+
+
+def attach_array(
+    handle: SharedArrayHandle, writable: bool = False
+) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Map a published array; returns ``(view, segment)`` — no copy.
+
+    The returned array is a view of the segment's pages
+    (``view.flags.owndata`` is ``False``; this is asserted, it is the
+    zero-copy guarantee). Read-only by default; ``writable=True`` is for
+    coordination cells like the cluster-membership byte array. The
+    caller must keep the segment object alive as long as the view and
+    ``close()`` it when done — never ``unlink()`` from an attacher.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=handle.name)
+    except FileNotFoundError:
+        raise DistributedError(
+            f"shared segment {handle.name!r} does not exist "
+            "(published by a coordinator that already unlinked it?)"
+        ) from None
+    view = np.ndarray(handle.shape, dtype=handle.dtype, buffer=shm.buf)
+    if view.flags.owndata:  # pragma: no cover - ndarray-on-buffer never owns
+        raise DistributedError(
+            f"attach of {handle.name!r} produced an owning copy"
+        )
+    view.setflags(write=writable)
+    return view, shm
+
+
+class AttachedSegments:
+    """A worker's book of mapped segments, with zero-copy accounting.
+
+    ``attach`` maps by handle and records ``mapped_bytes`` (pages shared
+    with the publisher, not new allocation); ``copied_bytes`` counts
+    bytes the worker *duplicated* out of shared pages (local gathers it
+    reports explicitly via :meth:`count_copy`). The distributed smoke
+    test asserts a worker's ``copied_bytes`` stays well under the
+    feature matrix it attached — the zero-copy audit of E34.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self.attaches = 0
+        self.mapped_bytes = 0
+        self.copied_bytes = 0
+
+    def attach(
+        self, handle: SharedArrayHandle, writable: bool = False
+    ) -> np.ndarray:
+        view, shm = attach_array(handle, writable=writable)
+        self._segments.append(shm)
+        self.attaches += 1
+        self.mapped_bytes += handle.nbytes
+        return view
+
+    def count_copy(self, array: np.ndarray) -> np.ndarray:
+        """Account an explicit local duplication (e.g. a row gather)."""
+        self.copied_bytes += int(array.nbytes)
+        return array
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "attaches": self.attaches,
+            "mapped_bytes": self.mapped_bytes,
+            "copied_bytes": self.copied_bytes,
+        }
+
+    def close(self) -> None:
+        """Unmap every segment (owner's pages are untouched)."""
+        for shm in self._segments:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - a view still alive
+                # Live views pin the mapping; process exit reclaims it.
+                pass
+        self._segments.clear()
+
+
+class ShmArena:
+    """The coordinator's side: publish named arrays, unlink them all.
+
+    One arena per training run; segment names are
+    ``<token>-<key>`` where ``token`` embeds the pid and a counter, so
+    concurrent runs on one machine never collide and a post-mortem
+    ``ls /dev/shm`` attributes leftovers to their owner (there should
+    never be any — :meth:`unlink` is idempotent and runs in the
+    coordinator's ``finally``).
+    """
+
+    _counter = 0
+
+    def __init__(self, token: str | None = None) -> None:
+        if token is None:
+            import os
+
+            ShmArena._counter += 1
+            token = f"repro-dist-{os.getpid()}-{ShmArena._counter}"
+        self.token = token
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._handles: dict[str, SharedArrayHandle] = {}
+        self.published_bytes = 0
+        self._unlinked = False
+
+    def publish(self, key: str, array: np.ndarray) -> SharedArrayHandle:
+        """Copy ``array`` into a fresh segment once; returns its handle."""
+        if self._unlinked:
+            raise DistributedError("arena already unlinked")
+        if key in self._handles:
+            raise ConfigError(f"key {key!r} already published")
+        array = np.ascontiguousarray(array)
+        name = f"{self.token}-{key}"
+        nbytes = max(int(array.nbytes), 1)  # zero-size arrays still need a page
+        shm = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        handle = SharedArrayHandle(name, tuple(array.shape), array.dtype.str)
+        self._segments[key] = shm
+        self._handles[key] = handle
+        self.published_bytes += int(array.nbytes)
+        return handle
+
+    def handle(self, key: str) -> SharedArrayHandle:
+        return self._handles[key]
+
+    def view(self, key: str, writable: bool = False) -> np.ndarray:
+        """The coordinator's own view of a published array."""
+        handle = self._handles[key]
+        shm = self._segments[key]
+        view = np.ndarray(handle.shape, dtype=handle.dtype, buffer=shm.buf)
+        view.setflags(write=writable)
+        return view
+
+    @property
+    def keys(self) -> list[str]:
+        return sorted(self._handles)
+
+    def unlink(self) -> None:
+        """Close and destroy every segment; idempotent, never raises.
+
+        Runs on *every* coordinator exit path — normal completion,
+        worker kills, timeouts, KeyboardInterrupt — so a chaos run can
+        never strand pages in ``/dev/shm``.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        for key, shm in self._segments.items():
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - live coordinator view
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            except Exception as exc:  # noqa: BLE001  pragma: no cover
+                _LOG.warning("unlink of segment %r failed: %s", key, exc)
+        self._segments.clear()
+        _LOG.debug("arena %s unlinked (%d bytes)", self.token, self.published_bytes)
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShmArena({self.token!r}, arrays={len(self._handles)}, "
+            f"bytes={self.published_bytes}, unlinked={self._unlinked})"
+        )

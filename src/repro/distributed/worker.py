@@ -1,0 +1,369 @@
+"""The worker process: attach, exchange halos, step, synchronise.
+
+This module is the ``spawn`` entry point of :mod:`repro.distributed` —
+everything here must be importable from a fresh interpreter (no closures,
+no lambdas in process args). One worker owns one shard and runs:
+
+1. **attach** — map the published feature matrix, label/train-mask
+   vectors, and this shard's CSR index arrays from shared memory
+   (zero-copy; the only duplication is the explicit local row gather,
+   which is accounted);
+2. per round: **halo exchange** (write owned boundary rows per outgoing
+   cross arc into the pairwise shared halo buffer, read peers' buffers
+   into local ghost slots), an optional **fault site** consultation
+   (``"training.worker_step"``, same site and semantics as the
+   simulation), one **local GCN step** over the halo-augmented local
+   graph with the loss restricted to owned training nodes, then
+   **parameter sync** — publish the flattened local state, wait for
+   the coordinator's weighted average, load it;
+3. **report** — a final shared-memory counter block carrying halo
+   floats actually shipped/received, attach accounting, fault counters,
+   and checkpoint saves.
+
+Why shared memory for *control* too, not queues: a worker killed
+mid-``Queue.put`` (the chaos scenario) leaves a partial pickle frame in
+the pipe, and every later reader blocks forever inside ``get()`` — the
+poll sees readable bytes, the body never arrives. The protocol here is
+kill-safe by construction: every channel is a preallocated segment plus
+a monotonically advancing *round cell* written last, so the only
+failure mode a dead peer can leave behind is an un-advanced counter —
+which waiters detect through the coordinator-maintained ``alive`` byte
+array and degrade past (stale ghost rows, renormalised averages)
+instead of blocking on.
+
+Publication ordering: a writer fills the payload buffer first and
+advances the round cell last; a reader checks the round cell first and
+copies the payload immediately after. Lockstep round structure makes
+the buffer quiescent while read (a peer cannot start round ``r+1``'s
+write until the coordinator has seen every round-``r`` read complete).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributed.shm import AttachedSegments, SharedArrayHandle
+
+#: Spin-wait interval (seconds); liveness is checked between sleeps.
+_POLL_S = 0.002
+
+#: Counter slots in a worker's "done" block, after the leading done flag.
+DONE_FIELDS = (
+    "halo_floats_shipped",
+    "halo_floats_received",
+    "halo_misses",
+    "steps",
+    "failures",
+    "stragglers",
+    "sync_rounds",
+    "checkpoint_saves",
+    "attaches",
+    "mapped_bytes",
+    "copied_bytes",
+)
+
+
+def flatten_state(state: dict, out: np.ndarray | None = None) -> np.ndarray:
+    """Concatenate a model state dict into one float64 vector.
+
+    Keys are visited in sorted order, so any two processes holding the
+    same architecture agree on the layout — the property that lets the
+    coordinator average flat vectors without shipping key names.
+    """
+    parts = [np.asarray(state[key], dtype=np.float64).ravel()
+             for key in sorted(state)]
+    flat = np.concatenate(parts) if parts else np.empty(0)
+    if out is None:
+        return flat
+    out[:] = flat
+    return out
+
+
+def unflatten_state(vec: np.ndarray, template: dict) -> dict:
+    """Rebuild a state dict with ``template``'s keys/shapes from a vector."""
+    state = {}
+    offset = 0
+    for key in sorted(template):
+        ref = np.asarray(template[key])
+        size = ref.size
+        state[key] = vec[offset:offset + size].reshape(ref.shape).copy()
+        offset += size
+    return state
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a spawned worker needs, picklable and small.
+
+    Large arrays travel as :class:`SharedArrayHandle` descriptors — the
+    pages themselves never cross the process boundary.
+    """
+
+    rank: int
+    n_parts: int
+    epochs: int
+    hidden: int
+    lr: float
+    weight_decay: float
+    dropout: float
+    seed: int
+    n_classes: int
+    directed: bool
+    # shared data plane
+    x: SharedArrayHandle
+    y: SharedArrayHandle
+    train_mask: SharedArrayHandle
+    alive: SharedArrayHandle
+    indptr: SharedArrayHandle
+    indices: SharedArrayHandle
+    weights: SharedArrayHandle
+    owned: SharedArrayHandle
+    ghosts: SharedArrayHandle
+    send: dict[int, SharedArrayHandle] = field(default_factory=dict)
+    recv: dict[int, SharedArrayHandle] = field(default_factory=dict)
+    #: peer -> (payload buffer, round cell) this worker WRITES (to peer)
+    halo_out: dict[int, tuple[SharedArrayHandle, SharedArrayHandle]] = field(
+        default_factory=dict
+    )
+    #: peer -> (payload buffer, round cell) this worker READS (from peer)
+    halo_in: dict[int, tuple[SharedArrayHandle, SharedArrayHandle]] = field(
+        default_factory=dict
+    )
+    # shared control plane
+    params: SharedArrayHandle | None = None
+    params_round: SharedArrayHandle | None = None
+    state: SharedArrayHandle | None = None
+    state_meta: SharedArrayHandle | None = None
+    done: SharedArrayHandle | None = None
+    # chaos / checkpointing
+    fault_plan: object | None = None
+    fault_seed: int = 0
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 0
+    checkpoint_keep: int = 2
+    # timeouts
+    sync_timeout_s: float = 60.0
+    halo_timeout_s: float = 10.0
+    # sys.path insurance for spawn (the parent's repro location)
+    package_root: str | None = None
+
+
+def _wait_cell(cell: np.ndarray, target: int, timeout_s: float,
+               peer_alive=None) -> bool:
+    """Spin until ``cell[0] >= target``; ``False`` on timeout/dead peer.
+
+    ``peer_alive`` is a zero-arg callable; when it turns falsy and the
+    cell still has not advanced, the wait gives up immediately (the
+    writer died before publishing this round).
+    """
+    deadline = time.monotonic() + timeout_s
+    while cell[0] < target:
+        if peer_alive is not None and not peer_alive():
+            return cell[0] >= target
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(_POLL_S)
+    return True
+
+
+def worker_main(spec: WorkerSpec) -> None:
+    """Entry point of one training worker (``spawn``-safe, top level)."""
+    if spec.package_root and spec.package_root not in sys.path:
+        sys.path.insert(0, spec.package_root)
+    # Imports happen after the path fix so a spawn child launched from a
+    # PYTHONPATH-less environment still finds the package.
+    from repro import obs
+    from repro.errors import DistributedError, FaultError, TransientError
+    from repro.graph.core import Graph
+    from repro.models.gcn import GCN
+    from repro.resilience.checkpoint import Checkpointer
+    from repro.resilience.faults import (
+        FAULTS,
+        FaultInjector,
+        clear_injector,
+        install_injector,
+    )
+    from repro.tensor import functional as F
+    from repro.tensor.optim import Adam
+
+    log = obs.get_logger(f"repro.distributed.worker{spec.rank}")
+    rank = spec.rank
+    segs = AttachedSegments()
+    injector_installed = False
+    try:
+        x_full = segs.attach(spec.x)
+        y_full = segs.attach(spec.y)
+        train_mask = segs.attach(spec.train_mask)
+        alive = segs.attach(spec.alive)
+        indptr = segs.attach(spec.indptr)
+        indices = segs.attach(spec.indices)
+        weights = segs.attach(spec.weights)
+        owned = segs.attach(spec.owned)
+        ghosts = segs.attach(spec.ghosts)
+        send_idx = {p: segs.attach(h) for p, h in spec.send.items()}
+        recv_idx = {p: segs.attach(h) for p, h in spec.recv.items()}
+        halo_out = {
+            p: (segs.attach(buf, writable=True), segs.attach(rnd, writable=True))
+            for p, (buf, rnd) in spec.halo_out.items()
+        }
+        halo_in = {
+            p: (segs.attach(buf), segs.attach(rnd))
+            for p, (buf, rnd) in spec.halo_in.items()
+        }
+        params_vec = segs.attach(spec.params)
+        params_round = segs.attach(spec.params_round)
+        state_vec = segs.attach(spec.state, writable=True)
+        state_meta = segs.attach(spec.state_meta, writable=True)
+        done_block = segs.attach(spec.done, writable=True)
+
+        local_nodes = np.concatenate([owned, ghosts])
+        # The one deliberate duplication: this worker's local feature
+        # rows (owned + ghosts), writable so halo reads can land.
+        x_local = segs.count_copy(x_full[local_nodes].copy())
+        y_local = segs.count_copy(y_full[local_nodes].copy())
+        local_train = np.flatnonzero(train_mask[owned])
+
+        local_graph = Graph(
+            indptr, indices, weights,
+            directed=spec.directed, validate=False,
+        )
+        prep = GCN.prepare(local_graph)
+        model = GCN(
+            x_full.shape[1], spec.hidden, spec.n_classes,
+            n_layers=2, dropout=spec.dropout, seed=spec.seed,
+        )
+        opt = Adam(
+            model.parameters(), lr=spec.lr, weight_decay=spec.weight_decay
+        )
+        template = model.state_dict()
+        if spec.fault_plan is not None:
+            install_injector(
+                FaultInjector(spec.fault_plan, seed=spec.fault_seed + rank)
+            )
+            injector_installed = True
+        checkpointer = None
+        if spec.checkpoint_dir and spec.checkpoint_every > 0:
+            checkpointer = Checkpointer(
+                spec.checkpoint_dir,
+                keep=spec.checkpoint_keep,
+                namespace=f"rank{rank}",
+            )
+
+        counters = dict.fromkeys(DONE_FIELDS, 0)
+
+        # All ranks start from the coordinator's round -1 publication so
+        # parameter averaging begins from one shared point.
+        if not _wait_cell(params_round, -1, spec.sync_timeout_s):
+            raise DistributedError("timed out waiting for initial parameters")
+        model.load_state_dict(unflatten_state(params_vec, template))
+
+        for round_no in range(spec.epochs):
+            # ---- halo exchange (per-arc, matches analytic accounting) --
+            for peer in sorted(halo_out):
+                buf, rnd = halo_out[peer]
+                buf[:] = x_local[send_idx[peer]]
+                rnd[0] = round_no  # publish AFTER the payload is complete
+                counters["halo_floats_shipped"] += int(buf.size)
+            for peer in sorted(halo_in):
+                buf, rnd = halo_in[peer]
+                fresh = _wait_cell(
+                    rnd, round_no, spec.halo_timeout_s,
+                    peer_alive=lambda p=peer: bool(alive[p]),
+                )
+                if not fresh:
+                    # Dead or silent peer: train on the stale ghost rows
+                    # already resident (degraded, never blocked).
+                    counters["halo_misses"] += 1
+                    continue
+                x_local[recv_idx[peer]] = buf
+                counters["halo_floats_received"] += int(buf.size)
+
+            # ---- local step through the shared fault site --------------
+            failed = False
+            action = None
+            inj = FAULTS.injector if FAULTS.active else None
+            if inj is not None:
+                try:
+                    action = inj.fire("training.worker_step")
+                except (TransientError, FaultError):
+                    counters["failures"] += 1
+                    failed = True
+            if action == "delay":
+                counters["stragglers"] += 1
+            if not failed and len(local_train):
+                model.train()
+                opt.zero_grad()
+                logits = model(prep, x_local)
+                loss = F.cross_entropy(
+                    logits.gather_rows(local_train), y_local[local_train]
+                )
+                loss.backward()
+                opt.step()
+                counters["steps"] += 1
+                if action in ("drop", "corrupt"):
+                    # The step ran but its update never reached (or was
+                    # rejected by) the coordinator.
+                    counters["failures"] += 1
+                    failed = True
+
+            # ---- parameter sync ---------------------------------------
+            if not failed:
+                flatten_state(model.state_dict(), out=state_vec)
+            state_meta[1] = len(local_train)
+            state_meta[2] = int(failed)
+            state_meta[0] = round_no  # publish last
+            if not _wait_cell(params_round, round_no, spec.sync_timeout_s):
+                raise DistributedError(
+                    f"timed out waiting for round {round_no} parameters"
+                )
+            model.load_state_dict(unflatten_state(params_vec, template))
+            counters["sync_rounds"] += 1
+            if (
+                checkpointer is not None
+                and (round_no + 1) % spec.checkpoint_every == 0
+            ):
+                checkpointer.save(
+                    round_no,
+                    {"model": model.state_dict(), "optimizer": opt.state_dict()},
+                )
+                counters["checkpoint_saves"] += 1
+
+        counters.update(segs.stats())
+        done_block[1:] = [counters[name] for name in DONE_FIELDS]
+        done_block[0] = 1  # publish last
+    except Exception:  # noqa: BLE001 - the coordinator sees the exit code
+        # The traceback goes to the inherited stderr; the coordinator
+        # detects the nonzero exit through its liveness polling.
+        traceback.print_exc()
+        log.error("worker %d failed", rank)
+        sys.exit(1)
+    finally:
+        if injector_installed:
+            clear_injector()
+        segs.close()
+
+
+def probe_injector_schedule(result_q, injector, site: str, n_calls: int) -> None:
+    """Fire ``n_calls`` at ``site`` and report the action sequence.
+
+    A ``spawn``-safe probe used by the regression tests to assert that a
+    pickled-and-rebuilt :class:`repro.resilience.FaultInjector` replays
+    the exact schedule the parent process computes (the injector crosses
+    the process boundary through its ``__getstate__``).
+    """
+    from repro.errors import FaultError, TransientError
+
+    actions: list[str] = []
+    for _ in range(n_calls):
+        try:
+            actions.append(injector.fire(site) or "none")
+        except TransientError:
+            actions.append("transient")
+        except FaultError:
+            actions.append("permanent")
+    result_q.put(actions)

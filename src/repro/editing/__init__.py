@@ -17,10 +17,12 @@ from repro.editing.coarsen import (
     spectral_coarsening_distance,
 )
 from repro.editing.partition import (
+    HaloIndex,
     PartitionResult,
     cluster_batches,
     edge_cut,
     fennel_partition,
+    halo,
     ldg_partition,
     multilevel_partition,
     partition_balance,
@@ -76,6 +78,8 @@ __all__ = [
     "aggregation_difference",
     "greedy_aggregation_sample",
     "PartitionResult",
+    "HaloIndex",
+    "halo",
     "random_partition",
     "ldg_partition",
     "fennel_partition",

@@ -30,6 +30,71 @@ from repro.utils.validation import check_int_range
 
 
 @dataclass(frozen=True)
+class HaloIndex:
+    """Boundary/ghost structure of one shard of a partition.
+
+    The *halo* of shard ``part`` is everything a distributed worker that
+    owns the shard must exchange with its peers: the **boundary** nodes
+    it owns whose neighbourhoods leak into other parts, and the
+    **ghost** nodes it does not own but whose features feed arcs into
+    the shard. :func:`repro.distributed` workers and the serving-side
+    :class:`repro.serving.ShardRouter` both route through this one
+    structure, so training-time halo exchange and request-time halo
+    gathers agree on which rows cross shards.
+
+    Attributes
+    ----------
+    part:
+        The shard this index describes.
+    boundary:
+        Sorted global ids of owned nodes incident to a cross-partition
+        arc (in either direction).
+    ghosts:
+        Sorted global ids of non-owned sources of arcs *into* the shard
+        — the rows a halo exchange must ship to this shard.
+    cross_arcs_in:
+        Directed arcs entering the shard (``src`` outside, ``dst``
+        inside). Summed over all shards this equals the simulation's
+        ``cross_partition_arcs`` cut measure.
+    cross_arcs_out:
+        Directed arcs leaving the shard.
+    """
+
+    part: int
+    boundary: np.ndarray
+    ghosts: np.ndarray
+    cross_arcs_in: int
+    cross_arcs_out: int
+
+
+def halo(graph: Graph, assignment: np.ndarray, part: int) -> HaloIndex:
+    """Boundary and ghost node index arrays for one shard.
+
+    ``assignment`` maps each node to its part; ``part`` selects the
+    shard. For an undirected graph (arcs stored in both directions) the
+    boundary set equals the owned endpoints of cut edges and
+    ``cross_arcs_in == cross_arcs_out``.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != (graph.n_nodes,):
+        raise GraphError("assignment must have one entry per node")
+    edges = graph.edge_array()
+    src_part = assignment[edges[:, 0]]
+    dst_part = assignment[edges[:, 1]]
+    into = (dst_part == part) & (src_part != part)
+    outof = (src_part == part) & (dst_part != part)
+    boundary = np.union1d(edges[into, 1], edges[outof, 0])
+    ghosts = np.unique(edges[into, 0])
+    return HaloIndex(
+        part=int(part),
+        boundary=boundary.astype(np.int64),
+        ghosts=ghosts.astype(np.int64),
+        cross_arcs_in=int(np.sum(into)),
+        cross_arcs_out=int(np.sum(outof)),
+    )
+
+
+@dataclass(frozen=True)
 class PartitionResult:
     """Partition assignment plus its quality metrics.
 
@@ -49,6 +114,11 @@ class PartitionResult:
     n_parts: int
     edge_cut: int
     balance: float
+
+    def halo_nodes(self, graph: Graph, part: int) -> HaloIndex:
+        """Convenience: :func:`halo` for one shard of this partition."""
+        check_int_range("part", part, 0, self.n_parts - 1)
+        return halo(graph, self.assignment, part)
 
 
 def _finalize(graph: Graph, assignment: np.ndarray, k: int) -> PartitionResult:

@@ -84,3 +84,11 @@ class ServingTimeoutError(ServingError):
     resolving an async future past its timeout); the request may still
     complete in the background — the timeout bounds the caller's wait,
     not the work."""
+
+
+class DistributedError(ReproError):
+    """A process-parallel training run failed at the cluster level: a
+    worker could not be launched or died before producing any result,
+    the coordinator's wall-clock deadline elapsed, or every worker was
+    lost mid-run (:mod:`repro.distributed`). Shared-memory segments are
+    unlinked before this is raised."""

@@ -111,6 +111,13 @@ class Checkpointer:
         after each successful save (``None`` keeps everything).
     prefix:
         File-name prefix, ``<prefix>-<step 8 digits>.npz``.
+    namespace:
+        Optional sub-directory under ``directory`` this writer owns
+        (e.g. ``"rank3"``). Concurrent writers sharing one checkpoint
+        root **must** use distinct namespaces: :meth:`save`'s keep-N
+        pruning scans only the writer's own namespace, so one rank's
+        pruning can never delete another rank's checkpoints. Use
+        :meth:`scoped` to derive per-writer views of one root.
     """
 
     def __init__(
@@ -118,15 +125,43 @@ class Checkpointer:
         directory: str | Path,
         keep: int | None = 3,
         prefix: str = "ckpt",
+        namespace: str | None = None,
     ) -> None:
         if keep is not None:
             check_int_range("keep", keep, 1)
-        self.directory = Path(directory)
+        self.root = Path(directory)
+        if namespace is not None:
+            namespace = str(namespace)
+            if (
+                not namespace
+                or namespace != Path(namespace).name
+            ):
+                raise ConfigError(
+                    "namespace must be a bare directory name "
+                    f"(no separators), got {namespace!r}"
+                )
+        self.namespace = namespace
+        self.directory = (
+            self.root if namespace is None else self.root / namespace
+        )
         self.keep = keep
         self.prefix = prefix
         self.saves = 0
         self.bytes_written = 0
         obs.register_source("resilience.checkpoint", self)
+
+    def scoped(self, namespace: str) -> "Checkpointer":
+        """A sibling writer under the same root, owning ``namespace``.
+
+        The returned checkpointer shares ``keep``/``prefix`` but writes
+        (and prunes) exclusively under ``<root>/<namespace>/`` — the
+        per-rank isolation :mod:`repro.distributed` workers use so
+        concurrent keep-N pruning on one shared directory can never
+        cross ranks.
+        """
+        return Checkpointer(
+            self.root, keep=self.keep, prefix=self.prefix, namespace=namespace
+        )
 
     # ------------------------------------------------------------------ #
     # Write path

@@ -264,6 +264,35 @@ class FaultInjector:
 
     # ------------------------------------------------------------------ #
 
+    # ------------------------------------------------------------------ #
+    # Pickling: ship the schedule, rebuild the machinery locally.
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self) -> dict:
+        """Picklable schedule: ``(plan, seed, corrupt_fraction)`` only.
+
+        The fire schedule is a pure function of those three values, so a
+        worker process that unpickles an injector replays the *identical*
+        per-call decisions the parent would make — which is what lets a
+        chaos plan be built once and delivered to every
+        :mod:`repro.distributed` worker. Runtime state (lock, call
+        counters, fire budgets, an injected ``sleep``) is deliberately
+        dropped: the rebuilt injector starts at call index 0 with
+        ``time.sleep``.
+        """
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "corrupt_fraction": self.corrupt_fraction,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(
+            state["plan"],
+            seed=state["seed"],
+            corrupt_fraction=state["corrupt_fraction"],
+        )
+
     def calls(self, site: str | None = None) -> int:
         """Instrumented calls observed (at one site, or in total)."""
         with self._lock:

@@ -23,12 +23,14 @@ from repro.serving.invalidation import (
     patch_stack,
 )
 from repro.serving.registry import ModelRegistry, ServedModel
+from repro.serving.router import ShardRouter
 from repro.serving.runtime import ServingRuntime
 from repro.serving.store import CachedPrediction, EmbeddingStore
 
 __all__ = [
     "ServingEngine",
     "ServingRuntime",
+    "ShardRouter",
     "ServeResult",
     "ModelRegistry",
     "ServedModel",

@@ -1,0 +1,273 @@
+"""Partition-aware request routing over per-shard serving runtimes.
+
+:class:`ShardRouter` is the serving face of :mod:`repro.distributed`:
+one :class:`~repro.serving.runtime.ServingRuntime` per graph shard, a
+global-id front door, and halo maintenance between them.
+
+* **Routing** — every request for a global node id lands on the runtime
+  of the shard that *owns* the node (its partition part); the id is
+  translated to the shard-local id on the way in and back to the global
+  id on the answer. There is no broadcast and no scatter-gather: one
+  request touches exactly one shard's engine.
+* **Halo gathers** — a request for a *boundary* node (one incident to a
+  cross-partition arc) first refreshes the owning shard's ghost rows:
+  the full hop-stack rows of each ghost are copied from the shard that
+  owns that ghost (under the owner's reader lock and the target's
+  writer lock). Interior requests skip this entirely — the counters the
+  routing tests pin down.
+* **Failure isolation** — each shard's runtime owns its own circuit
+  breakers, retry budget, and store. A failing shard engine trips only
+  that shard's breaker; every other shard keeps serving unaffected.
+
+The local hop stacks are *exact* for owned nodes at registration: a
+shard's local graph keeps the full neighbourhood of every owned node
+(ghosts supply the cross-partition endpoints), so with row-normalised
+propagation (``kind="rw"``) a one-hop decoupled model served through the
+router answers identically to the same model served over the whole
+graph — the equivalence ``tests/test_shard_router.py`` asserts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ConfigError, ServingError
+from repro.graph.core import Graph
+from repro.serving.engine import ServeResult
+from repro.serving.runtime import ServingRuntime
+
+_LOG = obs.get_logger("repro.serving.router")
+
+
+class ShardRouter:
+    """Serve one model over a partitioned graph, one runtime per shard.
+
+    Parameters
+    ----------
+    model:
+        A decoupled model (``k_hops`` contract) registered on every
+        shard.
+    graph:
+        The full graph (features required).
+    assignment:
+        Partition assignment, one part id per node (e.g. from
+        :func:`repro.editing.ldg_partition`).
+    n_parts:
+        Number of shards.
+    name, kind, alpha:
+        Registration parameters passed to every shard's runtime
+        (``kind="rw"`` keeps owned-node hop-1 rows exact, see module
+        doc).
+    runtime_kwargs:
+        Keyword arguments for each per-shard
+        :class:`~repro.serving.runtime.ServingRuntime` (breaker tuning,
+        retry budget, ``early_exit``...).
+    """
+
+    def __init__(
+        self,
+        model,
+        graph: Graph,
+        assignment: np.ndarray,
+        n_parts: int,
+        name: str = "sharded",
+        kind: str = "rw",
+        alpha: float | None = None,
+        runtime_kwargs: dict | None = None,
+    ) -> None:
+        from repro.distributed.shards import build_shard_plan
+
+        if graph.x is None:
+            raise ConfigError("ShardRouter needs node features (graph.x)")
+        self.plan = build_shard_plan(graph, assignment, n_parts)
+        self.n_parts = int(n_parts)
+        self.owner = self.plan.assignment
+        self._g2l = []
+        self._runtimes: list[ServingRuntime] = []
+        self._records = []
+        #: global-id mask of nodes incident to any cross-partition arc
+        self._boundary = np.zeros(graph.n_nodes, dtype=bool)
+        kwargs = dict(runtime_kwargs or {})
+        for shard in self.plan.shards:
+            g2l = np.full(graph.n_nodes, -1, dtype=np.int64)
+            g2l[shard.local_nodes] = np.arange(shard.n_local)
+            self._g2l.append(g2l)
+            self._boundary[shard.boundary] = True
+            local = shard.local_graph(x=graph.x[shard.local_nodes])
+            runtime = ServingRuntime(**kwargs)
+            key = runtime.register(name, model, local, kind=kind, alpha=alpha)
+            self._runtimes.append(runtime)
+            self._records.append(runtime.engine.registry.get(key))
+        # Per-shard halo pull plan: owner part -> (ghost slots here,
+        # owned local ids there), grouped once so a gather is one locked
+        # block copy per owning shard.
+        self._halo_sources: list[dict[int, tuple[np.ndarray, np.ndarray]]] = []
+        for p, shard in enumerate(self.plan.shards):
+            sources: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+            if len(shard.ghosts):
+                owners = self.owner[shard.ghosts]
+                slots = shard.n_owned + np.arange(len(shard.ghosts))
+                for q in np.unique(owners):
+                    mask = owners == q
+                    sources[int(q)] = (
+                        slots[mask],
+                        self._g2l[q][shard.ghosts[mask]],
+                    )
+            self._halo_sources.append(sources)
+        self.requests = 0
+        self.boundary_requests = 0
+        self.interior_requests = 0
+        self.halo_gathers = 0
+        self.halo_rows_copied = 0
+        self._closed = False
+        obs.register_source("serving.router", self)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def shard_of(self, node_id: int) -> int:
+        """The part (= runtime index) that owns ``node_id``."""
+        n = len(self.owner)
+        if not 0 <= node_id < n:
+            raise ServingError(f"node {node_id} outside [0, {n})")
+        return int(self.owner[node_id])
+
+    def is_boundary(self, node_id: int) -> bool:
+        """Whether ``node_id`` is incident to a cross-partition arc."""
+        return bool(self._boundary[node_id])
+
+    def runtime(self, part: int) -> ServingRuntime:
+        """The serving runtime of one shard."""
+        return self._runtimes[part]
+
+    def breaker(self, part: int):
+        """The circuit breaker guarding one shard's model (lazy)."""
+        return self._runtimes[part].breaker(self._records[part].key)
+
+    # ------------------------------------------------------------------ #
+    # Halo maintenance
+    # ------------------------------------------------------------------ #
+
+    def _gather_halo(self, part: int) -> None:
+        """Refresh ``part``'s ghost hop-stack rows from their owners.
+
+        For each owning shard: copy the owners' full-depth rows under
+        their reader lock, then patch this shard's ghost slots under its
+        writer lock — ghost data served from this shard is at most one
+        gather old, and concurrent micro-batch reads never observe a
+        torn row.
+        """
+        record = self._records[part]
+        for q, (slots, owner_rows) in self._halo_sources[part].items():
+            owner_record = self._records[q]
+            with owner_record.lock.reader:
+                rows = owner_record.stacked[:, owner_rows].copy()
+            with record.lock.writer:
+                record.stacked[:, slots] = rows
+            self.halo_rows_copied += len(slots)
+        self.halo_gathers += 1
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+
+    def predict(
+        self, node_id: int, timeout_s: float | None = None
+    ) -> ServeResult:
+        """Answer one global-node request on its owning shard.
+
+        Boundary nodes trigger a halo gather first; interior nodes go
+        straight to the shard engine. The returned
+        :class:`~repro.serving.engine.ServeResult` carries the *global*
+        node id.
+        """
+        if self._closed:
+            raise ServingError("router is closed; no new requests accepted")
+        node_id = int(node_id)
+        part = self.shard_of(node_id)
+        local = int(self._g2l[part][node_id])
+        self.requests += 1
+        if self._boundary[node_id]:
+            self.boundary_requests += 1
+            self._gather_halo(part)
+        else:
+            self.interior_requests += 1
+        result = self._runtimes[part].predict(
+            local, model=self._records[part].key, timeout_s=timeout_s
+        )
+        if obs.OBS.enabled:
+            obs.OBS.registry.counter("router.requests").inc(shard=str(part))
+        return dataclasses.replace(result, node_id=node_id)
+
+    def predict_many(
+        self,
+        node_ids,
+        timeout_s: float | None = None,
+    ) -> list[ServeResult]:
+        """Per-request routing over a stream of global node ids."""
+        return [self.predict(int(n), timeout_s=timeout_s) for n in node_ids]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / stats
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Drain and close every shard runtime (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for runtime in self._runtimes:
+            runtime.close()
+        _LOG.info(
+            "router closed: %d requests (%d boundary, %d halo gathers)",
+            self.requests, self.boundary_requests, self.halo_gathers,
+        )
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat counter dict (:class:`repro.obs.StatsSource`)."""
+        return {
+            "shards": self.n_parts,
+            "requests": self.requests,
+            "boundary_requests": self.boundary_requests,
+            "interior_requests": self.interior_requests,
+            "halo_gathers": self.halo_gathers,
+            "halo_rows_copied": self.halo_rows_copied,
+            "breakers_open": sum(
+                1
+                for rt in self._runtimes
+                for b in rt._breakers.values()
+                if b.state != "closed"
+            ),
+            "closed": float(self._closed),
+        }
+
+    def reset(self) -> None:
+        """Zero the routing counters (shard runtimes are untouched)."""
+        self.requests = 0
+        self.boundary_requests = 0
+        self.interior_requests = 0
+        self.halo_gathers = 0
+        self.halo_rows_copied = 0
+
+    def stats(self) -> dict:
+        """Router counters plus every shard runtime's report."""
+        return {
+            "router": self.snapshot(),
+            "shards": [rt.stats() for rt in self._runtimes],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardRouter(shards={self.n_parts}, requests={self.requests}, "
+            f"halo_gathers={self.halo_gathers}, closed={self._closed})"
+        )

@@ -7,6 +7,7 @@ from repro.errors import ConfigError, GraphError
 from repro.editing.partition import (
     cluster_batches,
     edge_cut,
+    halo,
     fennel_partition,
     ldg_partition,
     multilevel_partition,
@@ -117,3 +118,72 @@ class TestClusterBatches:
         res = ldg_partition(sbm4, 4, seed=0)
         with pytest.raises(ConfigError):
             cluster_batches(res.assignment, 4, 5)
+
+
+class TestHalo:
+    """Boundary/ghost indices (editing.partition.halo) vs edge_cut."""
+
+    @pytest.fixture
+    def parted(self, sbm4):
+        return sbm4, ldg_partition(sbm4, 3, seed=7)
+
+    def test_cross_arcs_sum_to_twice_edge_cut(self, parted):
+        graph, res = parted
+        total_in = sum(
+            halo(graph, res.assignment, p).cross_arcs_in
+            for p in range(res.n_parts)
+        )
+        total_out = sum(
+            halo(graph, res.assignment, p).cross_arcs_out
+            for p in range(res.n_parts)
+        )
+        # Undirected graphs store both arc directions, so the directed
+        # cross-arc count is exactly twice the undirected edge cut.
+        assert total_in == 2 * res.edge_cut
+        assert total_out == total_in
+
+    def test_boundary_and_ghosts_match_manual_edge_scan(self, parted):
+        graph, res = parted
+        edges = graph.edge_array()
+        for p in range(res.n_parts):
+            hx = halo(graph, res.assignment, p)
+            boundary = set()
+            ghosts = set()
+            for src, dst in edges:
+                sp, dp = res.assignment[src], res.assignment[dst]
+                if sp == p and dp != p:
+                    boundary.add(int(src))
+                if dp == p and sp != p:
+                    boundary.add(int(dst))
+                    ghosts.add(int(src))
+            assert set(hx.boundary.tolist()) == boundary
+            assert set(hx.ghosts.tolist()) == ghosts
+            # Boundary nodes are owned; ghosts are not.
+            assert np.all(res.assignment[hx.boundary] == p)
+            assert np.all(res.assignment[hx.ghosts] != p)
+
+    def test_halo_nodes_method_is_equivalent(self, parted):
+        graph, res = parted
+        for p in range(res.n_parts):
+            direct = halo(graph, res.assignment, p)
+            via = res.halo_nodes(graph, p)
+            assert via.part == p
+            assert np.array_equal(via.boundary, direct.boundary)
+            assert np.array_equal(via.ghosts, direct.ghosts)
+            assert via.cross_arcs_in == direct.cross_arcs_in
+            assert via.cross_arcs_out == direct.cross_arcs_out
+
+    def test_single_part_has_empty_halo(self, sbm4):
+        hx = halo(sbm4, np.zeros(sbm4.n_nodes, dtype=np.int64), 0)
+        assert hx.boundary.size == 0
+        assert hx.ghosts.size == 0
+        assert hx.cross_arcs_in == hx.cross_arcs_out == 0
+
+    def test_validation(self, sbm4):
+        res = ldg_partition(sbm4, 3, seed=7)
+        with pytest.raises(GraphError):
+            halo(sbm4, np.zeros(5, dtype=np.int64), 0)
+        with pytest.raises(ConfigError):
+            res.halo_nodes(sbm4, 3)
+        with pytest.raises(ConfigError):
+            res.halo_nodes(sbm4, -1)

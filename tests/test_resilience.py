@@ -972,3 +972,46 @@ class TestChaosHammer:
         assert snap["closed"] == 1.0
         # Sanity: most requests still succeed at these fault rates.
         assert kinds.get("ok", 0) > total * 0.5
+
+
+class TestCheckpointNamespaces:
+    """Concurrent writers on one checkpoint root, isolated by namespace."""
+
+    def _state(self, tag):
+        return {"model": {"w": np.full(4, float(tag))}}
+
+    def test_two_writers_prune_only_their_own(self, tmp_path):
+        w0 = Checkpointer(tmp_path, keep=2, namespace="rank0")
+        w1 = Checkpointer(tmp_path, keep=2, namespace="rank1")
+        # Interleaved saves, as two concurrent workers would produce.
+        for step in range(1, 6):
+            w0.save(step, self._state(0))
+            w1.save(step, self._state(1))
+        # Keep-N pruning acted per namespace, never across.
+        assert w0.steps() == [4, 5]
+        assert w1.steps() == [4, 5]
+        for name in ("rank0", "rank1"):
+            files = sorted((tmp_path / name).glob("ckpt-*.npz"))
+            assert len(files) == 2
+        # Nothing leaked into the shared root itself.
+        assert list(tmp_path.glob("ckpt-*.npz")) == []
+
+    def test_writers_load_their_own_state(self, tmp_path):
+        root = Checkpointer(tmp_path, keep=2)
+        w0 = root.scoped("rank0")
+        w1 = root.scoped("rank1")
+        w0.save(1, self._state(0))
+        w1.save(1, self._state(1))
+        step0, state0 = w0.load()
+        step1, state1 = w1.load()
+        assert step0 == step1 == 1
+        assert np.all(state0["model"]["w"] == 0.0)
+        assert np.all(state1["model"]["w"] == 1.0)
+        assert w0.directory == tmp_path / "rank0"
+        assert w1.directory == tmp_path / "rank1"
+
+    def test_namespace_must_be_bare_directory_name(self, tmp_path):
+        with pytest.raises(ConfigError):
+            Checkpointer(tmp_path, namespace="a/b")
+        with pytest.raises(ConfigError):
+            Checkpointer(tmp_path, namespace="")

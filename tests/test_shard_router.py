@@ -1,0 +1,188 @@
+"""Tests for partition-aware serving (repro.serving.ShardRouter):
+ownership routing, boundary-only halo gathers, per-shard breaker
+isolation, and exactness of sharded one-hop decoupled serving against a
+single global runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.editing import ldg_partition
+from repro.errors import ConfigError, ServingError
+from repro.models import SGC
+from repro.serving import ServingRuntime, ShardRouter
+
+N_PARTS = 3
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    from repro.datasets import contextual_sbm
+
+    return contextual_sbm(
+        240, n_classes=3, homophily=0.85, avg_degree=8,
+        n_features=12, feature_signal=1.5, seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def setup(dataset):
+    graph, _ = dataset
+    part = ldg_partition(graph, N_PARTS, seed=3)
+    model = SGC(graph.n_features, graph.n_classes, k_hops=1, seed=0)
+    return graph, part, model
+
+
+@pytest.fixture
+def router(setup):
+    graph, part, model = setup
+    r = ShardRouter(
+        model, graph, part.assignment, N_PARTS,
+        kind="rw", runtime_kwargs=dict(early_exit=False),
+    )
+    yield r
+    r.close()
+
+
+class TestRouting:
+    def test_every_request_lands_on_owning_shard(self, setup, router):
+        graph, part, _ = setup
+        rng = np.random.default_rng(0)
+        nodes = rng.choice(graph.n_nodes, size=40, replace=False)
+        for node in nodes:
+            assert router.shard_of(int(node)) == part.assignment[node]
+            result = router.predict(int(node))
+            assert result.node_id == int(node)
+            assert result.status in ("ok", "cached", "early_exit")
+        assert router.requests == len(nodes)
+
+    def test_halo_gathers_only_for_boundary_nodes(self, setup, router):
+        graph, part, _ = setup
+        boundary = [n for n in range(graph.n_nodes) if router.is_boundary(n)]
+        interior = [n for n in range(graph.n_nodes) if not router.is_boundary(n)]
+        assert boundary and interior, "partition must cut something"
+
+        router.reset()
+        take_interior = interior[:10]
+        for node in take_interior:
+            router.predict(node)
+        assert router.halo_gathers == 0
+        assert router.interior_requests == len(take_interior)
+
+        take_boundary = boundary[:10]
+        for node in take_boundary:
+            router.predict(node)
+        assert router.halo_gathers == len(take_boundary)
+        assert router.boundary_requests == len(take_boundary)
+        assert router.halo_rows_copied > 0
+
+    def test_boundary_matches_halo_index(self, setup, router):
+        """Router's boundary mask equals editing.partition.halo per part."""
+        graph, part, _ = setup
+        from_mask = {n for n in range(graph.n_nodes) if router.is_boundary(n)}
+        from_halo: set[int] = set()
+        for p in range(N_PARTS):
+            from_halo.update(part.halo_nodes(graph, p).boundary.tolist())
+        assert from_mask == from_halo
+
+    def test_out_of_range_node_rejected(self, router):
+        with pytest.raises(ServingError):
+            router.predict(-1)
+        with pytest.raises(ServingError):
+            router.shard_of(10**6)
+
+    def test_predict_many_and_stats(self, setup, router):
+        graph, _, _ = setup
+        router.reset()
+        results = router.predict_many(range(12))
+        assert [r.node_id for r in results] == list(range(12))
+        snap = router.snapshot()
+        assert snap["requests"] == 12
+        assert snap["shards"] == N_PARTS
+        assert (
+            snap["boundary_requests"] + snap["interior_requests"]
+            == snap["requests"]
+        )
+        stats = router.stats()
+        assert len(stats["shards"]) == N_PARTS
+
+    def test_closed_router_rejects_requests(self, setup):
+        graph, part, model = setup
+        r = ShardRouter(
+            model, graph, part.assignment, N_PARTS,
+            kind="rw", runtime_kwargs=dict(early_exit=False),
+        )
+        r.close()
+        r.close()  # idempotent
+        with pytest.raises(ServingError):
+            r.predict(0)
+
+    def test_requires_features(self, setup):
+        _, _, model = setup
+        from repro.graph import stochastic_block_model
+
+        featless = stochastic_block_model(
+            [20, 20], [[0.3, 0.05], [0.05, 0.3]], seed=0
+        )
+        with pytest.raises(ConfigError):
+            ShardRouter(model, featless, np.zeros(40, dtype=np.int64), 1)
+
+
+class TestExactness:
+    def test_one_hop_rw_serving_matches_global(self, setup, router):
+        """Owned nodes keep full neighbourhoods, so hop-1 rw aggregation
+        through the router is exact: identical predictions to one global
+        runtime serving the whole graph."""
+        graph, _, model = setup
+        with ServingRuntime(early_exit=False) as rt:
+            key = rt.register("global", model, graph, kind="rw")
+            rng = np.random.default_rng(1)
+            nodes = rng.choice(graph.n_nodes, size=60, replace=False)
+            for node in nodes:
+                via_router = router.predict(int(node))
+                via_global = rt.predict(int(node), model=key)
+                np.testing.assert_allclose(
+                    via_router.prediction, via_global.prediction,
+                    rtol=1e-10, atol=1e-12,
+                )
+
+
+class _PoisonModel:
+    """A decoupled-contract model whose forward always explodes."""
+
+    k_hops = 1
+
+    def eval(self):
+        return self
+
+    def __call__(self, *args, **kwargs):
+        raise RuntimeError("poisoned shard engine")
+
+
+class TestFailureIsolation:
+    def test_one_shard_failure_trips_only_that_breaker(self, setup):
+        graph, part, model = setup
+        router = ShardRouter(
+            model, graph, part.assignment, N_PARTS,
+            kind="rw",
+            runtime_kwargs=dict(
+                early_exit=False, max_retries=0, stale_fallback=False,
+                breaker_kwargs=dict(min_calls=1, cooldown_s=60.0),
+            ),
+        )
+        try:
+            # Poison shard 0's engine only.
+            router._records[0].model = _PoisonModel()
+            victims = np.flatnonzero(part.assignment == 0)
+            with pytest.raises(Exception):
+                router.predict(int(victims[0]))
+            assert router.breaker(0).state != "closed"
+            # Every other shard still serves, breakers closed.
+            for p in range(1, N_PARTS):
+                node = int(np.flatnonzero(part.assignment == p)[0])
+                result = router.predict(node)
+                assert result.node_id == node
+                assert router.breaker(p).state == "closed"
+        finally:
+            router.close()

@@ -34,6 +34,34 @@ MODULES = discover_modules()
 # reference material that one-line summaries cannot carry. Keep these
 # here (not in docs/API.md directly) so regeneration preserves them.
 EXTRA_SECTIONS = {
+    "repro.distributed": """\
+### Shared-memory segment layout
+
+One `ShmArena` per run; segments are named `repro-dist-<pid>-<run>-<key>`:
+
+| key | contents | writer |
+|---|---|---|
+| `x`, `y`, `train-mask` | full feature matrix / labels / train mask | coordinator, once |
+| `s<p>-indptr/indices/weights` | shard `p`'s local CSR | coordinator, once |
+| `s<p>-owned/ghosts/send-*/recv-*` | shard `p`'s halo index maps | coordinator, once |
+| `halo-<p>-<q>` (+`-round`) | one feature row per cross arc `p`→`q` | worker `p`, per round |
+| `params` (+`params-round`) | flattened averaged parameters | coordinator, per round |
+| `state-<p>` (+`state-meta-<p>`) | worker `p`'s flattened parameters, `(round, n_train, failed)` | worker `p`, per round |
+| `done-<p>` | final counter block (halo floats, attach stats, faults) | worker `p`, once |
+| `alive` | one liveness byte per rank | coordinator |
+
+### Kill-safe round-cell protocol
+
+Every per-round channel is a preallocated payload buffer plus an
+`int64[1]` **round cell**: the writer fills the payload first and
+advances the cell last; a reader that observes round `r` therefore
+holds a complete round-`r` payload. A killed writer can only leave an
+un-advanced cell behind — never a torn message — and waiters detect it
+via the `alive` array and degrade (stale ghost rows, survivor-
+renormalised averaging) instead of blocking. This is why the control
+plane is shared memory rather than `mp.Queue`: a worker killed
+mid-`put` of a multi-page pickle wedges every subsequent reader.
+""",
     "repro.resilience": """\
 ### Fault taxonomy
 
