@@ -45,6 +45,8 @@ def emit_json(
     metrics: bool = False,
     dtype=None,
     arena_stats: bool = False,
+    rank_metrics: dict[str, Any] | None = None,
+    prometheus: bool = False,
 ) -> Path:
     """Persist a machine-readable record to ``benchmarks/results/<name>.json``.
 
@@ -61,6 +63,18 @@ def emit_json(
     ``"arena"`` key — together these let an artifact capture the
     float32-vs-float64 memory-traffic delta and the buffer-reuse rate of
     a kernel run.
+
+    ``rank_metrics`` embeds per-rank registry dumps from a distributed
+    run (e.g. ``BackendResult.rank_metrics``) under a ``"rank_metrics"``
+    key, so the artifact keeps each child process's counters alongside
+    the coordinator's.
+
+    ``prometheus=True`` additionally writes the embedded snapshot (or
+    the live registry when ``metrics`` is off) in Prometheus text
+    exposition format to ``benchmarks/results/<name>.prom``; the output
+    is linted with :func:`repro.obs.telemetry.lint_prometheus` and any
+    violation raises — a CI artifact that scrapers cannot parse is a
+    benchmark failure, not a warning.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     record = dict(payload)
@@ -72,12 +86,29 @@ def emit_json(
         record["arena"] = get_default_arena().snapshot()
     if metrics:
         record["metrics"] = obs.get_registry().snapshot()
+    if rank_metrics is not None:
+        record["rank_metrics"] = rank_metrics
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(
         json.dumps(record, indent=2, default=_jsonable) + "\n",
         encoding="utf-8",
     )
     _LOG.info("wrote %s", path)
+    if prometheus:
+        from repro.obs.telemetry import lint_prometheus, to_prometheus
+
+        snapshot = record.get("metrics")
+        if snapshot is None:
+            snapshot = obs.get_registry().snapshot()
+        text = to_prometheus(snapshot, extra_labels={"benchmark": name})
+        errors = lint_prometheus(text)
+        if errors:
+            raise ValueError(
+                f"{name}: Prometheus exposition failed lint: {errors[:5]}"
+            )
+        prom_path = RESULTS_DIR / f"{name}.prom"
+        prom_path.write_text(text, encoding="utf-8")
+        _LOG.info("wrote %s", prom_path)
     return path
 
 

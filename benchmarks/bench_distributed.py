@@ -20,6 +20,13 @@ Claims measured here:
    row gather. Asserted: summed ``copied_bytes`` stays strictly under
    summed ``mapped_bytes``, and the arena is fully unlinked afterwards
    (no ``/dev/shm`` leftovers).
+4. **Telemetry rides along.** Every run executes with the
+   :mod:`repro.obs.telemetry` plane enabled: each worker publishes its
+   metrics registry through a kill-safe shm cell and flushes spans to a
+   per-rank log. Asserted: the coordinator's cluster merge saw exactly
+   ``n_parts`` ranks and a cross-process trace was assembled; the
+   per-rank registry dumps are embedded in the JSON artifact under
+   ``rank_metrics``.
 
 Run directly (``python benchmarks/bench_distributed.py [--smoke]``) or
 through pytest; ``--smoke`` shrinks sizes for CI.
@@ -67,14 +74,25 @@ def run(smoke: bool = False) -> dict:
     )
     rows = []
     wall_1 = None
+    rank_metrics = None
     for n_parts in PART_COUNTS:
         part = ldg_partition(graph, n_parts, seed=4)
         start = time.perf_counter()
         result = backend.run(
             graph, split, part.assignment, n_parts,
             epochs=epochs, hidden=16, seed=0, timeout_s=600.0,
+            telemetry=True,
         )
         wall = time.perf_counter() - start
+        # Telemetry rides along: every worker published its registry
+        # through the kill-safe shm cell, so the coordinator-side merge
+        # must have seen exactly n_parts ranks.
+        assert result.trace_id is not None and result.trace is not None
+        ranks_seen = result.cluster_snapshot.get("ranks_seen")
+        assert ranks_seen == n_parts, (
+            f"{n_parts}p: cluster merge saw {ranks_seen} ranks"
+        )
+        rank_metrics = result.rank_metrics  # keep the widest run's dump
         if n_parts == 1:
             wall_1 = wall
         analytic = result.halo_floats_per_epoch * epochs
@@ -154,7 +172,10 @@ def run(smoke: bool = False) -> dict:
         "speedup_4p": speedup_4p,
         "rows": rows,
     }
-    emit_json("E34_distributed", payload, metrics=True)
+    emit_json(
+        "E34_distributed", payload, metrics=True,
+        rank_metrics=rank_metrics,
+    )
     return payload
 
 

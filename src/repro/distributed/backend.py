@@ -89,6 +89,13 @@ class BackendResult:
     wall_time_s: float = 0.0
     attach_stats: dict = field(default_factory=dict)
     recovery: str = "reweight"
+    # telemetry (populated only when the process backend runs with the
+    # repro.obs.telemetry plane enabled)
+    trace_id: str | None = None
+    trace: dict | None = None
+    rank_metrics: dict = field(default_factory=dict)
+    cluster_snapshot: dict = field(default_factory=dict)
+    span_log_dir: str | None = None
 
 
 class DistributedBackend:
@@ -163,6 +170,9 @@ class ProcessBackend(DistributedBackend):
             "attaches": 0,
             "workers_lost": 0,
         }
+        #: The merged per-rank metrics view of the most recent
+        #: telemetry-enabled run (a ClusterMetrics, or None).
+        self.last_cluster = None
         obs.register_source("distributed.backend", self)
 
     # ------------------------------------------------------------------ #
@@ -196,6 +206,8 @@ class ProcessBackend(DistributedBackend):
         checkpoint_every: int = 0,
         timeout_s: float = 300.0,
         round_hook=None,
+        telemetry: bool | None = None,
+        telemetry_dir: str | None = None,
     ) -> BackendResult:
         """Train for ``epochs`` synchronous rounds over ``n_parts`` workers.
 
@@ -206,6 +218,17 @@ class ProcessBackend(DistributedBackend):
         chaos tests use it to kill workers mid-run. ``timeout_s`` bounds
         the whole run; exceeding it tears everything down and raises
         :class:`repro.errors.DistributedError`.
+
+        ``telemetry`` switches the :mod:`repro.obs.telemetry` plane —
+        ``None`` follows the process-global ``obs.enabled()`` flag. When
+        on, a :class:`~repro.obs.telemetry.TraceContext` minted from the
+        coordinator's ``distributed.run`` span rides inside every
+        ``WorkerSpec``, each rank streams spans to
+        ``<telemetry_dir>/rank<r>.jsonl`` and publishes its metrics
+        registry through a kill-safe shm cell per round; the result then
+        carries the assembled cross-process ``trace`` and the merged
+        ``cluster_snapshot`` (a chaos-killed rank's last published
+        counters included).
         """
         from repro.distributed.shards import build_shard_plan
         from repro.distributed.worker import (
@@ -248,6 +271,61 @@ class ProcessBackend(DistributedBackend):
         arena = ShmArena()
         processes: list = []
         alive_view = None
+
+        # ---- telemetry plane (None follows the global obs switch) ------
+        telemetry_enabled = (
+            obs.OBS.enabled if telemetry is None else bool(telemetry)
+        )
+        tele = None
+        cluster = None
+        tctx = None
+        tele_dir = None
+        metrics_views: list = []
+        dead_ranks: set[int] = set()
+        if telemetry_enabled:
+            import tempfile
+
+            from repro.obs import telemetry as tele
+
+            if not obs.OBS.enabled:
+                obs.configure(enabled=True)
+            tele_dir = Path(
+                telemetry_dir
+                or tempfile.mkdtemp(prefix="repro-telemetry-")
+            )
+            tele_dir.mkdir(parents=True, exist_ok=True)
+            cluster = tele.ClusterMetrics()
+            # Strong ref on the backend: register_source keeps only a
+            # weakref, and the cluster view must outlive run() so the
+            # coordinator's snapshot() still answers after a chaos kill.
+            self.last_cluster = cluster
+            obs.register_source("cluster", cluster)
+
+        def _harvest_metrics() -> None:
+            """Fold every rank's newest published registry dump into the
+            cluster view — including a chaos-killed rank's last complete
+            publication (the seq-last protocol guarantees it is whole)."""
+            if cluster is None:
+                return
+            for p, (buf, meta) in enumerate(metrics_views):
+                seq, blob = tele.read_blob(buf, meta)
+                if blob is None:
+                    continue
+                payload = tele.decode_payload(blob)
+                if payload is not None:
+                    cluster.ingest(
+                        p, payload, seq=seq, live=p not in dead_ranks
+                    )
+
+        # The run span is the coordinator anchor every rank's span tree
+        # grafts under at assembly (a no-op NullSpan while obs is off).
+        run_cm = obs.span(
+            "distributed.run", n_parts=int(n_parts), backend=self.name
+        )
+        run_span = run_cm.__enter__()
+        run_open = True
+        if telemetry_enabled:
+            tctx = tele.TraceContext.from_span(run_span, backend=self.name)
         try:
             # ---- publish the data + control plane once -----------------
             with obs.span("distributed.publish"):
@@ -307,12 +385,38 @@ class ProcessBackend(DistributedBackend):
                                 np.full(1, -1, dtype=np.int64),
                             ),
                         )
+                # Per-rank metrics cells: payload segment + (seq, length)
+                # meta, written payload-first seq-last by the worker.
+                metrics_handles: list[tuple] = []
+                if telemetry_enabled:
+                    for p in range(n_parts):
+                        metrics_handles.append((
+                            arena.publish(
+                                f"metrics-{p}",
+                                np.zeros(
+                                    tele.METRICS_SEGMENT_BYTES,
+                                    dtype=np.uint8,
+                                ),
+                            ),
+                            arena.publish(
+                                f"metrics-meta-{p}",
+                                np.array([-1, 0], dtype=np.int64),
+                            ),
+                        ))
             alive_view = arena.view("alive", writable=True)
             params_view = arena.view("params", writable=True)
             params_round = arena.view("params-round", writable=True)
             metas = [arena.view(f"state-meta-{p}") for p in range(n_parts)]
             states = [arena.view(f"state-{p}") for p in range(n_parts)]
             dones = [arena.view(f"done-{p}") for p in range(n_parts)]
+            if telemetry_enabled:
+                metrics_views.extend(
+                    (
+                        arena.view(f"metrics-{p}"),
+                        arena.view(f"metrics-meta-{p}"),
+                    )
+                    for p in range(n_parts)
+                )
 
             # ---- launch ------------------------------------------------
             import repro
@@ -355,6 +459,20 @@ class ProcessBackend(DistributedBackend):
                     checkpoint_every=checkpoint_every,
                     sync_timeout_s=float(timeout_s),
                     package_root=package_root,
+                    trace_ctx=(
+                        tctx.to_dict() if tctx is not None else None
+                    ),
+                    span_log_path=(
+                        str(tele_dir / f"rank{p}.jsonl")
+                        if tele_dir is not None
+                        else None
+                    ),
+                    metrics=(
+                        metrics_handles[p][0] if telemetry_enabled else None
+                    ),
+                    metrics_meta=(
+                        metrics_handles[p][1] if telemetry_enabled else None
+                    ),
                 )
                 proc = ctx.Process(
                     target=worker_main,
@@ -385,6 +503,9 @@ class ProcessBackend(DistributedBackend):
                     expected.discard(rank)
                     alive_view[rank] = 0
                     totals["workers_lost"] += 1
+                    dead_ranks.add(rank)
+                    if cluster is not None:
+                        cluster.mark_dead(rank)
                     _LOG.warning("worker %d lost (%s)", rank, why)
 
             def _reap() -> None:
@@ -508,6 +629,24 @@ class ProcessBackend(DistributedBackend):
                     attach_stats["attaches"]
                 )
 
+            # ---- telemetry: harvest + assemble the cross-process trace -
+            telemetry_fields: dict = {}
+            if telemetry_enabled:
+                run_cm.__exit__(None, None, None)
+                run_open = False
+                _harvest_metrics()
+                span_paths = sorted(tele_dir.glob("rank*.jsonl"))
+                assembled = tele.assemble_trace(
+                    run_span, span_paths, trace_id=tctx.trace_id
+                )
+                telemetry_fields = {
+                    "trace_id": tctx.trace_id,
+                    "trace": assembled.to_dict(),
+                    "rank_metrics": cluster.payloads(),
+                    "cluster_snapshot": cluster.snapshot(),
+                    "span_log_dir": str(tele_dir),
+                }
+
             return BackendResult(
                 backend=self.name,
                 test_accuracy=test_acc,
@@ -528,11 +667,22 @@ class ProcessBackend(DistributedBackend):
                 attach_stats=dict(
                     attach_stats, published_bytes=arena.published_bytes
                 ),
+                **telemetry_fields,
             )
         finally:
             # Unconditional teardown: every exit path (completion, chaos
             # kill, timeout, KeyboardInterrupt) unlinks the arena and
             # reaps the children.
+            if run_open:
+                run_cm.__exit__(None, None, None)
+            if telemetry_enabled:
+                # Failure paths still fold the last published rank
+                # counters into the registered "cluster" source before
+                # the segments are unlinked below.
+                try:
+                    _harvest_metrics()
+                except Exception:  # pragma: no cover - defensive
+                    _LOG.exception("telemetry harvest failed during teardown")
             if alive_view is not None:
                 alive_view[:] = 0
                 del alive_view  # release the buffer before unlink

@@ -146,6 +146,13 @@ class WorkerSpec:
     checkpoint_dir: str | None = None
     checkpoint_every: int = 0
     checkpoint_keep: int = 2
+    # telemetry (repro.obs.telemetry) — all None/0 means "off", which
+    # keeps the spec picklable and the worker hot path untouched.
+    trace_ctx: dict | None = None
+    span_log_path: str | None = None
+    metrics: SharedArrayHandle | None = None
+    metrics_meta: SharedArrayHandle | None = None
+    telemetry_every: int = 1
     # timeouts
     sync_timeout_s: float = 60.0
     halo_timeout_s: float = 10.0
@@ -221,6 +228,51 @@ def worker_main(spec: WorkerSpec) -> None:
         state_meta = segs.attach(spec.state_meta, writable=True)
         done_block = segs.attach(spec.done, writable=True)
 
+        # ---- telemetry plane (opt-in via the propagated context) -------
+        # The coordinator mints a TraceContext and ships it as a plain
+        # dict; its presence is the per-worker telemetry switch. Spans go
+        # to a per-rank JSONL ring (flushed at round boundaries, so a
+        # chaos kill loses at most the in-flight round) and the metrics
+        # registry is published through the kill-safe shm cell below.
+        span_writer = None
+        metrics_buf = metrics_meta = None
+        wreg = None
+        round_hist = None
+        prev_counts: dict[str, int] = {}
+        if spec.trace_ctx is not None:
+            from repro.obs.telemetry import SpanLogWriter, TraceContext
+            from repro.obs.telemetry import aggregate as _agg
+
+            obs.configure(enabled=True)
+            tctx = TraceContext.from_dict(spec.trace_ctx).child(rank=str(rank))
+            if spec.span_log_path:
+                span_writer = SpanLogWriter(
+                    spec.span_log_path, tctx, rank=rank
+                )
+            if spec.metrics is not None and spec.metrics_meta is not None:
+                metrics_buf = segs.attach(spec.metrics, writable=True)
+                metrics_meta = segs.attach(spec.metrics_meta, writable=True)
+            wreg = obs.get_registry()
+            round_hist = wreg.histogram("worker.round_s")
+            prev_counts = dict.fromkeys(DONE_FIELDS, 0)
+
+        def _publish_telemetry(counters: dict, seq: int) -> None:
+            """Flush spans + publish the registry dump (payload-first,
+            seq-cell-last). Cheap no-op when telemetry is off."""
+            if span_writer is not None:
+                span_writer.flush(obs.get_tracer())
+            if metrics_buf is None:
+                return
+            for name in DONE_FIELDS:
+                delta = counters[name] - prev_counts[name]
+                if delta > 0:
+                    wreg.counter(f"worker.{name}").inc(float(delta))
+                prev_counts[name] = counters[name]
+            _agg.publish_blob(
+                metrics_buf, metrics_meta,
+                _agg.encode_registry(wreg, rank=rank), seq,
+            )
+
         local_nodes = np.concatenate([owned, ghosts])
         # The one deliberate duplication: this worker's local feature
         # rows (owned + ghosts), writable so halo reads can land.
@@ -263,77 +315,101 @@ def worker_main(spec: WorkerSpec) -> None:
         model.load_state_dict(unflatten_state(params_vec, template))
 
         for round_no in range(spec.epochs):
-            # ---- halo exchange (per-arc, matches analytic accounting) --
-            for peer in sorted(halo_out):
-                buf, rnd = halo_out[peer]
-                buf[:] = x_local[send_idx[peer]]
-                rnd[0] = round_no  # publish AFTER the payload is complete
-                counters["halo_floats_shipped"] += int(buf.size)
-            for peer in sorted(halo_in):
-                buf, rnd = halo_in[peer]
-                fresh = _wait_cell(
-                    rnd, round_no, spec.halo_timeout_s,
-                    peer_alive=lambda p=peer: bool(alive[p]),
-                )
-                if not fresh:
-                    # Dead or silent peer: train on the stale ghost rows
-                    # already resident (degraded, never blocked).
-                    counters["halo_misses"] += 1
-                    continue
-                x_local[recv_idx[peer]] = buf
-                counters["halo_floats_received"] += int(buf.size)
+            round_start = time.monotonic()
+            # The round span is a per-round ROOT (no enclosing run span),
+            # so a chaos kill mid-round leaves every previously flushed
+            # round intact in the span log.
+            with obs.span("worker.round", round=round_no, rank=str(rank)):
+                # ---- halo exchange (per-arc, matches accounting) -------
+                with obs.span("worker.halo_exchange", round=round_no):
+                    for peer in sorted(halo_out):
+                        buf, rnd = halo_out[peer]
+                        buf[:] = x_local[send_idx[peer]]
+                        rnd[0] = round_no  # publish AFTER payload complete
+                        counters["halo_floats_shipped"] += int(buf.size)
+                    for peer in sorted(halo_in):
+                        buf, rnd = halo_in[peer]
+                        fresh = _wait_cell(
+                            rnd, round_no, spec.halo_timeout_s,
+                            peer_alive=lambda p=peer: bool(alive[p]),
+                        )
+                        if not fresh:
+                            # Dead or silent peer: train on the stale
+                            # ghost rows already resident (degraded,
+                            # never blocked).
+                            counters["halo_misses"] += 1
+                            continue
+                        x_local[recv_idx[peer]] = buf
+                        counters["halo_floats_received"] += int(buf.size)
 
-            # ---- local step through the shared fault site --------------
-            failed = False
-            action = None
-            inj = FAULTS.injector if FAULTS.active else None
-            if inj is not None:
-                try:
-                    action = inj.fire("training.worker_step")
-                except (TransientError, FaultError):
-                    counters["failures"] += 1
-                    failed = True
-            if action == "delay":
-                counters["stragglers"] += 1
-            if not failed and len(local_train):
-                model.train()
-                opt.zero_grad()
-                logits = model(prep, x_local)
-                loss = F.cross_entropy(
-                    logits.gather_rows(local_train), y_local[local_train]
-                )
-                loss.backward()
-                opt.step()
-                counters["steps"] += 1
-                if action in ("drop", "corrupt"):
-                    # The step ran but its update never reached (or was
-                    # rejected by) the coordinator.
-                    counters["failures"] += 1
-                    failed = True
+                # ---- local step through the shared fault site ----------
+                failed = False
+                action = None
+                inj = FAULTS.injector if FAULTS.active else None
+                if inj is not None:
+                    try:
+                        action = inj.fire("training.worker_step")
+                    except (TransientError, FaultError):
+                        counters["failures"] += 1
+                        failed = True
+                if action == "delay":
+                    counters["stragglers"] += 1
+                if not failed and len(local_train):
+                    with obs.span("worker.step", round=round_no):
+                        model.train()
+                        opt.zero_grad()
+                        with obs.span("worker.spmm"):
+                            logits = model(prep, x_local)
+                        loss = F.cross_entropy(
+                            logits.gather_rows(local_train),
+                            y_local[local_train],
+                        )
+                        loss.backward()
+                        opt.step()
+                    counters["steps"] += 1
+                    if action in ("drop", "corrupt"):
+                        # The step ran but its update never reached (or
+                        # was rejected by) the coordinator.
+                        counters["failures"] += 1
+                        failed = True
 
-            # ---- parameter sync ---------------------------------------
-            if not failed:
-                flatten_state(model.state_dict(), out=state_vec)
-            state_meta[1] = len(local_train)
-            state_meta[2] = int(failed)
-            state_meta[0] = round_no  # publish last
-            if not _wait_cell(params_round, round_no, spec.sync_timeout_s):
-                raise DistributedError(
-                    f"timed out waiting for round {round_no} parameters"
-                )
-            model.load_state_dict(unflatten_state(params_vec, template))
-            counters["sync_rounds"] += 1
-            if (
-                checkpointer is not None
-                and (round_no + 1) % spec.checkpoint_every == 0
-            ):
-                checkpointer.save(
-                    round_no,
-                    {"model": model.state_dict(), "optimizer": opt.state_dict()},
-                )
-                counters["checkpoint_saves"] += 1
+                # ---- parameter sync -----------------------------------
+                if not failed:
+                    flatten_state(model.state_dict(), out=state_vec)
+                state_meta[1] = len(local_train)
+                state_meta[2] = int(failed)
+                state_meta[0] = round_no  # publish last
+                if not _wait_cell(
+                    params_round, round_no, spec.sync_timeout_s
+                ):
+                    raise DistributedError(
+                        f"timed out waiting for round {round_no} parameters"
+                    )
+                model.load_state_dict(unflatten_state(params_vec, template))
+                counters["sync_rounds"] += 1
+                if (
+                    checkpointer is not None
+                    and (round_no + 1) % spec.checkpoint_every == 0
+                ):
+                    checkpointer.save(
+                        round_no,
+                        {
+                            "model": model.state_dict(),
+                            "optimizer": opt.state_dict(),
+                        },
+                    )
+                    counters["checkpoint_saves"] += 1
+
+            if wreg is not None:
+                round_hist.observe(time.monotonic() - round_start)
+                if (round_no + 1) % max(spec.telemetry_every, 1) == 0:
+                    _publish_telemetry(counters, seq=round_no + 1)
 
         counters.update(segs.stats())
+        if spec.trace_ctx is not None:
+            # Final flush AND publish before the done flag: the attach
+            # accounting only lands in the counters here.
+            _publish_telemetry(counters, seq=spec.epochs + 1)
         done_block[1:] = [counters[name] for name in DONE_FIELDS]
         done_block[0] = 1  # publish last
     except Exception:  # noqa: BLE001 - the coordinator sees the exit code

@@ -15,6 +15,12 @@ channels:
 * :mod:`repro.obs.sources` — the uniform ``snapshot()/reset()`` protocol
   spoken by every cache, queue, and histogram in the library.
 * :mod:`repro.obs.logs` — ``repro.*`` logger hierarchy helpers.
+* :mod:`repro.obs.telemetry` — the cross-process plane: distributed
+  trace propagation, rank-aggregated metrics over shared memory,
+  Prometheus/JSON exporters, and SLO monitors (loaded lazily — see
+  below).
+* :mod:`repro.obs.profile` — a sampling profiler aggregating SpMM /
+  halo-exchange stacks into a flamegraph-style tree (lazy too).
 
 Everything is off by default. :func:`configure` flips the process-global
 switch; instrumented hot paths guard on a **single attribute check**
@@ -191,6 +197,34 @@ def reset() -> None:
     OBS.registry.reset()
 
 
+# Lazy attributes (PEP 562): the telemetry plane and the profiler are
+# sizeable and pull in numpy/json machinery a tracing-only process never
+# needs, so they materialize on first attribute access instead of at
+# `import repro.obs` time — keeping the disabled-path cost at the single
+# OBS.enabled check E30 bounds.
+_LAZY_ATTRS = {
+    "telemetry": ("repro.obs.telemetry", None),
+    "profile": ("repro.obs.profile", None),
+    "SamplingProfiler": ("repro.obs.profile", "SamplingProfiler"),
+    "TraceContext": ("repro.obs.telemetry", "TraceContext"),
+    "SloMonitor": ("repro.obs.telemetry", "SloMonitor"),
+    "ClusterMetrics": ("repro.obs.telemetry", "ClusterMetrics"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY_ATTRS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return module if attr is None else getattr(module, attr)
+
+
 __all__ = [
     "OBS",
     "configure",
@@ -214,4 +248,11 @@ __all__ = [
     "setup_logging",
     "get_logger",
     "ROOT_LOGGER_NAME",
+    # lazy (PEP 562)
+    "telemetry",
+    "profile",
+    "SamplingProfiler",
+    "TraceContext",
+    "SloMonitor",
+    "ClusterMetrics",
 ]

@@ -32,6 +32,20 @@ def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _merge_labels(
+    key: tuple[tuple[str, str], ...], extra: dict[str, Any]
+) -> dict[str, str]:
+    """A series' labels as a dict, with ``extra`` labels folded in.
+
+    Extra labels win on collision — a coordinator re-labelling a rank's
+    series with ``rank=3`` must not be spoofable by the rank publishing
+    its own ``rank`` label.
+    """
+    labels = dict(key)
+    labels.update({str(k): str(v) for k, v in extra.items()})
+    return labels
+
+
 def _flat_name(name: str, key: tuple[tuple[str, str], ...]) -> str:
     if not key:
         return name
@@ -89,6 +103,16 @@ class Counter(_Instrument):
         with self._lock:
             return {_flat_name(self.name, k): v for k, v in self._values.items()}
 
+    def dump(self) -> list[list]:
+        """Serializable series list ``[[labels_dict, value], ...]``."""
+        with self._lock:
+            return [[dict(k), v] for k, v in self._values.items()]
+
+    def merge_dump(self, series: list, **extra_labels: Any) -> None:
+        """Fold a :meth:`dump` payload in, re-labelled with ``extra_labels``."""
+        for labels, value in series:
+            self.inc(float(value), **_merge_labels(_label_key(labels), extra_labels))
+
     def reset(self) -> None:
         with self._lock:
             self._values.clear()
@@ -118,6 +142,21 @@ class Gauge(_Instrument):
     def snapshot(self) -> dict[str, float]:
         with self._lock:
             return {_flat_name(self.name, k): v for k, v in self._values.items()}
+
+    def dump(self) -> list[list]:
+        """Serializable series list ``[[labels_dict, value], ...]``."""
+        with self._lock:
+            return [[dict(k), v] for k, v in self._values.items()]
+
+    def merge_dump(self, series: list, **extra_labels: Any) -> None:
+        """Fold a :meth:`dump` payload in, re-labelled with ``extra_labels``.
+
+        Gauges are last-value instruments — a blind merge across ranks
+        would be a data race on meaning, so each rank's series stays its
+        own (the re-label keeps them distinct).
+        """
+        for labels, value in series:
+            self.set(float(value), **_merge_labels(_label_key(labels), extra_labels))
 
     def reset(self) -> None:
         with self._lock:
@@ -211,6 +250,27 @@ class Histogram(_Instrument):
             for stat in ("count", "mean", "p50", "p95", "p99", "max"):
                 out[f"{base}.{stat}"] = summary[stat]
         return out
+
+    def dump(self) -> dict:
+        """Serializable layout + per-series bucket state (lossless).
+
+        Unlike :meth:`snapshot` (derived percentiles), the dump carries
+        raw bucket counts so another process can rebuild each series and
+        :meth:`merge_dump` them *exactly* — cluster-wide p99 is computed
+        from merged buckets, never averaged from per-rank percentiles.
+        """
+        with self._lock:
+            pairs = list(self._series.items())
+        return {
+            "layout": [self.min_value, self.max_value, self.buckets_per_decade],
+            "series": [[dict(k), hist.state()] for k, hist in pairs],
+        }
+
+    def merge_dump(self, payload: dict, **extra_labels: Any) -> None:
+        """Fold a :meth:`dump` payload in, re-labelled with ``extra_labels``."""
+        for labels, state in payload.get("series", ()):
+            key = _label_key(_merge_labels(_label_key(labels), extra_labels))
+            self._hist(key).merge_state(state)
 
     def reset(self) -> None:
         with self._lock:
@@ -344,6 +404,68 @@ class MetricsRegistry:
             for key, value in source.snapshot().items():
                 out[f"{prefix}.{key}"] = value
         return out
+
+    def dump(self, include_sources: bool = True) -> dict:
+        """Serializable, *mergeable* registry state — the telemetry wire
+        format.
+
+        Instruments are dumped losslessly (histograms with raw bucket
+        counts); live stats sources are flattened to their scalar
+        snapshots under ``"sources"``. :meth:`merge_dump` on another
+        process's registry reconstructs counters by summation, keeps
+        gauges per-origin, and folds histogram buckets exactly.
+        """
+        counters: dict[str, list] = {}
+        gauges: dict[str, list] = {}
+        histograms: dict[str, dict] = {}
+        for instrument in self.instruments():
+            if isinstance(instrument, Counter):
+                counters[instrument.name] = instrument.dump()
+            elif isinstance(instrument, Gauge):
+                gauges[instrument.name] = instrument.dump()
+            elif isinstance(instrument, Histogram):
+                histograms[instrument.name] = instrument.dump()
+        payload = {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+        if include_sources:
+            sources: dict[str, float] = {}
+            for prefix, source in self.sources().items():
+                for key, value in source.snapshot().items():
+                    sources[f"{prefix}.{key}"] = value
+            payload["sources"] = sources
+        return payload
+
+    def merge_dump(self, payload: dict, **extra_labels: Any) -> None:
+        """Fold another registry's :meth:`dump` into this one.
+
+        ``extra_labels`` (typically ``rank=<r>`` or ``shard=<s>``) are
+        stamped onto every merged series so the origins stay separable —
+        a :class:`Counter`'s cross-series ``total`` still reports the
+        cluster-wide sum. Source scalars (cache hit rates, queue depths)
+        are re-published as labelled gauges: they are point-in-time
+        readings of a remote object, not mergeable streams.
+        """
+        for name, series in payload.get("counters", {}).items():
+            self.counter(name).merge_dump(series, **extra_labels)
+        for name, series in payload.get("gauges", {}).items():
+            self.gauge(name).merge_dump(series, **extra_labels)
+        for name, hist_payload in payload.get("histograms", {}).items():
+            layout = hist_payload.get("layout")
+            if layout:
+                hist = self.histogram(
+                    name,
+                    min_value=float(layout[0]),
+                    max_value=float(layout[1]),
+                    buckets_per_decade=int(layout[2]),
+                )
+            else:
+                hist = self.histogram(name)
+            hist.merge_dump(hist_payload, **extra_labels)
+        for key, value in payload.get("sources", {}).items():
+            self.gauge(key).set(float(value), **extra_labels)
 
     def reset(self, include_sources: bool = False) -> None:
         """Zero every instrument; optionally reset the live sources too."""

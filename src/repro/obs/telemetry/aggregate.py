@@ -1,0 +1,183 @@
+"""Rank-aggregated metrics over the kill-safe shared-memory control plane.
+
+Each worker owns one preallocated ``uint8`` payload segment plus an
+``int64[2]`` meta cell ``(seq, length)`` published by the coordinator's
+:class:`~repro.distributed.shm.ShmArena`. Publication follows the same
+round-cell protocol as the distributed parameter plane: the writer fills
+the payload *first* and advances ``seq`` *last*, so the only artefact a
+killed writer can leave behind is an un-advanced cell — the coordinator
+still reads the newest *complete* snapshot the rank ever published,
+which is exactly the "counters survive a chaos kill" property the
+telemetry tests pin down.
+
+The payload is the JSON encoding of
+:meth:`repro.obs.MetricsRegistry.dump` — counters and gauges per series,
+histograms as raw log-bucket counts — so the coordinator-side
+:class:`ClusterMetrics` merges them *exactly*: cluster p99 comes from
+merged buckets, never from averaged per-rank percentiles.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
+
+_LOG = get_logger("repro.obs.telemetry.aggregate")
+
+#: Default per-rank metrics segment size; a registry dump of a few
+#: hundred series fits comfortably (an overflowing dump is dropped and
+#: counted, never truncated to a torn payload).
+METRICS_SEGMENT_BYTES = 1 << 16
+
+#: Meta cell layout: ``meta[0]`` = sequence number (written last),
+#: ``meta[1]`` = payload byte length.
+META_CELLS = 2
+
+
+def encode_registry(registry: MetricsRegistry, **extra: Any) -> bytes:
+    """A registry dump (plus free-form ``extra`` keys) as JSON bytes."""
+    payload = registry.dump()
+    payload.update(extra)
+    return json.dumps(payload, default=float).encode("utf-8")
+
+
+def decode_payload(blob: bytes) -> dict | None:
+    """Parse a published payload; ``None`` when torn/corrupt (logged)."""
+    try:
+        payload = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        _LOG.debug("dropping corrupt metrics payload (%d bytes)", len(blob))
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def publish_blob(
+    buf: np.ndarray, meta: np.ndarray, payload: bytes, seq: int
+) -> bool:
+    """Write ``payload`` into the shared cell, payload-first seq-last.
+
+    Returns ``False`` (without touching the cell) when the payload does
+    not fit — a reader never observes a truncated snapshot, only the
+    previous complete one.
+    """
+    data = np.frombuffer(payload, dtype=np.uint8)
+    if data.size > buf.size:
+        _LOG.warning(
+            "metrics payload of %d bytes exceeds the %d-byte segment; "
+            "keeping the previous snapshot", data.size, buf.size,
+        )
+        return False
+    buf[: data.size] = data
+    meta[1] = data.size
+    meta[0] = seq  # publish last
+    return True
+
+
+def read_blob(buf: np.ndarray, meta: np.ndarray) -> tuple[int, bytes | None]:
+    """Read the newest published payload; ``(seq, None)`` when empty.
+
+    Tear detection: the sequence cell is read before and after copying
+    the payload; on a mismatch (the writer raced us) the read retries,
+    settling within a few iterations because publications are per-round.
+    """
+    for _ in range(8):
+        seq = int(meta[0])
+        if seq < 0:
+            return seq, None
+        length = int(meta[1])
+        if not 0 <= length <= buf.size:
+            return seq, None
+        blob = bytes(buf[:length])
+        if int(meta[0]) == seq:
+            return seq, blob
+    return int(meta[0]), None
+
+
+class ClusterMetrics:
+    """Coordinator-side merged view of per-rank registry dumps.
+
+    :meth:`ingest` keeps each rank's newest payload (by sequence
+    number); :meth:`merged` folds them into one fresh
+    :class:`~repro.obs.MetricsRegistry` with every series re-labelled
+    ``rank=<r>``, so counters sum cluster-wide (``Counter.total``),
+    histograms merge exactly, and gauges stay attributable. The object
+    is itself a :class:`repro.obs.StatsSource` — register it once and
+    the coordinator's ``snapshot()`` becomes the single pane of glass.
+
+    Payloads outlive their rank by design: a chaos-killed worker's last
+    published counters stay in the merged view (flagged by the
+    ``cluster.ranks_live`` gauge dropping below ``cluster.ranks_seen``).
+    """
+
+    def __init__(self) -> None:
+        self._payloads: dict[str, dict] = {}
+        self._seqs: dict[str, int] = {}
+        self._live: dict[str, bool] = {}
+
+    def ingest(
+        self, rank: int | str, payload: dict, seq: int = 0, live: bool = True
+    ) -> bool:
+        """Keep ``payload`` as rank's newest snapshot (stale seqs are
+        ignored); returns whether it replaced the held one."""
+        if not isinstance(payload, dict):
+            raise ConfigError(
+                f"rank payload must be a dict, got {type(payload).__name__}"
+            )
+        key = str(rank)
+        if key in self._seqs and seq < self._seqs[key]:
+            return False
+        self._payloads[key] = payload
+        self._seqs[key] = int(seq)
+        self._live[key] = bool(live)
+        return True
+
+    def mark_dead(self, rank: int | str) -> None:
+        """Record that a rank is gone; its last payload is retained."""
+        self._live[str(rank)] = False
+
+    @property
+    def ranks(self) -> list[str]:
+        return sorted(self._payloads)
+
+    def payload(self, rank: int | str) -> dict | None:
+        return self._payloads.get(str(rank))
+
+    def payloads(self) -> dict[str, dict]:
+        """Newest payload per rank (for artifact embedding)."""
+        return dict(self._payloads)
+
+    def merged(self) -> MetricsRegistry:
+        """One fresh registry holding every rank's series, rank-labelled."""
+        registry = MetricsRegistry()
+        for rank in self.ranks:
+            registry.merge_dump(self._payloads[rank], rank=rank)
+        return registry
+
+    # ------------------------------------------------------------------ #
+    # StatsSource protocol
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict[str, float]:
+        out = {
+            "ranks_seen": float(len(self._payloads)),
+            "ranks_live": float(sum(1 for v in self._live.values() if v)),
+        }
+        out.update(self.merged().snapshot())
+        return out
+
+    def reset(self) -> None:
+        self._payloads.clear()
+        self._seqs.clear()
+        self._live.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusterMetrics(ranks={self.ranks}, "
+            f"live={sum(1 for v in self._live.values() if v)})"
+        )

@@ -1,0 +1,120 @@
+"""Distributed trace propagation: the context that crosses processes.
+
+A :class:`TraceContext` is the small, picklable token a coordinator mints
+from its own active span and ships to every worker (inside the
+``WorkerSpec``, a request header, or any other side channel). It carries
+exactly three things:
+
+* ``trace_id`` — one id for the whole cross-process trace;
+* ``parent_span_id`` — the coordinator span the remote subtrees attach
+  under when :func:`repro.obs.telemetry.assemble_trace` stitches them;
+* ``labels`` — origin labels (``rank``, ``shard``, ``tenant``...) every
+  remote span inherits.
+
+The contract is deliberately one-directional: the coordinator *mints*,
+workers only *extend* (:meth:`TraceContext.child`) — a worker can add its
+rank label but can never rewrite the trace id or re-parent itself, so an
+assembled tree is always rooted in the span that actually launched the
+work.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (collision-safe across processes)."""
+    return uuid.uuid4().hex[:16]
+
+
+def qualified_span_id(rank: Any, span_id: Any) -> str:
+    """Globally unique span id for a per-process span.
+
+    Per-process :class:`~repro.obs.trace.Tracer` ids are small ints that
+    collide across ranks; the wire format prefixes them with their
+    origin (``"r3s17"``) so an assembled tree never aliases two spans.
+    """
+    return f"r{rank}s{span_id}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Picklable trace-propagation token (trace id, attach point, labels).
+
+    Build one on the coordinator with :meth:`from_span` (or :meth:`root`
+    when there is no live span to attach under), ship it to workers, and
+    have each worker stamp its spans with :meth:`child`-extended labels.
+    """
+
+    trace_id: str
+    parent_span_id: Any = None
+    labels: tuple[tuple[str, str], ...] = ()
+
+    @classmethod
+    def root(cls, **labels: Any) -> "TraceContext":
+        """A fresh context with no attach point (standalone trace)."""
+        return cls(new_trace_id(), None, _label_items(labels))
+
+    @classmethod
+    def from_span(cls, span, **labels: Any) -> "TraceContext":
+        """Mint a context whose remote subtrees attach under ``span``."""
+        span_id = getattr(span, "span_id", None)
+        if span_id is None:
+            raise ConfigError(
+                f"TraceContext.from_span needs a repro.obs.Span, got {span!r}"
+            )
+        return cls(new_trace_id(), span_id, _label_items(labels))
+
+    def child(self, **labels: Any) -> "TraceContext":
+        """This context with extra origin labels (rank/shard/pid...).
+
+        Existing labels are kept; on collision the *existing* label wins
+        — a worker extends the coordinator's context, it never rewrites
+        it.
+        """
+        merged = dict(_label_items(labels))
+        merged.update(dict(self.labels))
+        return TraceContext(
+            self.trace_id, self.parent_span_id, _label_items(merged)
+        )
+
+    @property
+    def label_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-suitable form (the pickle-free propagation path)."""
+        return {
+            "trace_id": self.trace_id,
+            "parent_span_id": self.parent_span_id,
+            "labels": dict(self.labels),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TraceContext":
+        return cls(
+            str(payload["trace_id"]),
+            payload.get("parent_span_id"),
+            _label_items(payload.get("labels") or {}),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TraceContext({self.trace_id!r}, parent={self.parent_span_id!r}, "
+            f"labels={dict(self.labels)})"
+        )
+
+
+def _label_items(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def process_labels() -> dict[str, str]:
+    """Default origin labels for the current process (pid)."""
+    return {"pid": str(os.getpid())}

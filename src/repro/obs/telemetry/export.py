@@ -1,0 +1,230 @@
+"""Exporters: one unified snapshot, two wire formats.
+
+Both exporters consume the flat ``snapshot()`` dict produced by
+:class:`~repro.obs.MetricsRegistry` (and by extension
+:class:`~repro.obs.telemetry.aggregate.ClusterMetrics`), whose keys look
+like::
+
+    serving.queue_wait_s{model=default}.p99   -> 0.0123
+    rows_patched{rank=1}                      -> 42.0
+    perf.operator_cache.hit_rate              -> 0.87
+
+:func:`to_prometheus` renders the Prometheus text exposition format
+(label blocks become real Prometheus labels, everything else is
+sanitized into the metric name under a ``repro_`` namespace);
+:func:`to_json` renders a self-describing JSON document. Both are pure
+functions over the snapshot — exporting never touches live instruments,
+so an exporter can run on a coordinator thread without perturbing the
+hot path it is reporting on.
+
+:func:`lint_prometheus` is the CI gate: it re-parses an exposition blob
+against the grammar Prometheus itself enforces (metric-name regex,
+escaped label values, float-parseable samples, ``# TYPE`` before first
+sample) and returns the violations instead of raising, so the smoke
+workflow can fail with all problems listed at once.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Iterable, Mapping
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Prefix stamped on every exported metric name.
+NAMESPACE = "repro"
+
+
+def parse_snapshot_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a flat snapshot key into (dotted name, labels).
+
+    ``"queue_wait_s{model=a,shard=0}.p99"`` parses to
+    ``("queue_wait_s.p99", {"model": "a", "shard": "0"})``; keys without
+    a label block pass through with empty labels. A malformed label
+    block is left inside the name (sanitization will neutralize it)
+    rather than guessed at.
+    """
+    start = key.find("{")
+    if start < 0:
+        return key, {}
+    end = key.find("}", start)
+    if end < 0:
+        return key, {}
+    labels: dict[str, str] = {}
+    block = key[start + 1 : end]
+    for item in block.split(","):
+        if "=" not in item:
+            return key, {}
+        k, v = item.split("=", 1)
+        labels[k.strip()] = v.strip()
+    return key[:start] + key[end + 1 :], labels
+
+
+def _metric_name(dotted: str) -> str:
+    """A dotted snapshot name as a valid namespaced Prometheus name."""
+    name = _SANITIZE_RE.sub("_", dotted.strip("."))
+    if not name or not _NAME_RE.match(name[0]):
+        name = "_" + name
+    return f"{NAMESPACE}_{name}"
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def to_prometheus(
+    snapshot: Mapping[str, Any],
+    extra_labels: Mapping[str, Any] | None = None,
+) -> str:
+    """Render a flat snapshot in Prometheus text exposition format.
+
+    Every metric is emitted as an (untyped) gauge — the snapshot carries
+    point-in-time scalars, and claiming ``counter`` semantics for keys
+    that reset with the registry would corrupt rate() queries.
+    ``extra_labels`` (e.g. ``job="bench_distributed"``) are stamped onto
+    every sample; they lose to a sample's own labels on collision.
+    """
+    grouped: dict[str, list[tuple[dict[str, str], float]]] = {}
+    for key in sorted(snapshot):
+        value = snapshot[key]
+        try:
+            value = float(value)
+        except (TypeError, ValueError):
+            continue
+        dotted, labels = parse_snapshot_key(key)
+        if extra_labels:
+            merged = {str(k): str(v) for k, v in extra_labels.items()}
+            merged.update(labels)
+            labels = merged
+        labels = {
+            _SANITIZE_RE.sub("_", k): v
+            for k, v in labels.items()
+            if _LABEL_NAME_RE.match(_SANITIZE_RE.sub("_", k))
+        }
+        grouped.setdefault(_metric_name(dotted), []).append((labels, value))
+
+    lines: list[str] = []
+    for name, samples in grouped.items():
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in samples:
+            if labels:
+                inner = ",".join(
+                    f'{k}="{_escape_label_value(v)}"'
+                    for k, v in sorted(labels.items())
+                )
+                lines.append(f"{name}{{{inner}}} {value!r}")
+            else:
+                lines.append(f"{name} {value!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def lint_prometheus(text: str) -> list[str]:
+    """Violations of the text exposition grammar (empty list = clean).
+
+    Checks the properties a real Prometheus scraper enforces: metric and
+    label names match their regexes, label values are quoted with valid
+    escapes, each sample value parses as a float, and every sample's
+    metric has a preceding ``# TYPE`` declaration.
+    """
+    problems: list[str] = []
+    typed: set[str] = set()
+    sample_re = re.compile(
+        r"^(?P<name>[^\s{]+)(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)\s*$"
+    )
+    label_re = re.compile(
+        r'^(?P<key>[^=]+)="(?P<val>(?:[^"\\]|\\.)*)"$'
+    )
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                typed.add(parts[2])
+            continue
+        match = sample_re.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = match.group("name")
+        if not _NAME_RE.match(name):
+            problems.append(f"line {lineno}: invalid metric name {name!r}")
+        if name not in typed:
+            problems.append(f"line {lineno}: sample before # TYPE for {name!r}")
+        labels = match.group("labels")
+        if labels:
+            for item in _split_label_block(labels):
+                m = label_re.match(item)
+                if m is None:
+                    problems.append(
+                        f"line {lineno}: malformed label {item!r}"
+                    )
+                    continue
+                if not _LABEL_NAME_RE.match(m.group("key")):
+                    problems.append(
+                        f"line {lineno}: invalid label name {m.group('key')!r}"
+                    )
+        try:
+            float(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {lineno}: non-numeric sample value "
+                f"{match.group('value')!r}"
+            )
+    return problems
+
+
+def _split_label_block(block: str) -> Iterable[str]:
+    """Split ``k1="v1",k2="v,2"`` on commas outside quoted values."""
+    items, depth, start = [], False, 0
+    i = 0
+    while i < len(block):
+        ch = block[i]
+        if ch == "\\" and depth:
+            i += 2
+            continue
+        if ch == '"':
+            depth = not depth
+        elif ch == "," and not depth:
+            items.append(block[start:i])
+            start = i + 1
+        i += 1
+    tail = block[start:]
+    if tail:
+        items.append(tail)
+    return items
+
+
+def to_json(
+    snapshot: Mapping[str, Any],
+    meta: Mapping[str, Any] | None = None,
+    indent: int | None = None,
+) -> str:
+    """Structured-JSON export: samples with parsed names and labels.
+
+    The document shape::
+
+        {"format": "repro.telemetry.v1", "meta": {...},
+         "samples": [{"name": ..., "labels": {...}, "value": ...}, ...]}
+
+    Non-numeric snapshot values are carried verbatim (the JSON side has
+    no float-only constraint), so structured status strings survive.
+    """
+    samples = []
+    for key in sorted(snapshot):
+        dotted, labels = parse_snapshot_key(key)
+        value = snapshot[key]
+        try:
+            value = float(value)
+        except (TypeError, ValueError):
+            pass
+        samples.append({"name": dotted, "labels": labels, "value": value})
+    document = {
+        "format": "repro.telemetry.v1",
+        "meta": dict(meta or {}),
+        "samples": samples,
+    }
+    return json.dumps(document, indent=indent, default=float)

@@ -1,0 +1,392 @@
+"""Declarative SLO monitors: latency/error-budget rules over sliding windows.
+
+A rule is one comparison written in the grammar::
+
+    "p99 < 50ms"          # latency objective (any percentile p1..p99.9)
+    "p50 <= 2s"           # units: ns / us / ms / s (default s)
+    "error_rate < 1%"     # error-budget objective (fraction or %)
+
+parsed by :func:`parse_rule` into an :class:`SloRule`, optionally scoped
+to a label filter (``model="fraud"``, ``shard="2"``): a record only
+counts against rules whose filter is a subset of the record's labels.
+
+Evaluation happens over an N-second sliding window implemented as K
+rotating time buckets, each holding a mergeable
+:class:`~repro.utils.timer.LatencyHistogram` plus ok/error counts —
+recording is O(1) and evaluation folds only K bucket states, so a
+monitor can sit on the serving request path. Burn rate is reported per
+rule: for error rules ``observed_rate / allowed_rate``, for latency
+rules ``observed_percentile / threshold`` — a gauge crossing 1.0 is a
+breach in progress.
+
+Breaches are *edge-triggered*: the on-breach hook (typically
+``ServingRuntime.trip_breaker`` pre-emptively opening the PR 5
+:class:`~repro.resilience.breaker.CircuitBreaker`) fires once per
+transition into violation, and again only after the rule has recovered.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import Any, Callable, Mapping
+
+from repro.errors import ConfigError
+from repro.obs.logs import get_logger
+from repro.utils.concurrency import make_lock
+from repro.utils.timer import LatencyHistogram
+
+_LOG = get_logger("repro.obs.telemetry.slo")
+
+_RULE_RE = re.compile(
+    r"""^\s*
+    (?P<metric>p\d+(?:\.\d+)?|error_rate)
+    \s*(?P<op><=?)\s*
+    (?P<value>\d+(?:\.\d+)?)\s*
+    (?P<unit>ns|us|ms|s|%)?
+    \s*$""",
+    re.VERBOSE,
+)
+
+_UNIT_SCALE = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+class SloRule:
+    """One parsed objective plus its label scope and breach hook."""
+
+    def __init__(
+        self,
+        expr: str,
+        metric: str,
+        percentile: float | None,
+        threshold: float,
+        inclusive: bool,
+        labels: Mapping[str, Any] | None = None,
+        on_breach: Callable[["SloRule", float], Any] | None = None,
+        min_samples: int = 1,
+    ) -> None:
+        self.expr = expr
+        self.metric = metric  # "latency" | "error_rate"
+        self.percentile = percentile
+        self.threshold = threshold
+        self.inclusive = inclusive
+        self.labels = {str(k): str(v) for k, v in (labels or {}).items()}
+        self.on_breach = on_breach
+        self.min_samples = int(min_samples)
+        self.breached = False
+        self.breach_count = 0
+
+    def matches(self, labels: Mapping[str, str]) -> bool:
+        """Whether a record's labels fall inside this rule's scope."""
+        return all(labels.get(k) == v for k, v in self.labels.items())
+
+    def violates(self, observed: float) -> bool:
+        if self.inclusive:
+            return observed > self.threshold
+        return observed >= self.threshold
+
+    def name(self) -> str:
+        # ";"-joined scope: the name is embedded in snapshot label blocks
+        # (`breached{rule=...}`), where a "," would split the block.
+        scope = ";".join(f"{k}:{v}" for k, v in sorted(self.labels.items()))
+        return f"{self.expr}[{scope}]" if scope else self.expr
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SloRule({self.name()!r}, breached={self.breached})"
+
+
+def parse_rule(
+    expr: str,
+    labels: Mapping[str, Any] | None = None,
+    on_breach: Callable[[SloRule, float], Any] | None = None,
+    min_samples: int = 1,
+) -> SloRule:
+    """Parse ``"p99 < 50ms"`` / ``"error_rate < 1%"`` into an :class:`SloRule`.
+
+    Raises :class:`~repro.errors.ConfigError` on anything outside the
+    grammar — an objective that silently parses to the wrong threshold
+    is worse than no objective.
+    """
+    match = _RULE_RE.match(expr)
+    if match is None:
+        raise ConfigError(
+            f"unparseable SLO rule {expr!r} "
+            f"(grammar: 'p<q> < <value><ns|us|ms|s>' or "
+            f"'error_rate < <value>[%]')"
+        )
+    metric = match.group("metric")
+    value = float(match.group("value"))
+    unit = match.group("unit")
+    inclusive = match.group("op") == "<="
+    if metric == "error_rate":
+        if unit == "%":
+            value /= 100.0
+        elif unit is not None:
+            raise ConfigError(
+                f"error_rate threshold takes '%' or a bare fraction, "
+                f"got unit {unit!r} in {expr!r}"
+            )
+        if not 0.0 <= value <= 1.0:
+            raise ConfigError(
+                f"error_rate threshold must land in [0, 1], got {value} "
+                f"from {expr!r}"
+            )
+        return SloRule(
+            expr, "error_rate", None, value, inclusive,
+            labels, on_breach, min_samples,
+        )
+    percentile = float(metric[1:])
+    if not 0.0 < percentile <= 100.0:
+        raise ConfigError(f"percentile out of range in SLO rule {expr!r}")
+    if unit == "%":
+        raise ConfigError(f"latency threshold cannot carry '%' ({expr!r})")
+    scale = _UNIT_SCALE[unit or "s"]
+    return SloRule(
+        expr, "latency", percentile, value * scale, inclusive,
+        labels, on_breach, min_samples,
+    )
+
+
+class SlidingWindow:
+    """K rotating time buckets of latency + outcome counts.
+
+    Each bucket spans ``window_s / buckets`` seconds; recording writes
+    the bucket owning *now* and expires buckets older than the window
+    lazily, so there is no background thread. ``clock`` is injectable
+    for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 60.0,
+        buckets: int = 6,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window_s <= 0 or buckets < 1:
+            raise ConfigError(
+                f"need window_s > 0 and buckets >= 1, got "
+                f"({window_s}, {buckets})"
+            )
+        self.window_s = float(window_s)
+        self.bucket_s = self.window_s / int(buckets)
+        self.n_buckets = int(buckets)
+        self._clock = clock
+        # bucket index -> [epoch, LatencyHistogram, ok, err]
+        self._buckets: list[list] = [
+            [-1, None, 0, 0] for _ in range(self.n_buckets)
+        ]
+        self._lock = make_lock(True)
+
+    def _slot(self) -> list:
+        epoch = int(self._clock() / self.bucket_s)
+        slot = self._buckets[epoch % self.n_buckets]
+        if slot[0] != epoch:
+            slot[0] = epoch
+            slot[1] = None
+            slot[2] = 0
+            slot[3] = 0
+        return slot
+
+    def record(self, latency_s: float | None, ok: bool = True) -> None:
+        with self._lock:
+            slot = self._slot()
+            if latency_s is not None:
+                if slot[1] is None:
+                    slot[1] = LatencyHistogram()
+                slot[1].record(float(latency_s))
+            if ok:
+                slot[2] += 1
+            else:
+                slot[3] += 1
+
+    def _live_slots(self) -> list[list]:
+        newest = int(self._clock() / self.bucket_s)
+        oldest = newest - self.n_buckets + 1
+        return [s for s in self._buckets if oldest <= s[0] <= newest]
+
+    def totals(self) -> tuple[int, int]:
+        """(ok, err) across the live window."""
+        with self._lock:
+            slots = self._live_slots()
+            return (
+                sum(s[2] for s in slots),
+                sum(s[3] for s in slots),
+            )
+
+    def histogram(self) -> LatencyHistogram:
+        """Live-window latencies folded into one histogram (exact merge)."""
+        merged = LatencyHistogram()
+        with self._lock:
+            for slot in self._live_slots():
+                if slot[1] is not None:
+                    merged.merge(slot[1])
+        return merged
+
+    def reset(self) -> None:
+        with self._lock:
+            for slot in self._buckets:
+                slot[0] = -1
+                slot[1] = None
+                slot[2] = 0
+                slot[3] = 0
+
+
+class SloMonitor:
+    """Routes request records to matching rules and evaluates breaches.
+
+    One monitor guards one surface (a serving runtime, a shard router);
+    every :meth:`record` call lands in the windows of all rules whose
+    label filter matches, and :meth:`evaluate` (called inline after each
+    record by default, or on a poll) recomputes each rule's observed
+    value, burn rate, and breach edge. It is a
+    :class:`repro.obs.StatsSource`: ``snapshot()`` exposes per-rule
+    ``breached`` / ``burn_rate`` / ``observed`` gauges.
+    """
+
+    def __init__(
+        self,
+        rules: list[SloRule] | None = None,
+        window_s: float = 60.0,
+        buckets: int = 6,
+        clock: Callable[[], float] = time.monotonic,
+        evaluate_every: int = 16,
+    ) -> None:
+        self.window_s = window_s
+        self.buckets = buckets
+        self._clock = clock
+        self.evaluate_every = max(1, int(evaluate_every))
+        self._records = 0
+        self._lock = make_lock(True)
+        self._rules: list[tuple[SloRule, SlidingWindow]] = []
+        self._burn: dict[str, float] = {}
+        self._observed: dict[str, float] = {}
+        for rule in rules or ():
+            self.add_rule(rule)
+
+    def add_rule(
+        self,
+        rule: SloRule | str,
+        labels: Mapping[str, Any] | None = None,
+        on_breach: Callable[[SloRule, float], Any] | None = None,
+        min_samples: int = 1,
+    ) -> SloRule:
+        """Attach a rule (string expressions are parsed in place).
+
+        ``on_breach`` applies to pre-built :class:`SloRule` objects too,
+        replacing any hook set at construction.
+        """
+        if isinstance(rule, str):
+            rule = parse_rule(rule, labels, on_breach, min_samples)
+        elif on_breach is not None:
+            rule.on_breach = on_breach
+        window = SlidingWindow(self.window_s, self.buckets, self._clock)
+        with self._lock:
+            self._rules.append((rule, window))
+        return rule
+
+    @property
+    def rules(self) -> list[SloRule]:
+        with self._lock:
+            return [rule for rule, _ in self._rules]
+
+    def record(
+        self,
+        latency_s: float | None = None,
+        ok: bool = True,
+        **labels: Any,
+    ) -> None:
+        """Register one request outcome against every matching rule."""
+        label_map = {str(k): str(v) for k, v in labels.items()}
+        with self._lock:
+            pairs = list(self._rules)
+        for rule, window in pairs:
+            if rule.matches(label_map):
+                window.record(latency_s, ok)
+        self._records += 1
+        if self._records % self.evaluate_every == 0:
+            self.evaluate()
+
+    def evaluate(self) -> list[SloRule]:
+        """Re-check every rule; returns rules newly entering breach.
+
+        Edge-triggered: a rule already in breach does not re-fire its
+        hook; it must first recover (observed back under threshold).
+        """
+        newly_breached: list[SloRule] = []
+        with self._lock:
+            pairs = list(self._rules)
+        for rule, window in pairs:
+            ok, err = window.totals()
+            total = ok + err
+            if rule.metric == "error_rate":
+                if total < rule.min_samples:
+                    continue
+                observed = err / total if total else 0.0
+                burn = (
+                    observed / rule.threshold
+                    if rule.threshold > 0
+                    else (0.0 if observed == 0 else float("inf"))
+                )
+            else:
+                hist = window.histogram()
+                if hist.count < rule.min_samples:
+                    continue
+                observed = hist.percentile(rule.percentile)
+                burn = observed / rule.threshold if rule.threshold else 0.0
+            self._observed[rule.name()] = observed
+            self._burn[rule.name()] = burn
+            violating = rule.violates(observed)
+            if violating and not rule.breached:
+                rule.breached = True
+                rule.breach_count += 1
+                newly_breached.append(rule)
+                _LOG.warning(
+                    "SLO breach: %s observed=%.6g threshold=%.6g",
+                    rule.name(), observed, rule.threshold,
+                )
+                if rule.on_breach is not None:
+                    try:
+                        rule.on_breach(rule, observed)
+                    except Exception:  # noqa: BLE001 - hook must not kill serving
+                        _LOG.exception(
+                            "SLO on_breach hook failed for %s", rule.name()
+                        )
+            elif not violating and rule.breached:
+                rule.breached = False
+                _LOG.info("SLO recovered: %s", rule.name())
+        return newly_breached
+
+    def burn_rate(self, rule: SloRule | str) -> float:
+        name = rule.name() if isinstance(rule, SloRule) else rule
+        return self._burn.get(name, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # StatsSource protocol
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict[str, float]:
+        self.evaluate()
+        out: dict[str, float] = {"rules": float(len(self._rules))}
+        for rule, _ in self._rules:
+            name = rule.name()
+            out[f"breached{{rule={name}}}"] = float(rule.breached)
+            out[f"breach_count{{rule={name}}}"] = float(rule.breach_count)
+            out[f"burn_rate{{rule={name}}}"] = self._burn.get(name, 0.0)
+            out[f"observed{{rule={name}}}"] = self._observed.get(name, 0.0)
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            for rule, window in self._rules:
+                rule.breached = False
+                rule.breach_count = 0
+                window.reset()
+            self._burn.clear()
+            self._observed.clear()
+            self._records = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SloMonitor(rules={len(self._rules)}, "
+            f"breached={sum(r.breached for r in self.rules)})"
+        )

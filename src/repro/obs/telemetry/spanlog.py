@@ -1,0 +1,247 @@
+"""Per-rank span logs and coordinator-side trace assembly.
+
+A worker cannot hand its spans back through a return value — the chaos
+scenario is precisely that the worker dies mid-round. So each rank
+streams its *finished* spans to an append-only JSONL ring file
+(:class:`SpanLogWriter`), one self-contained record per span, flushed at
+round boundaries. The failure mode a kill can leave behind is one
+truncated trailing line, which :func:`read_span_log` silently skips —
+every span flushed before the kill survives.
+
+Record format (one JSON object per line)::
+
+    {"trace_id": "...", "rank": "3", "span_id": "r3s17",
+     "parent_id": "r3s16" | <coordinator span id>, "name": "worker.step",
+     "start_s": ..., "end_s": ..., "attributes": {...}}
+
+Ids are globally qualified (``r<rank>s<local id>``) so two ranks' span
+ids never alias; a rank-root record's ``parent_id`` is the *coordinator's*
+span id carried by the :class:`~repro.obs.telemetry.context.TraceContext`,
+which is what lets :func:`assemble_trace` graft each rank's trees under
+the exact coordinator span that launched the work.
+
+The ring bound: a writer that has emitted more than ``2 × max_records``
+lines compacts the file down to its newest ``max_records`` (dropped
+records are counted) — a long-running worker's span log stays bounded
+the same way :class:`~repro.obs.trace.Tracer` bounds its root FIFO.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import ConfigError
+from repro.obs.logs import get_logger
+from repro.obs.telemetry.context import TraceContext, qualified_span_id
+from repro.obs.trace import Span, Tracer
+
+_LOG = get_logger("repro.obs.telemetry.spanlog")
+
+
+class SpanLogWriter:
+    """Append finished spans of one rank to a JSONL ring file.
+
+    Parameters
+    ----------
+    path:
+        The rank's span-log file (created on first flush).
+    ctx:
+        The propagated :class:`TraceContext`; its ``trace_id`` stamps
+        every record and its ``parent_span_id`` becomes the parent of
+        every rank-root span.
+    rank:
+        Origin rank, used to qualify span ids (``r<rank>s<id>``).
+    max_records:
+        Ring bound — the file is compacted to its newest ``max_records``
+        lines once it exceeds twice that.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        ctx: TraceContext,
+        rank: int | str = 0,
+        max_records: int = 4096,
+    ) -> None:
+        if max_records < 1:
+            raise ConfigError(f"max_records must be >= 1, got {max_records}")
+        self.path = Path(path)
+        self.ctx = ctx
+        self.rank = rank
+        self.max_records = int(max_records)
+        self.records_written = 0
+        self.records_dropped = 0
+        self._consumed_roots = 0
+        self._lines_in_file = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _record(self, span: Span) -> dict[str, Any]:
+        parent = (
+            qualified_span_id(self.rank, span.parent_id)
+            if span.parent_id is not None
+            else self.ctx.parent_span_id
+        )
+        attributes = dict(span.attributes)
+        for key, value in self.ctx.labels:
+            attributes.setdefault(key, value)
+        return {
+            "trace_id": self.ctx.trace_id,
+            "rank": str(self.rank),
+            "span_id": qualified_span_id(self.rank, span.span_id),
+            "parent_id": parent,
+            "name": span.name,
+            "start_s": span.start_s,
+            "end_s": span.end_s,
+            "attributes": attributes,
+        }
+
+    def flush(self, tracer: Tracer) -> int:
+        """Write every finished root not yet flushed; returns records
+        written. Safe to call after every round — already-flushed roots
+        are tracked (and roots the tracer dropped FIFO are skipped)."""
+        roots = tracer.roots()
+        start = max(self._consumed_roots - tracer.dropped, 0)
+        fresh = roots[start:]
+        if not fresh:
+            return 0
+        lines = []
+        for root in fresh:
+            for span in root.walk():
+                lines.append(
+                    json.dumps(self._record(span), default=float)
+                )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._consumed_roots = tracer.dropped + len(roots)
+        self.records_written += len(lines)
+        self._lines_in_file += len(lines)
+        if self._lines_in_file > 2 * self.max_records:
+            self._compact()
+        return len(lines)
+
+    def _compact(self) -> None:
+        """Rewrite the file keeping only the newest ``max_records`` lines."""
+        kept = self.path.read_text(encoding="utf-8").splitlines()
+        dropped = max(len(kept) - self.max_records, 0)
+        if not dropped:
+            return
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(
+            "\n".join(kept[dropped:]) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, self.path)
+        self.records_dropped += dropped
+        self._lines_in_file = len(kept) - dropped
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat counters (:class:`repro.obs.StatsSource`)."""
+        return {
+            "records_written": self.records_written,
+            "records_dropped": self.records_dropped,
+        }
+
+    def reset(self) -> None:
+        self.records_written = 0
+        self.records_dropped = 0
+
+
+def read_span_log(path: str | Path) -> list[dict[str, Any]]:
+    """Parse one rank's JSONL span log, skipping corrupt lines.
+
+    A worker killed mid-write leaves at most one truncated trailing
+    line; any line that fails to parse (or is not a span record) is
+    dropped with a debug log rather than failing the assembly.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            _LOG.debug("%s:%d: skipping corrupt span line", path, lineno)
+            continue
+        if not isinstance(record, dict) or "span_id" not in record:
+            _LOG.debug("%s:%d: skipping non-span record", path, lineno)
+            continue
+        records.append(record)
+    return records
+
+
+def _spans_from_records(records: Iterable[dict]) -> tuple[list[Span], dict]:
+    """Rebuild (in-rank trees, id→span index) from flat records.
+
+    Records whose parent is another record in the batch are nested under
+    it; the rest (rank roots, or orphans whose parent was lost to the
+    ring bound) come back as roots.
+    """
+    by_id: dict[Any, Span] = {}
+    for record in records:
+        span = Span(
+            record.get("name", "?"),
+            record["span_id"],
+            record.get("parent_id"),
+            float(record.get("start_s") or 0.0),
+            attributes=record.get("attributes") or {},
+        )
+        span.end_s = record.get("end_s")
+        by_id[span.span_id] = span
+    roots = []
+    for span in by_id.values():
+        parent = by_id.get(span.parent_id)
+        if parent is not None and parent is not span:
+            parent.children.append(span)
+        else:
+            roots.append(span)
+    return roots, by_id
+
+
+def assemble_trace(
+    root: Span,
+    span_logs: Iterable[str | Path],
+    trace_id: str | None = None,
+) -> Span:
+    """Stitch per-rank span logs into the coordinator's span tree.
+
+    ``root`` is the coordinator-side span tree (typically the finished
+    ``distributed.run`` root); each rank record whose ``parent_id``
+    matches a span in that tree is grafted under it, rank-internal
+    parentage is preserved, and records that name a coordinator span the
+    tree does not contain fall back to attaching under ``root`` itself
+    (labelled ``reattached=True``) — a trace is never silently dropped
+    because its attach point aged out of the tracer FIFO.
+
+    ``trace_id``, when given, filters the logs to one trace (a ring file
+    may span several runs). Returns ``root``, mutated in place.
+    """
+    records: list[dict] = []
+    for path in span_logs:
+        records.extend(read_span_log(path))
+    if trace_id is not None:
+        records = [r for r in records if r.get("trace_id") == trace_id]
+    if not records:
+        return root
+
+    coordinator_ids = {span.span_id: span for span in root.walk()}
+    rank_roots, by_id = _spans_from_records(records)
+    for span in rank_roots:
+        anchor = coordinator_ids.get(span.parent_id)
+        if anchor is None:
+            span.attributes.setdefault("reattached", True)
+            anchor = root
+        span.parent_id = anchor.span_id
+        anchor.children.append(span)
+    return root

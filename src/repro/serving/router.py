@@ -91,13 +91,20 @@ class ShardRouter:
         #: global-id mask of nodes incident to any cross-partition arc
         self._boundary = np.zeros(graph.n_nodes, dtype=bool)
         kwargs = dict(runtime_kwargs or {})
-        for shard in self.plan.shards:
+        # Each shard runtime registers as its own stats source
+        # (serving.shard0, serving.shard1, ...) so one coordinator
+        # snapshot() carries every shard's queue depth and breaker state
+        # side by side instead of the last runtime clobbering one slot.
+        prefix_base = kwargs.pop("source_prefix", "serving.shard")
+        for p, shard in enumerate(self.plan.shards):
             g2l = np.full(graph.n_nodes, -1, dtype=np.int64)
             g2l[shard.local_nodes] = np.arange(shard.n_local)
             self._g2l.append(g2l)
             self._boundary[shard.boundary] = True
             local = shard.local_graph(x=graph.x[shard.local_nodes])
-            runtime = ServingRuntime(**kwargs)
+            runtime = ServingRuntime(
+                source_prefix=f"{prefix_base}{p}", **kwargs
+            )
             key = runtime.register(name, model, local, kind=kind, alpha=alpha)
             self._runtimes.append(runtime)
             self._records.append(runtime.engine.registry.get(key))
@@ -122,6 +129,8 @@ class ShardRouter:
         self.interior_requests = 0
         self.halo_gathers = 0
         self.halo_rows_copied = 0
+        self.halo_gathers_by_part = dict.fromkeys(range(self.n_parts), 0)
+        self.requests_by_part = dict.fromkeys(range(self.n_parts), 0)
         self._closed = False
         obs.register_source("serving.router", self)
 
@@ -170,6 +179,7 @@ class ShardRouter:
                 record.stacked[:, slots] = rows
             self.halo_rows_copied += len(slots)
         self.halo_gathers += 1
+        self.halo_gathers_by_part[part] += 1
 
     # ------------------------------------------------------------------ #
     # Request path
@@ -191,14 +201,17 @@ class ShardRouter:
         part = self.shard_of(node_id)
         local = int(self._g2l[part][node_id])
         self.requests += 1
-        if self._boundary[node_id]:
-            self.boundary_requests += 1
-            self._gather_halo(part)
-        else:
-            self.interior_requests += 1
-        result = self._runtimes[part].predict(
-            local, model=self._records[part].key, timeout_s=timeout_s
-        )
+        self.requests_by_part[part] += 1
+        boundary = bool(self._boundary[node_id])
+        with obs.span("router.predict", shard=part, boundary=boundary):
+            if boundary:
+                self.boundary_requests += 1
+                self._gather_halo(part)
+            else:
+                self.interior_requests += 1
+            result = self._runtimes[part].predict(
+                local, model=self._records[part].key, timeout_s=timeout_s
+            )
         if obs.OBS.enabled:
             obs.OBS.registry.counter("router.requests").inc(shard=str(part))
         return dataclasses.replace(result, node_id=node_id)
@@ -234,8 +247,9 @@ class ShardRouter:
         self.close()
 
     def snapshot(self) -> dict[str, float]:
-        """Flat counter dict (:class:`repro.obs.StatsSource`)."""
-        return {
+        """Flat counter dict (:class:`repro.obs.StatsSource`); per-shard
+        request/halo-gather series are labelled ``{shard=p}``."""
+        out = {
             "shards": self.n_parts,
             "requests": self.requests,
             "boundary_requests": self.boundary_requests,
@@ -250,6 +264,14 @@ class ShardRouter:
             ),
             "closed": float(self._closed),
         }
+        for part in range(self.n_parts):
+            out[f"requests{{shard={part}}}"] = float(
+                self.requests_by_part[part]
+            )
+            out[f"halo_gathers{{shard={part}}}"] = float(
+                self.halo_gathers_by_part[part]
+            )
+        return out
 
     def reset(self) -> None:
         """Zero the routing counters (shard runtimes are untouched)."""
@@ -258,6 +280,8 @@ class ShardRouter:
         self.interior_requests = 0
         self.halo_gathers = 0
         self.halo_rows_copied = 0
+        self.halo_gathers_by_part = dict.fromkeys(range(self.n_parts), 0)
+        self.requests_by_part = dict.fromkeys(range(self.n_parts), 0)
 
     def stats(self) -> dict:
         """Router counters plus every shard runtime's report."""

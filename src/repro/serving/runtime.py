@@ -100,6 +100,19 @@ class ServingRuntime:
         rows (``degraded=True``) instead of rejecting, when a stale row
         exists. ``False`` always rejects with
         :class:`~repro.errors.CircuitOpenError`.
+    slo_monitor:
+        Optional :class:`~repro.obs.telemetry.SloMonitor`; every
+        executed request's latency and outcome is recorded against it
+        (labelled ``model=<key>``), and it is registered as a stats
+        source under ``<source_prefix>.slo``. Pair its rules'
+        ``on_breach`` with :meth:`trip_breaker` to pre-emptively open a
+        model's circuit on a latency/error-budget violation.
+    source_prefix:
+        The :mod:`repro.obs` stats-source prefix this runtime registers
+        under. Give each runtime of a multi-runtime deployment (e.g. the
+        per-shard runtimes of a
+        :class:`~repro.serving.router.ShardRouter`) its own prefix, or
+        they all clobber one ``serving.runtime`` slot.
     """
 
     def __init__(
@@ -112,6 +125,8 @@ class ServingRuntime:
         breaker_factory=CircuitBreaker,
         breaker_kwargs: dict | None = None,
         stale_fallback: bool = True,
+        slo_monitor=None,
+        source_prefix: str = "serving.runtime",
         **engine_kwargs,
     ) -> None:
         check_int_range("n_workers", n_workers, 1)
@@ -165,8 +180,12 @@ class ServingRuntime:
         self._batcher = threading.Thread(
             target=self._batcher_loop, name="repro-batcher", daemon=True
         )
+        self.slo_monitor = slo_monitor
+        self.source_prefix = str(source_prefix)
         engine._runtime = self
-        obs.register_source("serving.runtime", self)
+        obs.register_source(self.source_prefix, self)
+        if slo_monitor is not None:
+            obs.register_source(f"{self.source_prefix}.slo", slo_monitor)
         self._batcher.start()
 
     # ------------------------------------------------------------------ #
@@ -189,6 +208,50 @@ class ServingRuntime:
             obs.OBS.registry.gauge("breaker.state").set(
                 STATE_CODES[breaker.state], model=model_key
             )
+
+    def trip_breaker(self, model_key: str | None = None) -> bool:
+        """Force a model's circuit open (``None`` = the default model).
+
+        The hook an :class:`~repro.obs.telemetry.SloMonitor` breach rule
+        calls: the breaker opens *before* the failure-rate window would
+        have, new requests degrade to stale answers or
+        :class:`~repro.errors.CircuitOpenError`, and the normal cooldown
+        → probe recovery applies. Returns ``False`` when circuit
+        breaking is disabled.
+        """
+        if model_key is None:
+            model_key = self.engine._resolve(None).key
+        breaker = self.breaker(model_key)
+        if breaker is None:
+            return False
+        breaker.trip()
+        with self._stats_lock:
+            self._tripped = True
+        self._publish_breaker(model_key, breaker)
+        _LOG.warning("breaker for model %r tripped externally", model_key)
+        return True
+
+    def _record_slo(
+        self,
+        batch: list[PredictRequest],
+        results: dict[int, ServeResult] | None,
+        model_key: str,
+    ) -> None:
+        """Feed one executed batch's outcomes to the SLO monitor."""
+        if self.slo_monitor is None:
+            return
+        if results is None:
+            for _ in batch:
+                self.slo_monitor.record(None, ok=False, model=model_key)
+            return
+        for request in batch:
+            result = results.get(request.request_id)
+            if result is not None:
+                self.slo_monitor.record(
+                    result.latency_s,
+                    ok=result.status == "ok",
+                    model=model_key,
+                )
 
     def _stale_result(
         self, record: ServedModel, node_id: int, t0: float
@@ -434,6 +497,7 @@ class ServingRuntime:
                             "batch of %d failed after %d retry(ies): %s",
                             len(batch), retries_done, exc,
                         )
+                    self._record_slo(batch, None, model_key)
                     self._resolve_futures(batch, None, exc)
                     return
                 retries_done += 1
@@ -447,6 +511,7 @@ class ServingRuntime:
                 if breaker is not None and not breaker.allow():
                     # The breaker opened while we were backing off —
                     # stop hammering and surface the last failure.
+                    self._record_slo(batch, None, model_key)
                     self._resolve_futures(batch, None, exc)
                     return
         if breaker is not None:
@@ -461,6 +526,7 @@ class ServingRuntime:
                     )
         with self._stats_lock:
             self.batches_executed += 1
+        self._record_slo(batch, results, model_key)
         self._resolve_futures(batch, results, None)
 
     def _resolve_futures(
@@ -543,15 +609,23 @@ class ServingRuntime:
         return self._closed
 
     def snapshot(self) -> dict[str, float]:
-        """Flat counter dict (:class:`repro.obs.StatsSource`)."""
+        """Flat counter dict (:class:`repro.obs.StatsSource`).
+
+        Includes the live queue depth and each lazily-created breaker's
+        state code (0 closed / 1 half-open / 2 open), labelled by model,
+        so a coordinator-side snapshot shows every shard's admission
+        pressure and circuit health in one read.
+        """
         with self._stats_lock:
             executed, retries = self.batches_executed, self.retries
             degraded, failed_fast = self.degraded, self.failed_fast
-            breakers = list(self._breakers.values())
-        open_breakers = sum(1 for b in breakers if b.state != "closed")
+            breakers = dict(self._breakers)
+        open_breakers = sum(
+            1 for b in breakers.values() if b.state != "closed"
+        )
         with self._cond:
             pending = len(self._futures)
-        return {
+        out = {
             "n_workers": self.n_workers,
             "batches_executed": executed,
             "retries": retries,
@@ -560,8 +634,14 @@ class ServingRuntime:
             "breakers": len(breakers),
             "breakers_open": open_breakers,
             "pending_futures": pending,
+            "queue_depth": float(len(self.engine.queue)),
             "closed": float(self._closed),
         }
+        for model_key, breaker in breakers.items():
+            out[f"breaker_state{{model={model_key}}}"] = float(
+                STATE_CODES[breaker.state]
+            )
+        return out
 
     def reset(self) -> None:
         """Zero the runtime counters (in-flight state is untouched)."""

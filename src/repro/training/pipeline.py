@@ -173,6 +173,9 @@ class TrainingPipeline:
             registry.gauge("training.test_accuracy").set(result.test_accuracy)
             registry.gauge("training.precompute_s").set(result.precompute_time)
             registry.gauge("training.train_s").set(result.train_time)
+            stage_hist = registry.histogram("training.stage_s")
+            stage_hist.observe(result.precompute_time, stage="precompute")
+            stage_hist.observe(result.train_time, stage="train")
         _LOG.info(
             "%s/%s: test_acc=%.4f (precompute %.3fs, train %.3fs, "
             "best epoch %d)",

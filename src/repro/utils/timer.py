@@ -226,6 +226,72 @@ class LatencyHistogram:
             self.max = max(self.max, high)
         return self
 
+    def state(self) -> dict:
+        """Serializable full state: layout + raw bucket counts + extremes.
+
+        Unlike :meth:`summary` (derived percentiles), the state is
+        *mergeable without loss*: two histograms with the same layout can
+        be reconstructed on another process from their states and folded
+        together with exactly the result an in-process :meth:`merge`
+        would produce. This is the wire format of the cross-process
+        telemetry plane (:mod:`repro.obs.telemetry`).
+        """
+        with self._lock or NULL_LOCK:
+            return {
+                "layout": [
+                    self.min_latency, self.max_latency, self.buckets_per_decade,
+                ],
+                "counts": list(self._counts),
+                "count": self.count,
+                "total": self.total,
+                # math.inf is not portable JSON; an empty histogram's
+                # extremes are reconstructed from count == 0.
+                "min": self.min if self.count else 0.0,
+                "max": self.max,
+            }
+
+    def merge_state(self, state: dict) -> "LatencyHistogram":
+        """Fold a :meth:`state` payload into this histogram (exact).
+
+        The payload must carry the same bucket layout; a mismatch raises
+        :class:`ValueError` just like :meth:`merge`.
+        """
+        layout = [
+            float(state["layout"][0]),
+            float(state["layout"][1]),
+            int(state["layout"][2]),
+        ]
+        if layout != [self.min_latency, self.max_latency, self.buckets_per_decade]:
+            raise ValueError(
+                "cannot merge histogram state with a different bucket layout"
+            )
+        counts = [int(n) for n in state["counts"]]
+        if len(counts) != self._n_buckets:
+            raise ValueError(
+                f"state carries {len(counts)} buckets, expected {self._n_buckets}"
+            )
+        count = int(state["count"])
+        with self._lock or NULL_LOCK:
+            for idx, n in enumerate(counts):
+                self._counts[idx] += n
+            self.count += count
+            self.total += float(state["total"])
+            if count:
+                self.min = min(self.min, float(state["min"]))
+                self.max = max(self.max, float(state["max"]))
+        return self
+
+    @classmethod
+    def from_state(cls, state: dict, threadsafe: bool = False) -> "LatencyHistogram":
+        """Reconstruct a histogram from a :meth:`state` payload."""
+        min_latency, max_latency, buckets_per_decade = state["layout"]
+        hist = cls(
+            float(min_latency), float(max_latency), int(buckets_per_decade),
+            threadsafe=threadsafe,
+        )
+        hist.merge_state(state)
+        return hist
+
     def summary(self) -> dict[str, float]:
         """``{count, mean, min, max, p50, p95, p99}`` for reports."""
         return {

@@ -62,6 +62,73 @@ renormalised averaging) instead of blocking. This is why the control
 plane is shared memory rather than `mp.Queue`: a worker killed
 mid-`put` of a multi-page pickle wedges every subsequent reader.
 """,
+    "repro.obs.telemetry": """\
+### Metrics snapshot cell layout
+
+One cell per rank, allocated by the coordinator's `ShmArena`
+(`metrics-<rank>` + `metrics-meta-<rank>`):
+
+| part | dtype | contents |
+|---|---|---|
+| payload | `uint8[METRICS_SEGMENT_BYTES]` (64 KiB) | JSON `MetricsRegistry.dump()` plus free-form extras |
+| meta | `int64[2]` | `meta[0]` = sequence number (**written last**), `meta[1]` = payload byte length |
+
+Publication is payload-first / seq-last (the round-cell protocol): a
+killed writer can only leave an un-advanced cell, never a torn payload,
+so the coordinator always reads the newest *complete* snapshot a rank
+ever published. Readers detect in-flight writes by re-reading `meta[0]`
+after copying (up to 8 retries); an oversize dump is rejected without
+touching the cell. Merging is exact: counters sum, gauges re-label
+per-origin (`rank=<r>`), histograms merge their raw log-bucket counts —
+cluster p99 comes from merged buckets, never averaged percentiles.
+
+### Trace-context propagation contract
+
+- The coordinator **mints** (`TraceContext.from_span`); workers only
+  **extend** (`ctx.child(...)`) — one-directional, so identity flows
+  down and never back up. `child()` merges labels with *existing keys
+  winning*: a worker cannot overwrite coordinator-assigned labels.
+- `TraceContext` is a frozen picklable dataclass; it rides to workers
+  in the spawn args, no side channel.
+- Span ids are rank-qualified (`r<rank>s<local>`) — collision-free
+  across processes without coordination.
+- Each training ROUND opens a fresh worker-root span parented on the
+  coordinator's context, so a mid-run kill forfeits at most the
+  in-flight round; earlier rounds are already flushed (JSONL,
+  append + fsync, ring-compacted at 2x `max_records`).
+- `assemble_trace()` grafts each rank root under the coordinator span
+  its `parent_id` names; spans whose parent never made it to disk
+  reattach under the trace root with `reattached=True` instead of
+  being dropped.
+
+### SLO rule grammar
+
+```
+rule      := metric ws? op ws? value unit?
+metric    := "p" quantile | "error_rate"        (e.g. p50, p99, p99.9)
+op        := "<" | "<="
+unit      := "ns" | "us" | "ms" | "s" | "%"     (% only for error_rate)
+```
+
+Examples: `p99 < 50ms`, `p99.9 <= 1s`, `error_rate < 1%`. Latency
+values normalise to seconds, `%` to a 0..1 fraction. Breach hooks are
+edge-triggered and receive `(rule, observed)`; hook exceptions are
+caught and logged — monitoring must never take down the monitored
+service. The serving wiring points the hook at
+`CircuitBreaker.trip()`, closing the loop from SLO burn to
+load-shedding.
+
+### Exporter formats
+
+- **Prometheus text exposition** (`to_prometheus`): every snapshot
+  sample becomes a `repro_`-namespaced gauge with sorted, escaped
+  labels and a `# TYPE` header preceding its samples.
+  `lint_prometheus` validates the output and runs as a CI gate.
+- **Structured JSON** (`to_json`): versioned `repro.telemetry.v1`
+  documents — `{"format", "meta", "samples": [{"name", "labels",
+  "value"}, ...]}` with each snapshot key parsed back into dotted name
+  + label dict via `parse_snapshot_key` — machine-diffable across runs.
+""",
     "repro.resilience": """\
 ### Fault taxonomy
 
