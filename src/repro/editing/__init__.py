@@ -30,9 +30,12 @@ from repro.editing.partition import (
 )
 from repro.editing.sampling import (
     Block,
+    BlockSampler,
     LaborSampler,
+    LayerSample,
     LayerSampler,
     NeighborSampler,
+    compact_layer,
     aggregate_with_cache,
     aggregation_difference,
     edge_subgraph_sample,
@@ -66,6 +69,9 @@ __all__ = [
     "spectral_distance",
     "unifews_layer_operators",
     "Block",
+    "BlockSampler",
+    "LayerSample",
+    "compact_layer",
     "NeighborSampler",
     "LayerSampler",
     "LaborSampler",

@@ -23,6 +23,16 @@ Samplers that feed layered models produce :class:`Block` objects: a
 ``(n_dst, n_src)`` sparse aggregation operator between consecutive layers,
 with ``dst_ids`` always a prefix of ``src_ids`` so models can slice
 self-features cheaply. Blocks are returned input-layer first.
+
+Internally every block sampler follows the GraphBolt-style two-step
+contract the streaming datapipe (:mod:`repro.training.datapipe`) chains
+per hop: :meth:`BlockSampler.sample_layer` draws the raw edges of one
+layer as a :class:`LayerSample` (global column ids, no dedup), and
+:func:`compact_layer` dedups the referenced sources into a
+:class:`Block` whose ``src_ids`` seed the next layer. ``sample()`` is the
+convenience loop over both. Zero-degree destinations are never dropped:
+they keep a self-connection of weight 1.0, so isolated nodes retain
+their own features instead of aggregating to zero.
 """
 
 from __future__ import annotations
@@ -39,6 +49,9 @@ from repro.utils.validation import check_int_range
 
 __all__ = [
     "Block",
+    "LayerSample",
+    "BlockSampler",
+    "compact_layer",
     "NeighborSampler",
     "LaborSampler",
     "LayerSampler",
@@ -82,18 +95,39 @@ class Block:
         return len(self.dst_ids)
 
 
-def _build_block(
-    dst_ids: np.ndarray,
-    rows: list[int],
-    cols_global: list[int],
-    vals: list[float],
-) -> Block:
-    """Assemble a block; src = dst prefix + newly referenced nodes."""
+@dataclass(frozen=True)
+class LayerSample:
+    """Raw edges of one sampled layer, before source compaction.
+
+    Columns are *global* node ids and may repeat across rows — the output
+    of a per-layer sampling step, the input of :func:`compact_layer`.
+    This is the handoff object between the ``Sampler`` and
+    ``CompactPerLayer`` stages of the streaming datapipe.
+    """
+
+    rows: np.ndarray
+    cols_global: np.ndarray
+    vals: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return len(self.rows)
+
+
+def compact_layer(dst_ids: np.ndarray, layer: LayerSample) -> Block:
+    """Dedup a raw layer's sources into a :class:`Block`.
+
+    ``src_ids`` is ``dst_ids`` (prefix) plus every newly referenced global
+    id in first-appearance order; global columns are rewritten to local
+    indices. The cross-hop dedup step: feeding ``block.src_ids`` to the
+    next layer's sampler means a node referenced by many destinations is
+    sampled (and its features fetched) once.
+    """
     dst_ids = np.asarray(dst_ids, dtype=np.int64)
     pos: dict[int, int] = {int(v): i for i, v in enumerate(dst_ids)}
     src_list = list(dst_ids)
     cols: list[int] = []
-    for g in cols_global:
+    for g in map(int, layer.cols_global):
         idx = pos.get(g)
         if idx is None:
             idx = len(src_list)
@@ -101,18 +135,68 @@ def _build_block(
             src_list.append(g)
         cols.append(idx)
     matrix = sp.csr_matrix(
-        (vals, (rows, cols)), shape=(len(dst_ids), len(src_list))
+        (layer.vals, (layer.rows, cols)), shape=(len(dst_ids), len(src_list))
     )
     return Block(np.asarray(src_list, dtype=np.int64), dst_ids, matrix)
 
 
-class NeighborSampler:
+def _build_block(
+    dst_ids: np.ndarray,
+    rows: list[int],
+    cols_global: list[int],
+    vals: list[float],
+) -> Block:
+    """Assemble a block; src = dst prefix + newly referenced nodes."""
+    return compact_layer(
+        np.asarray(dst_ids, dtype=np.int64),
+        LayerSample(
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols_global, dtype=np.int64),
+            np.asarray(vals, dtype=np.float64),
+        ),
+    )
+
+
+class BlockSampler:
+    """Base of the block samplers: the shared sample→compact layer loop.
+
+    Subclasses implement :meth:`sample_layer` (one layer's raw edges) and
+    expose ``n_layers``; :meth:`sample` interleaves sampling with
+    :func:`compact_layer` — layer ``k+1``'s destinations are layer ``k``'s
+    deduped sources. ``layer`` indexes *sampling order*: 0 is the output
+    (seed-facing) layer, ``n_layers - 1`` the input layer. The streaming
+    datapipe chains the same two primitives as separate stages, so the
+    direct ``sample()`` path and the datapipe path are bit-identical
+    given the same RNG stream.
+    """
+
+    n_layers: int
+
+    def sample_layer(self, dst: np.ndarray, layer: int) -> LayerSample:
+        raise NotImplementedError
+
+    def sample(self, seeds: np.ndarray) -> list[Block]:
+        seeds = np.asarray(seeds, dtype=np.int64)
+        blocks: list[Block] = []
+        dst = seeds
+        for layer in range(self.n_layers):
+            raw = self.sample_layer(dst, layer)
+            blocks.append(compact_layer(dst, raw))
+            dst = blocks[-1].src_ids
+        blocks.reverse()
+        return blocks
+
+
+class NeighborSampler(BlockSampler):
     """GraphSAGE-style node-wise neighbour sampling.
 
     For every destination node and layer, draw ``fanout`` neighbours
     uniformly without replacement (all of them when degree <= fanout) and
-    average. ``sample(seeds)`` returns blocks input-layer first, so a model
-    applies ``blocks[0]`` before ``blocks[1]``.
+    average. A zero-degree destination keeps a self-connection of weight
+    1.0 — isolated nodes carry their own features through every layer
+    instead of silently aggregating to zero. ``sample(seeds)`` returns
+    blocks input-layer first, so a model applies ``blocks[0]`` before
+    ``blocks[1]``.
     """
 
     def __init__(self, graph: Graph, fanouts: list[int], seed=None) -> None:
@@ -124,34 +208,40 @@ class NeighborSampler:
         self.fanouts = list(fanouts)
         self._rng = as_rng(seed)
 
-    def sample(self, seeds: np.ndarray) -> list[Block]:
-        seeds = np.asarray(seeds, dtype=np.int64)
-        blocks: list[Block] = []
-        dst = seeds
-        for fanout in reversed(self.fanouts):
-            rows: list[int] = []
-            cols: list[int] = []
-            vals: list[float] = []
-            for i, u in enumerate(dst):
-                neigh = self.graph.neighbors(int(u))
-                if len(neigh) == 0:
-                    continue
-                if len(neigh) > fanout:
-                    chosen = self._rng.choice(neigh, size=fanout, replace=False)
-                else:
-                    chosen = neigh
-                share = 1.0 / len(chosen)
-                for v in chosen:
-                    rows.append(i)
-                    cols.append(int(v))
-                    vals.append(share)
-            blocks.append(_build_block(dst, rows, cols, vals))
-            dst = blocks[-1].src_ids
-        blocks.reverse()
-        return blocks
+    @property
+    def n_layers(self) -> int:
+        return len(self.fanouts)
+
+    def sample_layer(self, dst: np.ndarray, layer: int) -> LayerSample:
+        fanout = self.fanouts[-1 - layer]
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        for i, u in enumerate(dst):
+            neigh = self.graph.neighbors(int(u))
+            if len(neigh) == 0:
+                # Isolated destination: self-connection, weight 1.0.
+                rows.append(i)
+                cols.append(int(u))
+                vals.append(1.0)
+                continue
+            if len(neigh) > fanout:
+                chosen = self._rng.choice(neigh, size=fanout, replace=False)
+            else:
+                chosen = neigh
+            share = 1.0 / len(chosen)
+            for v in chosen:
+                rows.append(i)
+                cols.append(int(v))
+                vals.append(share)
+        return LayerSample(
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+            np.asarray(vals, dtype=np.float64),
+        )
 
 
-class LaborSampler:
+class LaborSampler(BlockSampler):
     """LABOR-style layer-neighbour sampling (Poisson, coupled variates).
 
     Each candidate source node ``v`` draws one uniform variate ``r_v``
@@ -162,47 +252,69 @@ class LaborSampler:
     sets of different destinations overlap maximally, shrinking the block
     (fewer distinct nodes ⇒ less feature loading), which is LABOR's
     defusing of neighbourhood explosion.
+
+    Variates are drawn **lazily** for the candidate sources of the current
+    destination set only — O(Σ deg(dst)) work per layer, not O(n_nodes) —
+    while the coupling is preserved exactly: within a layer every
+    destination sees the same variate for a shared source. Zero-degree
+    destinations keep a self-connection of weight 1.0.
     """
 
     def __init__(self, graph: Graph, fanouts: list[int], seed=None) -> None:
         if not fanouts:
             raise ConfigError("fanouts must be non-empty")
+        for f in fanouts:
+            check_int_range("fanout", f, 1)
         self.graph = graph
         self.fanouts = list(fanouts)
         self._rng = as_rng(seed)
 
-    def sample(self, seeds: np.ndarray) -> list[Block]:
-        seeds = np.asarray(seeds, dtype=np.int64)
-        blocks: list[Block] = []
-        dst = seeds
-        for fanout in reversed(self.fanouts):
-            variates = self._rng.random(self.graph.n_nodes)
-            rows: list[int] = []
-            cols: list[int] = []
-            vals: list[float] = []
-            for i, u in enumerate(dst):
-                neigh = self.graph.neighbors(int(u))
-                deg = len(neigh)
-                if deg == 0:
-                    continue
-                c_u = min(1.0, fanout / deg)
-                included = neigh[variates[neigh] <= c_u]
-                if len(included) == 0:
-                    # Guarantee progress: keep the neighbour with the
-                    # smallest variate (probability-1/deg event each).
-                    included = neigh[[int(np.argmin(variates[neigh]))]]
-                weight = 1.0 / (deg * c_u)
-                for v in included:
-                    rows.append(i)
-                    cols.append(int(v))
-                    vals.append(weight)
-            blocks.append(_build_block(dst, rows, cols, vals))
-            dst = blocks[-1].src_ids
-        blocks.reverse()
-        return blocks
+    @property
+    def n_layers(self) -> int:
+        return len(self.fanouts)
+
+    def sample_layer(self, dst: np.ndarray, layer: int) -> LayerSample:
+        fanout = self.fanouts[-1 - layer]
+        neighborhoods = [self.graph.neighbors(int(u)) for u in dst]
+        nonempty = [n for n in neighborhoods if len(n)]
+        if nonempty:
+            candidates = np.unique(np.concatenate(nonempty))
+            variates = self._rng.random(len(candidates))
+        else:
+            candidates = np.empty(0, dtype=np.int64)
+            variates = np.empty(0, dtype=np.float64)
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        for i, (u, neigh) in enumerate(zip(dst, neighborhoods)):
+            deg = len(neigh)
+            if deg == 0:
+                rows.append(i)
+                cols.append(int(u))
+                vals.append(1.0)
+                continue
+            c_u = min(1.0, fanout / deg)
+            # candidates is sorted-unique, so searchsorted is an exact
+            # index lookup: one shared variate per source in this layer.
+            r = variates[np.searchsorted(candidates, neigh)]
+            included = neigh[r <= c_u]
+            if len(included) == 0:
+                # Guarantee progress: keep the neighbour with the
+                # smallest variate (probability-1/deg event each).
+                included = neigh[[int(np.argmin(r))]]
+            weight = 1.0 / (deg * c_u)
+            for v in included:
+                rows.append(i)
+                cols.append(int(v))
+                vals.append(weight)
+        return LayerSample(
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+            np.asarray(vals, dtype=np.float64),
+        )
 
 
-class LayerSampler:
+class LayerSampler(BlockSampler):
     """FastGCN-style layer-wise importance sampling.
 
     Per layer, ``n_per_layer`` nodes are drawn (with replacement) with
@@ -225,23 +337,17 @@ class LayerSampler:
         deg = graph.degrees() + 1.0
         self._q = deg / deg.sum()
 
-    def sample(self, seeds: np.ndarray) -> list[Block]:
-        seeds = np.asarray(seeds, dtype=np.int64)
-        blocks: list[Block] = []
-        dst = seeds
-        for _ in range(self.n_layers):
-            m = self.n_per_layer
-            sampled = self._rng.choice(self.graph.n_nodes, size=m, p=self._q)
-            uniq, counts = np.unique(sampled, return_counts=True)
-            sub = self._ahat[dst][:, uniq].tocoo()
-            scale = counts / (m * self._q[uniq])
-            rows = sub.row.tolist()
-            cols_global = [int(uniq[j]) for j in sub.col]
-            vals = (sub.data * scale[sub.col]).tolist()
-            blocks.append(_build_block(dst, rows, cols_global, vals))
-            dst = blocks[-1].src_ids
-        blocks.reverse()
-        return blocks
+    def sample_layer(self, dst: np.ndarray, layer: int) -> LayerSample:
+        m = self.n_per_layer
+        sampled = self._rng.choice(self.graph.n_nodes, size=m, p=self._q)
+        uniq, counts = np.unique(sampled, return_counts=True)
+        sub = self._ahat[dst][:, uniq].tocoo()
+        scale = counts / (m * self._q[uniq])
+        return LayerSample(
+            sub.row.astype(np.int64),
+            uniq[sub.col].astype(np.int64),
+            (sub.data * scale[sub.col]).astype(np.float64),
+        )
 
 
 # --------------------------------------------------------------------- #

@@ -341,6 +341,48 @@ class FeatureStore:
             value = inj.corrupt(value)
         return value
 
+    def gather(
+        self,
+        namespace: Graph | str,
+        nodes: np.ndarray,
+        fetch_fn: Callable[[np.ndarray], np.ndarray],
+    ) -> tuple[np.ndarray, int, int]:
+        """Batched row gather through the store: the datapipe's read shape.
+
+        Resident (non-expired) rows are served from the store; the missing
+        ids are fetched in **one** ``fetch_fn(missing_ids) -> rows`` call
+        against the backing tier (feature matrix, mmap, remote shard) and
+        inserted for the next epoch. Returns ``(rows, hits, misses)`` with
+        ``rows`` stacked in input order. ``fetch_fn`` runs outside the
+        lock — a slow cold tier must not block concurrent readers.
+        """
+        fp = feature_key(namespace)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if len(nodes) == 0:
+            return np.asarray(fetch_fn(nodes)), 0, 0
+        out: list[Any] = [None] * len(nodes)
+        missing_pos: list[int] = []
+        with self._lock or NULL_LOCK:
+            for j, n in enumerate(nodes):
+                value = self._get((fp, int(n)))
+                if value is None:
+                    missing_pos.append(j)
+                else:
+                    out[j] = value
+        if missing_pos:
+            fetched = np.asarray(fetch_fn(nodes[missing_pos]))
+            if len(fetched) != len(missing_pos):
+                raise ConfigError(
+                    f"fetch_fn returned {len(fetched)} rows for "
+                    f"{len(missing_pos)} missing ids"
+                )
+            with self._lock or NULL_LOCK:
+                for j, row in zip(missing_pos, fetched):
+                    self._put((fp, int(nodes[j])), row)
+            for j, row in zip(missing_pos, fetched):
+                out[j] = row
+        return np.stack(out), len(nodes) - len(missing_pos), len(missing_pos)
+
     def get_stale(self, namespace: Graph | str, node: int) -> Any | None:
         """The resident row even if TTL-expired, or ``None`` when absent.
 

@@ -7,11 +7,24 @@ subgraph, PPRGo-style support batches) so that every model in
 """
 
 from repro.training.compensated import train_clustergcn_compensated
+from repro.training.datapipe import (
+    CompactPerLayer,
+    DataPipe,
+    FeatureFetcher,
+    MiniBatch,
+    PrefetchIterator,
+    Prefetcher,
+    SamplePerLayer,
+    SeedBatcher,
+    ToDevice,
+    iterate_batches,
+)
 from repro.training.distributed import DistributedResult, simulate_distributed_training
 from repro.training.metrics import accuracy, confusion_matrix, latency_summary, macro_f1
 from repro.training.pipeline import (
     PipelinePlan,
     TrainingPipeline,
+    measured_stage_times,
     pipelined_makespan,
     plan_execution,
     precompute_stage_profile,
@@ -48,4 +61,15 @@ __all__ = [
     "pipelined_makespan",
     "plan_execution",
     "precompute_stage_profile",
+    "measured_stage_times",
+    "MiniBatch",
+    "DataPipe",
+    "SeedBatcher",
+    "iterate_batches",
+    "SamplePerLayer",
+    "CompactPerLayer",
+    "FeatureFetcher",
+    "ToDevice",
+    "Prefetcher",
+    "PrefetchIterator",
 ]

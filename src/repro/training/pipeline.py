@@ -232,6 +232,45 @@ def precompute_stage_profile(
     return cold.elapsed, warm.elapsed
 
 
+#: How datapipe stage names fold into the 3-stage cost model: seed
+#: batching + sampling + compaction are the "sample" stage, the feature
+#: gather + finalize (the host-to-device stand-in) are "transfer".
+_SAMPLE_STAGES = ("batch", "sample", "compact")
+_TRANSFER_STAGES = ("fetch", "finalize")
+
+
+def measured_stage_times(pipe, train_fn, max_batches: int | None = None) -> np.ndarray:
+    """Measure an ``(n_batches, 3)`` stage-time matrix from a real datapipe.
+
+    Drives ``pipe`` (any :mod:`repro.training.datapipe` chain), timing
+    ``train_fn(minibatch)`` as the train stage and folding the per-batch
+    ``MiniBatch.stage_s`` wall times into the ``[sample, transfer,
+    train]`` columns that :func:`serial_makespan`,
+    :func:`pipelined_makespan` and :func:`plan_execution` consume — the
+    bridge from the *measured* pipeline to the scheduling cost model.
+    """
+    if max_batches is not None:
+        check_int_range("max_batches", max_batches, 1)
+    rows = []
+    it = iter(pipe)
+    try:
+        for i, mb in enumerate(it):
+            timer = Timer()
+            with timer:
+                train_fn(mb)
+            sample_s = sum(mb.stage_s.get(k, 0.0) for k in _SAMPLE_STAGES)
+            transfer_s = sum(mb.stage_s.get(k, 0.0) for k in _TRANSFER_STAGES)
+            rows.append((sample_s, transfer_s, timer.elapsed))
+            if max_batches is not None and i + 1 >= max_batches:
+                break
+    finally:
+        if hasattr(it, "close"):
+            it.close()
+    if not rows:
+        raise ConfigError("the datapipe yielded no batches to measure")
+    return np.asarray(rows, dtype=np.float64)
+
+
 def plan_execution(
     sample_cost: dict[str, float],
     train_cost: dict[str, float],

@@ -26,6 +26,7 @@ from repro.tensor import functional as F
 from repro.tensor.autograd import no_grad
 from repro.tensor.nn import Module
 from repro.tensor.optim import Adam
+from repro.training.datapipe import SeedBatcher, iterate_batches
 from repro.training.metrics import accuracy
 from repro.utils.rng import as_rng
 from repro.utils.timer import Timer
@@ -130,9 +131,21 @@ def _slice_embeddings(emb, ids: np.ndarray):
     return emb[ids]
 
 
-def _iterate_batches(ids: np.ndarray, batch_size: int, rng) -> list[np.ndarray]:
-    perm = rng.permutation(ids)
-    return [perm[i : i + batch_size] for i in range(0, len(perm), batch_size)]
+def _iterate_batches(ids: np.ndarray, batch_size: int, rng):
+    """Lazily yield shuffled batches (one permutation per call).
+
+    A generator since the datapipe port: epoch startup is O(1) instead of
+    materializing every batch up front. The RNG event order is unchanged,
+    so fixed-seed runs reproduce the old eager version bit-for-bit.
+    """
+    return iterate_batches(ids, batch_size, rng)
+
+
+def _build_loader(pipe, prefetch_depth: int):
+    """Optionally wrap a datapipe in a bounded background prefetcher."""
+    if prefetch_depth > 0:
+        return pipe.prefetch(depth=prefetch_depth)
+    return pipe
 
 
 def _timed_precompute(fn):
@@ -343,6 +356,7 @@ def train_decoupled(
     checkpoint_every: int = 0,
     resume: bool = False,
     dtype=None,
+    prefetch_depth: int = 0,
 ) -> TrainResult:
     """Precompute-once, then mini-batch MLP training over embedding rows.
 
@@ -352,10 +366,16 @@ def train_decoupled(
     ``dtype`` (``float32``/``float64``) selects the precision of the
     precomputed embeddings — passed through to ``model.precompute``, so a
     float32 run halves the memory traffic of the propagation step.
+    Batches stream through a :mod:`repro.training.datapipe` chain
+    (SeedBatcher → FeatureFetcher); ``prefetch_depth > 0`` overlaps the
+    embedding-row gather with the optimizer step via a bounded background
+    prefetcher — results stay bit-identical because the batch permutation
+    is drawn from the same checkpointed RNG stream either way.
     """
     if graph.y is None:
         raise ConfigError("graph needs labels")
     check_int_range("batch_size", batch_size, 1)
+    check_int_range("prefetch_depth", prefetch_depth, 0)
     rng = as_rng(seed)
     emb, pre_time, hits, misses = _timed_precompute(
         lambda: model.precompute(graph)
@@ -370,6 +390,13 @@ def train_decoupled(
                                 result, rng=rng)
     train_timer = Timer()
     y = graph.y
+    # One re-iterable pipe serves every epoch: each iter() draws a fresh
+    # permutation from the shared (checkpointed) RNG stream.
+    loader = _build_loader(
+        SeedBatcher(split.train, batch_size, seed=rng)
+        .fetch_features(features=emb, labels=y),
+        prefetch_depth,
+    )
     val_rows = _slice_embeddings(emb, split.val)
     test_rows = _slice_embeddings(emb, split.test)
     for epoch in range(start_epoch, epochs):
@@ -377,13 +404,13 @@ def train_decoupled(
             with train_timer:
                 model.train()
                 epoch_loss = 0.0
-                for batch in _iterate_batches(split.train, batch_size, rng):
+                for mb in loader:
                     opt.zero_grad()
-                    logits = model(_slice_embeddings(emb, batch))
-                    loss = F.cross_entropy(logits, y[batch])
+                    logits = model(mb.x)
+                    loss = F.cross_entropy(logits, mb.y)
                     loss.backward()
                     opt.step()
-                    epoch_loss += loss.item() * len(batch)
+                    epoch_loss += loss.item() * mb.n_seeds
             model.eval()
             with no_grad():
                 val_acc = accuracy(_predict(model(val_rows).data), y[split.val])
@@ -424,10 +451,19 @@ def train_sampled(
     weight_decay: float = 5e-4,
     patience: int = 15,
     seed=None,
+    prefetch_depth: int = 0,
 ) -> TrainResult:
-    """Mini-batch training over sampler blocks; exact full-graph eval."""
+    """Mini-batch training over sampler blocks; exact full-graph eval.
+
+    Batches stream through the shared datapipe chain — ``SeedBatcher →
+    SamplePerLayer/CompactPerLayer per hop → FeatureFetcher`` — which is
+    bit-identical to calling ``sampler.sample(batch)`` per batch.
+    ``prefetch_depth > 0`` overlaps sampling + feature gathering with the
+    model's forward/backward via a bounded background prefetcher.
+    """
     if graph.x is None or graph.y is None:
         raise ConfigError("graph needs features and labels")
+    check_int_range("prefetch_depth", prefetch_depth, 0)
     rng = as_rng(seed)
     full_op, pre_time, hits, misses = _timed_precompute(lambda: model.prepare(graph))
     opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
@@ -436,20 +472,24 @@ def train_sampled(
                          operator_cache_hits=hits, operator_cache_misses=misses)
     train_timer = Timer()
     y = graph.y
+    loader = _build_loader(
+        SeedBatcher(split.train, batch_size, seed=rng)
+        .sample(sampler)
+        .fetch_features(features=graph.x, labels=y),
+        prefetch_depth,
+    )
     for epoch in range(epochs):
         with obs.span("train.epoch", epoch=epoch) as ep:
             with train_timer:
                 model.train()
                 epoch_loss = 0.0
-                for batch in _iterate_batches(split.train, batch_size, rng):
-                    blocks = sampler.sample(batch)
-                    x_src = graph.x[blocks[0].src_ids]
+                for mb in loader:
                     opt.zero_grad()
-                    logits = model.forward_blocks(blocks, x_src)
-                    loss = F.cross_entropy(logits, y[blocks[-1].dst_ids])
+                    logits = model.forward_blocks(mb.blocks, mb.x)
+                    loss = F.cross_entropy(logits, mb.y)
                     loss.backward()
                     opt.step()
-                    epoch_loss += loss.item() * len(batch)
+                    epoch_loss += loss.item() * mb.n_seeds
             model.eval()
             with no_grad():
                 full_logits = model.forward_full(full_op, graph.x).data
@@ -566,10 +606,17 @@ def train_pprgo(
     weight_decay: float = 5e-4,
     patience: int = 20,
     seed=None,
+    prefetch_depth: int = 0,
 ) -> TrainResult:
-    """Train a model whose forward takes node-id batches (PPRGo)."""
+    """Train a model whose forward takes node-id batches (PPRGo).
+
+    Seed batches stream through the shared datapipe (the model gathers
+    its own PPR supports from the ids, so only labels are fetched);
+    ``prefetch_depth > 0`` enables bounded background prefetch.
+    """
     if graph.y is None:
         raise ConfigError("graph needs labels")
+    check_int_range("prefetch_depth", prefetch_depth, 0)
     rng = as_rng(seed)
     _, pre_time, hits, misses = _timed_precompute(lambda: model.precompute(graph))
     opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
@@ -578,18 +625,23 @@ def train_pprgo(
                          operator_cache_hits=hits, operator_cache_misses=misses)
     train_timer = Timer()
     y = graph.y
+    loader = _build_loader(
+        SeedBatcher(split.train, batch_size, seed=rng)
+        .fetch_features(labels=y),
+        prefetch_depth,
+    )
     for epoch in range(epochs):
         with obs.span("train.epoch", epoch=epoch) as ep:
             with train_timer:
                 model.train()
                 epoch_loss = 0.0
-                for batch in _iterate_batches(split.train, batch_size, rng):
+                for mb in loader:
                     opt.zero_grad()
-                    logits = model(batch)
-                    loss = F.cross_entropy(logits, y[batch])
+                    logits = model(mb.seeds)
+                    loss = F.cross_entropy(logits, mb.y)
                     loss.backward()
                     opt.step()
-                    epoch_loss += loss.item() * len(batch)
+                    epoch_loss += loss.item() * mb.n_seeds
             model.eval()
             with no_grad():
                 val_acc = accuracy(_predict(model(split.val).data), y[split.val])

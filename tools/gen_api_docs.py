@@ -129,6 +129,61 @@ load-shedding.
   "value"}, ...]}` with each snapshot key parsed back into dotted name
   + label dict via `parse_snapshot_key` — machine-diffable across runs.
 """,
+    "repro.training.datapipe": """\
+### Stage contract
+
+Every stage is an iterable of `MiniBatch` objects wrapping an upstream
+stage. A stage implements `_transform(mb) -> mb`; iteration pulls from
+the source, times the transform into `mb.stage_s[stage.name]`
+(accumulating across epochs is prevented by each batch being a fresh
+object), and — when `repro.obs` is enabled — emits a
+`datapipe.stage.<name>` span per batch plus a `datapipe.stage_s`
+histogram sample labelled by stage. Pipes are **re-iterable**: each
+`iter()` restarts from the source, so one pipe object serves every
+training epoch, and `SeedBatcher` draws a fresh permutation from its
+(shareable) RNG per iteration.
+
+The canonical chain and what each stage owns:
+
+| stage | name | transform |
+|---|---|---|
+| `SeedBatcher` | `batch` | lazy permutation → `MiniBatch(seeds, index)` |
+| `SamplePerLayer` | `sample` | raw `LayerSample` for the current frontier |
+| `CompactPerLayer` | `compact` | dedup into a `Block`; frontier ← `src_ids` |
+| `FeatureFetcher` | `fetch` | gather `input_ids` rows (direct or via `FeatureStore.gather`), attach labels |
+| `ToDevice` | `finalize` | dtype cast + C-contiguous layout |
+| `Prefetcher` | `prefetch` | run everything upstream in a producer thread |
+
+`.sample(sampler)` expands into one `SamplePerLayer → CompactPerLayer`
+pair per layer of any `BlockSampler`; the chain is bit-identical to
+`sampler.sample(seeds)` given the same RNG stream. Blocks accumulate
+input-layer first, matching the `forward_blocks` contract.
+
+### Prefetch semantics
+
+`PrefetchIterator(source, depth)` starts a daemon producer thread that
+drains `source` into a `queue.Queue(maxsize=depth)`:
+
+- **Exhaustion** — the producer enqueues a sentinel; the consumer's
+  `next()` raises `StopIteration` after joining the thread.
+- **Upstream exception** — captured in the producer, re-raised from the
+  consumer's `next()` after the thread is reaped.
+- **`close()`** (also context-manager exit and `Prefetcher`'s per-epoch
+  `finally`) — sets the shutdown flag, drains the queue so a blocked
+  producer observes it, and joins the thread. No live
+  `repro-datapipe-prefetch` thread survives any exit path (asserted in
+  the test suite and the E35 gate).
+- **Accounting** — `ready_hits` (batches served without blocking) vs
+  `waits`; `hit_ratio = ready_hits / batches`. With obs enabled the
+  queue depth is published to the `datapipe.prefetch.queue_depth` gauge
+  and the counters to `datapipe.prefetch.{ready,wait}`.
+
+Determinism: all RNG draws (batch permutation, sampler variates) happen
+in the producer in batch order — the same stream order as the
+synchronous loader — so `prefetch_depth > 0` on
+`train_decoupled`/`train_sampled`/`train_pprgo` changes wall-clock
+only, never numbers, including under checkpoint/resume.
+""",
     "repro.resilience": """\
 ### Fault taxonomy
 
