@@ -15,8 +15,15 @@ semantics, executed for real. Pick a backend with :func:`get_backend`::
     assert result.halo_floats_received == \
         result.halo_floats_per_epoch * result.epochs
 
-See ``DESIGN.md`` ("Process-parallel distributed training") for the
-process topology, shared-segment lifecycle, and halo-exchange protocol.
+Passing ``supervise=True`` (or a :class:`LeasePolicy`) to
+:meth:`ProcessBackend.run` turns on the self-healing layer: heartbeat
+leases, a coordinator :class:`Supervisor` that respawns or evicts
+expired ranks, and generation-fenced bit-exact rejoin (see
+:mod:`repro.distributed.supervisor`).
+
+See ``DESIGN.md`` ("Process-parallel distributed training" and
+"Membership, leases, and self-healing") for the process topology,
+shared-segment lifecycle, and halo/lease protocols.
 """
 
 from repro.distributed.backend import (
@@ -26,6 +33,7 @@ from repro.distributed.backend import (
     SimulatedBackend,
     get_backend,
 )
+from repro.distributed.supervisor import LeasePolicy, Supervisor
 from repro.distributed.shards import (
     Shard,
     ShardPlan,
@@ -44,12 +52,14 @@ __all__ = [
     "AttachedSegments",
     "BackendResult",
     "DistributedBackend",
+    "LeasePolicy",
     "ProcessBackend",
     "Shard",
     "ShardPlan",
     "SharedArrayHandle",
     "ShmArena",
     "SimulatedBackend",
+    "Supervisor",
     "WorkerSpec",
     "attach_array",
     "build_shard",

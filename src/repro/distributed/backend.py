@@ -18,16 +18,24 @@ training. Two implementations:
 
 Control plane (all shared memory, no queues — see
 :mod:`repro.distributed.worker` for why queues cannot survive a killed
-writer): each worker owns a flat ``state`` vector plus a three-cell
-meta block ``(round, n_train, failed)``; the coordinator owns one flat
-``params`` vector plus a round cell. A writer always fills the payload
-first and advances its round cell last, so a reader that sees round
-``r`` is guaranteed a complete round-``r`` payload. Worker death is
-detected by ``Process.is_alive`` polling whenever the gather stalls;
-a dead rank's byte in the shared ``alive`` array is zeroed (the only
-coordinator-written worker-visible flag), the round's average is
-renormalised over the survivors, and peers fall back to stale ghost
-rows instead of waiting on the dead rank's halo buffer.
+writer): each worker owns a flat ``state`` vector plus a four-cell
+meta block ``(round, n_train, failed, generation)``; the coordinator
+owns one flat ``params`` vector plus a round cell. A writer always
+fills the payload first and advances its round cell last, so a reader
+that sees round ``r`` is guaranteed a complete round-``r`` payload.
+Worker death is detected by ``Process.is_alive`` polling whenever the
+gather stalls; a dead rank's byte in the shared ``alive`` array is
+zeroed (the only coordinator-written worker-visible flag), the round's
+average is renormalised over the survivors, and peers fall back to
+stale ghost rows instead of waiting on the dead rank's halo buffer.
+
+Passing ``supervise=`` to :meth:`ProcessBackend.run` upgrades that
+passive tolerance to *active recovery*: per-rank heartbeat leases, a
+:class:`~repro.distributed.supervisor.Supervisor` that respawns or
+evicts expired ranks under a
+:class:`~repro.distributed.supervisor.LeasePolicy`, generation-fenced
+rejoin from per-round resume checkpoints, and per-rank recovery-latency
+accounting (see :mod:`repro.distributed.supervisor` for the protocol).
 
 Cleanup is unconditional: the arena unlink and worker terminate/kill
 sweep run in a ``finally`` that covers normal completion, worker
@@ -86,6 +94,15 @@ class BackendResult:
     checkpoint_saves: int = 0
     checkpoint_restores: int = 0
     workers_lost: int = 0
+    # active recovery (populated only under supervise=)
+    respawns: int = 0
+    evictions: int = 0
+    leases_expired: int = 0
+    fenced_writes: int = 0
+    recovery_latency_s: float = 0.0
+    #: SHA-256 of the final averaged parameter vector's bytes — the
+    #: bit-identity witness the self-healing tests compare across runs.
+    param_checksum: str = ""
     wall_time_s: float = 0.0
     attach_stats: dict = field(default_factory=dict)
     recovery: str = "reweight"
@@ -169,6 +186,8 @@ class ProcessBackend(DistributedBackend):
             "sync_rounds": 0,
             "attaches": 0,
             "workers_lost": 0,
+            "respawns": 0,
+            "evictions": 0,
         }
         #: The merged per-rank metrics view of the most recent
         #: telemetry-enabled run (a ClusterMetrics, or None).
@@ -206,6 +225,8 @@ class ProcessBackend(DistributedBackend):
         checkpoint_every: int = 0,
         timeout_s: float = 300.0,
         round_hook=None,
+        supervise=None,
+        resume_dir: str | None = None,
         telemetry: bool | None = None,
         telemetry_dir: str | None = None,
     ) -> BackendResult:
@@ -219,6 +240,18 @@ class ProcessBackend(DistributedBackend):
         the whole run; exceeding it tears everything down and raises
         :class:`repro.errors.DistributedError`.
 
+        ``supervise`` switches active recovery on: ``True`` runs a
+        :class:`~repro.distributed.supervisor.Supervisor` under the
+        default :class:`~repro.distributed.supervisor.LeasePolicy`, a
+        ``LeasePolicy`` instance tunes it, ``None``/``False`` keep the
+        passive renormalise-over-survivors behaviour. When supervised,
+        every worker heartbeats a lease cell and saves a per-round
+        resume checkpoint under ``resume_dir`` (a per-run temporary
+        directory when not given — pass a fresh directory per run, stale
+        snapshots from an earlier run would poison a rejoin); a rank
+        whose lease expires or whose process dies is respawned with a
+        bumped generation (fencing) token and rejoins bit-exactly.
+
         ``telemetry`` switches the :mod:`repro.obs.telemetry` plane —
         ``None`` follows the process-global ``obs.enabled()`` flag. When
         on, a :class:`~repro.obs.telemetry.TraceContext` minted from the
@@ -230,9 +263,20 @@ class ProcessBackend(DistributedBackend):
         ``cluster_snapshot`` (a chaos-killed rank's last published
         counters included).
         """
+        import dataclasses
+
         from repro.distributed.shards import build_shard_plan
+        from repro.distributed.supervisor import (
+            LEASE_CELLS,
+            LEASE_ROUND,
+            LeasePolicy,
+            Supervisor,
+        )
         from repro.distributed.worker import (
             DONE_FIELDS,
+            META_CELLS,
+            META_GENERATION,
+            META_ROUND,
             WorkerSpec,
             flatten_state,
             unflatten_state,
@@ -247,6 +291,18 @@ class ProcessBackend(DistributedBackend):
         check_int_range("n_parts", n_parts, 1)
         check_int_range("epochs", epochs, 1)
         assignment = np.asarray(assignment, dtype=np.int64)
+
+        if supervise is None or supervise is False:
+            policy = None
+        elif supervise is True:
+            policy = LeasePolicy()
+        elif isinstance(supervise, LeasePolicy):
+            policy = supervise
+        else:
+            raise ConfigError(
+                "supervise takes None, a bool, or a LeasePolicy, "
+                f"got {type(supervise).__name__}"
+            )
 
         with obs.span("distributed.plan", n_parts=n_parts):
             plan = build_shard_plan(graph, assignment, n_parts)
@@ -271,6 +327,17 @@ class ProcessBackend(DistributedBackend):
         arena = ShmArena()
         processes: list = []
         alive_view = None
+        supervisor = None
+
+        # Resume checkpoints need a directory; a supervised run without
+        # one gets a per-run tempdir, removed in the finally sweep.
+        resume_root = resume_dir
+        made_resume_dir = False
+        if policy is not None and resume_root is None:
+            import tempfile
+
+            resume_root = tempfile.mkdtemp(prefix="repro-dist-resume-")
+            made_resume_dir = True
 
         # ---- telemetry plane (None follows the global obs switch) ------
         telemetry_enabled = (
@@ -360,9 +427,14 @@ class ProcessBackend(DistributedBackend):
                         "state": arena.publish(
                             f"state-{p}", np.zeros_like(init_flat)
                         ),
+                        # [round, n_train, failed, generation]; the
+                        # round cell starts unpublished.
                         "state_meta": arena.publish(
                             f"state-meta-{p}",
-                            np.array([-1, 0, 0], dtype=np.int64),
+                            np.array(
+                                [-1] + [0] * (META_CELLS - 1),
+                                dtype=np.int64,
+                            ),
                         ),
                         "done": arena.publish(
                             f"done-{p}",
@@ -384,6 +456,17 @@ class ProcessBackend(DistributedBackend):
                                 f"halo-{p}-{q}-round",
                                 np.full(1, -1, dtype=np.int64),
                             ),
+                        )
+                # Per-rank heartbeat lease cells (supervised runs only):
+                # written payload-first sequence-last by each worker's
+                # heartbeat thread, read by the Supervisor.
+                lease_handles: list = []
+                if policy is not None:
+                    for p in range(n_parts):
+                        cell = np.zeros(LEASE_CELLS, dtype=np.int64)
+                        cell[LEASE_ROUND] = -1
+                        lease_handles.append(
+                            arena.publish(f"lease-{p}", cell)
                         )
                 # Per-rank metrics cells: payload segment + (seq, length)
                 # meta, written payload-first seq-last by the worker.
@@ -409,6 +492,10 @@ class ProcessBackend(DistributedBackend):
             metas = [arena.view(f"state-meta-{p}") for p in range(n_parts)]
             states = [arena.view(f"state-{p}") for p in range(n_parts)]
             dones = [arena.view(f"done-{p}") for p in range(n_parts)]
+            leases = (
+                [arena.view(f"lease-{p}") for p in range(n_parts)]
+                if policy is not None else None
+            )
             if telemetry_enabled:
                 metrics_views.extend(
                     (
@@ -422,6 +509,7 @@ class ProcessBackend(DistributedBackend):
             import repro
 
             package_root = str(Path(repro.__file__).resolve().parent.parent)
+            specs: list[WorkerSpec] = []
             for p, shard in enumerate(plan.shards):
                 sh = shard_handles[p]
                 spec = WorkerSpec(
@@ -457,6 +545,16 @@ class ProcessBackend(DistributedBackend):
                     fault_seed=fault_seed,
                     checkpoint_dir=checkpoint_dir,
                     checkpoint_every=checkpoint_every,
+                    generation=0,
+                    lease=(
+                        lease_handles[p] if policy is not None else None
+                    ),
+                    beat_interval_s=(
+                        policy.beat_interval_s if policy is not None
+                        else 0.05
+                    ),
+                    resume=False,
+                    resume_dir=resume_root,
                     sync_timeout_s=float(timeout_s),
                     package_root=package_root,
                     trace_ctx=(
@@ -474,6 +572,7 @@ class ProcessBackend(DistributedBackend):
                         metrics_handles[p][1] if telemetry_enabled else None
                     ),
                 )
+                specs.append(spec)
                 proc = ctx.Process(
                     target=worker_main,
                     args=(spec,),
@@ -513,6 +612,82 @@ class ProcessBackend(DistributedBackend):
                     if not processes[rank].is_alive():
                         _mark_dead(rank, "process died")
 
+            if policy is not None:
+                metas_w = [
+                    arena.view(f"state-meta-{p}", writable=True)
+                    for p in range(n_parts)
+                ]
+
+                def _relaunch(rank: int, generation: int):
+                    # The previous incarnation is confirmed dead by the
+                    # supervisor before this runs, so wiping its round
+                    # cell races nothing: whatever it last published is
+                    # void, and the successor is the segment's only
+                    # writer from here on.
+                    metas_w[rank][META_ROUND] = -1
+                    spec = dataclasses.replace(
+                        specs[rank], generation=generation, resume=True
+                    )
+                    specs[rank] = spec
+                    proc = ctx.Process(
+                        target=worker_main,
+                        args=(spec,),
+                        daemon=True,
+                        name=f"repro-dist-w{rank}g{generation}",
+                    )
+                    proc.start()
+                    return proc
+
+                supervisor = Supervisor(
+                    policy,
+                    n_parts,
+                    processes=processes,
+                    leases=leases,
+                    relaunch=_relaunch,
+                    on_evict=_mark_dead,
+                )
+
+            def _check_membership(
+                round_no: int, skip: set = frozenset()
+            ) -> None:
+                if supervisor is not None:
+                    supervisor.poll(round_no, skip=skip)
+                else:
+                    _reap()
+
+            def _liveness_report(round_no: int) -> str:
+                """Per-rank heartbeat/progress detail for timeout errors."""
+                lines = []
+                diags = (
+                    supervisor.diagnostics()
+                    if supervisor is not None else None
+                )
+                for rank in range(n_parts):
+                    status = (
+                        "alive" if processes[rank].is_alive() else "dead"
+                    )
+                    last_round = int(metas[rank][META_ROUND])
+                    if diags is not None:
+                        age = diags[rank]["beat_age_s"]
+                        beat = (
+                            f"last heartbeat {age:.2f}s ago"
+                            if age is not None
+                            else "no heartbeat observed"
+                        )
+                        extra = (
+                            f", generation {diags[rank]['generation']}"
+                            f", {beat}"
+                        )
+                    else:
+                        extra = ", no lease plane (supervise off)"
+                    lines.append(
+                        f"rank {rank}: {status}, last published round "
+                        f"{last_round}{extra}"
+                    )
+                return (
+                    f"at round {round_no}: " + "; ".join(lines)
+                )
+
             for round_no in range(epochs):
                 if round_hook is not None:
                     round_hook(round_no, processes)
@@ -522,12 +697,26 @@ class ProcessBackend(DistributedBackend):
                     if time.monotonic() > deadline:
                         raise DistributedError(
                             f"distributed run exceeded {timeout_s}s "
-                            f"at round {round_no}"
+                            + _liveness_report(round_no)
                         )
                     progressed = False
                     for rank in expected - set(contributions):
                         meta = metas[rank]
                         if meta[0] == round_no:
+                            if supervisor is not None:
+                                # Fencing: only the rank's current
+                                # incarnation may contribute — a stale
+                                # generation's publication is discarded,
+                                # never averaged in.
+                                generation = int(meta[META_GENERATION])
+                                if not supervisor.fence_accepts(
+                                    rank, generation
+                                ):
+                                    supervisor.note_fenced_write(
+                                        rank, round_no, generation
+                                    )
+                                    continue
+                                supervisor.note_rejoin(rank, round_no)
                             failed = bool(meta[2])
                             if failed:
                                 totals["worker_failures"] += 1
@@ -542,7 +731,7 @@ class ProcessBackend(DistributedBackend):
                     if progressed:
                         continue
                     if time.monotonic() >= next_liveness:
-                        _reap()
+                        _check_membership(round_no)
                         next_liveness = time.monotonic() + _LIVENESS_EVERY_S
                     time.sleep(_GATHER_POLL_S)
                 if not expected:
@@ -552,9 +741,13 @@ class ProcessBackend(DistributedBackend):
                 # Weighted averaging over surviving, non-failed
                 # contributions — weights are local train-node counts,
                 # renormalised over contributors (simulation semantics).
+                # Fixed rank order: contributions land in arrival order,
+                # and float accumulation is not commutative in rounding —
+                # summing in arrival order would make the averaged params
+                # (and the bit-identity fencing guarantee) racy.
                 live = [
                     (vec, n_train)
-                    for rank, (vec, n_train) in contributions.items()
+                    for rank, (vec, n_train) in sorted(contributions.items())
                     if rank in expected and vec is not None and n_train > 0
                 ]
                 if len(contributions) < n_parts or any(
@@ -576,7 +769,8 @@ class ProcessBackend(DistributedBackend):
                 if time.monotonic() > deadline:
                     raise DistributedError(
                         "timed out waiting for worker reports "
-                        f"({sorted(expected - reported)} missing)"
+                        f"({sorted(expected - reported)} missing) "
+                        + _liveness_report(epochs)
                     )
                 for rank in list(expected - reported):
                     # Check the done flag BEFORE liveness: a worker that
@@ -595,8 +789,18 @@ class ProcessBackend(DistributedBackend):
                         for key in attach_stats:
                             attach_stats[key] += counters[key]
                         reported.add(rank)
-                    elif not processes[rank].is_alive():
+                    elif supervisor is None and not processes[rank].is_alive():
                         _mark_dead(rank, "died before reporting")
+                if supervisor is not None:
+                    # A rank killed between its last sync and its report
+                    # is respawned like any other: the successor resumes
+                    # past every completed round and reports directly.
+                    # Ranks whose done flag is already up exited cleanly
+                    # and are exempt, reported or not yet.
+                    done_up = {
+                        r for r in range(n_parts) if dones[r][0] == 1
+                    }
+                    _check_membership(epochs, skip=reported | done_up)
                 time.sleep(_GATHER_POLL_S)
             for proc in processes:
                 proc.join(timeout=5.0)
@@ -617,6 +821,10 @@ class ProcessBackend(DistributedBackend):
             ):
                 self._counters[key] += totals[key]
             self._counters["attaches"] += attach_stats["attaches"]
+            if supervisor is not None:
+                sup_now = supervisor.snapshot()
+                self._counters["respawns"] += int(sup_now["respawns"])
+                self._counters["evictions"] += int(sup_now["evictions"])
             if obs.OBS.enabled:
                 reg = obs.OBS.registry
                 reg.counter("distributed.halo_floats_shipped").inc(
@@ -647,6 +855,22 @@ class ProcessBackend(DistributedBackend):
                     "span_log_dir": str(tele_dir),
                 }
 
+            supervisor_fields: dict = {}
+            if supervisor is not None:
+                sup = supervisor.snapshot()
+                supervisor_fields = {
+                    "respawns": int(sup["respawns"]),
+                    "evictions": int(sup["evictions"]),
+                    "leases_expired": int(sup["leases_expired"]),
+                    "fenced_writes": int(sup["fenced_writes"]),
+                    "recovery_latency_s": float(
+                        sup["recovery_latency_s_max"]
+                    ),
+                    "recovery": "supervised",
+                }
+
+            import hashlib
+
             return BackendResult(
                 backend=self.name,
                 test_accuracy=test_acc,
@@ -663,10 +887,14 @@ class ProcessBackend(DistributedBackend):
                 degraded_rounds=totals["degraded_rounds"],
                 checkpoint_saves=totals["checkpoint_saves"],
                 workers_lost=totals["workers_lost"],
+                param_checksum=hashlib.sha256(
+                    np.ascontiguousarray(averaged_flat).tobytes()
+                ).hexdigest(),
                 wall_time_s=time.monotonic() - start,
                 attach_stats=dict(
                     attach_stats, published_bytes=arena.published_bytes
                 ),
+                **supervisor_fields,
                 **telemetry_fields,
             )
         finally:
@@ -696,6 +924,10 @@ class ProcessBackend(DistributedBackend):
                     proc.kill()
                     proc.join(timeout=1.0)
             arena.unlink()
+            if made_resume_dir:
+                import shutil
+
+                shutil.rmtree(resume_root, ignore_errors=True)
 
 
 _BACKENDS = {

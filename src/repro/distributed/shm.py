@@ -23,6 +23,13 @@ Ownership contract (create/attach/unlink):
   **not** own its data (``copied_bytes`` stays 0 by construction), which
   is the property the distributed smoke test audits.
 
+The contract is also what makes supervised **respawn** free: because a
+segment's lifetime is owned solely by the coordinator, a killed
+worker's successor (same rank, bumped generation) simply re-attaches
+every segment by the same :class:`SharedArrayHandle` descriptors — the
+pages, names, and peer mappings are all exactly where the first
+incarnation left them, and a worker death never invalidates the plane.
+
 Python < 3.13 quirk: attaching a segment registers it with the
 ``resource_tracker`` even though the attacher does not own it (the
 opt-out ``track=False`` parameter only exists from 3.13). Here that is

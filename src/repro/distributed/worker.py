@@ -62,10 +62,19 @@ DONE_FIELDS = (
     "stragglers",
     "sync_rounds",
     "checkpoint_saves",
+    "resume_saves",
+    "restored_round",
     "attaches",
     "mapped_bytes",
     "copied_bytes",
 )
+
+#: state-meta cell indices: ``[round, n_train, failed, generation]``.
+#: The generation cell carries the incarnation's fencing token and is
+#: written with the payload, before the round cell advances.
+META_ROUND, META_N_TRAIN, META_FAILED, META_GENERATION = 0, 1, 2, 3
+#: int64 cells in one rank's state-meta block.
+META_CELLS = 4
 
 
 def flatten_state(state: dict, out: np.ndarray | None = None) -> np.ndarray:
@@ -146,6 +155,13 @@ class WorkerSpec:
     checkpoint_dir: str | None = None
     checkpoint_every: int = 0
     checkpoint_keep: int = 2
+    # self-healing membership (repro.distributed.supervisor) — defaults
+    # keep the spec picklable and the unsupervised hot path untouched.
+    generation: int = 0
+    lease: SharedArrayHandle | None = None
+    beat_interval_s: float = 0.05
+    resume: bool = False
+    resume_dir: str | None = None
     # telemetry (repro.obs.telemetry) — all None/0 means "off", which
     # keeps the spec picklable and the worker hot path untouched.
     trace_ctx: dict | None = None
@@ -202,6 +218,7 @@ def worker_main(spec: WorkerSpec) -> None:
     rank = spec.rank
     segs = AttachedSegments()
     injector_installed = False
+    beat_stop = None
     try:
         x_full = segs.attach(spec.x)
         y_full = segs.attach(spec.y)
@@ -227,6 +244,49 @@ def worker_main(spec: WorkerSpec) -> None:
         state_vec = segs.attach(spec.state, writable=True)
         state_meta = segs.attach(spec.state_meta, writable=True)
         done_block = segs.attach(spec.done, writable=True)
+
+        # ---- heartbeat lease (payload-first, sequence-last) ------------
+        # A daemon thread re-publishes this incarnation's lease on a
+        # fixed cadence: generation + last synchronised round first, the
+        # beat sequence last, so the coordinator never observes a torn
+        # beat. ``last_round_box`` is the main loop's one-way channel to
+        # the beating thread (a single int store — atomic under the GIL).
+        last_round_box = [-1]
+        if spec.lease is not None:
+            import os
+            import threading
+
+            from repro.distributed.supervisor import (
+                LEASE_GENERATION,
+                LEASE_PID,
+                LEASE_ROUND,
+                LEASE_SEQ,
+            )
+
+            lease_cell = segs.attach(spec.lease, writable=True)
+            beat_stop = threading.Event()
+            pid = os.getpid()
+
+            def _beat_loop() -> None:
+                # Resume past the previous incarnation's sequence so the
+                # coordinator's change detection never misses the first
+                # beat of a respawn.
+                seq = int(lease_cell[LEASE_SEQ]) + 1
+                while True:
+                    lease_cell[LEASE_GENERATION] = spec.generation
+                    lease_cell[LEASE_ROUND] = last_round_box[0]
+                    lease_cell[LEASE_PID] = pid
+                    lease_cell[LEASE_SEQ] = seq  # publish last
+                    seq += 1
+                    if beat_stop.wait(spec.beat_interval_s):
+                        return
+
+            beat_thread = threading.Thread(
+                target=_beat_loop,
+                name=f"repro-beat-w{rank}",
+                daemon=True,
+            )
+            beat_thread.start()
 
         # ---- telemetry plane (opt-in via the propagated context) -------
         # The coordinator mints a TraceContext and ships it as a plain
@@ -305,16 +365,85 @@ def worker_main(spec: WorkerSpec) -> None:
                 keep=spec.checkpoint_keep,
                 namespace=f"rank{rank}",
             )
+        # Resume checkpoints back the supervisor's respawn path: one
+        # bit-exact snapshot per completed round (model + optimizer +
+        # dropout RNG + fault-schedule position), in a directory the
+        # coordinator owns, namespaced per rank.
+        resume_ckpt = None
+        if spec.resume_dir:
+            resume_ckpt = Checkpointer(
+                spec.resume_dir,
+                keep=2,
+                prefix="resume",
+                namespace=f"rank{rank}",
+            )
 
         counters = dict.fromkeys(DONE_FIELDS, 0)
 
-        # All ranks start from the coordinator's round -1 publication so
-        # parameter averaging begins from one shared point.
-        if not _wait_cell(params_round, -1, spec.sync_timeout_s):
-            raise DistributedError("timed out waiting for initial parameters")
-        model.load_state_dict(unflatten_state(params_vec, template))
+        def _resume_snapshot() -> dict:
+            """Everything a successor incarnation needs for a bit-exact
+            rejoin: parameters, optimizer moments, the dropout RNG
+            position, and the fault schedule position."""
+            snap = {
+                "model": model.state_dict(),
+                "optimizer": opt.state_dict(),
+            }
+            if model.dropout is not None:
+                snap["rng_state"] = model.dropout._rng.bit_generator.state
+            inj_now = FAULTS.injector if FAULTS.active else None
+            if inj_now is not None:
+                snap["fault_calls"] = inj_now.call_counts()
+            return snap
 
-        for round_no in range(spec.epochs):
+        # Resume checkpoint step ``s`` holds the state *after completing
+        # round s-1* (step 0 = the shared starting point, saved below
+        # before the round loop opens); a respawned incarnation loading
+        # step ``s`` re-enters the loop at round ``s``.
+        start_round = 0
+        if spec.resume and resume_ckpt is not None and resume_ckpt.steps():
+            # Fenced rejoin: restore the pre-crash incarnation's exact
+            # state as of its last completed round and redo the next
+            # round. The restored dropout RNG and the replayed fault
+            # schedule make every redone computation bit-identical to
+            # what the dead incarnation produced (or would have), which
+            # is what keeps the supervised run's result identical to the
+            # unfaulted one.
+            step, snap = resume_ckpt.load()
+            model.load_state_dict(
+                {k: np.asarray(v) for k, v in snap["model"].items()}
+            )
+            opt.load_state_dict(snap.get("optimizer", {}))
+            if model.dropout is not None and "rng_state" in snap:
+                model.dropout._rng.bit_generator.state = snap["rng_state"]
+            fault_calls = snap.get("fault_calls")
+            if injector_installed and fault_calls:
+                FAULTS.injector.fast_forward(
+                    {site: int(n) for site, n in fault_calls.items()}
+                )
+            start_round = int(step)
+            counters["restored_round"] = start_round
+            last_round_box[0] = start_round - 1
+            log.info(
+                "rank %d generation %d resumed at round %d",
+                rank, spec.generation, start_round,
+            )
+        else:
+            # All ranks start from the coordinator's round -1 publication
+            # so parameter averaging begins from one shared point.
+            if not _wait_cell(params_round, -1, spec.sync_timeout_s):
+                raise DistributedError(
+                    "timed out waiting for initial parameters"
+                )
+            model.load_state_dict(unflatten_state(params_vec, template))
+            if resume_ckpt is not None:
+                # The step-0 snapshot pins the *initial* parameters: a
+                # rank killed during round 0 must redo it from these,
+                # not from whatever average the params segment holds by
+                # the time the successor attaches.
+                resume_ckpt.save(0, _resume_snapshot())
+                counters["resume_saves"] += 1
+
+        for round_no in range(start_round, spec.epochs):
             round_start = time.monotonic()
             # The round span is a per-round ROOT (no enclosing run span),
             # so a chaos kill mid-round leaves every previously flushed
@@ -376,9 +505,10 @@ def worker_main(spec: WorkerSpec) -> None:
                 # ---- parameter sync -----------------------------------
                 if not failed:
                     flatten_state(model.state_dict(), out=state_vec)
-                state_meta[1] = len(local_train)
-                state_meta[2] = int(failed)
-                state_meta[0] = round_no  # publish last
+                state_meta[META_N_TRAIN] = len(local_train)
+                state_meta[META_FAILED] = int(failed)
+                state_meta[META_GENERATION] = spec.generation
+                state_meta[META_ROUND] = round_no  # publish last
                 if not _wait_cell(
                     params_round, round_no, spec.sync_timeout_s
                 ):
@@ -387,6 +517,7 @@ def worker_main(spec: WorkerSpec) -> None:
                     )
                 model.load_state_dict(unflatten_state(params_vec, template))
                 counters["sync_rounds"] += 1
+                last_round_box[0] = round_no
                 if (
                     checkpointer is not None
                     and (round_no + 1) % spec.checkpoint_every == 0
@@ -399,6 +530,9 @@ def worker_main(spec: WorkerSpec) -> None:
                         },
                     )
                     counters["checkpoint_saves"] += 1
+                if resume_ckpt is not None:
+                    resume_ckpt.save(round_no + 1, _resume_snapshot())
+                    counters["resume_saves"] += 1
 
             if wreg is not None:
                 round_hist.observe(time.monotonic() - round_start)
@@ -419,6 +553,11 @@ def worker_main(spec: WorkerSpec) -> None:
         log.error("worker %d failed", rank)
         sys.exit(1)
     finally:
+        if beat_stop is not None:
+            # Stop and JOIN the heartbeat before the segments unmap — a
+            # beat landing in a closed mapping would fault the exit path.
+            beat_stop.set()
+            beat_thread.join(timeout=5.0)
         if injector_installed:
             clear_injector()
         segs.close()

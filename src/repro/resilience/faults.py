@@ -60,7 +60,11 @@ import numpy as np
 
 from repro import obs
 from repro.errors import ConfigError, FaultError, TransientError
-from repro.utils.validation import check_positive, check_probability
+from repro.utils.validation import (
+    check_int_range,
+    check_positive,
+    check_probability,
+)
 
 FAULT_KINDS = ("transient", "permanent", "delay", "corrupt", "drop")
 
@@ -292,6 +296,36 @@ class FaultInjector:
             seed=state["seed"],
             corrupt_fraction=state["corrupt_fraction"],
         )
+
+    def call_counts(self) -> dict[str, int]:
+        """Per-site call counters — the injector's schedule *position*.
+
+        Together with ``(plan, seed)`` this fully determines every
+        future decision; it is what a respawned
+        :mod:`repro.distributed` worker checkpoints so its rebuilt
+        injector can :meth:`fast_forward` to the exact same point.
+        """
+        with self._lock:
+            return dict(self._calls)
+
+    def fast_forward(self, call_counts: dict[str, int]) -> None:
+        """Replay the schedule to ``call_counts`` without side effects.
+
+        Re-runs :meth:`_decide` for each recorded call, which restores
+        the call indices, per-spec fire budgets, and the
+        ``faults_injected`` counter (the seed of :meth:`corrupt`'s
+        victim selection) to exactly what a continuously running
+        injector would hold — but never raises, sleeps, or corrupts.
+        Only meaningful on a freshly built injector (call index 0).
+        """
+        if self.calls() != 0:
+            raise ConfigError(
+                "fast_forward needs a fresh injector (no calls recorded)"
+            )
+        for site, count in call_counts.items():
+            check_int_range("count", int(count), 0)
+            for _ in range(int(count)):
+                self._decide(site)
 
     def calls(self, site: str | None = None) -> int:
         """Instrumented calls observed (at one site, or in total)."""

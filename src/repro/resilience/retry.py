@@ -84,12 +84,38 @@ class RetryPolicy:
         self._rng = np.random.default_rng(seed)
         self._lock = threading.Lock()
 
-    def should_retry(self, exc: BaseException, retries_done: int) -> bool:
-        """Whether to retry after ``exc`` given ``retries_done`` so far."""
-        return (
-            retries_done < self.max_retries
-            and classify_error(exc) == TRANSIENT
-        )
+    def should_retry(
+        self,
+        exc: BaseException,
+        retries_done: int,
+        remaining_s: float | None = None,
+    ) -> bool:
+        """Whether to retry after ``exc`` given ``retries_done`` so far.
+
+        ``remaining_s`` is the time left on the caller's deadline. A
+        retry is only worth scheduling if the *worst-case* jittered
+        backoff before the next attempt still fits inside the deadline —
+        otherwise the sleep itself would blow the budget and the caller
+        would time out mid-backoff instead of failing promptly with the
+        last real error.
+        """
+        if retries_done >= self.max_retries:
+            return False
+        if classify_error(exc) != TRANSIENT:
+            return False
+        if remaining_s is not None:
+            return self.worst_delay_s(retries_done + 1) < remaining_s
+        return True
+
+    def worst_delay_s(self, retry: int) -> float:
+        """Upper bound on :meth:`delay_s` for retry ``retry`` (1-based).
+
+        Deterministic (consumes no jitter randomness), so deadline
+        checks never perturb the reproducible backoff schedule.
+        """
+        check_int_range("retry", retry, 1)
+        base = min(self.base_delay_s * 2 ** (retry - 1), self.max_delay_s)
+        return base * (1.0 + self.jitter)
 
     def delay_s(self, retry: int) -> float:
         """The jittered backoff before retry number ``retry`` (1-based)."""
@@ -103,9 +129,17 @@ class RetryPolicy:
             factor = 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
         return base * factor
 
-    def backoff(self, retry: int) -> float:
-        """Sleep the retry's delay; returns the seconds slept."""
+    def backoff(self, retry: int, remaining_s: float | None = None) -> float:
+        """Sleep the retry's delay; returns the seconds slept.
+
+        With ``remaining_s`` set, a delay that would not fit in the
+        remaining deadline is skipped entirely (returns ``0.0`` without
+        sleeping) — never sleep past a deadline the caller is about to
+        enforce.
+        """
         delay = self.delay_s(retry)
+        if remaining_s is not None and delay >= remaining_s:
+            return 0.0
         if delay > 0.0:
             self._sleep(delay)
         return delay

@@ -56,12 +56,18 @@ class ServeResult:
     ``degraded=True`` marks a stale-fallback answer: the model's circuit
     breaker was open and the runtime served a TTL-expired store row
     instead of failing the request.
+
+    ``status="error"`` is produced only by batch front doors that
+    guarantee per-request isolation (:meth:`ShardRouter.predict_many`):
+    the request failed hard (open breaker with no stale row, timeout,
+    executor error) but the failure is pinned to this slot instead of
+    aborting the whole batch; ``prediction`` is ``-1`` and meaningless.
     """
 
     node_id: int
     model_key: str
     prediction: int
-    status: str  # "ok" | "shed"
+    status: str  # "ok" | "shed" | "error"
     cached: bool
     hops_used: int
     latency_s: float

@@ -18,6 +18,14 @@ global-id front door, and halo maintenance between them.
 * **Failure isolation** — each shard's runtime owns its own circuit
   breakers, retry budget, and store. A failing shard engine trips only
   that shard's breaker; every other shard keeps serving unaffected.
+* **Replicated failover** — with ``replication_factor >= 2`` every
+  shard gets one *primary* runtime plus warm replicas over the same
+  local graph (each with a private hop stack and store). Routing always
+  targets the shard's *active* replica; when its breaker opens, the
+  router fails over to the first healthy replica, and a demoted primary
+  is readmitted only after its breaker cools down, its stale store is
+  flushed, its ghost rows are re-gathered, and a real probe request
+  succeeds (the failover state machine in ``DESIGN.md``).
 
 The local hop stacks are *exact* for owned nodes at registration: a
 shard's local graph keeps the full neighbourhood of every owned node
@@ -30,11 +38,12 @@ graph — the equivalence ``tests/test_shard_router.py`` asserts.
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import numpy as np
 
 from repro import obs
-from repro.errors import ConfigError, ServingError
+from repro.errors import ConfigError, LoadSheddingError, ServingError
 from repro.graph.core import Graph
 from repro.serving.engine import ServeResult
 from repro.serving.runtime import ServingRuntime
@@ -65,6 +74,11 @@ class ShardRouter:
         Keyword arguments for each per-shard
         :class:`~repro.serving.runtime.ServingRuntime` (breaker tuning,
         retry budget, ``early_exit``...).
+    replication_factor:
+        Runtimes per shard (default 1 = no replication). Replica 0 is
+        the shard's primary; replicas warm-register the same model over
+        the same local graph with independent hop stacks, stores, and
+        breakers, and take over when the active replica's breaker opens.
     """
 
     def __init__(
@@ -77,24 +91,32 @@ class ShardRouter:
         kind: str = "rw",
         alpha: float | None = None,
         runtime_kwargs: dict | None = None,
+        replication_factor: int = 1,
     ) -> None:
         from repro.distributed.shards import build_shard_plan
+        from repro.utils.validation import check_int_range
 
         if graph.x is None:
             raise ConfigError("ShardRouter needs node features (graph.x)")
+        check_int_range("replication_factor", replication_factor, 1)
         self.plan = build_shard_plan(graph, assignment, n_parts)
         self.n_parts = int(n_parts)
+        self.replication_factor = int(replication_factor)
         self.owner = self.plan.assignment
         self._g2l = []
-        self._runtimes: list[ServingRuntime] = []
-        self._records = []
+        #: per shard: all replica runtimes / records, replica 0 = primary
+        self._replicas: list[list[ServingRuntime]] = []
+        self._replica_records: list[list] = []
+        #: per shard: index of the replica currently serving requests
+        self._active: list[int] = [0] * self.n_parts
         #: global-id mask of nodes incident to any cross-partition arc
         self._boundary = np.zeros(graph.n_nodes, dtype=bool)
         kwargs = dict(runtime_kwargs or {})
         # Each shard runtime registers as its own stats source
-        # (serving.shard0, serving.shard1, ...) so one coordinator
-        # snapshot() carries every shard's queue depth and breaker state
-        # side by side instead of the last runtime clobbering one slot.
+        # (serving.shard0, serving.shard1, ...; replicas append ".r<k>")
+        # so one coordinator snapshot() carries every shard's queue depth
+        # and breaker state side by side instead of the last runtime
+        # clobbering one slot.
         prefix_base = kwargs.pop("source_prefix", "serving.shard")
         for p, shard in enumerate(self.plan.shards):
             g2l = np.full(graph.n_nodes, -1, dtype=np.int64)
@@ -102,12 +124,20 @@ class ShardRouter:
             self._g2l.append(g2l)
             self._boundary[shard.boundary] = True
             local = shard.local_graph(x=graph.x[shard.local_nodes])
-            runtime = ServingRuntime(
-                source_prefix=f"{prefix_base}{p}", **kwargs
-            )
-            key = runtime.register(name, model, local, kind=kind, alpha=alpha)
-            self._runtimes.append(runtime)
-            self._records.append(runtime.engine.registry.get(key))
+            runtimes: list[ServingRuntime] = []
+            records: list = []
+            for r in range(self.replication_factor):
+                suffix = f"{p}" if r == 0 else f"{p}.r{r}"
+                runtime = ServingRuntime(
+                    source_prefix=f"{prefix_base}{suffix}", **kwargs
+                )
+                key = runtime.register(
+                    name, model, local, kind=kind, alpha=alpha
+                )
+                runtimes.append(runtime)
+                records.append(runtime.engine.registry.get(key))
+            self._replicas.append(runtimes)
+            self._replica_records.append(records)
         # Per-shard halo pull plan: owner part -> (ghost slots here,
         # owned local ids there), grouped once so a gather is one locked
         # block copy per owning shard.
@@ -131,12 +161,33 @@ class ShardRouter:
         self.halo_rows_copied = 0
         self.halo_gathers_by_part = dict.fromkeys(range(self.n_parts), 0)
         self.requests_by_part = dict.fromkeys(range(self.n_parts), 0)
+        self.failovers = 0
+        self.readmissions = 0
+        self.request_errors = 0
         self._closed = False
         obs.register_source("serving.router", self)
 
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+
+    @property
+    def _runtimes(self) -> list[ServingRuntime]:
+        """The *active* replica runtime of every shard (back-compat view:
+        with ``replication_factor=1`` this is exactly the old per-shard
+        runtime list)."""
+        return [
+            replicas[self._active[p]]
+            for p, replicas in enumerate(self._replicas)
+        ]
+
+    @property
+    def _records(self) -> list:
+        """The active replica's registry record of every shard."""
+        return [
+            records[self._active[p]]
+            for p, records in enumerate(self._replica_records)
+        ]
 
     def shard_of(self, node_id: int) -> int:
         """The part (= runtime index) that owns ``node_id``."""
@@ -161,18 +212,21 @@ class ShardRouter:
     # Halo maintenance
     # ------------------------------------------------------------------ #
 
-    def _gather_halo(self, part: int) -> None:
+    def _gather_halo(self, part: int, replica: int | None = None) -> None:
         """Refresh ``part``'s ghost hop-stack rows from their owners.
 
         For each owning shard: copy the owners' full-depth rows under
         their reader lock, then patch this shard's ghost slots under its
         writer lock — ghost data served from this shard is at most one
         gather old, and concurrent micro-batch reads never observe a
-        torn row.
+        torn row. Owner rows always come from each owning shard's
+        *active* replica; ``replica`` selects which of ``part``'s
+        replicas to patch (default: its active one).
         """
-        record = self._records[part]
+        idx = self._active[part] if replica is None else replica
+        record = self._replica_records[part][idx]
         for q, (slots, owner_rows) in self._halo_sources[part].items():
-            owner_record = self._records[q]
+            owner_record = self._replica_records[q][self._active[q]]
             with owner_record.lock.reader:
                 rows = owner_record.stacked[:, owner_rows].copy()
             with record.lock.writer:
@@ -180,6 +234,107 @@ class ShardRouter:
             self.halo_rows_copied += len(slots)
         self.halo_gathers += 1
         self.halo_gathers_by_part[part] += 1
+
+    # ------------------------------------------------------------------ #
+    # Replica health / failover
+    # ------------------------------------------------------------------ #
+
+    def active_replica(self, part: int) -> int:
+        """Index of the replica currently serving ``part`` (0 = primary)."""
+        return self._active[part]
+
+    def _replica_state(self, part: int, replica: int) -> str:
+        """The breaker state of one replica (``"closed"`` if breakers are
+        disabled). Reads ``.state`` only — ``allow()`` would consume the
+        half-open probe budget a health check has no claim on."""
+        runtime = self._replicas[part][replica]
+        breaker = runtime.breaker(self._replica_records[part][replica].key)
+        return "closed" if breaker is None else breaker.state
+
+    def _healthy(self, part: int, replica: int) -> bool:
+        return self._replica_state(part, replica) != "open"
+
+    def _catch_up(self, part: int, replica: int) -> None:
+        """Bring one replica back in sync before it serves traffic:
+        flush its (possibly stale) store namespace and re-gather its
+        ghost rows from the shards that own them."""
+        runtime = self._replicas[part][replica]
+        record = self._replica_records[part][replica]
+        if runtime.engine.store is not None:
+            runtime.engine.store.invalidate(record.namespace)
+        if self._halo_sources[part]:
+            self._gather_halo(part, replica=replica)
+
+    def _transition(self, part: int, to: int, kind: str) -> None:
+        """Switch ``part``'s active replica, with obs breadcrumbs. All
+        membership transitions land in the ``supervisor.*`` namespace so
+        one metric family covers training-rank and serving-replica
+        churn alike."""
+        frm = self._active[part]
+        self._active[part] = to
+        _LOG.warning(
+            "shard %d %s: replica %d -> %d", part, kind, frm, to,
+        )
+        if obs.OBS.enabled:
+            obs.OBS.registry.counter(f"supervisor.{kind}s").inc(
+                shard=str(part)
+            )
+            obs.OBS.registry.gauge("supervisor.active_replica").set(
+                float(to), shard=str(part)
+            )
+
+    def _failover(self, part: int, to: int) -> None:
+        with obs.span("router.failover", shard=part, to=to):
+            self._catch_up(part, to)
+            self._transition(part, to, "failover")
+            self.failovers += 1
+
+    def _maybe_readmit(self, part: int) -> None:
+        """Fail back to the primary once it looks healthy again.
+
+        Readmission is gated on (1) the primary's breaker having left
+        the open state (its own cooldown clock) and (2) one real probe
+        request answering ``status="ok"`` — catch-up runs *before* the
+        probe so the probe cannot be answered from a stale store row
+        (a store hit never reaches the breaker, so it would be a
+        false-positive health signal) and so the first readmitted
+        request already serves fresh ghost data.
+        """
+        if self._active[part] == 0:
+            return
+        if self._replica_state(part, 0) == "open":
+            return  # still cooling down
+        runtime = self._replicas[part][0]
+        record = self._replica_records[part][0]
+        with obs.span("router.readmission_probe", shard=part):
+            self._catch_up(part, 0)
+            if record.graph.n_nodes > 0:
+                try:
+                    probe = runtime.predict(0, model=record.key)
+                except Exception:  # noqa: BLE001 - probe outcome is the point
+                    # The failed probe already fed the breaker; stay
+                    # failed over until the next cooldown.
+                    return
+                if probe.status != "ok" or probe.degraded:
+                    return
+        self._transition(part, 0, "readmission")
+        self.readmissions += 1
+
+    def _route(self, part: int) -> int:
+        """The replica index that should serve ``part``'s next request,
+        applying failover / readmission transitions as a side effect."""
+        if self._active[part] != 0:
+            self._maybe_readmit(part)
+        active = self._active[part]
+        if self._healthy(part, active):
+            return active
+        for r in range(self.replication_factor):
+            if r != active and self._healthy(part, r):
+                self._failover(part, r)
+                return r
+        # No healthy replica: stay put and let the active breaker's own
+        # semantics (stale fallback / CircuitOpenError) answer.
+        return active
 
     # ------------------------------------------------------------------ #
     # Request path
@@ -200,6 +355,7 @@ class ShardRouter:
         node_id = int(node_id)
         part = self.shard_of(node_id)
         local = int(self._g2l[part][node_id])
+        replica = self._route(part)
         self.requests += 1
         self.requests_by_part[part] += 1
         boundary = bool(self._boundary[node_id])
@@ -209,8 +365,10 @@ class ShardRouter:
                 self._gather_halo(part)
             else:
                 self.interior_requests += 1
-            result = self._runtimes[part].predict(
-                local, model=self._records[part].key, timeout_s=timeout_s
+            result = self._replicas[part][replica].predict(
+                local,
+                model=self._replica_records[part][replica].key,
+                timeout_s=timeout_s,
             )
         if obs.OBS.enabled:
             obs.OBS.registry.counter("router.requests").inc(shard=str(part))
@@ -221,8 +379,50 @@ class ShardRouter:
         node_ids,
         timeout_s: float | None = None,
     ) -> list[ServeResult]:
-        """Per-request routing over a stream of global node ids."""
-        return [self.predict(int(n), timeout_s=timeout_s) for n in node_ids]
+        """Per-request routing over a stream of global node ids.
+
+        One shard failing hard never fails the batch: a request whose
+        shard raises (open breaker without a stale row, timeout, batch
+        executor error) comes back as a ``status="error"`` result in its
+        slot — requests on every other shard are answered normally and
+        the returned list always aligns with ``node_ids``. Shed
+        admissions likewise come back as ``status="shed"`` results,
+        matching :meth:`ServingRuntime.predict_many`. Caller bugs (a
+        node id outside the graph, a closed router) still raise.
+        """
+        results: list[ServeResult] = []
+        for node_id in node_ids:
+            node_id = int(node_id)
+            if self._closed:
+                raise ServingError(
+                    "router is closed; no new requests accepted"
+                )
+            part = self.shard_of(node_id)  # out-of-range raises here
+            t0 = time.monotonic()
+            try:
+                results.append(self.predict(node_id, timeout_s=timeout_s))
+                continue
+            except LoadSheddingError:
+                status = "shed"
+            except Exception as exc:  # noqa: BLE001 - isolated per request
+                status = "error"
+                _LOG.warning(
+                    "request for node %d failed on shard %d (%s): %s",
+                    node_id, part, type(exc).__name__, exc,
+                )
+            self.request_errors += status == "error"
+            if obs.OBS.enabled:
+                obs.OBS.registry.counter("router.request_errors").inc(
+                    shard=str(part), status=status
+                )
+            key = self._replica_records[part][self._active[part]].key
+            results.append(
+                ServeResult(
+                    node_id, key, -1, status, False, 0,
+                    time.monotonic() - t0,
+                )
+            )
+        return results
 
     # ------------------------------------------------------------------ #
     # Lifecycle / stats
@@ -233,8 +433,9 @@ class ShardRouter:
         if self._closed:
             return
         self._closed = True
-        for runtime in self._runtimes:
-            runtime.close()
+        for replicas in self._replicas:
+            for runtime in replicas:
+                runtime.close()
         _LOG.info(
             "router closed: %d requests (%d boundary, %d halo gathers)",
             self.requests, self.boundary_requests, self.halo_gathers,
@@ -251,14 +452,19 @@ class ShardRouter:
         request/halo-gather series are labelled ``{shard=p}``."""
         out = {
             "shards": self.n_parts,
+            "replication_factor": self.replication_factor,
             "requests": self.requests,
             "boundary_requests": self.boundary_requests,
             "interior_requests": self.interior_requests,
             "halo_gathers": self.halo_gathers,
             "halo_rows_copied": self.halo_rows_copied,
+            "failovers": self.failovers,
+            "readmissions": self.readmissions,
+            "request_errors": self.request_errors,
             "breakers_open": sum(
                 1
-                for rt in self._runtimes
+                for replicas in self._replicas
+                for rt in replicas
                 for b in rt._breakers.values()
                 if b.state != "closed"
             ),
@@ -271,6 +477,9 @@ class ShardRouter:
             out[f"halo_gathers{{shard={part}}}"] = float(
                 self.halo_gathers_by_part[part]
             )
+            out[f"active_replica{{shard={part}}}"] = float(
+                self._active[part]
+            )
         return out
 
     def reset(self) -> None:
@@ -282,6 +491,9 @@ class ShardRouter:
         self.halo_rows_copied = 0
         self.halo_gathers_by_part = dict.fromkeys(range(self.n_parts), 0)
         self.requests_by_part = dict.fromkeys(range(self.n_parts), 0)
+        self.failovers = 0
+        self.readmissions = 0
+        self.request_errors = 0
 
     def stats(self) -> dict:
         """Router counters plus every shard runtime's report."""

@@ -167,6 +167,10 @@ class ServingRuntime:
         self._tripped = False
         self._cond = threading.Condition()
         self._futures: dict[int, Future] = {}
+        # request_id -> absolute deadline (engine clock), recorded at
+        # submit so the retry loop can stop backing off once no pending
+        # request in the batch could still be answered in time.
+        self._deadlines: dict[int, float] = {}
         self._closing = False
         self._closed = False
         self.batches_executed = 0
@@ -285,7 +289,10 @@ class ServingRuntime:
     # ------------------------------------------------------------------ #
 
     def _submit(
-        self, record: ServedModel, node_id: int
+        self,
+        record: ServedModel,
+        node_id: int,
+        deadline: float | None = None,
     ) -> tuple[str, ServeResult | Future]:
         """Admit one request: ``("hit", result)`` | ``("shed", result)``
         | ``("degraded", result)`` | ``("queued", future)``. Runs on the
@@ -340,6 +347,8 @@ class ServingRuntime:
                     return ("shed", shed)
                 future: Future = Future()
                 self._futures[request.request_id] = future
+                if deadline is not None:
+                    self._deadlines[request.request_id] = deadline
                 self._cond.notify_all()
             # Queued: _execute_batch records the probe's actual verdict.
             gated = None
@@ -387,11 +396,26 @@ class ServingRuntime:
         deadline elapses (the batch may still complete in the
         background) and :class:`~repro.errors.LoadSheddingError` when
         admission control rejects the request.
+
+        The deadline is recorded at submit time, so the batch executor's
+        retry loop stops backing off (and never sleeps) once the next
+        worst-case backoff could not finish before it.
         """
-        future = self.predict_async(node_id, model=model)
+        record = self.engine._resolve(model)
         timeout = timeout_s if timeout_s is not None else self.default_timeout_s
+        deadline = (
+            None if timeout is None else self.engine._clock() + timeout
+        )
+        kind, payload = self._submit(record, int(node_id), deadline=deadline)
+        if kind in ("hit", "degraded"):
+            return payload
+        if kind == "shed":
+            raise LoadSheddingError(
+                f"queue full ({self.engine.queue.max_queue} pending); "
+                f"request for node {payload.node_id} shed"
+            )
         try:
-            return future.result(timeout)
+            return payload.result(timeout)
         except FutureTimeoutError:
             raise ServingTimeoutError(
                 f"request for node {node_id} exceeded its {timeout}s deadline"
@@ -411,15 +435,16 @@ class ServingRuntime:
         total wait across the whole call.
         """
         record = self.engine._resolve(model)
-        slots: list[ServeResult | Future] = [
-            payload for payload in (
-                self._submit(record, int(node_id))[1] for node_id in node_ids
-            )
-        ]
         timeout = timeout_s if timeout_s is not None else self.default_timeout_s
         deadline = (
             None if timeout is None else self.engine._clock() + timeout
         )
+        slots: list[ServeResult | Future] = [
+            payload for payload in (
+                self._submit(record, int(node_id), deadline=deadline)[1]
+                for node_id in node_ids
+            )
+        ]
         results: list[ServeResult] = []
         for node_id, slot in zip(node_ids, slots):
             if isinstance(slot, ServeResult):
@@ -481,7 +506,10 @@ class ServingRuntime:
                         with self._stats_lock:
                             self._tripped = True
                     self._publish_breaker(model_key, breaker)
-                if not self.retry_policy.should_retry(exc, retries_done):
+                remaining = self._batch_remaining_s(batch)
+                if not self.retry_policy.should_retry(
+                    exc, retries_done, remaining_s=remaining
+                ):
                     if classify_error(exc) == PERMANENT:
                         # Fail fast: a deterministic failure (bad model,
                         # shape bug) never earns a retry.
@@ -507,7 +535,7 @@ class ServingRuntime:
                     "retrying batch of %d (retry %d/%d) after %s",
                     len(batch), retries_done, self.max_retries, exc,
                 )
-                self.retry_policy.backoff(retries_done)
+                self.retry_policy.backoff(retries_done, remaining_s=remaining)
                 if breaker is not None and not breaker.allow():
                     # The breaker opened while we were backing off —
                     # stop hammering and surface the last failure.
@@ -529,6 +557,24 @@ class ServingRuntime:
         self._record_slo(batch, results, model_key)
         self._resolve_futures(batch, results, None)
 
+    def _batch_remaining_s(self, batch: list[PredictRequest]) -> float | None:
+        """Time left before the *earliest* deadline in the batch, or
+        ``None`` when no request in the batch carries one.
+
+        The tightest deadline governs the retry budget: once it cannot
+        absorb the next worst-case backoff, retrying only delays the
+        timeout every waiter is already guaranteed to hit.
+        """
+        with self._cond:
+            deadlines = [
+                self._deadlines[request.request_id]
+                for request in batch
+                if request.request_id in self._deadlines
+            ]
+        if not deadlines:
+            return None
+        return min(deadlines) - self.engine._clock()
+
     def _resolve_futures(
         self,
         batch: list[PredictRequest],
@@ -540,6 +586,8 @@ class ServingRuntime:
                 (request, self._futures.pop(request.request_id, None))
                 for request in batch
             ]
+            for request in batch:
+                self._deadlines.pop(request.request_id, None)
         # Resolve outside the condition: a future's callbacks (or a
         # waiter waking immediately) must never run under our lock.
         for request, future in futures:
@@ -583,6 +631,7 @@ class ServingRuntime:
         with self._cond:
             leftovers = list(self._futures.values())
             self._futures.clear()
+            self._deadlines.clear()
             self._closed = True
         for future in leftovers:  # defensive: drain should have emptied these
             future.set_exception(

@@ -531,6 +531,50 @@ class TestRetryPolicy:
         )
         assert [again.delay_s(k) for k in range(1, 9)] == first
 
+    def test_worst_delay_is_a_deterministic_upper_bound(self):
+        pol = RetryPolicy(
+            max_retries=8, base_delay_s=0.01, max_delay_s=0.05,
+            jitter=0.5, seed=3,
+        )
+        for k in range(1, 9):
+            nominal = min(0.01 * 2 ** (k - 1), 0.05)
+            # Exact formula, and it never consumes jitter randomness.
+            assert pol.worst_delay_s(k) == pytest.approx(nominal * 1.5)
+            assert pol.delay_s(k) <= pol.worst_delay_s(k)
+        # Interleaving worst_delay_s calls must not perturb the seeded
+        # jitter schedule.
+        fresh = RetryPolicy(
+            max_retries=8, base_delay_s=0.01, max_delay_s=0.05,
+            jitter=0.5, seed=3,
+        )
+        assert [fresh.delay_s(k) for k in range(1, 9)] != []
+
+    def test_should_retry_respects_deadline(self):
+        pol = RetryPolicy(
+            max_retries=5, base_delay_s=0.1, max_delay_s=1.0,
+            jitter=0.5, seed=0, sleep=lambda s: None,
+        )
+        err = TransientError("x")
+        # worst_delay_s(1) = 0.15: plenty of budget -> retry.
+        assert pol.should_retry(err, 0, remaining_s=10.0)
+        # Budget smaller than the worst-case backoff -> give up now.
+        assert not pol.should_retry(err, 0, remaining_s=0.1)
+        # Deadline already blown -> never retry.
+        assert not pol.should_retry(err, 0, remaining_s=0.0)
+        # No deadline: old behaviour unchanged.
+        assert pol.should_retry(err, 0)
+
+    def test_backoff_never_sleeps_past_deadline(self):
+        slept = []
+        pol = RetryPolicy(
+            max_retries=5, base_delay_s=0.2, max_delay_s=1.0,
+            jitter=0.0, seed=0, sleep=slept.append,
+        )
+        assert pol.backoff(1, remaining_s=0.05) == 0.0
+        assert slept == []  # skipped entirely, not truncated
+        assert pol.backoff(1, remaining_s=10.0) == pytest.approx(0.2)
+        assert slept == [pytest.approx(0.2)]
+
 
 # ====================================================================== #
 # ServingRuntime: fail-fast, breaker, stale fallback

@@ -186,3 +186,179 @@ class TestFailureIsolation:
                 assert router.breaker(p).state == "closed"
         finally:
             router.close()
+
+
+class _FailAfterModel:
+    """Serves ``healthy`` forwards through the real model, then explodes
+    on every later call — the serving analogue of killing a process
+    mid-batch."""
+
+    k_hops = 1
+
+    def __init__(self, inner, healthy):
+        self._inner = inner
+        self._healthy = healthy
+
+    def eval(self):
+        return self
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __call__(self, *args, **kwargs):
+        if self._healthy <= 0:
+            raise RuntimeError("primary shard runtime killed")
+        self._healthy -= 1
+        return self._inner(*args, **kwargs)
+
+
+class TestPartialFailure:
+    def test_predict_many_isolates_a_failing_shard(self, setup):
+        """One poisoned shard must never fail the whole batch: its
+        requests come back as per-slot ``status="error"`` results while
+        every other shard's requests are answered normally."""
+        graph, part, model = setup
+        router = ShardRouter(
+            model, graph, part.assignment, N_PARTS,
+            kind="rw",
+            runtime_kwargs=dict(
+                early_exit=False, max_retries=0, stale_fallback=False,
+                breaker_kwargs=dict(min_calls=1, cooldown_s=60.0),
+            ),
+        )
+        try:
+            router._records[0].model = _PoisonModel()
+            nodes = [
+                int(np.flatnonzero(part.assignment == p)[i])
+                for i in range(4) for p in range(N_PARTS)
+            ]
+            results = router.predict_many(nodes, timeout_s=10.0)
+            assert len(results) == len(nodes)
+            for node, result in zip(nodes, results):
+                assert result.node_id == node
+                if part.assignment[node] == 0:
+                    assert result.status == "error"
+                    assert result.prediction == -1
+                else:
+                    assert result.status == "ok"
+            # The breaker is open now; a second batch keeps the same
+            # per-request semantics (CircuitOpenError, still isolated).
+            assert router.breaker(0).state == "open"
+            again = router.predict_many(nodes, timeout_s=10.0)
+            assert [r.status for r in again] == [r.status for r in results]
+            assert router.request_errors == 8
+        finally:
+            router.close()
+
+    def test_caller_bugs_still_raise(self, setup, router):
+        with pytest.raises(ServingError):
+            router.predict_many([10**9])
+
+
+class TestReplication:
+    def _replicated(self, setup, cooldown_s=60.0):
+        graph, part, model = setup
+        return ShardRouter(
+            model, graph, part.assignment, N_PARTS,
+            kind="rw", replication_factor=2,
+            runtime_kwargs=dict(
+                early_exit=False, max_retries=0, stale_fallback=False,
+                breaker_kwargs=dict(
+                    min_calls=1, window=4, failure_threshold=0.5,
+                    cooldown_s=cooldown_s,
+                ),
+            ),
+        )
+
+    def test_validates_replication_factor(self, setup):
+        graph, part, model = setup
+        with pytest.raises(ConfigError):
+            ShardRouter(
+                model, graph, part.assignment, N_PARTS,
+                replication_factor=0,
+            )
+
+    def test_replicas_answer_identically_to_primary(self, setup):
+        graph, part, model = setup
+        router = self._replicated(setup)
+        try:
+            snap = router.snapshot()
+            assert snap["replication_factor"] == 2
+            assert all(
+                snap[f"active_replica{{shard={p}}}"] == 0.0
+                for p in range(N_PARTS)
+            )
+            assert len(router._runtimes) == N_PARTS  # back-compat view
+            node = int(np.flatnonzero(part.assignment == 1)[0])
+            via_primary = router.predict(node)
+            # Force shard 1 onto its replica and re-ask.
+            router._active[1] = 1
+            via_replica = router.predict(node)
+            np.testing.assert_allclose(
+                via_replica.prediction, via_primary.prediction,
+                rtol=1e-10, atol=1e-12,
+            )
+            router._active[1] = 0
+        finally:
+            router.close()
+
+    def test_kill_primary_mid_predict_many_fails_over(self, setup):
+        """Chaos: the primary of shard 0 dies partway through a
+        ``predict_many`` stream. The batch never fails, at most the
+        in-flight request errors, the replica serves the rest
+        (``degraded=False``), and other shards are untouched."""
+        graph, part, model = setup
+        router = self._replicated(setup)
+        try:
+            shard0 = np.flatnonzero(part.assignment == 0)[:12]
+            others = np.flatnonzero(part.assignment != 0)[:12]
+            nodes = [int(n) for pair in zip(shard0, others) for n in pair]
+            primary = router._replica_records[0][0]
+            primary.model = _FailAfterModel(primary.model, healthy=2)
+            results = router.predict_many(nodes, timeout_s=10.0)
+            assert len(results) == len(nodes)
+            statuses = [r.status for r in results]
+            assert "error" in statuses       # the in-flight casualties
+            assert statuses.count("error") <= 4
+            # Everything after the failover is served for real.
+            assert router.failovers == 1
+            assert router.active_replica(0) == 1
+            for node, result in zip(nodes, results):
+                if part.assignment[node] != 0:
+                    assert result.status == "ok"   # other shards untouched
+                if result.status == "ok":
+                    assert not result.degraded
+            assert results[-2].status == "ok"  # late shard-0 slots healthy
+            # Other shards never left their primaries.
+            assert all(router.active_replica(p) == 0
+                       for p in range(1, N_PARTS))
+        finally:
+            router.close()
+
+    def test_readmission_after_cooldown_and_probe(self, setup):
+        import glob as _glob
+        import time as _time
+
+        graph, part, model = setup
+        router = self._replicated(setup, cooldown_s=0.3)
+        try:
+            shard0 = [int(n) for n in np.flatnonzero(part.assignment == 0)[:8]]
+            primary = router._replica_records[0][0]
+            real_model = primary.model
+            primary.model = _PoisonModel()
+            router.predict_many(shard0, timeout_s=10.0)
+            assert router.active_replica(0) == 1
+            # Heal the primary, wait out the breaker cooldown: the next
+            # request probes, catches up, and fails back.
+            primary.model = real_model
+            _time.sleep(0.4)
+            results = router.predict_many(shard0, timeout_s=10.0)
+            assert all(r.status == "ok" and not r.degraded for r in results)
+            assert router.readmissions == 1
+            assert router.active_replica(0) == 0
+            snap = router.snapshot()
+            assert snap["failovers"] == 1
+            assert snap["readmissions"] == 1
+        finally:
+            router.close()
+        assert not _glob.glob("/dev/shm/repro-dist-*")

@@ -46,9 +46,10 @@ One `ShmArena` per run; segments are named `repro-dist-<pid>-<run>-<key>`:
 | `s<p>-owned/ghosts/send-*/recv-*` | shard `p`'s halo index maps | coordinator, once |
 | `halo-<p>-<q>` (+`-round`) | one feature row per cross arc `p`→`q` | worker `p`, per round |
 | `params` (+`params-round`) | flattened averaged parameters | coordinator, per round |
-| `state-<p>` (+`state-meta-<p>`) | worker `p`'s flattened parameters, `(round, n_train, failed)` | worker `p`, per round |
+| `state-<p>` (+`state-meta-<p>`) | worker `p`'s flattened parameters, `(round, n_train, failed, generation)` | worker `p`, per round |
 | `done-<p>` | final counter block (halo floats, attach stats, faults) | worker `p`, once |
 | `alive` | one liveness byte per rank | coordinator |
+| `lease-<p>` | worker `p`'s heartbeat lease cell (supervised runs only) | worker `p`, per beat |
 
 ### Kill-safe round-cell protocol
 
@@ -61,6 +62,80 @@ via the `alive` array and degrade (stale ghost rows, survivor-
 renormalised averaging) instead of blocking. This is why the control
 plane is shared memory rather than `mp.Queue`: a worker killed
 mid-`put` of a multi-page pickle wedges every subsequent reader.
+
+### Lease-cell layout
+
+Supervised runs (`supervise=LeasePolicy(...)`) add one `int64[4]`
+heartbeat cell per rank, beaten from the worker's round loop:
+
+| index | name | contents |
+|---|---|---|
+| 0 | `LEASE_SEQ` | monotonically increasing beat counter — **written last** |
+| 1 | `LEASE_GENERATION` | the incarnation's fencing token |
+| 2 | `LEASE_ROUND` | last round this incarnation published (`-1` before the first) |
+| 3 | `LEASE_PID` | the incarnation's OS pid (diagnostics only) |
+
+The coordinator's `Supervisor` never reads worker clocks: liveness is
+wall time since `LEASE_SEQ` last *changed*, measured on the
+coordinator's own monotonic clock, so clock skew between processes
+cannot expire a lease. A lease silent for
+`missed_beats x beat_interval_s` (while the process is still alive) or
+a dead process triggers the `LeasePolicy` action: `respawn` (up to
+`max_respawns` per rank), `evict` (survivor-renormalised averaging), or
+`continue` (wait out stragglers, evict only the dead).
+
+### Fenced rejoin protocol
+
+Respawn must not let a not-quite-dead predecessor corrupt the round it
+missed, so every incarnation of rank `p` carries a **generation token**:
+
+1. the `Supervisor` bumps `generation[p]` *before* launching the
+   successor, and resets the stale `state-meta-<p>` round cell to `-1`;
+2. the successor restores from the coordinator-side resume checkpoint
+   namespace for rank `p`, fast-forwards its deterministic fault
+   schedule to the recorded per-site call counts, re-attaches every
+   shared segment by handle, and stamps its generation into
+   `state-meta-<p>[3]` and `lease-<p>[1]` on every publication;
+3. the coordinator accepts a round-`r` state publication only if
+   `Supervisor.fence_accepts(p, generation)` — a write stamped with a
+   superseded token is counted (`fenced_writes`) and discarded, never
+   averaged.
+
+Because the resume checkpoint for step `s` is exactly the parameter
+state after round `s - 1` and the coordinator's run-ahead is bounded to
+one round, a killed-and-respawned run converges **bit-identically** to
+an unfaulted one (asserted by benchmark E36 and the tier-1 chaos
+tests).
+""",
+    "repro.serving": """\
+### Replicated-shard failover state machine
+
+`ShardRouter(replication_factor=r)` builds `r` independent
+`ServingRuntime` replicas per shard (replica 0 is the primary; replica
+stores are namespaced `<shard>.r<k>`). Health is read from each
+replica's circuit-breaker `state` gauge — never from `allow()`, which
+would consume half-open probe slots:
+
+```
+            primary breaker opens              replica also unhealthy
+  PRIMARY ---------------------------> FAILED  ----------------------+
+    ^        (failover: catch-up            OVER                     |
+    |         halo/store, then route        |                        v
+    |         to first healthy replica)     |                  stay put, per-
+    |                                       |                  request errors
+    +---------------------------------------+
+      readmission: primary breaker leaves "open" (cooldown elapsed)
+      -> invalidate primary's store namespace, re-gather halo rows,
+         send one live probe through the primary; readmit only on
+         `status == "ok"` and not degraded
+```
+
+Transitions emit `supervisor.failovers` / `supervisor.readmissions`
+counters and `supervisor.active_replica` gauges. `predict_many` is the
+per-request-isolated front door: one shard's open breaker or hard
+failure yields `status="error"` slots for that shard's requests only —
+never a whole-batch exception (caller bugs such as out-of-range node
+ids still raise).
 """,
     "repro.obs.telemetry": """\
 ### Metrics snapshot cell layout
